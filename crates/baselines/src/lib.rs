@@ -1,0 +1,27 @@
+//! `ns-baselines` — the four baseline detectors NodeSentry is compared
+//! against in Table 4, re-implemented from scratch on the workspace's
+//! own substrates:
+//!
+//! * [`prodigy`] — Prodigy (SC '23): global VAE over per-window feature
+//!   summaries.
+//! * [`ruad`] — RUAD (FGCS '23): one LSTM autoencoder per node.
+//! * [`examon`] — ExaMon (TPDS '21): per-node dense autoencoders (the
+//!   unsupervised component, per the paper's comparison protocol).
+//! * [`isc20`] — ISC'20: Bayesian Gaussian mixture + Mahalanobis
+//!   distance.
+//!
+//! All implement the [`Detector`] trait over preprocessed node matrices,
+//! so every method sees identical inputs and the same downstream
+//! thresholding — the comparison isolates the detection strategy.
+
+pub mod common;
+pub mod examon;
+pub mod isc20;
+pub mod prodigy;
+pub mod ruad;
+
+pub use common::Detector;
+pub use examon::{Examon, ExamonConfig};
+pub use isc20::{Isc20, Isc20Config};
+pub use prodigy::{Prodigy, ProdigyConfig};
+pub use ruad::{Ruad, RuadConfig};

@@ -1,0 +1,46 @@
+//! End-to-end detection-path micro-costs: k-sigma thresholding, point
+//! adjustment, AUC, and the preprocessing pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_eval::metrics::{adjusted_confusion, roc_auc_adjusted};
+use ns_eval::threshold::{ksigma_detect, KSigmaConfig};
+use ns_linalg::matrix::Matrix;
+use nodesentry_core::preprocess::{interpolate_missing, Preprocessor};
+
+fn bench_detect(c: &mut Criterion) {
+    let scores: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 * 0.01).collect();
+    let truth: Vec<bool> = (0..10_000).map(|i| (4000..4100).contains(&i)).collect();
+    let cfg = KSigmaConfig::default();
+
+    let mut group = c.benchmark_group("detect");
+    group.sample_size(30);
+    group.bench_function("ksigma_10k", |b| b.iter(|| ksigma_detect(&scores, &cfg)));
+    let pred = ksigma_detect(&scores, &cfg);
+    group.bench_function("point_adjust_confusion_10k", |b| {
+        b.iter(|| adjusted_confusion(&pred, &truth, None))
+    });
+    group.bench_function("roc_auc_10k", |b| b.iter(|| roc_auc_adjusted(&scores, &truth, None)));
+
+    // Preprocessing micro-costs.
+    let raw = Matrix::from_fn(2000, 120, |r, m| {
+        if (r * 131 + m * 17) % 997 == 0 {
+            f64::NAN
+        } else {
+            ((r + m * 3) as f64 * 0.01).sin()
+        }
+    });
+    group.bench_function("interpolate_2000x120", |b| {
+        b.iter(|| {
+            let mut m = raw.clone();
+            interpolate_missing(&mut m);
+            m
+        })
+    });
+    let groups: Vec<usize> = (0..120).map(|i| i / 4).collect();
+    let pp = Preprocessor::fit(&raw, &groups, 0.99, 0.05);
+    group.bench_function("preprocess_transform_2000x120", |b| b.iter(|| pp.transform(&raw)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_detect);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! DTW vs feature-space distance (the §2.1 cost argument, micro form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_cluster::dtw::dtw_distance;
+use ns_features::FeatureCatalog;
+use ns_linalg::vecops;
+
+fn bench_dtw(c: &mut Criterion) {
+    let a: Vec<f64> = (0..500).map(|i| (i as f64 * 0.11).sin()).collect();
+    let b: Vec<f64> = (0..470).map(|i| (i as f64 * 0.12).cos()).collect();
+    let catalog = FeatureCatalog::standard();
+    let fa = catalog.extract(&a, 1.0);
+    let fb = catalog.extract(&b, 1.0);
+
+    let mut group = c.benchmark_group("dtw_vs_features");
+    group.sample_size(20);
+    group.bench_function("dtw_unbanded_500", |bch| bch.iter(|| dtw_distance(&a, &b, None)));
+    group.bench_function("dtw_band20_500", |bch| bch.iter(|| dtw_distance(&a, &b, Some(20))));
+    group.bench_function("feature_extract_500", |bch| bch.iter(|| catalog.extract(&a, 1.0)));
+    group.bench_function("feature_euclidean", |bch| bch.iter(|| vecops::euclidean(&fa, &fb)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Feature-extraction throughput: the 134-feature catalog per series and
+//! per MTS segment (the coarse stage's dominant cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ns_features::FeatureCatalog;
+use ns_linalg::matrix::Matrix;
+
+fn bench_features(c: &mut Criterion) {
+    let catalog = FeatureCatalog::standard();
+    let compact = FeatureCatalog::compact();
+    let mut group = c.benchmark_group("features");
+    group.sample_size(20);
+    for len in [240usize, 1024] {
+        let series: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13).sin() * 2.0 + 0.4).collect();
+        group.bench_with_input(BenchmarkId::new("standard_134", len), &series, |b, s| {
+            b.iter(|| catalog.extract(s, 1.0 / 30.0))
+        });
+        group.bench_with_input(BenchmarkId::new("compact_21", len), &series, |b, s| {
+            b.iter(|| compact.extract(s, 1.0 / 30.0))
+        });
+    }
+    let segment = Matrix::from_fn(240, 30, |r, c2| ((r * (c2 + 1)) as f64 * 0.05).sin());
+    group.bench_function("mts_240x30_standard", |b| {
+        b.iter(|| catalog.extract_mts(&segment, 1.0 / 30.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! HAC clustering cost over segment populations (coarse stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ns_cluster::{linkage_from_distance, select_k, Linkage};
+use ns_linalg::distance::CondensedDistance;
+use ns_linalg::vecops;
+
+fn synth_features(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * 31 + j * 7) % 23) as f64 + if i % 3 == 0 { 40.0 } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_hac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hac");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let feats = synth_features(n, 64);
+        group.bench_with_input(BenchmarkId::new("linkage_ward", n), &feats, |b, f| {
+            b.iter(|| {
+                let dist = CondensedDistance::compute(f.len(), |i, j| vecops::euclidean(&f[i], &f[j]));
+                linkage_from_distance(&dist, Linkage::Ward)
+            })
+        });
+    }
+    let feats = synth_features(200, 64);
+    let dist = CondensedDistance::compute(feats.len(), |i, j| vecops::euclidean(&feats[i], &feats[j]));
+    let dend = linkage_from_distance(&dist, Linkage::Ward);
+    group.bench_function("silhouette_sweep_k12_n200", |b| {
+        b.iter(|| select_k(&dist, &dend, 12, 0.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hac);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 6(b) — F1 vs number of clusters, swept as multiples ×0.1–×2 of
+//! the silhouette-selected count. Too few clusters hurt badly; extra
+//! clusters plateau.
+
+use ns_bench::{default_ns_config, run_nodesentry, write_json};
+use serde_json::json;
+
+fn main() {
+    println!("=== Fig. 6(b): F1 vs number of clusters (x of auto-k) ===\n");
+    let mut out = Vec::new();
+    for profile in [ns_bench::sweep_profile_d1(), ns_bench::sweep_profile_d2()] {
+        let ds = profile.generate();
+        // Discover the auto-selected k first.
+        let (auto, model) = run_nodesentry(&ds, default_ns_config());
+        let k_auto = model.n_clusters();
+        println!("{}: auto k = {k_auto} (F1 {:.3})", ds.profile.name, auto.f1);
+        let mut series = vec![json!({ "factor": 1.0, "k": k_auto, "f1": auto.f1 })];
+        for factor in [0.1, 0.5, 1.5, 2.0] {
+            let k = ((k_auto as f64 * factor).round() as usize).max(1);
+            let mut cfg = default_ns_config();
+            cfg.coarse.force_k = Some(k);
+            let (r, _) = run_nodesentry(&ds, cfg);
+            println!("  x{factor:<4} (k={k}): F1 {:.3}", r.f1);
+            series.push(json!({ "factor": factor, "k": k, "f1": r.f1 }));
+        }
+        out.push(json!({ "dataset": ds.profile.name, "k_auto": k_auto, "series": series }));
+        println!();
+    }
+    println!("paper shape: performance collapses below the optimal k, stabilises above it");
+    write_json("fig6b", &out);
+}

@@ -1,0 +1,27 @@
+//! Fig. 6(c) — F1 vs number of MoE experts (1–5). The paper finds 3
+//! optimal: fewer under-represent the sub-patterns, more overfit.
+
+use ns_bench::{default_ns_config, run_nodesentry, write_json};
+use serde_json::json;
+
+fn main() {
+    println!("=== Fig. 6(c): F1 vs number of experts ===\n");
+    let mut out = Vec::new();
+    for profile in [ns_bench::sweep_profile_d1(), ns_bench::sweep_profile_d2()] {
+        let ds = profile.generate();
+        print!("{:<10}", ds.profile.name);
+        let mut series = Vec::new();
+        for n_experts in 1..=5usize {
+            let mut cfg = default_ns_config();
+            cfg.sharing.n_experts = n_experts;
+            cfg.sharing.top_k = 1;
+            let (r, _) = run_nodesentry(&ds, cfg);
+            print!("  {n_experts}: {:.3}", r.f1);
+            series.push(json!({ "experts": n_experts, "f1": r.f1 }));
+        }
+        println!();
+        out.push(json!({ "dataset": ds.profile.name, "series": series }));
+    }
+    println!("\npaper shape: best at 3 experts");
+    write_json("fig6c", &out);
+}

@@ -1,0 +1,28 @@
+//! Fig. 6(d) — F1 vs number of experts assigned per token (top-k 1–5,
+//! with a 5-expert pool). The paper finds top-1 optimal: blending
+//! specialists adds complexity without accuracy.
+
+use ns_bench::{default_ns_config, run_nodesentry, write_json};
+use serde_json::json;
+
+fn main() {
+    println!("=== Fig. 6(d): F1 vs experts assigned per token (5-expert pool) ===\n");
+    let mut out = Vec::new();
+    for profile in [ns_bench::sweep_profile_d1(), ns_bench::sweep_profile_d2()] {
+        let ds = profile.generate();
+        print!("{:<10}", ds.profile.name);
+        let mut series = Vec::new();
+        for top_k in 1..=5usize {
+            let mut cfg = default_ns_config();
+            cfg.sharing.n_experts = 5;
+            cfg.sharing.top_k = top_k;
+            let (r, _) = run_nodesentry(&ds, cfg);
+            print!("  k={top_k}: {:.3}", r.f1);
+            series.push(json!({ "top_k": top_k, "f1": r.f1 }));
+        }
+        println!();
+        out.push(json!({ "dataset": ds.profile.name, "series": series }));
+    }
+    println!("\npaper shape: best with a single expert per token");
+    write_json("fig6d", &out);
+}

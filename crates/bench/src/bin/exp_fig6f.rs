@@ -1,0 +1,28 @@
+//! Fig. 6(f) — F1 vs the k-sigma threshold time window (15–45 min).
+//! NodeSentry is robust across window lengths; shorter windows are
+//! recommended for cost.
+
+use ns_bench::{default_ns_config, run_nodesentry, write_json};
+use serde_json::json;
+
+fn main() {
+    println!("=== Fig. 6(f): F1 vs threshold-selection time window ===\n");
+    let steps_per_minute = 2.0; // 30 s sampling
+    let mut out = Vec::new();
+    for profile in [ns_bench::sweep_profile_d1(), ns_bench::sweep_profile_d2()] {
+        let ds = profile.generate();
+        print!("{:<10}", ds.profile.name);
+        let mut series = Vec::new();
+        for minutes in [15.0, 20.0, 30.0, 45.0] {
+            let mut cfg = default_ns_config();
+            cfg.threshold.window = (minutes * steps_per_minute) as usize;
+            let (r, _) = run_nodesentry(&ds, cfg);
+            print!("  {minutes}min: {:.3}", r.f1);
+            series.push(json!({ "minutes": minutes, "f1": r.f1 }));
+        }
+        println!();
+        out.push(json!({ "dataset": ds.profile.name, "series": series }));
+    }
+    println!("\npaper shape: flat — robust to the window; short windows suffice");
+    write_json("fig6f", &out);
+}

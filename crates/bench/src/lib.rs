@@ -1,0 +1,7 @@
+//! `ns-bench` — shared experiment harness behind the per-table /
+//! per-figure binaries in `src/bin/` (see `DESIGN.md` §3 for the index)
+//! and the criterion micro-benchmarks in `benches/`.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,107 @@
+//! DBSCAN density clustering (used by DeepHYDRA-style pipelines and by the
+//! labeling toolkit's built-in reference clusterers).
+
+use ns_linalg::vecops;
+
+/// Label assigned to noise points.
+pub const NOISE: isize = -1;
+
+/// DBSCAN over row-vector data with Euclidean distance.
+///
+/// Returns per-point labels: `>= 0` for cluster ids, [`NOISE`] for noise.
+pub fn dbscan(data: &[Vec<f64>], eps: f64, min_pts: usize) -> Vec<isize> {
+    let n = data.len();
+    let mut labels = vec![isize::MIN; n]; // MIN = unvisited
+    let eps_sq = eps * eps;
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| vecops::euclidean_sq(&data[i], &data[j]) <= eps_sq)
+            .collect()
+    };
+    let mut cluster: isize = -1;
+    for i in 0..n {
+        if labels[i] != isize::MIN {
+            continue;
+        }
+        let nbrs = neighbours(i);
+        if nbrs.len() < min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        cluster += 1;
+        labels[i] = cluster;
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let q = queue[qi];
+            qi += 1;
+            if labels[q] == NOISE {
+                labels[q] = cluster; // border point
+            }
+            if labels[q] != isize::MIN {
+                continue;
+            }
+            labels[q] = cluster;
+            let qn = neighbours(q);
+            if qn.len() >= min_pts {
+                queue.extend(qn);
+            }
+        }
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_blobs_with_noise() {
+        let mut data: Vec<Vec<f64>> = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 10.0)] {
+            for i in 0..6 {
+                data.push(vec![cx + (i % 3) as f64 * 0.2, cy + (i / 3) as f64 * 0.2]);
+            }
+        }
+        data.push(vec![100.0, -100.0]); // isolated noise point
+        let labels = dbscan(&data, 1.0, 3);
+        assert_eq!(labels[12], NOISE);
+        let a = labels[0];
+        let b = labels[6];
+        assert!(a >= 0 && b >= 0 && a != b);
+        assert!(labels[..6].iter().all(|&l| l == a));
+        assert!(labels[6..12].iter().all(|&l| l == b));
+    }
+
+    #[test]
+    fn everything_noise_when_eps_tiny() {
+        let data: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 * 10.0]).collect();
+        let labels = dbscan(&data, 0.001, 2);
+        assert!(labels.iter().all(|&l| l == NOISE));
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let data: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let labels = dbscan(&data, 100.0, 2);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn border_points_join_cluster() {
+        // Core chain plus a border point with only one neighbour.
+        let data = vec![
+            vec![0.0],
+            vec![0.5],
+            vec![1.0],
+            vec![1.9], // border: within eps of [1.0] only
+        ];
+        let labels = dbscan(&data, 1.0, 3);
+        assert_eq!(labels[3], labels[2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dbscan(&[], 1.0, 3).is_empty());
+    }
+}

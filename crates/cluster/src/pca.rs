@@ -1,0 +1,171 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used as a dimensionality-reduction utility (feature matrices ahead of
+//! clustering) and by the labeling toolkit's 2-D data-distribution view.
+
+use ns_linalg::matrix::Matrix;
+
+/// A fitted PCA transform.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    /// Per-feature means subtracted before projection.
+    pub mean: Vec<f64>,
+    /// Principal axes as rows (`k × d`), unit norm, orthogonal.
+    pub components: Matrix,
+    /// Explained variance per component, descending.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit `k` components to row-sample data (`n × d` matrix).
+    ///
+    /// Power iteration with deflation on the covariance matrix: adequate
+    /// for the small `k` (≤ 10) used in this workspace.
+    pub fn fit(data: &Matrix, k: usize) -> Pca {
+        let n = data.rows();
+        let d = data.cols();
+        let k = k.min(d).max(1);
+        let mean: Vec<f64> = data.col_means().into_vec();
+        // Centered data.
+        let mut x = data.clone();
+        for r in 0..n {
+            for (v, m) in x.row_mut(r).iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        // Covariance (d × d).
+        let denom = (n.max(2) - 1) as f64;
+        let mut cov = x.transpose().matmul(&x);
+        cov.map_inplace(|v| v / denom);
+
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        let mut work = cov;
+        for comp in 0..k {
+            // Deterministic start vector.
+            let mut v: Vec<f64> = (0..d).map(|i| ((i + comp + 1) as f64).sin() + 0.5).collect();
+            normalize(&mut v);
+            let mut eig = 0.0;
+            for _ in 0..200 {
+                let mut nv = vec![0.0; d];
+                for (r, slot) in nv.iter_mut().enumerate() {
+                    let row = work.row(r);
+                    *slot = row.iter().zip(&v).map(|(a, b)| a * b).sum();
+                }
+                let norm = nv.iter().map(|a| a * a).sum::<f64>().sqrt();
+                if norm < 1e-18 {
+                    break;
+                }
+                for x in nv.iter_mut() {
+                    *x /= norm;
+                }
+                let delta: f64 = nv.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+                v = nv;
+                eig = norm;
+                if delta < 1e-12 {
+                    break;
+                }
+            }
+            components.row_mut(comp).copy_from_slice(&v);
+            explained.push(eig.max(0.0));
+            // Deflate: work -= eig * v vᵀ.
+            for r in 0..d {
+                for c in 0..d {
+                    work[(r, c)] -= eig * v[r] * v[c];
+                }
+            }
+        }
+        Pca { mean, components, explained_variance: explained }
+    }
+
+    /// Project row-sample data into component space (`n × k`).
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let n = data.rows();
+        let mut x = data.clone();
+        for r in 0..n {
+            for (v, m) in x.row_mut(r).iter_mut().zip(&self.mean) {
+                *v -= m;
+            }
+        }
+        x.matmul(&self.components.transpose())
+    }
+
+    /// Fraction of total variance captured by the fitted components,
+    /// relative to the sum of fitted eigenvalues plus any residual the
+    /// caller tracks (here: of the fitted ones only, in [0, 1] per entry).
+    pub fn explained_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.explained_variance.iter().sum();
+        if total < 1e-24 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance.iter().map(|v| v / total).collect()
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let n = v.iter().map(|a| a * a).sum::<f64>().sqrt();
+    if n > 1e-18 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_component_aligns_with_dominant_axis() {
+        // Data stretched along (1, 1)/√2.
+        let data = Matrix::from_fn(50, 2, |r, c| {
+            let t = r as f64 - 25.0;
+            let noise = ((r * 7 + c) % 5) as f64 * 0.05;
+            t + if c == 0 { noise } else { -noise }
+        });
+        let pca = Pca::fit(&data, 2);
+        let c0 = pca.components.row(0);
+        let alignment = (c0[0] * c0[1]).abs(); // both ≈ 1/√2 → product ≈ 0.5
+        assert!((alignment - 0.5).abs() < 0.05, "components {:?}", c0);
+        assert!(pca.explained_variance[0] > pca.explained_variance[1] * 10.0);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = Matrix::from_fn(40, 4, |r, c| ((r * (c + 2) * 13) % 17) as f64);
+        let pca = Pca::fit(&data, 3);
+        for i in 0..3 {
+            let ri = pca.components.row(i);
+            let norm: f64 = ri.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-6, "component {i} norm {norm}");
+            for j in 0..i {
+                let dot: f64 = ri.iter().zip(pca.components.row(j)).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-6, "components {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_fn(30, 3, |r, c| r as f64 + c as f64 * 100.0);
+        let pca = Pca::fit(&data, 2);
+        let proj = pca.transform(&data);
+        assert_eq!(proj.shape(), (30, 2));
+        // Projection of the mean point is the origin.
+        let mean_row = Matrix::row_vector(&pca.mean);
+        let pm = pca.transform(&mean_row);
+        assert!(pm.as_slice().iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn explained_ratio_sums_to_one() {
+        let data = Matrix::from_fn(25, 5, |r, c| ((r + 1) * (c + 1)) as f64 % 7.0);
+        let pca = Pca::fit(&data, 4);
+        let ratios = pca.explained_ratio();
+        assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Descending order.
+        for w in ratios.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+}

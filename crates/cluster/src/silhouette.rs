@@ -1,0 +1,186 @@
+//! Silhouette coefficient and silhouette-driven automatic cluster-count
+//! selection (the paper's §3.3: "operators do not require iterative
+//! attempts to determine the optimal number of clusters").
+
+use crate::hac::Dendrogram;
+use ns_linalg::distance::CondensedDistance;
+use rayon::prelude::*;
+
+/// Mean silhouette coefficient of a labelling over a condensed distance
+/// matrix. Singleton clusters contribute 0 (scikit-learn convention).
+/// Returns 0 when there are fewer than 2 clusters or fewer than 2 points.
+pub fn silhouette_score(dist: &CondensedDistance, labels: &[usize]) -> f64 {
+    let n = labels.len();
+    assert_eq!(dist.len(), n, "distance matrix and labels disagree on n");
+    if n < 2 {
+        return 0.0;
+    }
+    let k = labels.iter().max().map(|m| m + 1).unwrap_or(0);
+    if k < 2 {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    let scores: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let li = labels[i];
+            if counts[li] <= 1 {
+                return 0.0;
+            }
+            // Mean distance to every cluster.
+            let mut sums = vec![0.0f64; k];
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                sums[labels[j]] += dist.get(i, j);
+            }
+            let a = sums[li] / (counts[li] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != li && counts[c] > 0)
+                .map(|c| sums[c] / counts[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if !b.is_finite() {
+                return 0.0;
+            }
+            let denom = a.max(b);
+            if denom < 1e-24 {
+                0.0
+            } else {
+                (b - a) / denom
+            }
+        })
+        .sum();
+    scores / n as f64
+}
+
+/// Result of a silhouette sweep over dendrogram cuts.
+#[derive(Clone, Debug)]
+pub struct KSelection {
+    /// Chosen number of clusters.
+    pub k: usize,
+    /// Labels at the chosen `k`.
+    pub labels: Vec<usize>,
+    /// Silhouette at the chosen `k`.
+    pub score: f64,
+    /// The full `(k, score)` sweep for diagnostics.
+    pub sweep: Vec<(usize, f64)>,
+}
+
+/// Sweep `k = 2..=k_max` over dendrogram cuts and pick the silhouette
+/// maximiser. Falls back to `k = 1` when no cut scores above `min_score`
+/// (all-similar segment populations collapse to a single shared model).
+pub fn select_k(
+    dist: &CondensedDistance,
+    dendrogram: &Dendrogram,
+    k_max: usize,
+    min_score: f64,
+) -> KSelection {
+    let n = dendrogram.len();
+    let k_hi = k_max.min(n.saturating_sub(1)).max(1);
+    let mut sweep = Vec::new();
+    let mut best: Option<(usize, f64, Vec<usize>)> = None;
+    for k in 2..=k_hi {
+        let labels = dendrogram.cut_k(k);
+        let score = silhouette_score(dist, &labels);
+        sweep.push((k, score));
+        let better = match &best {
+            Some((_, bs, _)) => score > *bs,
+            None => true,
+        };
+        if better {
+            best = Some((k, score, labels));
+        }
+    }
+    match best {
+        Some((k, score, labels)) if score >= min_score => KSelection { k, labels, score, sweep },
+        _ => KSelection { k: 1, labels: vec![0; n], score: 0.0, sweep },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hac::{linkage, Linkage};
+    use ns_linalg::vecops;
+
+    fn blobs(centers: &[(f64, f64)], per: usize) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for k in 0..per {
+                let d = k as f64 * 0.05;
+                pts.push(vec![cx + d, cy - d]);
+            }
+        }
+        pts
+    }
+
+    fn dist_of(data: &[Vec<f64>]) -> CondensedDistance {
+        CondensedDistance::compute(data.len(), |i, j| vecops::euclidean(&data[i], &data[j]))
+    }
+
+    #[test]
+    fn perfect_clustering_scores_near_one() {
+        let data = blobs(&[(0.0, 0.0), (100.0, 0.0)], 6);
+        let labels: Vec<usize> = (0..12).map(|i| i / 6).collect();
+        let s = silhouette_score(&dist_of(&data), &labels);
+        assert!(s > 0.95, "got {s}");
+    }
+
+    #[test]
+    fn bad_clustering_scores_low() {
+        let data = blobs(&[(0.0, 0.0), (100.0, 0.0)], 6);
+        // Mix the blobs deliberately.
+        let labels: Vec<usize> = (0..12).map(|i| i % 2).collect();
+        let s = silhouette_score(&dist_of(&data), &labels);
+        assert!(s < 0.1, "got {s}");
+    }
+
+    #[test]
+    fn score_bounded_in_unit_interval() {
+        let data: Vec<Vec<f64>> = (0..20).map(|i| vec![((i * 7) % 13) as f64, (i % 5) as f64]).collect();
+        let dist = dist_of(&data);
+        for k in 2..6 {
+            let labels: Vec<usize> = (0..20).map(|i| i % k).collect();
+            let s = silhouette_score(&dist, &labels);
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn singleton_and_single_cluster_degenerate_to_zero() {
+        let data = blobs(&[(0.0, 0.0)], 5);
+        let dist = dist_of(&data);
+        assert_eq!(silhouette_score(&dist, &[0; 5]), 0.0);
+        let one = CondensedDistance::compute(1, |_, _| 0.0);
+        assert_eq!(silhouette_score(&one, &[0]), 0.0);
+    }
+
+    #[test]
+    fn select_k_finds_true_blob_count() {
+        for true_k in [2usize, 3, 4] {
+            let centers: Vec<(f64, f64)> = (0..true_k).map(|i| (i as f64 * 50.0, 0.0)).collect();
+            let data = blobs(&centers, 6);
+            let dist = dist_of(&data);
+            let dend = linkage(&data, Linkage::Average);
+            let sel = select_k(&dist, &dend, 10, 0.0);
+            assert_eq!(sel.k, true_k, "sweep: {:?}", sel.sweep);
+            assert!(sel.score > 0.8);
+        }
+    }
+
+    #[test]
+    fn select_k_falls_back_to_one_cluster() {
+        // A single diffuse blob: every cut scores below an aggressive
+        // threshold, so selection falls back to k = 1.
+        let data: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64 * 0.1, (i / 4) as f64 * 0.1]).collect();
+        let dist = dist_of(&data);
+        let dend = linkage(&data, Linkage::Average);
+        let sel = select_k(&dist, &dend, 6, 0.99);
+        assert_eq!(sel.k, 1);
+        assert!(sel.labels.iter().all(|&l| l == 0));
+    }
+}

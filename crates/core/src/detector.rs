@@ -1,0 +1,596 @@
+//! The NodeSentry detector: offline training (preprocess → coarse
+//! clustering → per-cluster shared models) and online detection (pattern
+//! matching → reconstruction scoring → dynamic k-sigma thresholding),
+//! plus the incremental-update path and the C1–C5 ablation variants.
+
+use crate::coarse::{self, ClusterModel, CoarseConfig};
+use crate::preprocess::{segment_at_transitions, segment_equal_length, Preprocessor, Segment};
+use crate::sharing::{train_cluster_model, SharedModel, SharingConfig};
+use ns_eval::threshold::{ksigma_detect, KSigmaConfig};
+use ns_linalg::matrix::Matrix;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Ablation variants (paper §4.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The full NodeSentry pipeline.
+    Full,
+    /// C1: no coarse clustering — one model for everything.
+    C1SingleModel,
+    /// C2: random segment groups instead of clusters (same model count).
+    C2RandomGroups,
+    /// C3: equal-length chopping instead of job-based segmentation.
+    C3EqualLength,
+    /// C4: no between-segment differentiation in the positional encoding.
+    C4NoSegmentPe,
+    /// C5: dense FFN instead of the sparse MoE layer.
+    C5DenseFfn,
+}
+
+impl Variant {
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Full => "NodeSentry",
+            Variant::C1SingleModel => "C1",
+            Variant::C2RandomGroups => "C2",
+            Variant::C3EqualLength => "C3",
+            Variant::C4NoSegmentPe => "C4",
+            Variant::C5DenseFfn => "C5",
+        }
+    }
+}
+
+/// Full configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeSentryConfig {
+    pub coarse: CoarseConfig,
+    pub sharing: SharingConfig,
+    pub variant: Variant,
+    /// Minimum segment length kept by job-based segmentation.
+    pub min_segment_len: usize,
+    /// Post-transition steps used for online pattern matching (the
+    /// "period" of Fig. 6(e); 1 hour at 30 s sampling = 120 steps).
+    pub match_period: usize,
+    /// Dynamic threshold configuration (window = Fig. 6(f)).
+    pub threshold: KSigmaConfig,
+    /// Moving-average smoothing (points) applied to scores before the
+    /// threshold; real anomalies persist across sampling points.
+    pub smooth_window: usize,
+    /// How many randomly sampled nodes the preprocessor statistics are
+    /// fitted on (bounds memory on wide clusters).
+    pub fit_sample_nodes: usize,
+    pub seed: u64,
+}
+
+impl Default for NodeSentryConfig {
+    fn default() -> Self {
+        Self {
+            coarse: CoarseConfig::default(),
+            sharing: SharingConfig::default(),
+            variant: Variant::Full,
+            min_segment_len: 8,
+            match_period: 120,
+            threshold: KSigmaConfig::default(),
+            smooth_window: 5,
+            fit_sample_nodes: 4,
+            seed: 17,
+        }
+    }
+}
+
+impl NodeSentryConfig {
+    /// Apply a variant's modifications to the base config.
+    pub fn with_variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        match v {
+            Variant::Full => {}
+            Variant::C1SingleModel => self.coarse.force_k = Some(1),
+            Variant::C2RandomGroups => {}
+            Variant::C3EqualLength => {}
+            Variant::C4NoSegmentPe => self.sharing.segment_aware_pe = false,
+            Variant::C5DenseFfn => self.sharing.dense_ffn = true,
+        }
+        self
+    }
+}
+
+/// Per-node training input: the raw metric matrix over the full horizon
+/// and the job transition steps (from the scheduler's sacct records).
+pub struct NodeInput {
+    pub raw: Matrix,
+    pub transitions: Vec<usize>,
+}
+
+/// Streaming access to per-node raw telemetry. Wide clusters cannot hold
+/// every node's raw matrix in memory at once (D1: 3,014 metrics per
+/// node), so training pulls nodes through this interface one at a time.
+pub trait NodeSource {
+    fn n_nodes(&self) -> usize;
+    /// Raw `T × M` matrix for one node over the full horizon.
+    fn raw(&self, node: usize) -> Matrix;
+    /// Job-transition steps for one node.
+    fn transitions(&self, node: usize) -> Vec<usize>;
+}
+
+impl NodeSource for [NodeInput] {
+    fn n_nodes(&self) -> usize {
+        self.len()
+    }
+
+    fn raw(&self, node: usize) -> Matrix {
+        self[node].raw.clone()
+    }
+
+    fn transitions(&self, node: usize) -> Vec<usize> {
+        self[node].transitions.clone()
+    }
+}
+
+/// The trained detector.
+#[derive(Serialize, Deserialize)]
+pub struct NodeSentry {
+    pub cfg: NodeSentryConfig,
+    pub preprocessor: Preprocessor,
+    pub cluster_model: ClusterModel,
+    pub shared_models: Vec<SharedModel>,
+    /// Training segments retained for diagnostics / incremental updates.
+    pub train_segments: Vec<Segment>,
+}
+
+impl NodeSentry {
+    /// Offline training phase (§3.1): fit preprocessing on the training
+    /// split, segment every node, cluster the segments, and train one
+    /// shared model per cluster.
+    ///
+    /// `groups` are the semantic group ids per raw metric; `split` is the
+    /// first test step (training uses `[0, split)`).
+    pub fn fit(cfg: NodeSentryConfig, nodes: &[NodeInput], groups: &[usize], split: usize) -> Self {
+        Self::fit_from_source(cfg, nodes, groups, split)
+    }
+
+    /// Streaming variant of [`NodeSentry::fit`]: raw node matrices are
+    /// pulled one at a time, preprocessed, reduced to segments and
+    /// dropped — the full raw tensor never exists in memory.
+    pub fn fit_from_source<S: NodeSource + ?Sized>(
+        mut cfg: NodeSentryConfig,
+        nodes: &S,
+        groups: &[usize],
+        split: usize,
+    ) -> Self {
+        assert!(nodes.n_nodes() > 0, "need at least one node");
+        // Build the online matching library at probe length so short
+        // post-transition probes are comparable to it (§3.5).
+        cfg.coarse.probe_len = Some(cfg.match_period);
+        // 1. Preprocessing statistics from a sample of nodes.
+        let sample_n = cfg.fit_sample_nodes.clamp(1, nodes.n_nodes());
+        let sample: Vec<Matrix> = (0..sample_n)
+            .map(|i| {
+                let raw = nodes.raw(i);
+                let upto = split.min(raw.rows());
+                raw.slice_rows(0, upto)
+            })
+            .collect();
+        let stacked = Matrix::vstack(&sample.iter().collect::<Vec<_>>());
+        drop(sample);
+        let preprocessor = Preprocessor::fit(&stacked, groups, 0.99, 0.05);
+        drop(stacked);
+
+        // 2. Preprocess + segment each node's training split.
+        let mut train_segments: Vec<Segment> = Vec::new();
+        for node_id in 0..nodes.n_nodes() {
+            let raw = nodes.raw(node_id);
+            let upto = split.min(raw.rows());
+            let train_raw = raw.slice_rows(0, upto);
+            drop(raw);
+            let processed = preprocessor.transform(&train_raw);
+            let segs = match cfg.variant {
+                Variant::C3EqualLength => {
+                    segment_equal_length(node_id, &processed, cfg.sharing.window * 4)
+                }
+                _ => {
+                    let transitions: Vec<usize> = nodes
+                        .transitions(node_id)
+                        .into_iter()
+                        .filter(|&t| t < upto)
+                        .collect();
+                    segment_at_transitions(node_id, &processed, &transitions, cfg.min_segment_len)
+                }
+            };
+            train_segments.extend(segs);
+        }
+        assert!(!train_segments.is_empty(), "no usable training segments");
+
+        // 3. Coarse clustering.
+        let (mut cluster_model, feats) = coarse::fit(&cfg.coarse, &train_segments);
+        if cfg.variant == Variant::C2RandomGroups {
+            randomize_groups(&mut cluster_model, &feats, &train_segments, &cfg.coarse, cfg.seed);
+        }
+
+        // 4. One shared model per cluster (§3.4).
+        let shared_models: Vec<SharedModel> = (0..cluster_model.k())
+            .map(|c| train_cluster_model(&cfg.sharing, c, &cluster_model, &train_segments))
+            .collect();
+
+        NodeSentry { cfg, preprocessor, cluster_model, shared_models, train_segments }
+    }
+
+    /// Number of clusters / shared models.
+    pub fn n_clusters(&self) -> usize {
+        self.shared_models.len()
+    }
+
+    /// Online scoring of one node over `[split, horizon)` (§3.5): the
+    /// node's test span is segmented at its transitions; each segment's
+    /// first `match_period` steps are feature-matched against the cluster
+    /// library and the winning shared model scores the whole segment.
+    ///
+    /// Returns `(scores, matched_cluster_per_segment)` where scores align
+    /// with steps `split..raw.rows()`.
+    pub fn score_node(
+        &self,
+        raw: &Matrix,
+        transitions: &[usize],
+        split: usize,
+    ) -> (Vec<f64>, Vec<(usize, usize, usize)>) {
+        let horizon = raw.rows();
+        if split >= horizon {
+            return (Vec::new(), Vec::new());
+        }
+        let processed = self.preprocessor.transform(raw);
+        let test = processed.slice_rows(split, horizon);
+        let local_transitions: Vec<usize> = transitions
+            .iter()
+            .filter(|&&t| t > split && t < horizon)
+            .map(|&t| t - split)
+            .collect();
+        let segs = segment_at_transitions(0, &test, &local_transitions, 1);
+        let mut scores = vec![0.0f64; horizon - split];
+        let mut matches = Vec::with_capacity(segs.len());
+        for seg in &segs {
+            let probe_len = self.cfg.match_period.clamp(1, seg.len());
+            let probe = seg.data.slice_rows(0, probe_len);
+            let feat = coarse::segment_features(&self.cfg.coarse, &probe);
+            let (cluster, _dist) = self.cluster_model.match_pattern(&feat);
+            let model = &self.shared_models[cluster.min(self.shared_models.len() - 1)];
+            let mut seg_scores = model.score_series(&seg.data);
+            // Per-segment baseline normalization: the matched probe
+            // period defines the segment's own "normal" reconstruction
+            // level, so segments whose pattern generalizes less well
+            // don't drown genuinely anomalous stretches elsewhere. The
+            // floor keeps well-reconstructed segments on the calibrated
+            // scale.
+            let baseline = {
+                let mut head: Vec<f64> = seg_scores[..probe_len].to_vec();
+                head.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                ns_linalg::stats::quantile_sorted(&head, 0.5).max(1.0)
+            };
+            for v in seg_scores.iter_mut() {
+                *v /= baseline;
+            }
+            for (k, v) in seg_scores.into_iter().enumerate() {
+                scores[seg.start + k] = v;
+            }
+            matches.push((seg.start + split, seg.end + split, cluster));
+        }
+        (scores, matches)
+    }
+
+    /// Full online detection: scores → smoothing → sliding k-sigma
+    /// threshold.
+    pub fn detect_node(&self, raw: &Matrix, transitions: &[usize], split: usize) -> Vec<bool> {
+        let (scores, _) = self.score_node(raw, transitions, split);
+        let smoothed = ns_eval::threshold::smooth_scores(&scores, self.cfg.smooth_window);
+        ksigma_detect(&smoothed, &self.cfg.threshold)
+    }
+
+    /// Incremental update with a new (already preprocessed) segment
+    /// (§3.5): matched patterns fine-tune the existing shared model and
+    /// nudge its centroid; unmatched patterns spawn a new cluster and a
+    /// freshly trained model.
+    ///
+    /// Returns `(cluster_id, was_new)`.
+    pub fn incremental_update(&mut self, segment: &Matrix, fine_tune_epochs: usize) -> (usize, bool) {
+        let probe_len = self.cfg.match_period.clamp(1, segment.rows());
+        let feat =
+            coarse::segment_features(&self.cfg.coarse, &segment.slice_rows(0, probe_len));
+        let (cluster, dist) = self.cluster_model.match_pattern(&feat);
+        if self.cluster_model.is_match(dist) {
+            self.cluster_model.refine_centroid(cluster, &feat, 0.1);
+            let refs = [segment];
+            self.shared_models[cluster].fit_windows(&refs, fine_tune_epochs);
+            (cluster, false)
+        } else {
+            let new_id = self.cluster_model.add_cluster(&feat);
+            let refs = [segment];
+            let mut cfg = self.cfg.sharing.clone();
+            cfg.seed ^= (new_id as u64) << 12;
+            self.shared_models.push(SharedModel::train(&cfg, &refs));
+            (new_id, true)
+        }
+    }
+
+    /// Preprocess a raw slice (public for examples / deployment loops).
+    pub fn preprocess(&self, raw: &Matrix) -> Matrix {
+        self.preprocessor.transform(raw)
+    }
+
+    /// Serialise the full trained detector (preprocessing statistics,
+    /// cluster library, every shared model's weights) to JSON — the
+    /// artifact's `model_dir` role. `include_segments: false` drops the
+    /// retained training segments, which deployment does not need.
+    pub fn to_json(&self, include_segments: bool) -> serde_json::Result<String> {
+        if include_segments {
+            serde_json::to_string(self)
+        } else {
+            let slim = NodeSentry {
+                cfg: self.cfg.clone(),
+                preprocessor: self.preprocessor.clone(),
+                cluster_model: self.cluster_model.clone(),
+                shared_models: Vec::new(),
+                train_segments: Vec::new(),
+            };
+            // Serialise the models by reference to avoid cloning every
+            // ParamStore.
+            #[derive(serde::Serialize)]
+            struct OnDisk<'a> {
+                detector: &'a NodeSentry,
+                models: &'a [SharedModel],
+            }
+            serde_json::to_string(&OnDisk { detector: &slim, models: &self.shared_models })
+        }
+    }
+
+    /// Restore a detector saved by [`NodeSentry::to_json`].
+    pub fn from_json(json: &str) -> serde_json::Result<NodeSentry> {
+        // Try the slim envelope first, then the full layout.
+        #[derive(serde::Deserialize)]
+        struct OnDisk {
+            detector: NodeSentry,
+            models: Vec<SharedModel>,
+        }
+        if let Ok(d) = serde_json::from_str::<OnDisk>(json) {
+            return Ok(NodeSentry { shared_models: d.models, ..d.detector });
+        }
+        serde_json::from_str(json)
+    }
+}
+
+/// C2: keep the cluster count but assign segments to groups at random,
+/// recomputing centroids (full and probe space) and member distances.
+fn randomize_groups(
+    model: &mut ClusterModel,
+    feats: &[Vec<f64>],
+    segments: &[Segment],
+    coarse_cfg: &CoarseConfig,
+    seed: u64,
+) {
+    let k = model.k().max(1);
+    let n = model.labels.len();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC2);
+    // Ensure every group is non-empty by dealing a shuffled deck.
+    let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+    labels.shuffle(&mut rng);
+
+    let centroid_of = |z: &[Vec<f64>], labels: &[usize]| -> Vec<Vec<f64>> {
+        let dim = z.first().map(|f| f.len()).unwrap_or(0);
+        let mut centroids = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (f, &l) in z.iter().zip(labels) {
+            counts[l] += 1;
+            for (c, v) in centroids[l].iter_mut().zip(f) {
+                *c += v;
+            }
+        }
+        for (cen, &cnt) in centroids.iter_mut().zip(&counts) {
+            for v in cen.iter_mut() {
+                *v /= cnt.max(1) as f64;
+            }
+        }
+        centroids
+    };
+
+    let zfeats: Vec<Vec<f64>> = feats.iter().map(|f| model.standardize(f)).collect();
+    let centroids = centroid_of(&zfeats, &labels);
+    model.member_distances = zfeats
+        .iter()
+        .zip(&labels)
+        .map(|(f, &l)| ns_linalg::vecops::euclidean(f, &centroids[l]))
+        .collect();
+    // Probe-space library under the random grouping.
+    let probe_z: Vec<Vec<f64>> = segments
+        .iter()
+        .map(|s| {
+            let take = coarse_cfg.probe_len.unwrap_or(s.data.rows()).clamp(1, s.data.rows());
+            let f = coarse::segment_features(coarse_cfg, &s.data.slice_rows(0, take));
+            model.standardize_probe(&f)
+        })
+        .collect();
+    model.probe_centroids = centroid_of(&probe_z, &labels);
+    model.labels = labels;
+    model.centroids = centroids;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ns_features::FeatureCatalog;
+
+    /// A tiny two-pattern synthetic cluster: nodes alternate between a
+    /// smooth job and a sawtooth job; raw metrics are 3 correlated copies
+    /// of 2 latent signals.
+    fn synthetic_nodes(horizon: usize) -> (Vec<NodeInput>, Vec<usize>, usize) {
+        let split = horizon * 6 / 10;
+        let seg_len = 60usize;
+        let nodes: Vec<NodeInput> = (0..3)
+            .map(|node| {
+                let raw = Matrix::from_fn(horizon, 6, |t, m| {
+                    let seg = t / seg_len;
+                    let latent = if (seg + node).is_multiple_of(2) {
+                        ((t % seg_len) as f64 * 0.2).sin()
+                    } else {
+                        ((t % 7) as f64) * 0.4 - 1.0
+                    };
+                    let latent2 = if (seg + node).is_multiple_of(2) { 0.2 } else { 0.9 };
+                    let base = if m < 3 { latent } else { latent2 };
+                    base * (1.0 + m as f64 * 0.05) + m as f64 * 0.01
+                });
+                let transitions: Vec<usize> = (1..horizon / seg_len).map(|k| k * seg_len).collect();
+                NodeInput { raw, transitions }
+            })
+            .collect();
+        let groups = vec![0, 0, 0, 1, 1, 1];
+        (nodes, groups, split)
+    }
+
+    fn quick_cfg() -> NodeSentryConfig {
+        NodeSentryConfig {
+            coarse: CoarseConfig {
+                catalog: FeatureCatalog::compact(),
+                k_max: 6,
+                ..Default::default()
+            },
+            sharing: SharingConfig {
+                window: 12,
+                stride: 12,
+                d_model: 12,
+                n_heads: 2,
+                n_layers: 1,
+                hidden: 24,
+                n_experts: 2,
+                epochs: 8,
+                lr: 3e-3,
+                batch: 16,
+                k_nearest: 4,
+                ..Default::default()
+            },
+            match_period: 20,
+            threshold: KSigmaConfig { window: 30, k: 3.0, ..Default::default() },
+            min_segment_len: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_discovers_the_two_patterns() {
+        let (nodes, groups, split) = synthetic_nodes(600);
+        let ns = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
+        assert_eq!(ns.n_clusters(), 2, "silhouette={}", ns.cluster_model.silhouette);
+        assert!(ns.preprocessor.out_dim() >= 1);
+        assert!(!ns.train_segments.is_empty());
+    }
+
+    #[test]
+    fn detection_flags_injected_level_shift() {
+        let (mut nodes, groups, split) = synthetic_nodes(600);
+        let ns = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
+        // Inject an anomaly into node 0's test span.
+        let (a_start, a_end) = (split + 80, split + 110);
+        for t in a_start..a_end {
+            for m in 0..6 {
+                nodes[0].raw[(t, m)] += 4.0;
+            }
+        }
+        let (scores, matches) = ns.score_node(&nodes[0].raw, &nodes[0].transitions, split);
+        assert_eq!(scores.len(), 600 - split);
+        assert!(!matches.is_empty());
+        let anom_mean: f64 = scores[a_start - split..a_end - split].iter().sum::<f64>()
+            / (a_end - a_start) as f64;
+        let norm_mean: f64 = scores[..a_start - split].iter().sum::<f64>()
+            / (a_start - split) as f64;
+        assert!(
+            anom_mean > 3.0 * norm_mean,
+            "anomaly {anom_mean} vs normal {norm_mean}"
+        );
+        let pred = ns.detect_node(&nodes[0].raw, &nodes[0].transitions, split);
+        let hits = pred[a_start - split..a_end - split].iter().filter(|&&b| b).count();
+        assert!(hits > 0, "threshold missed the anomaly entirely");
+    }
+
+    #[test]
+    fn variants_produce_expected_structure() {
+        let (nodes, groups, split) = synthetic_nodes(600);
+        let c1 = NodeSentry::fit(quick_cfg().with_variant(Variant::C1SingleModel), &nodes, &groups, split);
+        assert_eq!(c1.n_clusters(), 1);
+        let c5 = NodeSentry::fit(quick_cfg().with_variant(Variant::C5DenseFfn), &nodes, &groups, split);
+        assert!(c5.shared_models[0].cfg.dense_ffn);
+        let c4 = NodeSentry::fit(quick_cfg().with_variant(Variant::C4NoSegmentPe), &nodes, &groups, split);
+        assert!(!c4.shared_models[0].cfg.segment_aware_pe);
+        let c3 = NodeSentry::fit(quick_cfg().with_variant(Variant::C3EqualLength), &nodes, &groups, split);
+        // Equal-length chopping: all training segments share one length.
+        let lens: std::collections::BTreeSet<usize> =
+            c3.train_segments.iter().map(|s| s.len()).collect();
+        assert!(lens.len() <= 2, "C3 lengths {lens:?}");
+    }
+
+    #[test]
+    fn c2_randomization_keeps_k_but_scrambles_labels() {
+        let (nodes, groups, split) = synthetic_nodes(600);
+        let full = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
+        let c2 = NodeSentry::fit(quick_cfg().with_variant(Variant::C2RandomGroups), &nodes, &groups, split);
+        assert_eq!(full.n_clusters(), c2.n_clusters());
+        assert_ne!(full.cluster_model.labels, c2.cluster_model.labels);
+        // Every group stays populated.
+        for c in 0..c2.n_clusters() {
+            assert!(c2.cluster_model.labels.contains(&c));
+        }
+    }
+
+    #[test]
+    fn incremental_update_matched_and_new() {
+        let (nodes, groups, split) = synthetic_nodes(600);
+        let mut ns = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
+        let k0 = ns.n_clusters();
+        // A segment resembling training data → matched, no new cluster.
+        let known = ns.train_segments[0].data.clone();
+        let (_, was_new) = ns.incremental_update(&known, 2);
+        assert!(!was_new);
+        assert_eq!(ns.n_clusters(), k0);
+        // A wild new pattern → new cluster and model.
+        let alien = Matrix::from_fn(60, ns.preprocessor.out_dim(), |t, _| {
+            if t % 5 == 0 {
+                5.0
+            } else {
+                -5.0
+            }
+        });
+        let (cid, was_new) = ns.incremental_update(&alien, 2);
+        assert!(was_new);
+        assert_eq!(cid, k0);
+        assert_eq!(ns.n_clusters(), k0 + 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_behaviour() {
+        let (nodes, groups, split) = synthetic_nodes(600);
+        let ns = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
+        let (scores_before, _) = ns.score_node(&nodes[0].raw, &nodes[0].transitions, split);
+        // Slim save (no training segments) must restore identically for
+        // scoring purposes.
+        let json = ns.to_json(false).unwrap();
+        let restored = NodeSentry::from_json(&json).unwrap();
+        assert_eq!(restored.n_clusters(), ns.n_clusters());
+        assert!(restored.train_segments.is_empty());
+        let (scores_after, _) =
+            restored.score_node(&nodes[0].raw, &nodes[0].transitions, split);
+        assert_eq!(scores_before.len(), scores_after.len());
+        for (a, b) in scores_before.iter().zip(&scores_after) {
+            assert!((a - b).abs() < 1e-9, "scores diverged after reload");
+        }
+        // Full save retains segments.
+        let json_full = ns.to_json(true).unwrap();
+        let restored_full = NodeSentry::from_json(&json_full).unwrap();
+        assert_eq!(restored_full.train_segments.len(), ns.train_segments.len());
+    }
+
+    #[test]
+    fn scoring_empty_test_window() {
+        let (nodes, groups, split) = synthetic_nodes(600);
+        let ns = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
+        let (scores, matches) = ns.score_node(&nodes[0].raw, &nodes[0].transitions, 600);
+        assert!(scores.is_empty());
+        assert!(matches.is_empty());
+    }
+}

@@ -1,0 +1,543 @@
+//! Fine-grained model sharing (paper §3.4): one Transformer+MoE
+//! reconstruction model per coarse cluster, trained on the K segments
+//! nearest the centroid, with segment-aware positional encoding and a
+//! MAC-weighted WMSE loss.
+
+use crate::preprocess::Segment;
+use ns_linalg::matrix::Matrix;
+use ns_linalg::stats;
+use ns_nn::{
+    sinusoidal_pe_at, Adam, BlockKind, Graph, ParamStore, ReconstructionTransformer,
+    TransformerConfig,
+};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Offset stride separating segments in the segment-aware positional
+/// encoding: windows from segment rank `r` are encoded at positions
+/// `r · SEGMENT_PE_STRIDE + relative_in_segment_position`.
+pub const SEGMENT_PE_STRIDE: usize = 997;
+
+/// Positions within a segment are encoded *relative* to the segment
+/// length, spanning `0..REL_PE_SCALE`: sub-pattern phases scale with job
+/// duration, so a phase boundary at 45% of a job lands on the same
+/// encoding regardless of how long the job ran.
+pub const REL_PE_SCALE: f64 = 512.0;
+
+/// Hyperparameters of the shared model (defaults follow the paper's
+/// artifact description: window 20, batch 50, 3 layers / 3 heads /
+/// 3 experts with top-1 gating; epochs are scaled down for CPU training).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SharingConfig {
+    pub window: usize,
+    pub stride: usize,
+    pub d_model: usize,
+    pub n_heads: usize,
+    pub n_layers: usize,
+    pub hidden: usize,
+    pub n_experts: usize,
+    pub top_k: usize,
+    /// Ablation C5: replace the sparse MoE with a dense FFN.
+    pub dense_ffn: bool,
+    /// Ablation C4 (off): drop the between-segment PE differentiation.
+    pub segment_aware_pe: bool,
+    pub epochs: usize,
+    pub lr: f64,
+    pub batch: usize,
+    /// K segments nearest the centroid used for training (§3.4).
+    pub k_nearest: usize,
+    /// Denoising augmentation: std of Gaussian noise added to training
+    /// inputs (targets stay clean). Makes the model tolerant of benign
+    /// per-job intensity jitter without dulling real anomalies.
+    pub noise_aug: f64,
+    pub seed: u64,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        Self {
+            window: 20,
+            stride: 10,
+            d_model: 36,
+            n_heads: 3,
+            n_layers: 3,
+            hidden: 72,
+            n_experts: 3,
+            top_k: 1,
+            dense_ffn: false,
+            segment_aware_pe: true,
+            epochs: 28,
+            lr: 2e-3,
+            batch: 50,
+            k_nearest: 10,
+            noise_aug: 0.08,
+            seed: 1,
+        }
+    }
+}
+
+/// A training window: data slice plus its positional-encoding table.
+#[derive(Clone, Debug)]
+struct TrainWindow {
+    data: Matrix,
+    pe: Matrix,
+}
+
+/// One cluster's shared reconstruction model.
+#[derive(Serialize, Deserialize)]
+pub struct SharedModel {
+    pub params: ParamStore,
+    pub model: ReconstructionTransformer,
+    /// WMSE weights per metric (Eq. 5), derived from per-cluster MAC
+    /// (Eq. 6): stable metrics weigh more, so deviations on them score
+    /// higher.
+    pub weights: Vec<f64>,
+    pub cfg: SharingConfig,
+    /// Mean training loss per epoch.
+    pub loss_history: Vec<f64>,
+    /// Mean / std of per-point raw scores over the training segments,
+    /// used to express online scores in calibrated units so different
+    /// clusters' models are directly comparable on one node's timeline.
+    pub score_mean: f64,
+    pub score_std: f64,
+}
+
+/// Compute WMSE weights from Mean Absolute Change over the cluster's
+/// training data: `w_i ∝ 1 / (MAC_i + ε)`, normalised to mean 1.
+pub fn mac_weights(segments: &[&Matrix]) -> Vec<f64> {
+    assert!(!segments.is_empty());
+    let m = segments[0].cols();
+    let mut mac = vec![0.0f64; m];
+    for (j, slot) in mac.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        let mut cnt = 0usize;
+        for seg in segments {
+            let col = seg.col(j);
+            acc += stats::mean_abs_change(&col) * (col.len().saturating_sub(1)) as f64;
+            cnt += col.len().saturating_sub(1);
+        }
+        *slot = if cnt > 0 { acc / cnt as f64 } else { 0.0 };
+    }
+    let mut w: Vec<f64> = mac.iter().map(|&v| 1.0 / (v + 0.05)).collect();
+    let mean = stats::mean(&w);
+    if mean > 1e-12 {
+        for v in w.iter_mut() {
+            *v /= mean;
+        }
+    }
+    w
+}
+
+/// Build training windows. `ranks[i]` is segment `i`'s offset rank for
+/// the segment-aware positional encoding: windows of segment `i` are
+/// encoded at `ranks[i] · SEGMENT_PE_STRIDE + in_segment_position`.
+/// Training re-randomizes the ranks every epoch so the model can tell
+/// segments apart *within* an epoch yet stays invariant to the base
+/// offset — which is what lets a fresh online segment (scored at rank 0)
+/// reconstruct as well as the training data.
+fn windows_of(segments: &[&Matrix], cfg: &SharingConfig, ranks: &[usize]) -> Vec<TrainWindow> {
+    let mut out = Vec::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let t = seg.rows();
+        if t < 4 {
+            continue;
+        }
+        let w = cfg.window.min(t);
+        let base = if cfg.segment_aware_pe {
+            (ranks.get(i).copied().unwrap_or(0) * SEGMENT_PE_STRIDE) as f64
+        } else {
+            0.0
+        };
+        let mut s = 0;
+        loop {
+            let e = (s + w).min(t);
+            let start = e - w; // final window aligns to the segment end
+            let positions: Vec<f64> = (start..e)
+                .map(|r| base + r as f64 * REL_PE_SCALE / t as f64)
+                .collect();
+            out.push(TrainWindow {
+                data: seg.slice_rows(start, e),
+                pe: sinusoidal_pe_at(&positions, cfg.d_model),
+            });
+            if e == t {
+                break;
+            }
+            s += cfg.stride.max(1);
+        }
+    }
+    out
+}
+
+impl SharedModel {
+    /// Train a shared model for one cluster from its selected segments.
+    pub fn train(cfg: &SharingConfig, segments: &[&Matrix]) -> SharedModel {
+        assert!(!segments.is_empty(), "shared model needs at least one segment");
+        let input_dim = segments[0].cols();
+        let weights = mac_weights(segments);
+        let mut params = ParamStore::new(cfg.seed);
+        let model = ReconstructionTransformer::new(
+            &mut params,
+            TransformerConfig {
+                input_dim,
+                d_model: cfg.d_model,
+                n_heads: cfg.n_heads,
+                n_layers: cfg.n_layers,
+                hidden: cfg.hidden,
+                block: if cfg.dense_ffn {
+                    BlockKind::Dense
+                } else {
+                    BlockKind::Moe { n_experts: cfg.n_experts, top_k: cfg.top_k }
+                },
+                aux_weight: 0.01,
+            },
+        );
+        let mut shared = SharedModel {
+            params,
+            model,
+            weights,
+            cfg: cfg.clone(),
+            loss_history: Vec::new(),
+            score_mean: 0.0,
+            score_std: 1.0,
+        };
+        shared.fit_windows(segments, cfg.epochs);
+        shared.calibrate(segments);
+        shared
+    }
+
+    /// Recompute the score calibration from reference segments: the
+    /// model's raw per-point errors on its own training data define the
+    /// "normal" score distribution.
+    pub fn calibrate(&mut self, segments: &[&Matrix]) {
+        let mut all: Vec<f64> = Vec::new();
+        for seg in segments {
+            all.extend(self.score_series_raw(seg));
+        }
+        if all.len() < 4 {
+            return;
+        }
+        let (m, s) = stats::trimmed_mean_std(&all, 0.02);
+        self.score_mean = m;
+        self.score_std = s.max(1e-6);
+    }
+
+    /// (Re-)train on the given segments for `epochs` epochs. Also the
+    /// incremental fine-tuning path of §3.5.
+    pub fn fit_windows(&mut self, segments: &[&Matrix], epochs: usize) {
+        let cfg = self.cfg.clone();
+        let w_row = Matrix::row_vector(&self.weights);
+        let mut opt = Adam::new(cfg.lr);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xF17);
+        let mut ranks: Vec<usize> = (0..segments.len()).collect();
+        for _epoch in 0..epochs {
+            // Fresh segment-offset assignment every epoch (see
+            // `windows_of` for why).
+            ranks.shuffle(&mut rng);
+            let windows = windows_of(segments, &cfg, &ranks);
+            if windows.is_empty() {
+                return;
+            }
+            let mut order: Vec<usize> = (0..windows.len()).collect();
+            order.shuffle(&mut rng);
+            let epoch_key: u64 = rng.gen();
+            let mut epoch_loss = 0.0;
+            let mut seen = 0usize;
+            for chunk in order.chunks(cfg.batch.max(1)) {
+                // Data-parallel gradient accumulation: one graph per
+                // window on a rayon worker, gradients merged.
+                let results: Vec<(f64, ns_nn::GradStore)> = chunk
+                    .par_iter()
+                    .map(|&wi| {
+                        let win = &windows[wi];
+                        let mut g = Graph::new(&self.params);
+                        // Denoising: perturbed input, clean target.
+                        let noisy = if cfg.noise_aug > 0.0 {
+                            let mut nrng = ChaCha8Rng::seed_from_u64(
+                                epoch_key ^ ((wi as u64) << 24) ^ cfg.seed,
+                            );
+                            let mut m = win.data.clone();
+                            for v in m.as_mut_slice().iter_mut() {
+                                *v += cfg.noise_aug * gaussian(&mut nrng);
+                            }
+                            m
+                        } else {
+                            win.data.clone()
+                        };
+                        let x = g.input(noisy);
+                        let target = g.input(win.data.clone());
+                        let pe = g.input(win.pe.clone());
+                        let wn = g.input(w_row.clone());
+                        let (recon, aux) = self.model.forward(&mut g, x, pe);
+                        let wmse = g.wmse(recon, target, wn);
+                        let loss = match aux {
+                            Some(a) if self.model.cfg.aux_weight > 0.0 => {
+                                let wa = g.scale(a, self.model.cfg.aux_weight);
+                                g.add(wmse, wa)
+                            }
+                            _ => wmse,
+                        };
+                        (g.scalar(loss), g.backward(loss))
+                    })
+                    .collect();
+                let mut grads = self.params.zero_grads();
+                for (l, g) in &results {
+                    epoch_loss += l;
+                    grads.merge(g);
+                }
+                seen += results.len();
+                grads.scale(1.0 / results.len().max(1) as f64);
+                grads.clip_global_norm(5.0);
+                opt.step(&mut self.params, &grads);
+            }
+            self.loss_history.push(epoch_loss / seen.max(1) as f64);
+        }
+    }
+
+    /// Calibrated per-timestep anomaly scores: raw weighted
+    /// reconstruction error, centered and scaled by the model's own
+    /// training-error distribution (z-units, clamped at 0 below).
+    pub fn score_series(&self, data: &Matrix) -> Vec<f64> {
+        self.score_series_raw(data)
+            .into_iter()
+            .map(|s| ((s - self.score_mean) / self.score_std).max(0.0))
+            .collect()
+    }
+
+    /// Per-timestep anomaly scores for a (preprocessed) series: weighted
+    /// reconstruction error per row, evaluated over tiled windows whose
+    /// final window aligns to the series end.
+    pub fn score_series_raw(&self, data: &Matrix) -> Vec<f64> {
+        let t = data.rows();
+        if t == 0 {
+            return Vec::new();
+        }
+        let w = self.cfg.window.min(t).max(1);
+        // Window start offsets tiling [0, t).
+        let mut starts: Vec<usize> = (0..t.saturating_sub(w - 1)).step_by(w).collect();
+        if starts.is_empty() {
+            starts.push(0);
+        }
+        if starts.last().map(|&s| s + w < t).unwrap_or(false) {
+            starts.push(t - w);
+        }
+        let mut scores = vec![0.0f64; t];
+        let partial: Vec<(usize, Vec<f64>)> = starts
+            .par_iter()
+            .map(|&s| {
+                let e = (s + w).min(t);
+                let win = data.slice_rows(s, e);
+                let mut g = Graph::new(&self.params);
+                let x = g.input(win.clone());
+                let positions: Vec<f64> =
+                    (s..e).map(|r| r as f64 * REL_PE_SCALE / t as f64).collect();
+                let pe = g.input(sinusoidal_pe_at(&positions, self.cfg.d_model));
+                let (recon, _) = self.model.forward(&mut g, x, pe);
+                let rv = g.value(recon);
+                let per_row: Vec<f64> = (0..win.rows())
+                    .map(|r| {
+                        win.row(r)
+                            .iter()
+                            .zip(rv.row(r))
+                            .zip(&self.weights)
+                            .map(|((a, b), w)| w * (a - b) * (a - b))
+                            .sum::<f64>()
+                            / win.cols().max(1) as f64
+                    })
+                    .collect();
+                (s, per_row)
+            })
+            .collect();
+        for (s, per_row) in partial {
+            for (k, v) in per_row.into_iter().enumerate() {
+                // Overlapping tail windows keep the max error.
+                let slot = &mut scores[s + k];
+                *slot = slot.max(v);
+            }
+        }
+        scores
+    }
+
+    /// Final training loss (None before training).
+    pub fn final_loss(&self) -> Option<f64> {
+        self.loss_history.last().copied()
+    }
+}
+
+/// Select training segments for a cluster and train its shared model.
+/// `feats` are the raw per-segment features from the coarse stage.
+pub fn train_cluster_model(
+    cfg: &SharingConfig,
+    cluster: usize,
+    model: &crate::coarse::ClusterModel,
+    segments: &[Segment],
+) -> SharedModel {
+    // Selection size scales with cluster population (up to 2K) and is
+    // stratified over the distance distribution so large clusters'
+    // spread is represented, not just their cores.
+    let population = model.labels.iter().filter(|&&l| l == cluster).count();
+    let k = cfg.k_nearest.max((2 * cfg.k_nearest).min(population));
+    let member_idx = model.spread_members(cluster, k);
+    let chosen: Vec<&Matrix> = if member_idx.is_empty() {
+        segments.iter().map(|s| &s.data).collect()
+    } else {
+        member_idx.iter().map(|&i| &segments[i].data).collect()
+    };
+    let mut c = cfg.clone();
+    c.seed = cfg.seed ^ ((cluster as u64) << 8);
+    let mut shared = SharedModel::train(&c, &chosen);
+    // Calibrate on *all* cluster members (capped), not just the K the
+    // model was trained on — the training set's memorized error
+    // distribution understates the generalization error on fresh
+    // segments of the same pattern.
+    let all_members: Vec<&Matrix> = segments
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| model.labels.get(*i) == Some(&cluster))
+        .take(40)
+        .map(|(_, s)| &s.data)
+        .collect();
+    if all_members.len() > chosen.len() {
+        shared.calibrate(&all_members);
+    }
+    shared
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_segment(t: usize, m: usize, freq: f64) -> Matrix {
+        Matrix::from_fn(t, m, |r, c| ((r as f64) * freq + c as f64 * 0.5).sin())
+    }
+
+    fn quick_cfg() -> SharingConfig {
+        SharingConfig {
+            window: 12,
+            stride: 12,
+            d_model: 12,
+            n_heads: 2,
+            n_layers: 1,
+            hidden: 24,
+            n_experts: 2,
+            epochs: 12,
+            lr: 3e-3,
+            batch: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mac_weights_prefer_stable_metrics() {
+        // Metric 0 constant-ish, metric 1 wildly changing.
+        let seg = Matrix::from_fn(50, 2, |r, c| {
+            if c == 0 {
+                1.0
+            } else {
+                if r % 2 == 0 {
+                    3.0
+                } else {
+                    -3.0
+                }
+            }
+        });
+        let w = mac_weights(&[&seg]);
+        assert!(w[0] > w[1], "stable metric should weigh more: {w:?}");
+        assert!((stats::mean(&w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let segs = [pattern_segment(48, 3, 0.3), pattern_segment(60, 3, 0.3)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let shared = SharedModel::train(&quick_cfg(), &refs);
+        let hist = &shared.loss_history;
+        assert!(hist.len() >= 2);
+        assert!(
+            hist.last().unwrap() < &(hist[0] * 0.8),
+            "loss did not drop: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn scores_low_on_trained_pattern_high_on_anomaly() {
+        let segs = [pattern_segment(48, 3, 0.3), pattern_segment(60, 3, 0.3)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 25;
+        let shared = SharedModel::train(&cfg, &refs);
+        let normal = pattern_segment(36, 3, 0.3);
+        let normal_scores = shared.score_series(&normal);
+        let anomalous = normal.map(|v| v + 3.0);
+        let anom_scores = shared.score_series(&anomalous);
+        let nm: f64 = normal_scores.iter().sum::<f64>() / normal_scores.len() as f64;
+        let am: f64 = anom_scores.iter().sum::<f64>() / anom_scores.len() as f64;
+        assert!(am > nm * 3.0, "normal {nm} vs anomalous {am}");
+    }
+
+    #[test]
+    fn score_series_covers_every_timestep() {
+        let segs = [pattern_segment(40, 2, 0.5)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 2;
+        let shared = SharedModel::train(&cfg, &refs);
+        for t in [1usize, 5, 12, 13, 29, 40] {
+            let series = pattern_segment(t, 2, 0.5);
+            let scores = shared.score_series(&series);
+            assert_eq!(scores.len(), t, "length {t}");
+            assert!(scores.iter().all(|v| v.is_finite()));
+        }
+        assert!(shared.score_series(&Matrix::zeros(0, 2)).is_empty());
+    }
+
+    #[test]
+    fn segment_aware_pe_changes_offsets() {
+        let segs = [pattern_segment(24, 2, 0.4), pattern_segment(24, 2, 0.4)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let ranks = [0usize, 1];
+        let aware = windows_of(&refs, &SharingConfig { segment_aware_pe: true, window: 12, stride: 12, ..Default::default() }, &ranks);
+        let plain = windows_of(&refs, &SharingConfig { segment_aware_pe: false, window: 12, stride: 12, ..Default::default() }, &ranks);
+        // With segment-aware PE, windows of segment rank 1 are shifted by
+        // the stride; without it every segment starts at position 0, so
+        // the PE tables of the two segments' first windows coincide.
+        assert_ne!(aware[0].pe, aware[aware.len() / 2].pe);
+        assert_eq!(plain[0].pe, plain[plain.len() / 2].pe);
+        assert_eq!(aware.len(), plain.len());
+    }
+
+    #[test]
+    fn fine_tuning_adapts_to_new_pattern() {
+        let segs = [pattern_segment(48, 2, 0.3)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 15;
+        let mut shared = SharedModel::train(&cfg, &refs);
+        let new_pattern = pattern_segment(48, 2, 1.1);
+        let before: f64 = shared.score_series(&new_pattern).iter().sum();
+        let new_refs = [&new_pattern];
+        shared.fit_windows(&new_refs, 15);
+        let after: f64 = shared.score_series(&new_pattern).iter().sum();
+        assert!(after < before, "fine-tune did not adapt: {before} → {after}");
+    }
+
+    #[test]
+    fn short_segments_are_skipped_not_crashed() {
+        let tiny = Matrix::from_fn(2, 2, |r, _| r as f64);
+        let ok = pattern_segment(30, 2, 0.2);
+        let refs: Vec<&Matrix> = vec![&tiny, &ok];
+        let mut cfg = quick_cfg();
+        cfg.epochs = 1;
+        let shared = SharedModel::train(&cfg, &refs);
+        assert!(shared.final_loss().is_some());
+    }
+}

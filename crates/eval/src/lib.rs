@@ -1,0 +1,21 @@
+//! `ns-eval` — the evaluation protocol of the paper (§4.1.4), packaged:
+//!
+//! * [`metrics`] — point-adjusted Precision/Recall/F1 with segment
+//!   adjustment and transition-boundary exclusion, rank-based ROC-AUC
+//!   with run-max score propagation, and the per-node averaging scheme
+//!   (F1 computed from averaged P and R).
+//! * [`threshold`] — the sliding-window k-sigma dynamic threshold of
+//!   §3.5 (3-sigma by default, window swept by Fig. 6(f)).
+//! * [`timing`] — stopwatch + the paper's duration formatting for the
+//!   Table 4 cost columns.
+
+pub mod metrics;
+pub mod threshold;
+pub mod timing;
+
+pub use metrics::{
+    adjusted_confusion, aggregate, f1_from, point_adjust, roc_auc_adjusted, transition_mask,
+    AggregateScores, Confusion, NodeScores,
+};
+pub use threshold::{ksigma_detect, three_sigma, KSigmaConfig};
+pub use timing::{format_duration, Stopwatch};

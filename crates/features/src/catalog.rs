@@ -1,0 +1,546 @@
+//! The feature catalog: a named, ordered list of feature definitions and
+//! the engine that evaluates them over a series or an MTS segment.
+//!
+//! The default catalog mirrors TSFEL's default configuration in spirit and
+//! in size: **134 features** per univariate series, spanning the
+//! statistical, temporal and spectral domains (the paper, §3.3, extracts
+//! "134 interpretable feature indices for each metric"). A [`compact`]
+//! profile with 21 high-discrimination features is provided for
+//! latency-sensitive online pattern matching.
+//!
+//! [`compact`]: FeatureCatalog::compact
+
+use crate::{dwt, fft, spectral, statistical, temporal};
+use ns_linalg::matrix::Matrix;
+use ns_linalg::{stats, vecops};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Feature domain, following the paper's statistical/temporal/spectral
+/// taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    Statistical,
+    Temporal,
+    Spectral,
+}
+
+/// A concrete feature to evaluate. Parameterised variants carry their
+/// parameter (quantile percent, histogram bin, lag, …).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    // --- statistical ---
+    Mean,
+    Median,
+    Std,
+    Variance,
+    Min,
+    Max,
+    PeakToPeak,
+    Rms,
+    Skewness,
+    Kurtosis,
+    Iqr,
+    Mad,
+    MeanAbsDeviation,
+    AbsEnergy,
+    Sum,
+    CoefVariation,
+    /// Quantile at `percent / 100`.
+    Quantile(u8),
+    HistEntropy,
+    CountAboveMean,
+    CountBelowMean,
+    ArgmaxRel,
+    ArgminRel,
+    TrimmedMean,
+    /// Histogram bin fraction, bin `i` of 10.
+    HistBin(u8),
+    // --- temporal ---
+    MeanAbsDiff,
+    MedianAbsDiff,
+    MeanDiff,
+    MedianDiff,
+    SumAbsDiff,
+    MaxDiff,
+    MinDiff,
+    StdDiff,
+    Slope,
+    ZeroCrossRate,
+    MeanCrossRate,
+    PosTurning,
+    NegTurning,
+    PeakCount,
+    TrapzArea,
+    AbsTrapzArea,
+    TemporalCentroid,
+    TotalEnergy,
+    EntropyDiff,
+    LongestStrikeAbove,
+    LongestStrikeBelow,
+    FirstLocMax,
+    FirstLocMin,
+    LastLocMax,
+    LastLocMin,
+    TimeReversalAsym,
+    C3,
+    CidCe,
+    /// Fraction beyond `r` sigma.
+    RatioBeyondSigma(u8),
+    /// Autocorrelation at the given lag.
+    AutoCorr(u8),
+    /// Energy fraction in chunk `i` of 8.
+    EnergyChunk(u8),
+    // --- spectral ---
+    MaxPower,
+    FreqAtMaxPower,
+    SpectralCentroid,
+    SpectralSpread,
+    SpectralSkewness,
+    SpectralKurtosis,
+    SpectralEntropy,
+    SpectralSlope,
+    SpectralDecrease,
+    /// Rolloff at `percent / 100` of the power.
+    SpectralRolloff(u8),
+    MedianFrequency,
+    FundamentalFrequency,
+    PowerBandwidth,
+    SpectralPosTurning,
+    /// Fraction of power in band `i` of 10.
+    BandEnergy(u8),
+    /// Magnitude of FFT coefficient `i` (1-based, DC excluded).
+    FftCoeff(u8),
+    /// Haar detail energy at level `i` (0 = finest) of 5.
+    WaveletEnergy(u8),
+    WaveletEntropy,
+}
+
+impl FeatureKind {
+    /// The domain this feature belongs to.
+    pub fn domain(&self) -> Domain {
+        use FeatureKind::*;
+        match self {
+            Mean | Median | Std | Variance | Min | Max | PeakToPeak | Rms | Skewness
+            | Kurtosis | Iqr | Mad | MeanAbsDeviation | AbsEnergy | Sum | CoefVariation
+            | Quantile(_) | HistEntropy | CountAboveMean | CountBelowMean | ArgmaxRel
+            | ArgminRel | TrimmedMean | HistBin(_) => Domain::Statistical,
+            MeanAbsDiff | MedianAbsDiff | MeanDiff | MedianDiff | SumAbsDiff | MaxDiff
+            | MinDiff | StdDiff | Slope | ZeroCrossRate | MeanCrossRate | PosTurning
+            | NegTurning | PeakCount | TrapzArea | AbsTrapzArea | TemporalCentroid
+            | TotalEnergy | EntropyDiff | LongestStrikeAbove | LongestStrikeBelow
+            | FirstLocMax | FirstLocMin | LastLocMax | LastLocMin | TimeReversalAsym | C3
+            | CidCe | RatioBeyondSigma(_) | AutoCorr(_) | EnergyChunk(_) => Domain::Temporal,
+            _ => Domain::Spectral,
+        }
+    }
+
+    /// Canonical snake_case name.
+    pub fn name(&self) -> String {
+        use FeatureKind::*;
+        match self {
+            Quantile(p) => format!("quantile_{p:02}"),
+            HistBin(i) => format!("hist_bin_{i}"),
+            RatioBeyondSigma(r) => format!("ratio_beyond_{r}sigma"),
+            AutoCorr(l) => format!("autocorr_lag{l}"),
+            EnergyChunk(i) => format!("energy_chunk_{i}"),
+            SpectralRolloff(p) => format!("spectral_rolloff_{p}"),
+            BandEnergy(i) => format!("band_energy_{i}"),
+            FftCoeff(i) => format!("fft_coeff_{i}"),
+            WaveletEnergy(l) => format!("wavelet_energy_l{l}"),
+            other => format!("{other:?}")
+                .chars()
+                .fold(String::new(), |mut s, c| {
+                    if c.is_uppercase() {
+                        if !s.is_empty() {
+                            s.push('_');
+                        }
+                        s.push(c.to_ascii_lowercase());
+                    } else {
+                        s.push(c);
+                    }
+                    s
+                }),
+        }
+    }
+}
+
+/// Pre-computed per-series context shared by all feature evaluations, so a
+/// 134-feature pass sorts/differences/transforms the series only once.
+struct SeriesContext<'a> {
+    x: &'a [f64],
+    sorted: Vec<f64>,
+    diffs: Vec<f64>,
+    freqs: Vec<f64>,
+    power: Vec<f64>,
+    mags: Vec<f64>,
+    wavelet: Vec<f64>,
+}
+
+impl<'a> SeriesContext<'a> {
+    fn new(x: &'a [f64], sample_rate: f64) -> Self {
+        let mut sorted = x.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let diffs = temporal::diffs(x);
+        let (freqs, power) = if x.len() >= 2 {
+            fft::power_spectrum(x, sample_rate)
+        } else {
+            (vec![0.0], vec![0.0])
+        };
+        let mags = if x.len() >= 2 { fft::magnitude_spectrum(x) } else { vec![0.0] };
+        let wavelet = dwt::wavelet_energies(x, 5);
+        Self { x, sorted, diffs, freqs, power, mags, wavelet }
+    }
+
+    fn eval(&self, kind: FeatureKind) -> f64 {
+        use FeatureKind::*;
+        let x = self.x;
+        let v = match kind {
+            Mean => stats::mean(x),
+            Median => stats::quantile_sorted(&self.sorted, 0.5),
+            Std => stats::std_dev(x),
+            Variance => stats::variance(x),
+            Min => {
+                if x.is_empty() {
+                    0.0
+                } else {
+                    self.sorted[0]
+                }
+            }
+            Max => {
+                if x.is_empty() {
+                    0.0
+                } else {
+                    self.sorted[self.sorted.len() - 1]
+                }
+            }
+            PeakToPeak => {
+                if x.is_empty() {
+                    0.0
+                } else {
+                    self.sorted[self.sorted.len() - 1] - self.sorted[0]
+                }
+            }
+            Rms => stats::rms(x),
+            Skewness => stats::skewness(x),
+            Kurtosis => stats::kurtosis(x),
+            Iqr => {
+                stats::quantile_sorted(&self.sorted, 0.75) - stats::quantile_sorted(&self.sorted, 0.25)
+            }
+            Mad => stats::mad(x),
+            MeanAbsDeviation => statistical::mean_abs_deviation(x),
+            AbsEnergy => statistical::abs_energy(x),
+            Sum => x.iter().sum(),
+            CoefVariation => statistical::coefficient_of_variation(x),
+            Quantile(p) => stats::quantile_sorted(&self.sorted, p as f64 / 100.0),
+            HistEntropy => stats::histogram_entropy(x, 10),
+            CountAboveMean => statistical::count_above_mean(x),
+            CountBelowMean => statistical::count_below_mean(x),
+            ArgmaxRel => temporal::first_location_of_max(x),
+            ArgminRel => temporal::first_location_of_min(x),
+            TrimmedMean => stats::trimmed_mean_std(x, 0.05).0,
+            HistBin(i) => statistical::hist_bin_fraction(x, i as usize, 10),
+            MeanAbsDiff => stats::mean_abs_change(x),
+            MedianAbsDiff => {
+                let a: Vec<f64> = self.diffs.iter().map(|d| d.abs()).collect();
+                stats::median(&a)
+            }
+            MeanDiff => stats::mean(&self.diffs),
+            MedianDiff => stats::median(&self.diffs),
+            SumAbsDiff => self.diffs.iter().map(|d| d.abs()).sum(),
+            MaxDiff => {
+                if self.diffs.is_empty() {
+                    0.0
+                } else {
+                    stats::max(&self.diffs)
+                }
+            }
+            MinDiff => {
+                if self.diffs.is_empty() {
+                    0.0
+                } else {
+                    stats::min(&self.diffs)
+                }
+            }
+            StdDiff => stats::std_dev(&self.diffs),
+            Slope => stats::slope(x),
+            ZeroCrossRate => temporal::zero_crossing_rate(x),
+            MeanCrossRate => temporal::mean_crossing_rate(x),
+            PosTurning => temporal::positive_turning_points(x),
+            NegTurning => temporal::negative_turning_points(x),
+            PeakCount => temporal::peak_count(x, 0.0),
+            TrapzArea => temporal::trapz(x),
+            AbsTrapzArea => temporal::trapz(&x.iter().map(|v| v.abs()).collect::<Vec<_>>()),
+            TemporalCentroid => temporal::temporal_centroid(x),
+            TotalEnergy => statistical::abs_energy(x) / x.len().max(1) as f64,
+            EntropyDiff => stats::histogram_entropy(&self.diffs, 10),
+            LongestStrikeAbove => temporal::longest_strike_above_mean(x),
+            LongestStrikeBelow => temporal::longest_strike_below_mean(x),
+            FirstLocMax => temporal::first_location_of_max(x),
+            FirstLocMin => temporal::first_location_of_min(x),
+            LastLocMax => temporal::last_location_of_max(x),
+            LastLocMin => temporal::last_location_of_min(x),
+            TimeReversalAsym => temporal::time_reversal_asymmetry(x, 1),
+            C3 => temporal::c3(x, 1),
+            CidCe => temporal::cid_ce(x),
+            RatioBeyondSigma(r) => temporal::ratio_beyond_r_sigma(x, r as f64),
+            AutoCorr(l) => stats::autocorrelation(x, l as usize),
+            EnergyChunk(i) => temporal::energy_ratio_chunk(x, i as usize, 8),
+            MaxPower => stats::max(&self.power).max(0.0),
+            FreqAtMaxPower => {
+                vecops::argmax(&self.power).map(|i| self.freqs[i]).unwrap_or(0.0)
+            }
+            SpectralCentroid => spectral::centroid(&self.freqs, &self.power),
+            SpectralSpread => spectral::spread(&self.freqs, &self.power),
+            SpectralSkewness => spectral::skewness(&self.freqs, &self.power),
+            SpectralKurtosis => spectral::kurtosis(&self.freqs, &self.power),
+            SpectralEntropy => spectral::entropy(&self.power),
+            SpectralSlope => spectral::slope(&self.freqs, &self.power),
+            SpectralDecrease => spectral::decrease(&self.power),
+            SpectralRolloff(p) => spectral::rolloff(&self.freqs, &self.power, p as f64 / 100.0),
+            MedianFrequency => spectral::median_frequency(&self.freqs, &self.power),
+            FundamentalFrequency => spectral::fundamental_frequency(&self.freqs, &self.power),
+            PowerBandwidth => spectral::power_bandwidth(&self.freqs, &self.power),
+            SpectralPosTurning => spectral::positive_turning_points(&self.power),
+            BandEnergy(i) => spectral::band_energy(&self.power, i as usize, 10),
+            FftCoeff(i) => self.mags.get(i as usize).copied().unwrap_or(0.0),
+            WaveletEnergy(l) => self.wavelet.get(l as usize).copied().unwrap_or(0.0),
+            WaveletEntropy => dwt::wavelet_entropy(x, 5),
+        };
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+}
+
+/// An ordered, named feature set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeatureCatalog {
+    kinds: Vec<FeatureKind>,
+}
+
+impl FeatureCatalog {
+    /// The default 134-feature catalog (TSFEL-default-sized; paper §3.3).
+    pub fn standard() -> Self {
+        use FeatureKind::*;
+        let mut kinds = vec![
+            // statistical (38)
+            Mean, Median, Std, Variance, Min, Max, PeakToPeak, Rms, Skewness, Kurtosis, Iqr,
+            Mad, MeanAbsDeviation, AbsEnergy, Sum, CoefVariation,
+        ];
+        for p in [1u8, 5, 25, 75, 95, 99] {
+            kinds.push(Quantile(p));
+        }
+        kinds.extend([HistEntropy, CountAboveMean, CountBelowMean, ArgmaxRel, ArgminRel, TrimmedMean]);
+        for i in 0..10u8 {
+            kinds.push(HistBin(i));
+        }
+        // temporal (44)
+        kinds.extend([
+            MeanAbsDiff, MedianAbsDiff, MeanDiff, MedianDiff, SumAbsDiff, MaxDiff, MinDiff,
+            StdDiff, Slope, ZeroCrossRate, MeanCrossRate, PosTurning, NegTurning, PeakCount,
+            TrapzArea, AbsTrapzArea, TemporalCentroid, TotalEnergy, EntropyDiff,
+            LongestStrikeAbove, LongestStrikeBelow, FirstLocMax, FirstLocMin, LastLocMax,
+            LastLocMin, TimeReversalAsym, C3, CidCe,
+        ]);
+        for r in [1u8, 2, 3] {
+            kinds.push(RatioBeyondSigma(r));
+        }
+        for l in [1u8, 2, 3, 5, 10] {
+            kinds.push(AutoCorr(l));
+        }
+        for i in 0..8u8 {
+            kinds.push(EnergyChunk(i));
+        }
+        // spectral (52)
+        kinds.extend([
+            MaxPower, FreqAtMaxPower, SpectralCentroid, SpectralSpread, SpectralSkewness,
+            SpectralKurtosis, SpectralEntropy, SpectralSlope, SpectralDecrease,
+            SpectralRolloff(85), SpectralRolloff(95), MedianFrequency, FundamentalFrequency,
+            PowerBandwidth, SpectralPosTurning,
+        ]);
+        for i in 0..10u8 {
+            kinds.push(BandEnergy(i));
+        }
+        for i in 1..=21u8 {
+            kinds.push(FftCoeff(i));
+        }
+        for l in 0..5u8 {
+            kinds.push(WaveletEnergy(l));
+        }
+        kinds.push(WaveletEntropy);
+        Self { kinds }
+    }
+
+    /// A compact 21-feature profile covering all three domains, for online
+    /// pattern matching where extraction latency matters.
+    pub fn compact() -> Self {
+        use FeatureKind::*;
+        Self {
+            kinds: vec![
+                Mean, Median, Std, Min, Max, Rms, Skewness, Kurtosis, Iqr,
+                MeanAbsDiff, Slope, ZeroCrossRate, TemporalCentroid, CidCe, AutoCorr(1),
+                MaxPower, SpectralCentroid, SpectralEntropy, MedianFrequency,
+                WaveletEnergy(0), WaveletEntropy,
+            ],
+        }
+    }
+
+    /// Build from an explicit kind list.
+    pub fn from_kinds(kinds: Vec<FeatureKind>) -> Self {
+        Self { kinds }
+    }
+
+    /// Number of features per univariate series.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// The kinds in evaluation order.
+    pub fn kinds(&self) -> &[FeatureKind] {
+        &self.kinds
+    }
+
+    /// Feature names in evaluation order.
+    pub fn names(&self) -> Vec<String> {
+        self.kinds.iter().map(|k| k.name()).collect()
+    }
+
+    /// Count of features per domain `(statistical, temporal, spectral)`.
+    pub fn domain_counts(&self) -> (usize, usize, usize) {
+        let mut s = 0;
+        let mut t = 0;
+        let mut p = 0;
+        for k in &self.kinds {
+            match k.domain() {
+                Domain::Statistical => s += 1,
+                Domain::Temporal => t += 1,
+                Domain::Spectral => p += 1,
+            }
+        }
+        (s, t, p)
+    }
+
+    /// Evaluate every feature over one univariate series.
+    pub fn extract(&self, x: &[f64], sample_rate: f64) -> Vec<f64> {
+        let ctx = SeriesContext::new(x, sample_rate);
+        self.kinds.iter().map(|&k| ctx.eval(k)).collect()
+    }
+
+    /// Evaluate over an MTS segment stored as a `T × M` matrix (rows are
+    /// timestamps, columns are metrics): per-metric feature vectors are
+    /// concatenated column-major, giving a fixed `M * len()` width
+    /// regardless of segment length — exactly the property coarse-grained
+    /// clustering needs. Metrics are processed in parallel.
+    pub fn extract_mts(&self, segment: &Matrix, sample_rate: f64) -> Vec<f64> {
+        let m = segment.cols();
+        let per: Vec<Vec<f64>> = (0..m)
+            .into_par_iter()
+            .map(|c| {
+                let col = segment.col(c);
+                self.extract(&col, sample_rate)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(m * self.kinds.len());
+        for v in per {
+            out.extend(v);
+        }
+        out
+    }
+}
+
+impl Default for FeatureCatalog {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_has_134_features() {
+        let c = FeatureCatalog::standard();
+        assert_eq!(c.len(), 134, "paper §3.3: 134 features per metric");
+        let (s, t, p) = c.domain_counts();
+        assert_eq!(s + t + p, 134);
+        assert!(s >= 30 && t >= 40 && p >= 40, "all domains represented: {s}/{t}/{p}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = FeatureCatalog::standard();
+        let mut names = c.names();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate feature names");
+    }
+
+    #[test]
+    fn extraction_is_finite_on_hostile_inputs() {
+        let c = FeatureCatalog::standard();
+        for x in [
+            vec![],
+            vec![1.0],
+            vec![0.0, 0.0],
+            vec![5.0; 100],
+            vec![f64::MAX / 1e10, -f64::MAX / 1e10],
+            (0..7).map(|i| i as f64).collect::<Vec<_>>(),
+        ] {
+            let f = c.extract(&x, 1.0);
+            assert_eq!(f.len(), 134);
+            assert!(f.iter().all(|v| v.is_finite()), "non-finite feature for {x:?}");
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let c = FeatureCatalog::standard();
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.13).sin() * 3.0 + 1.0).collect();
+        assert_eq!(c.extract(&x, 0.5), c.extract(&x, 0.5));
+    }
+
+    #[test]
+    fn mts_extraction_concatenates_per_metric() {
+        let c = FeatureCatalog::compact();
+        let seg = Matrix::from_fn(50, 3, |r, col| (r as f64 * (col + 1) as f64 * 0.1).sin());
+        let f = c.extract_mts(&seg, 1.0);
+        assert_eq!(f.len(), 3 * c.len());
+        // First block equals the standalone extraction of column 0.
+        let col0 = seg.col(0);
+        assert_eq!(&f[..c.len()], &c.extract(&col0, 1.0)[..]);
+    }
+
+    #[test]
+    fn distinguishes_different_signals() {
+        let c = FeatureCatalog::standard();
+        let quiet: Vec<f64> = (0..256).map(|i| 0.01 * (i as f64 * 0.05).sin()).collect();
+        let busy: Vec<f64> = (0..256).map(|i| 5.0 * (i as f64 * 1.3).sin() + i as f64 * 0.1).collect();
+        let fq = c.extract(&quiet, 1.0);
+        let fb = c.extract(&busy, 1.0);
+        let dist: f64 = fq.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum();
+        assert!(dist > 1.0, "feature vectors should separate distinct signals");
+    }
+
+    #[test]
+    fn compact_is_a_strict_subset_size() {
+        let c = FeatureCatalog::compact();
+        assert!(c.len() < FeatureCatalog::standard().len());
+        assert_eq!(c.extract(&[1.0, 2.0, 3.0, 4.0], 1.0).len(), c.len());
+    }
+
+    #[test]
+    fn kind_names_snake_case() {
+        assert_eq!(FeatureKind::MeanAbsDiff.name(), "mean_abs_diff");
+        assert_eq!(FeatureKind::Quantile(5).name(), "quantile_05");
+        assert_eq!(FeatureKind::FftCoeff(3).name(), "fft_coeff_3");
+    }
+}

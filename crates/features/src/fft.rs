@@ -1,0 +1,312 @@
+//! Iterative radix-2 Cooley–Tukey FFT and Welch power spectral density.
+//!
+//! The spectral half of the feature catalog needs a power spectrum; TSFEL
+//! gets one from scipy, we build our own. Inputs of non-power-of-two length
+//! are zero-padded to the next power of two, which is the standard choice
+//! for feature extraction (it changes resolution, not the spectral shape).
+
+use std::f64::consts::PI;
+
+/// A complex number as a bare `(re, im)` pair — all we need for the FFT.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    #[inline]
+    pub fn zero() -> Self {
+        Self { re: 0.0, im: 0.0 }
+    }
+
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // bare math helpers, not operator overloads
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // bare math helpers, not operator overloads
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // bare math helpers, not operator overloads
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+}
+
+/// Next power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 FFT. `buf.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the 1/n scaling).
+pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+    // Butterfly passes.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[i + k];
+                let v = buf[i + k + len / 2].mul(w);
+                buf[i + k] = u.add(v);
+                buf[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for c in buf.iter_mut() {
+            c.re *= inv;
+            c.im *= inv;
+        }
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum of length `next_pow2(x.len())`.
+pub fn rfft(x: &[f64]) -> Vec<Complex> {
+    let n = next_pow2(x.len());
+    let mut buf: Vec<Complex> = Vec::with_capacity(n);
+    buf.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
+    buf.resize(n, Complex::zero());
+    fft_in_place(&mut buf, false);
+    buf
+}
+
+/// One-sided magnitude spectrum (bins `0..=n/2`) of a real signal.
+pub fn magnitude_spectrum(x: &[f64]) -> Vec<f64> {
+    let spec = rfft(x);
+    let half = spec.len() / 2;
+    spec[..=half].iter().map(|c| c.abs()).collect()
+}
+
+/// One-sided power spectrum with matching frequency axis.
+///
+/// `sample_rate` is in Hz (for our telemetry: `1 / sampling_interval_s`).
+/// Returns `(freqs, power)` with `freqs[i] = i * fs / n`.
+pub fn power_spectrum(x: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f64>) {
+    let spec = rfft(x);
+    let n = spec.len();
+    let half = n / 2;
+    let scale = 1.0 / (n as f64 * n as f64);
+    let mut freqs = Vec::with_capacity(half + 1);
+    let mut power = Vec::with_capacity(half + 1);
+    for (i, c) in spec[..=half].iter().enumerate() {
+        freqs.push(i as f64 * sample_rate / n as f64);
+        // One-sided: interior bins pick up the mirrored energy.
+        let mult = if i == 0 || i == half { 1.0 } else { 2.0 };
+        power.push(mult * c.norm_sq() * scale);
+    }
+    (freqs, power)
+}
+
+/// Welch PSD estimate: Hann-windowed overlapping segments, averaged.
+///
+/// `nperseg` is clamped to the signal length; 50% overlap. Returns
+/// `(freqs, psd)`. Degenerate inputs produce a single zero bin.
+pub fn welch_psd(x: &[f64], sample_rate: f64, nperseg: usize) -> (Vec<f64>, Vec<f64>) {
+    if x.is_empty() {
+        return (vec![0.0], vec![0.0]);
+    }
+    let seg_len = nperseg.clamp(2, x.len().max(2)).min(x.len().max(2));
+    let step = (seg_len / 2).max(1);
+    let nfft = next_pow2(seg_len);
+    let half = nfft / 2;
+
+    // Hann window and its power normalisation.
+    let window: Vec<f64> = (0..seg_len)
+        .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / seg_len as f64).cos())
+        .collect();
+    let win_power: f64 = window.iter().map(|w| w * w).sum();
+
+    let mut acc = vec![0.0f64; half + 1];
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + seg_len <= x.len() {
+        let mut buf: Vec<Complex> = (0..seg_len)
+            .map(|i| Complex::new(x[start + i] * window[i], 0.0))
+            .collect();
+        buf.resize(nfft, Complex::zero());
+        fft_in_place(&mut buf, false);
+        for (i, slot) in acc.iter_mut().enumerate() {
+            let mult = if i == 0 || i == half { 1.0 } else { 2.0 };
+            *slot += mult * buf[i].norm_sq() / (sample_rate * win_power);
+        }
+        count += 1;
+        if start + seg_len == x.len() {
+            break;
+        }
+        start += step;
+    }
+    if count == 0 {
+        // Signal shorter than one segment: single padded segment.
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        buf.resize(nfft, Complex::zero());
+        fft_in_place(&mut buf, false);
+        for (i, slot) in acc.iter_mut().enumerate() {
+            *slot += buf[i].norm_sq() / (sample_rate * seg_len as f64);
+        }
+        count = 1;
+    }
+    let freqs: Vec<f64> = (0..=half).map(|i| i as f64 * sample_rate / nfft as f64).collect();
+    let psd: Vec<f64> = acc.into_iter().map(|v| v / count as f64).collect();
+    (freqs, psd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() + 0.1 * i as f64).collect();
+        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        fft_in_place(&mut buf, false);
+        fft_in_place(&mut buf, true);
+        for (c, &v) in buf.iter().zip(&x) {
+            assert!((c.re - v).abs() < 1e-9);
+            assert!(c.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_theorem_holds() {
+        let x: Vec<f64> = (0..128).map(|i| ((i * 37 % 11) as f64) - 5.0).collect();
+        let spec = rfft(&x);
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / spec.len() as f64;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-10);
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 256;
+        let fs = 1.0;
+        let k = 16; // 16 cycles over n samples → bin 16
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin()).collect();
+        let (freqs, power) = power_spectrum(&x, fs);
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k);
+        assert!((freqs[peak] - k as f64 / n as f64).abs() < 1e-12);
+        // Total one-sided power ≈ signal variance (0.5 for a unit sine).
+        let total: f64 = power.iter().sum();
+        assert!((total - 0.5).abs() < 1e-6, "total one-sided power was {total}");
+    }
+
+    #[test]
+    fn dc_signal_has_all_power_at_zero() {
+        let x = vec![3.0; 64];
+        let (_, power) = power_spectrum(&x, 1.0);
+        assert!((power[0] - 9.0).abs() < 1e-9);
+        assert!(power[1..].iter().all(|&p| p < 1e-12));
+    }
+
+    #[test]
+    fn zero_padding_keeps_peak_location() {
+        // 100 samples (non power of two) of a 10-cycle tone.
+        let n = 100;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * 10.0 * i as f64 / n as f64).sin()).collect();
+        let (freqs, power) = power_spectrum(&x, 1.0);
+        let peak = power
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // True frequency is 0.1; padded resolution is 1/128.
+        assert!((freqs[peak] - 0.1).abs() < 1.5 / 128.0);
+    }
+
+    #[test]
+    fn welch_psd_localizes_tone() {
+        let n = 512;
+        let f0 = 0.125;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * f0 * i as f64).sin()).collect();
+        let (freqs, psd) = welch_psd(&x, 1.0, 128);
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((freqs[peak] - f0).abs() < 0.02, "peak at {}", freqs[peak]);
+    }
+
+    #[test]
+    fn welch_handles_short_signals() {
+        let (f, p) = welch_psd(&[1.0, 2.0, 3.0], 1.0, 256);
+        assert_eq!(f.len(), p.len());
+        assert!(p.iter().all(|v| v.is_finite()));
+        let (f2, p2) = welch_psd(&[], 1.0, 64);
+        assert_eq!(f2.len(), 1);
+        assert_eq!(p2[0], 0.0);
+    }
+
+    #[test]
+    fn fft_size_one_is_identity() {
+        let mut buf = [Complex::new(5.0, -1.0)];
+        fft_in_place(&mut buf, false);
+        assert_eq!(buf[0], Complex::new(5.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_pow2() {
+        let mut buf = vec![Complex::zero(); 12];
+        fft_in_place(&mut buf, false);
+    }
+}

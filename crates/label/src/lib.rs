@@ -1,0 +1,27 @@
+//! `ns-label` — the headless reproduction of the paper's labeling and
+//! cluster-adjustment toolkit (computational artifact A2).
+//!
+//! The original is a Tkinter GUI; the verifiable behaviours live here:
+//!
+//! * [`store`] — anomaly-interval labels with merge/split semantics and
+//!   the per-node CSV persistence format (`labels/` directory).
+//! * [`history`] — the append-only annotation log with replay-based undo
+//!   (`annotation_history.txt`).
+//! * [`adjust`] — operator cluster adjustment: reassign segments, track
+//!   overrides against the algorithmic labels, keep centroids and the
+//!   silhouette diagnostic current (`cluster_result.txt` /
+//!   `cluster_adjust.txt`).
+//! * [`assist`] — the built-in suggestion detectors (k-sigma voting,
+//!   level-shift scan) that pre-annotate data for operators.
+//!
+//! `examples/labeler.rs` wires these into a CLI workflow.
+
+pub mod adjust;
+pub mod assist;
+pub mod history;
+pub mod store;
+
+pub use adjust::ClusterAdjustment;
+pub use assist::{flags_to_intervals, suggest_ksigma, suggest_level_shift, Suggestion};
+pub use history::{Action, AnnotationHistory};
+pub use store::{Interval, LabelStore};

@@ -1,0 +1,132 @@
+//! Condensed pairwise-distance storage.
+//!
+//! HAC over `n` items needs all `n(n-1)/2` pairwise distances. Storing the
+//! full square matrix doubles memory for no benefit, so this mirrors SciPy's
+//! condensed form: a flat upper-triangle buffer with O(1) `(i, j)` indexing.
+//! Distances are stored as `f32` — clustering decisions never need more than
+//! single precision, and at a few thousand segments this halves a buffer
+//! that is the dominant allocation of the coarse-clustering stage.
+
+use rayon::prelude::*;
+
+/// Condensed upper-triangular pairwise distance matrix over `n` items.
+#[derive(Clone, Debug)]
+pub struct CondensedDistance {
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl CondensedDistance {
+    /// Build from a per-pair distance function, computed in parallel row
+    /// bands. `dist(i, j)` is only ever called with `i < j`.
+    pub fn compute<F>(n: usize, dist: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        if n < 2 {
+            return Self { n, data: Vec::new() };
+        }
+        let mut data = vec![0.0f32; n * (n - 1) / 2];
+        // Parallelise over i: row i owns the contiguous range of pairs
+        // (i, i+1..n) in condensed order.
+        let offsets: Vec<usize> = (0..n).map(|i| Self::row_offset(n, i)).collect();
+        let mut bands: Vec<(usize, &mut [f32])> = Vec::with_capacity(n);
+        {
+            let mut rest: &mut [f32] = &mut data;
+            for i in 0..n {
+                let len = n - i - 1;
+                let (band, tail) = rest.split_at_mut(len);
+                bands.push((i, band));
+                rest = tail;
+            }
+            debug_assert!(rest.is_empty());
+        }
+        let _ = &offsets; // offsets are implied by the split order
+        bands.into_par_iter().for_each(|(i, band)| {
+            for (k, slot) in band.iter_mut().enumerate() {
+                let j = i + 1 + k;
+                *slot = dist(i, j) as f32;
+            }
+        });
+        Self { n, data }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn row_offset(n: usize, i: usize) -> usize {
+        // Start of row i's pairs in condensed order:
+        // sum_{r<i} (n-r-1) = i*n - i(i-1)/2 - i; written as (i*i - i)/2
+        // to avoid usize underflow at i = 0.
+        i * n - (i * i - i) / 2 - i
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i != j && i < self.n && j < self.n);
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        Self::row_offset(self.n, a) + (b - a - 1)
+    }
+
+    /// Distance between items `i` and `j` (`i != j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.index(i, j)] as f64
+    }
+
+    /// Overwrite the stored distance between `i` and `j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let idx = self.index(i, j);
+        self.data[idx] = v as f32;
+    }
+
+    /// Flat condensed buffer (SciPy `pdist` order).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_matches_manual_enumeration() {
+        let n = 6;
+        // dist(i,j) = 10*i + j encodes the pair uniquely.
+        let d = CondensedDistance::compute(n, |i, j| (10 * i + j) as f64);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = if i < j { (i, j) } else { (j, i) };
+                assert_eq!(d.get(i, j), (10 * a + b) as f64, "pair ({i},{j})");
+            }
+        }
+        assert_eq!(d.as_slice().len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn symmetric_access_and_set() {
+        let mut d = CondensedDistance::compute(4, |_, _| 1.0);
+        d.set(2, 0, 7.0);
+        assert_eq!(d.get(0, 2), 7.0);
+        assert_eq!(d.get(2, 0), 7.0);
+    }
+
+    #[test]
+    fn single_pair() {
+        let d = CondensedDistance::compute(2, |_, _| 3.5);
+        assert_eq!(d.get(0, 1), 3.5);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! `ns-linalg` — dense linear algebra substrate for the NodeSentry workspace.
+//!
+//! Everything downstream of this crate (feature extraction, clustering, the
+//! neural-network stack) operates on the [`Matrix`] type defined here: a
+//! row-major, heap-allocated, `f64` dense matrix with a deliberately small
+//! but complete API surface:
+//!
+//! * construction (`zeros`, `from_rows`, `from_fn`, …) and element access,
+//! * arithmetic (`add`, `sub`, `scale`, Hadamard products, broadcasting of
+//!   row vectors),
+//! * a blocked, rayon-parallel [`Matrix::matmul`],
+//! * reductions and per-row/per-column statistics,
+//! * decompositions used by the Gaussian-mixture baseline
+//!   ([`decomp::cholesky`], [`decomp::solve`], [`decomp::inverse`]),
+//! * condensed pairwise-distance storage ([`distance::CondensedDistance`])
+//!   shared by the clustering crate.
+//!
+//! The crate is BLAS-free by design: this repository re-implements the whole
+//! paper stack from scratch, and the matrix sizes involved (model dims of a
+//! few dozen, feature matrices of a few thousand rows) are served well by a
+//! cache-blocked triple loop parallelised over row bands.
+
+pub mod decomp;
+pub mod distance;
+pub mod matrix;
+pub mod stats;
+pub mod vecops;
+
+pub use distance::CondensedDistance;
+pub use matrix::Matrix;
+
+/// Numerical tolerance used by tests and by rank/positivity checks inside
+/// the decomposition routines.
+pub const EPS: f64 = 1e-10;

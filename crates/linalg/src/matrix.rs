@@ -1,0 +1,603 @@
+//! Row-major dense `f64` matrix with blocked, rayon-parallel matmul.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Row-major dense matrix of `f64`.
+///
+/// Invariant: `data.len() == rows * cols`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Block edge (in elements) for the cache-blocked matmul kernel. 64×64 f64
+/// tiles (32 KiB per operand tile) fit comfortably in L1/L2 on commodity
+/// hardware.
+const BLOCK: usize = 64;
+
+/// Row-count threshold below which matmul stays single-threaded; tiny
+/// products are dominated by rayon dispatch otherwise.
+const PAR_MIN_ROWS: usize = 32;
+
+impl Matrix {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from an element function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// A `1 × n` row vector.
+    pub fn row_vector(v: &[f64]) -> Self {
+        Self { rows: 1, cols: v.len(), data: v.to_vec() }
+    }
+
+    /// An `n × 1` column vector.
+    pub fn col_vector(v: &[f64]) -> Self {
+        Self { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` out into a `Vec`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                out[(c, r)] = v;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+        let data = self.data.iter().map(|&x| f(x)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary zip into a new matrix. Shapes must match.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in zip");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: f64) -> Matrix {
+        self.map(|x| x * k)
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += k * other` (axpy).
+    pub fn axpy(&mut self, k: f64, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+
+    /// Add a `1 × cols` row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (a, b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *a += b;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self × other`, cache-blocked, parallel over row bands.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}×{} by {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return out;
+        }
+        let a = &self.data;
+        let b = &other.data;
+
+        let kernel = |row_band: &mut [f64], r0: usize, rows_in_band: usize| {
+            // i-k-j loop order with k-blocking: the inner j loop is a
+            // contiguous axpy over the output row, which autovectorises.
+            for kb in (0..k).step_by(BLOCK) {
+                let kend = (kb + BLOCK).min(k);
+                for i in 0..rows_in_band {
+                    let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+                    let crow = &mut row_band[i * n..(i + 1) * n];
+                    for kk in kb..kend {
+                        let aik = arow[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n..kk * n + n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        };
+
+        if m >= PAR_MIN_ROWS {
+            let band = (m / rayon::current_num_threads().max(1)).max(8);
+            out.data
+                .par_chunks_mut(band * n)
+                .enumerate()
+                .for_each(|(bi, chunk)| {
+                    let r0 = bi * band;
+                    let rows_in_band = chunk.len() / n;
+                    kernel(chunk, r0, rows_in_band);
+                });
+        } else {
+            kernel(&mut out.data, 0, m);
+        }
+        out
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`.
+    pub fn dot(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element (0 for empty).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Per-row sums as a column vector (`rows × 1`).
+    pub fn row_sums(&self) -> Matrix {
+        let data = self.rows_iter().map(|r| r.iter().sum()).collect();
+        Matrix { rows: self.rows, cols: 1, data }
+    }
+
+    /// Per-column sums as a row vector (`1 × cols`).
+    pub fn col_sums(&self) -> Matrix {
+        let mut data = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (acc, &v) in data.iter_mut().zip(self.row(r)) {
+                *acc += v;
+            }
+        }
+        Matrix { rows: 1, cols: self.cols, data }
+    }
+
+    /// Per-column means as a row vector.
+    pub fn col_means(&self) -> Matrix {
+        let mut s = self.col_sums();
+        if self.rows > 0 {
+            s.map_inplace(|x| x / self.rows as f64);
+        }
+        s
+    }
+
+    /// Extract rows `[start, end)` into a new matrix.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "row slice out of bounds");
+        let data = self.data[start * self.cols..end * self.cols].to_vec();
+        Matrix { rows: end - start, cols: self.cols, data }
+    }
+
+    /// Gather the given rows (with repetition allowed) into a new matrix.
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(idx.len() * self.cols);
+        for &i in idx {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix { rows: idx.len(), cols: self.cols, data }
+    }
+
+    /// Vertically stack matrices (all must share the column count).
+    pub fn vstack(parts: &[&Matrix]) -> Matrix {
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = parts[0].cols;
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "vstack column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Horizontally stack matrices (all must share the row count).
+    pub fn hstack(parts: &[&Matrix]) -> Matrix {
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let rows = parts[0].rows;
+        let cols = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                assert_eq!(p.rows, rows, "hstack row mismatch");
+                out.row_mut(r)[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Squared Euclidean distance between row `r` of `self` and row `s` of
+    /// `other` (widths must match).
+    pub fn row_dist_sq(&self, r: usize, other: &Matrix, s: usize) -> f64 {
+        debug_assert_eq!(self.cols, other.cols);
+        self.row(r)
+            .iter()
+            .zip(other.row(s))
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}×{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for r in 0..show {
+            write!(f, "  [")?;
+            for (c, v) in self.row(r).iter().take(8).enumerate() {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:.4}")?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_fn(5, 5, |r, c| (r * 5 + c) as f64);
+        let i = Matrix::identity(5);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_fn(7, 3, |r, c| (r as f64) - 0.5 * c as f64);
+        let b = Matrix::from_fn(3, 9, |r, c| (c as f64) * 0.25 + r as f64);
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_large_parallel_path() {
+        // Exceeds PAR_MIN_ROWS and BLOCK so the blocked, banded path runs.
+        let a = Matrix::from_fn(97, 70, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(70, 83, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.5);
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_zero_dims() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+        let c = Matrix::zeros(3, 0);
+        let d = Matrix::zeros(0, 2);
+        assert_eq!(c.matmul(&d).shape(), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 3)], a[(3, 2)]);
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let a = Matrix::filled(3, 2, 1.0);
+        let b = Matrix::row_vector(&[10.0, 20.0]);
+        let c = a.add_row_broadcast(&b);
+        assert_eq!(c[(0, 0)], 11.0);
+        assert_eq!(c[(2, 1)], 21.0);
+    }
+
+    #[test]
+    fn stack_and_slice() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let b = Matrix::filled(1, 3, 2.0);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v[(2, 0)], 2.0);
+        let s = v.slice_rows(1, 3);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s[(1, 2)], 2.0);
+
+        let h = Matrix::hstack(&[&a, &Matrix::filled(2, 1, 5.0)]);
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(1, 3)], 5.0);
+    }
+
+    #[test]
+    fn gather_rows_with_repetition() {
+        let a = Matrix::from_fn(4, 2, |r, _| r as f64);
+        let g = a.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.shape(), (3, 2));
+        assert_eq!(g[(0, 0)], 3.0);
+        assert_eq!(g[(1, 0)], 0.0);
+        assert_eq!(g[(2, 1)], 3.0);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.row_sums().as_slice(), &[3.0, 7.0]);
+        assert_eq!(a.col_sums().as_slice(), &[4.0, 6.0]);
+        assert_eq!(a.col_means().as_slice(), &[2.0, 3.0]);
+        assert!((a.norm() - (30.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn row_dist_sq_matches_manual() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(a.row_dist_sq(0, &a, 1), 25.0);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        a.add_assign(&b);
+        assert_eq!(a[(0, 0)], 3.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a[(1, 1)], 4.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Slice-level vector helpers shared across the workspace.
+
+/// Dot product of two equally-long slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equally-long slices.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev (L∞) distance.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Cosine distance `1 - cos(a, b)`; returns 1 when either vector is zero.
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+/// `out[i] = a[i] + k * b[i]`, in place on `a`.
+#[inline]
+pub fn axpy(a: &mut [f64], k: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += k * y;
+    }
+}
+
+/// Scale a slice in place.
+#[inline]
+pub fn scale(a: &mut [f64], k: f64) {
+    for x in a.iter_mut() {
+        *x *= k;
+    }
+}
+
+/// Linear interpolation between `a` and `b` at fraction `t`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Numerically-stable softmax of a slice.
+pub fn softmax(x: &[f64]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let m = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = x.iter().map(|&v| (v - m).exp()).collect();
+    let s: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / s).collect()
+}
+
+/// Indices of the `k` largest values, ordered descending by value.
+/// Ties resolve to the lower index first (deterministic).
+pub fn top_k_indices(x: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    idx.truncate(k.min(x.len()));
+    idx
+}
+
+/// Index of the maximum value (first occurrence); `None` for empty input.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if v <= bv => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum value (first occurrence); `None` for empty input.
+pub fn argmin(x: &[f64]) -> Option<usize> {
+    argmax(&x.iter().map(|v| -v).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_agree_on_simple_triangle() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(euclidean(&a, &b), 5.0);
+        assert_eq!(euclidean_sq(&a, &b), 25.0);
+        assert_eq!(manhattan(&a, &b), 7.0);
+        assert_eq!(chebyshev(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-12);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge inputs.
+        let q = softmax(&[1e6, 1e6 + 1.0]);
+        assert!(q.iter().all(|v| v.is_finite()));
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_and_argmax() {
+        let x = [0.1, 5.0, 3.0, 5.0];
+        assert_eq!(top_k_indices(&x, 2), vec![1, 3]);
+        assert_eq!(argmax(&x), Some(1));
+        assert_eq!(argmin(&x), Some(0));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(top_k_indices(&x, 10).len(), 4);
+    }
+
+    #[test]
+    fn axpy_scale_lerp() {
+        let mut a = vec![1.0, 2.0];
+        axpy(&mut a, 2.0, &[1.0, 1.0]);
+        assert_eq!(a, vec![3.0, 4.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![1.5, 2.0]);
+        assert_eq!(lerp(0.0, 10.0, 0.25), 2.5);
+    }
+}

@@ -1,0 +1,69 @@
+//! Finite-difference gradient verification used throughout the test suite.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Graph, NodeId};
+use ns_linalg::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Build a parameter store with random values at the given shapes, run the
+/// provided loss builder, and compare analytic gradients against central
+/// finite differences for every scalar of every parameter.
+///
+/// Panics with a descriptive message on mismatch. The builder must be a
+/// pure function of the parameter values.
+pub fn check_gradients(
+    seed: u64,
+    shapes: &[(usize, usize)],
+    build: impl Fn(&mut Graph<'_>, &[ParamId]) -> NodeId,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut params = ParamStore::new(seed);
+    let ids: Vec<ParamId> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, c))| {
+            let m = Matrix::from_fn(r, c, |_, _| rng.gen_range(-0.9..0.9));
+            params.add(format!("p{i}"), m)
+        })
+        .collect();
+
+    // Analytic gradients.
+    let analytic = {
+        let mut g = Graph::new(&params);
+        let loss = build(&mut g, &ids);
+        g.backward(loss)
+    };
+
+    // Finite differences.
+    let h = 1e-5;
+    for &id in &ids {
+        let (rows, cols) = params.get(id).shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = params.get(id)[(r, c)];
+                params.get_mut(id)[(r, c)] = orig + h;
+                let fp = {
+                    let mut g = Graph::new(&params);
+                    let loss = build(&mut g, &ids);
+                    g.scalar(loss)
+                };
+                params.get_mut(id)[(r, c)] = orig - h;
+                let fm = {
+                    let mut g = Graph::new(&params);
+                    let loss = build(&mut g, &ids);
+                    g.scalar(loss)
+                };
+                params.get_mut(id)[(r, c)] = orig;
+                let numeric = (fp - fm) / (2.0 * h);
+                let got = analytic.get(id)[(r, c)];
+                let tol = 1e-4 * (1.0 + numeric.abs().max(got.abs()));
+                assert!(
+                    (numeric - got).abs() <= tol,
+                    "grad mismatch at param {id} ({r},{c}): numeric {numeric:.8} vs analytic {got:.8}"
+                );
+            }
+        }
+    }
+}

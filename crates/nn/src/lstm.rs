@@ -1,0 +1,212 @@
+//! LSTM cell and a sequence autoencoder built from it — the substrate for
+//! the RUAD baseline (per-node LSTM anomaly detection).
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Graph, NodeId};
+use ns_linalg::matrix::Matrix;
+
+/// A single LSTM cell. Gates are computed from `[x, h]` concatenation via
+/// four linear maps.
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    pub wf: Linear,
+    pub wi: Linear,
+    pub wo: Linear,
+    pub wc: Linear,
+    pub input_dim: usize,
+    pub hidden_dim: usize,
+}
+
+impl LstmCell {
+    pub fn new(params: &mut ParamStore, name: &str, input_dim: usize, hidden_dim: usize) -> Self {
+        let cat = input_dim + hidden_dim;
+        Self {
+            wf: Linear::new(params, &format!("{name}.wf"), cat, hidden_dim),
+            wi: Linear::new(params, &format!("{name}.wi"), cat, hidden_dim),
+            wo: Linear::new(params, &format!("{name}.wo"), cat, hidden_dim),
+            wc: Linear::new(params, &format!("{name}.wc"), cat, hidden_dim),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: `x` is `1 × input_dim`, state is `(h, c)` each
+    /// `1 × hidden_dim`. Returns the new `(h, c)`.
+    pub fn step(
+        &self,
+        g: &mut Graph<'_>,
+        x: NodeId,
+        h: NodeId,
+        c: NodeId,
+    ) -> (NodeId, NodeId) {
+        let xh = g.concat_cols(&[x, h]);
+        let f_lin = self.wf.forward(g, xh);
+        let f = g.sigmoid(f_lin);
+        let i_lin = self.wi.forward(g, xh);
+        let i = g.sigmoid(i_lin);
+        let o_lin = self.wo.forward(g, xh);
+        let o = g.sigmoid(o_lin);
+        let c_lin = self.wc.forward(g, xh);
+        let chat = g.tanh(c_lin);
+        let fc = g.mul(f, c);
+        let ic = g.mul(i, chat);
+        let c_new = g.add(fc, ic);
+        let tc = g.tanh(c_new);
+        let h_new = g.mul(o, tc);
+        (h_new, c_new)
+    }
+
+    /// Zero initial state nodes.
+    pub fn zero_state(&self, g: &mut Graph<'_>) -> (NodeId, NodeId) {
+        let h = g.input(Matrix::zeros(1, self.hidden_dim));
+        let c = g.input(Matrix::zeros(1, self.hidden_dim));
+        (h, c)
+    }
+}
+
+/// LSTM autoencoder: encode a `T × m` window into the final hidden state,
+/// then decode it back to `T × m` reconstructions (RUAD-style).
+#[derive(Clone, Debug)]
+pub struct LstmAutoencoder {
+    pub encoder: LstmCell,
+    pub decoder: LstmCell,
+    pub readout: Linear,
+    pub input_dim: usize,
+    pub hidden_dim: usize,
+}
+
+impl LstmAutoencoder {
+    pub fn new(params: &mut ParamStore, name: &str, input_dim: usize, hidden_dim: usize) -> Self {
+        Self {
+            encoder: LstmCell::new(params, &format!("{name}.enc"), input_dim, hidden_dim),
+            decoder: LstmCell::new(params, &format!("{name}.dec"), input_dim, hidden_dim),
+            readout: Linear::new(params, &format!("{name}.read"), hidden_dim, input_dim),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Reconstruct a `T × input_dim` window; returns the reconstruction
+    /// node (`T × input_dim`).
+    pub fn reconstruct(&self, g: &mut Graph<'_>, window: &Matrix) -> NodeId {
+        let t_len = window.rows();
+        assert!(t_len > 0, "empty window");
+        // Encode.
+        let (mut h, mut c) = self.encoder.zero_state(g);
+        let mut step_inputs = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let x = g.input(Matrix::row_vector(window.row(t)));
+            step_inputs.push(x);
+            let (nh, nc) = self.encoder.step(g, x, h, c);
+            h = nh;
+            c = nc;
+        }
+        // Decode: feed back the previous *reconstruction* (teacher-free),
+        // starting from the last input frame, carrying the encoder state.
+        let mut outputs = Vec::with_capacity(t_len);
+        let mut prev = step_inputs[t_len - 1];
+        let (mut dh, mut dc) = (h, c);
+        for _ in 0..t_len {
+            let (nh, nc) = self.decoder.step(g, prev, dh, dc);
+            dh = nh;
+            dc = nc;
+            let y = self.readout.forward(g, dh);
+            outputs.push(y);
+            prev = y;
+        }
+        // Decoder emits the window back in reverse order (standard
+        // seq2seq AE trick): un-reverse while stacking.
+        outputs.reverse();
+        // Stack rows: scatter each 1×m row into a T×m matrix.
+        let mut total: Option<NodeId> = None;
+        for (t, &row) in outputs.iter().enumerate() {
+            let placed = g.scatter_rows(row, &[t], t_len);
+            total = Some(match total {
+                Some(acc) => g.add(acc, placed),
+                None => placed,
+            });
+        }
+        total.expect("at least one timestep")
+    }
+
+    /// MSE reconstruction loss for a window.
+    pub fn loss(&self, g: &mut Graph<'_>, window: &Matrix) -> NodeId {
+        let recon = self.reconstruct(g, window);
+        let target = g.input(window.clone());
+        g.mse(recon, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    #[test]
+    fn cell_step_shapes_and_bounds() {
+        let mut params = ParamStore::new(3);
+        let cell = LstmCell::new(&mut params, "c", 4, 6);
+        let mut g = Graph::new(&params);
+        let x = g.input(Matrix::filled(1, 4, 0.5));
+        let (h0, c0) = cell.zero_state(&mut g);
+        let (h1, c1) = cell.step(&mut g, x, h0, c0);
+        assert_eq!(g.value(h1).shape(), (1, 6));
+        assert_eq!(g.value(c1).shape(), (1, 6));
+        // h = o ⊙ tanh(c) is bounded by (-1, 1).
+        assert!(g.value(h1).as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn state_evolves_across_steps() {
+        let mut params = ParamStore::new(4);
+        let cell = LstmCell::new(&mut params, "c", 2, 4);
+        let mut g = Graph::new(&params);
+        let (mut h, mut c) = cell.zero_state(&mut g);
+        let mut prev_h = g.value(h).clone();
+        for t in 0..3 {
+            let x = g.input(Matrix::filled(1, 2, (t + 1) as f64 * 0.3));
+            let (nh, nc) = cell.step(&mut g, x, h, c);
+            h = nh;
+            c = nc;
+            let now = g.value(h).clone();
+            assert_ne!(now, prev_h, "hidden state should change at step {t}");
+            prev_h = now;
+        }
+    }
+
+    #[test]
+    fn autoencoder_learns_short_pattern() {
+        let mut params = ParamStore::new(5);
+        let ae = LstmAutoencoder::new(&mut params, "ae", 3, 12);
+        let window = Matrix::from_fn(6, 3, |r, c| ((r + c) as f64 * 0.8).sin() * 0.5);
+        let mut opt = Adam::new(5e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..250 {
+            let (loss, grads) = {
+                let mut g = Graph::new(&params);
+                let l = ae.loss(&mut g, &window);
+                (g.scalar(l), g.backward(l))
+            };
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+            opt.step(&mut params, &grads);
+        }
+        assert!(last < first.unwrap() * 0.2, "LSTM-AE failed to learn: {first:?} → {last}");
+    }
+
+    #[test]
+    fn gradients_reach_encoder_through_time() {
+        let mut params = ParamStore::new(6);
+        let ae = LstmAutoencoder::new(&mut params, "ae", 2, 5);
+        let window = Matrix::from_fn(5, 2, |r, c| (r as f64 - c as f64) * 0.2);
+        let mut g = Graph::new(&params);
+        let l = ae.loss(&mut g, &window);
+        let grads = g.backward(l);
+        assert!(grads.get(ae.encoder.wf.w).max_abs() > 0.0, "BPTT must reach the encoder");
+        assert!(grads.get(ae.readout.w).max_abs() > 0.0);
+    }
+}

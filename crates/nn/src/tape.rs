@@ -1,0 +1,707 @@
+//! Reverse-mode automatic differentiation over 2-D matrices.
+//!
+//! A [`Graph`] is a single-use tape: every operation appends a node whose
+//! parents were created earlier, so a single reverse sweep over the arena
+//! is a valid topological-order backpropagation. Training loops build one
+//! graph per example (sequences are `T × d` matrices), run
+//! [`Graph::backward`], and merge the resulting [`GradStore`]s across a
+//! batch — which is how the workspace gets rayon data-parallel training
+//! without any shared mutable state.
+
+use crate::params::{GradStore, ParamId, ParamStore};
+use ns_linalg::matrix::Matrix;
+
+/// Handle to a node in the tape.
+pub type NodeId = usize;
+
+/// Tape operation. Parents are always lower `NodeId`s.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Constant input (no gradient tracked beyond the tape).
+    Input,
+    /// Learnable parameter leaf.
+    Param(ParamId),
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    /// Elementwise product.
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f64),
+    MatMul(NodeId, NodeId),
+    Transpose(NodeId),
+    Relu(NodeId),
+    Tanh(NodeId),
+    Sigmoid(NodeId),
+    Exp(NodeId),
+    /// Row-wise softmax.
+    SoftmaxRows(NodeId),
+    /// Row-wise LayerNorm with learnable gain/shift (`1 × d` each).
+    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, eps: f64 },
+    /// `a + row` with `row` broadcast over all rows of `a`.
+    AddRowBroadcast(NodeId, NodeId),
+    /// `a ⊙ row` with `row` broadcast over all rows.
+    MulRowBroadcast(NodeId, NodeId),
+    /// `a ⊙ col` with `col` (`n × 1`) broadcast over all columns.
+    MulColBroadcast(NodeId, NodeId),
+    GatherRows(NodeId, Vec<usize>),
+    /// Place rows of `src` at `idx` within a `rows`-tall zero matrix.
+    ScatterRows { src: NodeId, idx: Vec<usize>, rows: usize },
+    /// Pick one element per listed `(row, col)` pair into a column vector.
+    SelectElems(NodeId, Vec<(usize, usize)>),
+    SliceCols(NodeId, usize, usize),
+    ConcatCols(Vec<NodeId>),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    /// Column means → `1 × cols` row vector.
+    ColMeans(NodeId),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A single-use autodiff tape bound to a [`ParamStore`].
+pub struct Graph<'p> {
+    params: &'p ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'p> Graph<'p> {
+    pub fn new(params: &'p ParamStore) -> Self {
+        Self { params, nodes: Vec::with_capacity(256) }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.len() - 1
+    }
+
+    /// Value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id].value
+    }
+
+    /// Gradient of a node after [`Graph::backward`] (None if unreached).
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id].grad.as_ref()
+    }
+
+    /// Constant input leaf.
+    pub fn input(&mut self, m: Matrix) -> NodeId {
+        self.push(m, Op::Input)
+    }
+
+    /// Parameter leaf (copies the current value onto the tape).
+    pub fn param(&mut self, id: ParamId) -> NodeId {
+        self.push(self.params.get(id).clone(), Op::Param(id))
+    }
+
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.add(&self.nodes[b].value);
+        self.push(v, Op::Add(a, b))
+    }
+
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.sub(&self.nodes[b].value);
+        self.push(v, Op::Sub(a, b))
+    }
+
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.hadamard(&self.nodes[b].value);
+        self.push(v, Op::Mul(a, b))
+    }
+
+    pub fn scale(&mut self, a: NodeId, k: f64) -> NodeId {
+        let v = self.nodes[a].value.scale(k);
+        self.push(v, Op::Scale(a, k))
+    }
+
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.matmul(&self.nodes[b].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    pub fn transpose(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(f64::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    pub fn exp(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.map(f64::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn softmax_rows(&mut self, a: NodeId) -> NodeId {
+        let src = &self.nodes[a].value;
+        let mut v = src.clone();
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut s = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - m).exp();
+                s += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= s;
+            }
+        }
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Row-wise LayerNorm: `γ ⊙ (x − μ)/σ + β` with `γ, β` of shape `1 × d`.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> NodeId {
+        let eps = 1e-5;
+        let src = &self.nodes[x].value;
+        let g = &self.nodes[gamma].value;
+        let b = &self.nodes[beta].value;
+        assert_eq!(g.shape(), (1, src.cols()), "gamma must be 1×d");
+        assert_eq!(b.shape(), (1, src.cols()), "beta must be 1×d");
+        let mut out = src.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let d = row.len() as f64;
+            let mean = row.iter().sum::<f64>() / d;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = g.as_slice()[i] * (*v - mean) * inv + b.as_slice()[i];
+            }
+        }
+        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+    }
+
+    pub fn add_row_broadcast(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let v = self.nodes[a].value.add_row_broadcast(&self.nodes[row].value);
+        self.push(v, Op::AddRowBroadcast(a, row))
+    }
+
+    pub fn mul_row_broadcast(&mut self, a: NodeId, row: NodeId) -> NodeId {
+        let av = &self.nodes[a].value;
+        let rv = &self.nodes[row].value;
+        assert_eq!(rv.rows(), 1);
+        assert_eq!(rv.cols(), av.cols());
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            for (x, w) in v.row_mut(r).iter_mut().zip(rv.as_slice()) {
+                *x *= w;
+            }
+        }
+        self.push(v, Op::MulRowBroadcast(a, row))
+    }
+
+    pub fn mul_col_broadcast(&mut self, a: NodeId, col: NodeId) -> NodeId {
+        let av = &self.nodes[a].value;
+        let cv = &self.nodes[col].value;
+        assert_eq!(cv.cols(), 1);
+        assert_eq!(cv.rows(), av.rows());
+        let mut v = av.clone();
+        for r in 0..v.rows() {
+            let w = cv.as_slice()[r];
+            for x in v.row_mut(r).iter_mut() {
+                *x *= w;
+            }
+        }
+        self.push(v, Op::MulColBroadcast(a, col))
+    }
+
+    pub fn gather_rows(&mut self, a: NodeId, idx: &[usize]) -> NodeId {
+        let v = self.nodes[a].value.gather_rows(idx);
+        self.push(v, Op::GatherRows(a, idx.to_vec()))
+    }
+
+    /// Inverse of gather: place `src`'s rows at positions `idx` in a
+    /// zero-filled `rows × cols` matrix. `idx` must be unique positions.
+    pub fn scatter_rows(&mut self, src: NodeId, idx: &[usize], rows: usize) -> NodeId {
+        let sv = &self.nodes[src].value;
+        assert_eq!(sv.rows(), idx.len());
+        let mut v = Matrix::zeros(rows, sv.cols());
+        for (r, &target) in idx.iter().enumerate() {
+            v.row_mut(target).copy_from_slice(sv.row(r));
+        }
+        self.push(v, Op::ScatterRows { src, idx: idx.to_vec(), rows })
+    }
+
+    /// Pick `a[(r, c)]` for each pair into an `len × 1` column vector.
+    pub fn select_elems(&mut self, a: NodeId, pairs: &[(usize, usize)]) -> NodeId {
+        let av = &self.nodes[a].value;
+        let data: Vec<f64> = pairs.iter().map(|&(r, c)| av[(r, c)]).collect();
+        let v = Matrix::col_vector(&data);
+        self.push(v, Op::SelectElems(a, pairs.to_vec()))
+    }
+
+    pub fn slice_cols(&mut self, a: NodeId, start: usize, end: usize) -> NodeId {
+        let av = &self.nodes[a].value;
+        assert!(start <= end && end <= av.cols());
+        let mut v = Matrix::zeros(av.rows(), end - start);
+        for r in 0..av.rows() {
+            v.row_mut(r).copy_from_slice(&av.row(r)[start..end]);
+        }
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty());
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| &self.nodes[p].value).collect();
+        let v = Matrix::hstack(&mats);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Sum of all elements as a `1 × 1` matrix.
+    pub fn sum_all(&mut self, a: NodeId) -> NodeId {
+        let s = self.nodes[a].value.sum();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::SumAll(a))
+    }
+
+    /// Mean of all elements as a `1 × 1` matrix.
+    pub fn mean_all(&mut self, a: NodeId) -> NodeId {
+        let m = self.nodes[a].value.mean();
+        self.push(Matrix::from_vec(1, 1, vec![m]), Op::MeanAll(a))
+    }
+
+    /// Column means as a `1 × cols` row vector.
+    pub fn col_means(&mut self, a: NodeId) -> NodeId {
+        let v = self.nodes[a].value.col_means();
+        self.push(v, Op::ColMeans(a))
+    }
+
+    // ---------------------------------------------------------------
+    // Composite conveniences
+    // ---------------------------------------------------------------
+
+    /// Mean squared error between two same-shape nodes (scalar node).
+    pub fn mse(&mut self, pred: NodeId, target: NodeId) -> NodeId {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        self.mean_all(sq)
+    }
+
+    /// Weighted MSE (paper Eq. 5): per-metric weights `w` (`1 × M` input
+    /// node) applied to squared errors before averaging.
+    pub fn wmse(&mut self, pred: NodeId, target: NodeId, weights: NodeId) -> NodeId {
+        let d = self.sub(pred, target);
+        let sq = self.mul(d, d);
+        let w = self.mul_row_broadcast(sq, weights);
+        self.mean_all(w)
+    }
+
+    /// Scalar value of a `1 × 1` node.
+    pub fn scalar(&self, id: NodeId) -> f64 {
+        let v = &self.nodes[id].value;
+        assert_eq!(v.shape(), (1, 1), "scalar() requires a 1×1 node");
+        v.as_slice()[0]
+    }
+
+    // ---------------------------------------------------------------
+    // Backward
+    // ---------------------------------------------------------------
+
+    fn accum(&mut self, id: NodeId, g: Matrix) {
+        match &mut self.nodes[id].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Backpropagate from a scalar (`1 × 1`) loss node; returns gradients
+    /// for every parameter reachable from it.
+    pub fn backward(&mut self, loss: NodeId) -> GradStore {
+        assert_eq!(self.nodes[loss].value.shape(), (1, 1), "loss must be scalar");
+        self.nodes[loss].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut grads = self.params.zero_grads();
+
+        for id in (0..=loss).rev() {
+            let Some(gout) = self.nodes[id].grad.take() else {
+                continue;
+            };
+            let op = self.nodes[id].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(pid) => {
+                    grads.accumulate(pid, &gout);
+                    // Keep the grad visible for Graph::grad inspection.
+                    self.nodes[id].grad = Some(gout);
+                    continue;
+                }
+                Op::Add(a, b) => {
+                    self.accum(a, gout.clone());
+                    self.accum(b, gout.clone());
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, gout.clone());
+                    self.accum(b, gout.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = gout.hadamard(&self.nodes[b].value);
+                    let gb = gout.hadamard(&self.nodes[a].value);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Scale(a, k) => {
+                    self.accum(a, gout.scale(k));
+                }
+                Op::MatMul(a, b) => {
+                    let ga = gout.matmul(&self.nodes[b].value.transpose());
+                    let gb = self.nodes[a].value.transpose().matmul(&gout);
+                    self.accum(a, ga);
+                    self.accum(b, gb);
+                }
+                Op::Transpose(a) => {
+                    self.accum(a, gout.transpose());
+                }
+                Op::Relu(a) => {
+                    let g = gout.zip(&self.nodes[a].value, |g, x| if x > 0.0 { g } else { 0.0 });
+                    self.accum(a, g);
+                }
+                Op::Tanh(a) => {
+                    let g = gout.zip(&self.nodes[id].value, |g, y| g * (1.0 - y * y));
+                    self.accum(a, g);
+                }
+                Op::Sigmoid(a) => {
+                    let g = gout.zip(&self.nodes[id].value, |g, y| g * y * (1.0 - y));
+                    self.accum(a, g);
+                }
+                Op::Exp(a) => {
+                    let g = gout.hadamard(&self.nodes[id].value);
+                    self.accum(a, g);
+                }
+                Op::SoftmaxRows(a) => {
+                    let y = &self.nodes[id].value;
+                    let mut g = gout.clone();
+                    for r in 0..g.rows() {
+                        let yr = y.row(r);
+                        let gr = g.row_mut(r);
+                        let dot: f64 = gr.iter().zip(yr).map(|(gy, yy)| gy * yy).sum();
+                        for (gv, &yv) in gr.iter_mut().zip(yr) {
+                            *gv = yv * (*gv - dot);
+                        }
+                    }
+                    self.accum(a, g);
+                }
+                Op::LayerNorm { x, gamma, beta, eps } => {
+                    let xv = self.nodes[x].value.clone();
+                    let gv = self.nodes[gamma].value.clone();
+                    let (rows, d) = xv.shape();
+                    let df = d as f64;
+                    let mut gx = Matrix::zeros(rows, d);
+                    let mut ggamma = Matrix::zeros(1, d);
+                    let mut gbeta = Matrix::zeros(1, d);
+                    for r in 0..rows {
+                        let row = xv.row(r);
+                        let mean = row.iter().sum::<f64>() / df;
+                        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / df;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        let xhat: Vec<f64> = row.iter().map(|v| (v - mean) * inv).collect();
+                        let dy = gout.row(r);
+                        // Parameter grads.
+                        for i in 0..d {
+                            ggamma.row_mut(0)[i] += dy[i] * xhat[i];
+                            gbeta.row_mut(0)[i] += dy[i];
+                        }
+                        // Input grad.
+                        let dxhat: Vec<f64> = (0..d).map(|i| dy[i] * gv.as_slice()[i]).collect();
+                        let sum_dxhat: f64 = dxhat.iter().sum();
+                        let sum_dxhat_xhat: f64 = dxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum();
+                        let out = gx.row_mut(r);
+                        for i in 0..d {
+                            out[i] = inv / df * (df * dxhat[i] - sum_dxhat - xhat[i] * sum_dxhat_xhat);
+                        }
+                    }
+                    self.accum(x, gx);
+                    self.accum(gamma, ggamma);
+                    self.accum(beta, gbeta);
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    self.accum(a, gout.clone());
+                    self.accum(row, gout.col_sums());
+                }
+                Op::MulRowBroadcast(a, row) => {
+                    let rv = self.nodes[row].value.clone();
+                    let av = self.nodes[a].value.clone();
+                    let mut ga = gout.clone();
+                    for r in 0..ga.rows() {
+                        for (x, w) in ga.row_mut(r).iter_mut().zip(rv.as_slice()) {
+                            *x *= w;
+                        }
+                    }
+                    let grow = gout.hadamard(&av).col_sums();
+                    self.accum(a, ga);
+                    self.accum(row, grow);
+                }
+                Op::MulColBroadcast(a, col) => {
+                    let cv = self.nodes[col].value.clone();
+                    let av = self.nodes[a].value.clone();
+                    let mut ga = gout.clone();
+                    for r in 0..ga.rows() {
+                        let w = cv.as_slice()[r];
+                        for x in ga.row_mut(r).iter_mut() {
+                            *x *= w;
+                        }
+                    }
+                    let gcol = gout.hadamard(&av).row_sums();
+                    self.accum(a, ga);
+                    self.accum(col, gcol);
+                }
+                Op::GatherRows(a, idx) => {
+                    let cols = gout.cols();
+                    let mut g = Matrix::zeros(self.nodes[a].value.rows(), cols);
+                    for (r, &src) in idx.iter().enumerate() {
+                        for (slot, &v) in g.row_mut(src).iter_mut().zip(gout.row(r)) {
+                            *slot += v;
+                        }
+                    }
+                    self.accum(a, g);
+                }
+                Op::ScatterRows { src, idx, rows } => {
+                    debug_assert_eq!(gout.rows(), rows);
+                    let g = gout.gather_rows(&idx);
+                    self.accum(src, g);
+                }
+                Op::SelectElems(a, pairs) => {
+                    let av_shape = self.nodes[a].value.shape();
+                    let mut g = Matrix::zeros(av_shape.0, av_shape.1);
+                    for (k, &(r, c)) in pairs.iter().enumerate() {
+                        g[(r, c)] += gout.as_slice()[k];
+                    }
+                    self.accum(a, g);
+                }
+                Op::SliceCols(a, start, _end) => {
+                    let (rows, cols) = self.nodes[a].value.shape();
+                    let mut g = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        for (c, &v) in gout.row(r).iter().enumerate() {
+                            g[(r, start + c)] = v;
+                        }
+                    }
+                    self.accum(a, g);
+                }
+                Op::ConcatCols(parts) => {
+                    let mut off = 0;
+                    for p in parts {
+                        let w = self.nodes[p].value.cols();
+                        let rows = gout.rows();
+                        let mut g = Matrix::zeros(rows, w);
+                        for r in 0..rows {
+                            g.row_mut(r).copy_from_slice(&gout.row(r)[off..off + w]);
+                        }
+                        self.accum(p, g);
+                        off += w;
+                    }
+                }
+                Op::SumAll(a) => {
+                    let s = gout.as_slice()[0];
+                    let (r, c) = self.nodes[a].value.shape();
+                    self.accum(a, Matrix::filled(r, c, s));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    let s = gout.as_slice()[0] / (r * c).max(1) as f64;
+                    self.accum(a, Matrix::filled(r, c, s));
+                }
+                Op::ColMeans(a) => {
+                    let (r, c) = self.nodes[a].value.shape();
+                    let mut g = Matrix::zeros(r, c);
+                    for rr in 0..r {
+                        for (slot, &v) in g.row_mut(rr).iter_mut().zip(gout.as_slice()) {
+                            *slot = v / r as f64;
+                        }
+                    }
+                    self.accum(a, g);
+                }
+            }
+            self.nodes[id].grad = Some(gout);
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // f(w) = mean((w * 3)²) over a 2×2 param.
+        let mut params = ParamStore::new(1);
+        let w = params.add("w", Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]));
+        let mut g = Graph::new(&params);
+        let wn = g.param(w);
+        let s = g.scale(wn, 3.0);
+        let sq = g.mul(s, s);
+        let loss = g.mean_all(sq);
+        let grads = g.backward(loss);
+        // d/dw mean(9w²) = 18w/4.
+        for (gv, wv) in grads.get(w).as_slice().iter().zip(params.get(w).as_slice()) {
+            assert!((gv - 18.0 * wv / 4.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn matmul_gradcheck() {
+        check_gradients(3, &[(2, 3), (3, 4)], |g, ps| {
+            let a = g.param(ps[0]);
+            let b = g.param(ps[1]);
+            let c = g.matmul(a, b);
+            let sq = g.mul(c, c);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn elementwise_ops_gradcheck() {
+        check_gradients(5, &[(3, 3), (3, 3)], |g, ps| {
+            let a = g.param(ps[0]);
+            let b = g.param(ps[1]);
+            let t = g.tanh(a);
+            let s = g.sigmoid(b);
+            let m = g.mul(t, s);
+            let e = g.exp(m);
+            let r = g.relu(e);
+            g.mean_all(r)
+        });
+    }
+
+    #[test]
+    fn softmax_gradcheck() {
+        check_gradients(7, &[(4, 5)], |g, ps| {
+            let a = g.param(ps[0]);
+            let sm = g.softmax_rows(a);
+            // Asymmetric functional so gradients are nontrivial.
+            let sq = g.mul(sm, sm);
+            let s = g.sum_all(sq);
+            g.scale(s, 0.5)
+        });
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        check_gradients(11, &[(4, 6), (1, 6), (1, 6)], |g, ps| {
+            let x = g.param(ps[0]);
+            let gamma = g.param(ps[1]);
+            let beta = g.param(ps[2]);
+            let y = g.layer_norm(x, gamma, beta);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn broadcast_ops_gradcheck() {
+        check_gradients(13, &[(4, 3), (1, 3), (4, 1)], |g, ps| {
+            let a = g.param(ps[0]);
+            let row = g.param(ps[1]);
+            let col = g.param(ps[2]);
+            let x = g.add_row_broadcast(a, row);
+            let y = g.mul_row_broadcast(x, row);
+            let z = g.mul_col_broadcast(y, col);
+            let sq = g.mul(z, z);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gather_scatter_select_gradcheck() {
+        check_gradients(17, &[(5, 3)], |g, ps| {
+            let a = g.param(ps[0]);
+            let gathered = g.gather_rows(a, &[4, 0, 2]);
+            let scattered = g.scatter_rows(gathered, &[1, 3, 0], 5);
+            let picked = g.select_elems(scattered, &[(0, 0), (1, 2), (3, 1)]);
+            let sq = g.mul(picked, picked);
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn slice_concat_gradcheck() {
+        check_gradients(19, &[(3, 6)], |g, ps| {
+            let a = g.param(ps[0]);
+            let left = g.slice_cols(a, 0, 3);
+            let right = g.slice_cols(a, 3, 6);
+            let prod = g.mul(left, right);
+            let cat = g.concat_cols(&[prod, left]);
+            let sq = g.mul(cat, cat);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn reductions_and_losses_gradcheck() {
+        check_gradients(23, &[(4, 4), (1, 4)], |g, ps| {
+            let a = g.param(ps[0]);
+            let w = g.param(ps[1]);
+            let target = g.input(Matrix::filled(4, 4, 0.3));
+            let l1 = g.wmse(a, target, w);
+            let cm = g.col_means(a);
+            let cm2 = g.mul(cm, cm);
+            let l2 = g.sum_all(cm2);
+            let tot = g.add(l1, l2);
+            g.scale(tot, 1.0)
+        });
+    }
+
+    #[test]
+    fn transpose_gradcheck() {
+        check_gradients(29, &[(3, 5)], |g, ps| {
+            let a = g.param(ps[0]);
+            let at = g.transpose(a);
+            let prod = g.matmul(a, at);
+            let sq = g.mul(prod, prod);
+            g.mean_all(sq)
+        });
+    }
+
+    #[test]
+    fn gradient_accumulates_over_shared_subexpression() {
+        // y = w + w → dy/dw = 2.
+        let mut params = ParamStore::new(2);
+        let w = params.add("w", Matrix::filled(2, 2, 1.5));
+        let mut g = Graph::new(&params);
+        let wn = g.param(w);
+        let y = g.add(wn, wn);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert!(grads.get(w).as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn unreachable_nodes_get_no_grad() {
+        let mut params = ParamStore::new(3);
+        let w = params.add("w", Matrix::filled(1, 1, 1.0));
+        let u = params.add("u", Matrix::filled(1, 1, 1.0));
+        let mut g = Graph::new(&params);
+        let wn = g.param(w);
+        let _un = g.param(u); // unused
+        let loss = g.sum_all(wn);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(w).as_slice()[0], 1.0);
+        assert_eq!(grads.get(u).as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn mse_value_is_correct() {
+        let params = ParamStore::new(4);
+        let mut g = Graph::new(&params);
+        let a = g.input(Matrix::from_rows(&[vec![1.0, 2.0]]));
+        let b = g.input(Matrix::from_rows(&[vec![0.0, 4.0]]));
+        let l = g.mse(a, b);
+        assert!((g.scalar(l) - 2.5).abs() < 1e-12); // (1 + 4)/2
+    }
+}

@@ -1,0 +1,220 @@
+//! Variational autoencoder — the substrate for the Prodigy baseline
+//! (VAE-based unsupervised anomaly detection over per-window features).
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Graph, NodeId};
+use ns_linalg::matrix::Matrix;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Gaussian-latent VAE with one hidden layer on each side.
+#[derive(Clone, Debug)]
+pub struct Vae {
+    pub enc_hidden: Linear,
+    pub enc_mu: Linear,
+    pub enc_logvar: Linear,
+    pub dec_hidden: Linear,
+    pub dec_out: Linear,
+    pub input_dim: usize,
+    pub latent_dim: usize,
+}
+
+impl Vae {
+    pub fn new(
+        params: &mut ParamStore,
+        name: &str,
+        input_dim: usize,
+        hidden_dim: usize,
+        latent_dim: usize,
+    ) -> Self {
+        Self {
+            enc_hidden: Linear::new(params, &format!("{name}.enc_h"), input_dim, hidden_dim),
+            enc_mu: Linear::new(params, &format!("{name}.mu"), hidden_dim, latent_dim),
+            enc_logvar: Linear::new(params, &format!("{name}.logvar"), hidden_dim, latent_dim),
+            dec_hidden: Linear::new(params, &format!("{name}.dec_h"), latent_dim, hidden_dim),
+            dec_out: Linear::new(params, &format!("{name}.dec_o"), hidden_dim, input_dim),
+            input_dim,
+            latent_dim,
+        }
+    }
+
+    /// Encode a batch (`n × input_dim`) to `(mu, logvar)` nodes.
+    pub fn encode(&self, g: &mut Graph<'_>, x: NodeId) -> (NodeId, NodeId) {
+        let h_lin = self.enc_hidden.forward(g, x);
+        let h = g.relu(h_lin);
+        (self.enc_mu.forward(g, h), self.enc_logvar.forward(g, h))
+    }
+
+    /// Decode latent codes (`n × latent_dim`) back to the input space.
+    pub fn decode(&self, g: &mut Graph<'_>, z: NodeId) -> NodeId {
+        let h_lin = self.dec_hidden.forward(g, z);
+        let h = g.relu(h_lin);
+        self.dec_out.forward(g, h)
+    }
+
+    /// Reparameterised forward pass with externally supplied standard
+    /// normal noise `eps` (same shape as the latent batch). Returns
+    /// `(reconstruction, mu, logvar)`.
+    pub fn forward(
+        &self,
+        g: &mut Graph<'_>,
+        x: NodeId,
+        eps: &Matrix,
+    ) -> (NodeId, NodeId, NodeId) {
+        let (mu, logvar) = self.encode(g, x);
+        let half = g.scale(logvar, 0.5);
+        let std = g.exp(half);
+        let e = g.input(eps.clone());
+        let noise = g.mul(std, e);
+        let z = g.add(mu, noise);
+        let recon = self.decode(g, z);
+        (recon, mu, logvar)
+    }
+
+    /// ELBO-style loss: `MSE + beta · KL` where
+    /// `KL = −0.5 · mean(1 + logvar − mu² − exp(logvar))`.
+    pub fn loss(&self, g: &mut Graph<'_>, x: NodeId, eps: &Matrix, beta: f64) -> NodeId {
+        let (recon, mu, logvar) = self.forward(g, x, eps);
+        let mse = g.mse(recon, x);
+        let ones = g.input(Matrix::filled(
+            g.value(mu).rows(),
+            g.value(mu).cols(),
+            1.0,
+        ));
+        let mu2 = g.mul(mu, mu);
+        let ev = g.exp(logvar);
+        let t1 = g.add(ones, logvar);
+        let t2 = g.sub(t1, mu2);
+        let t3 = g.sub(t2, ev);
+        let kl_mean = g.mean_all(t3);
+        let kl = g.scale(kl_mean, -0.5);
+        let kl_w = g.scale(kl, beta);
+        g.add(mse, kl_w)
+    }
+
+    /// Deterministic reconstruction error per row (anomaly score):
+    /// decodes the latent mean, no sampling.
+    pub fn reconstruction_errors(&self, params: &ParamStore, data: &Matrix) -> Vec<f64> {
+        let mut g = Graph::new(params);
+        let x = g.input(data.clone());
+        let (mu, _) = self.encode(&mut g, x);
+        let recon = self.decode(&mut g, mu);
+        let rv = g.value(recon);
+        let xv = g.value(x);
+        (0..data.rows())
+            .map(|r| {
+                rv.row(r)
+                    .iter()
+                    .zip(xv.row(r))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    / data.cols().max(1) as f64
+            })
+            .collect()
+    }
+}
+
+/// Standard-normal noise matrix for the reparameterisation trick
+/// (Box–Muller over a seeded ChaCha stream).
+pub fn standard_normal(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    #[test]
+    fn normal_noise_moments() {
+        let m = standard_normal(100, 10, 7);
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / m.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn vae_learns_to_reconstruct() {
+        let mut params = ParamStore::new(11);
+        let vae = Vae::new(&mut params, "vae", 6, 16, 3);
+        let data = Matrix::from_fn(20, 6, |r, c| ((r as f64 * 0.3 + c as f64) * 0.5).sin());
+        let mut opt = Adam::new(3e-3);
+        let mut first = None;
+        let mut last = 0.0;
+        for epoch in 0..300 {
+            let eps = standard_normal(20, 3, epoch as u64);
+            let (loss, grads) = {
+                let mut g = Graph::new(&params);
+                let x = g.input(data.clone());
+                let l = vae.loss(&mut g, x, &eps, 1e-3);
+                (g.scalar(l), g.backward(l))
+            };
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+            opt.step(&mut params, &grads);
+        }
+        assert!(last < first.unwrap() * 0.3, "VAE failed to learn: {first:?} → {last}");
+    }
+
+    #[test]
+    fn anomalies_reconstruct_worse_than_normals() {
+        let mut params = ParamStore::new(12);
+        let vae = Vae::new(&mut params, "vae", 4, 12, 2);
+        let normal = Matrix::from_fn(30, 4, |r, c| ((r + c) as f64 * 0.2).sin() * 0.5);
+        let mut opt = Adam::new(3e-3);
+        for epoch in 0..300 {
+            let eps = standard_normal(30, 2, 1000 + epoch as u64);
+            let grads = {
+                let mut g = Graph::new(&params);
+                let x = g.input(normal.clone());
+                let l = vae.loss(&mut g, x, &eps, 1e-3);
+                g.backward(l)
+            };
+            opt.step(&mut params, &grads);
+        }
+        let normal_err: f64 = {
+            let errs = vae.reconstruction_errors(&params, &normal);
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        let anomalous = normal.map(|v| v + 3.0);
+        let anom_err: f64 = {
+            let errs = vae.reconstruction_errors(&params, &anomalous);
+            errs.iter().sum::<f64>() / errs.len() as f64
+        };
+        assert!(anom_err > normal_err * 3.0, "normal {normal_err} anomalous {anom_err}");
+    }
+
+    #[test]
+    fn kl_pulls_latents_toward_prior() {
+        // With a large beta, mu should collapse toward 0.
+        let mut params = ParamStore::new(13);
+        let vae = Vae::new(&mut params, "vae", 4, 8, 2);
+        let data = Matrix::from_fn(10, 4, |r, c| (r as f64 + c as f64) * 0.1);
+        let mut opt = Adam::new(5e-3);
+        for epoch in 0..200 {
+            let eps = standard_normal(10, 2, 2000 + epoch as u64);
+            let grads = {
+                let mut g = Graph::new(&params);
+                let x = g.input(data.clone());
+                let l = vae.loss(&mut g, x, &eps, 10.0);
+                g.backward(l)
+            };
+            opt.step(&mut params, &grads);
+        }
+        let mut g = Graph::new(&params);
+        let x = g.input(data.clone());
+        let (mu, _) = vae.encode(&mut g, x);
+        assert!(g.value(mu).max_abs() < 0.5, "mu {:?}", g.value(mu).max_abs());
+    }
+}

@@ -1,0 +1,378 @@
+//! Job archetypes: workload families that drive the latent signals.
+//!
+//! Each archetype produces a characteristic multi-phase signal trajectory.
+//! The *phases* are the paper's sub-patterns (Characteristic 3): a single
+//! job segment is not statistically uniform — compute phases alternate
+//! with checkpoints, map phases hand over to shuffles, and so on. Jobs of
+//! the same archetype on different nodes produce near-identical patterns
+//! (Characteristic 2), differing only in noise and a per-job intensity.
+
+use crate::signals::{clamp_frame, idle_frame, Signal, SignalFrame};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Workload family. `Idle` models the between-jobs waiting state, which
+/// the paper treats as "a special type of job".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobArchetype {
+    /// MPI-style compute-bound solver: alternating compute sub-phases with
+    /// periodic checkpoint bursts to disk.
+    ComputeBound,
+    /// Memory-intensive workload: large allocations ramp residency up,
+    /// then sustained access with page-fault activity.
+    MemoryIntensive,
+    /// I/O-heavy pipeline: bursty disk reads/writes, moderate CPU.
+    IoHeavy,
+    /// Communication-dominated workload: heavy RX/TX with halo-exchange
+    /// rhythm, moderate CPU.
+    NetworkHeavy,
+    /// Map → shuffle → reduce analytics job: three markedly different
+    /// sub-patterns inside one segment.
+    DataAnalytics,
+    /// Idle waiting state between scheduled jobs.
+    Idle,
+}
+
+/// The archetypes jobs are sampled from (Idle is scheduler-generated).
+pub const SCHEDULABLE_ARCHETYPES: [JobArchetype; 5] = [
+    JobArchetype::ComputeBound,
+    JobArchetype::MemoryIntensive,
+    JobArchetype::IoHeavy,
+    JobArchetype::NetworkHeavy,
+    JobArchetype::DataAnalytics,
+];
+
+impl JobArchetype {
+    pub fn name(self) -> &'static str {
+        match self {
+            JobArchetype::ComputeBound => "compute_bound",
+            JobArchetype::MemoryIntensive => "memory_intensive",
+            JobArchetype::IoHeavy => "io_heavy",
+            JobArchetype::NetworkHeavy => "network_heavy",
+            JobArchetype::DataAnalytics => "data_analytics",
+            JobArchetype::Idle => "idle",
+        }
+    }
+
+    /// Sub-pattern phase id at relative position `rel_t ∈ [0, 1]` within
+    /// the job. Used both for generation and by tests that verify
+    /// sub-pattern variation exists.
+    pub fn phase(self, rel_t: f64) -> usize {
+        let rel_t = rel_t.clamp(0.0, 1.0);
+        match self {
+            JobArchetype::ComputeBound => {
+                if rel_t < 0.04 {
+                    0 // init / setup
+                } else if rel_t > 0.97 {
+                    3 // teardown
+                } else {
+                    // Alternating compute (1) with short checkpoints (2)
+                    // every ~12% of the job.
+                    let cycle = ((rel_t - 0.04) / 0.12).fract();
+                    if cycle > 0.85 {
+                        2
+                    } else {
+                        1
+                    }
+                }
+            }
+            JobArchetype::MemoryIntensive => {
+                if rel_t < 0.25 {
+                    0 // allocation ramp
+                } else if rel_t < 0.9 {
+                    1 // steady access
+                } else {
+                    2 // writeback / release
+                }
+            }
+            JobArchetype::IoHeavy => {
+                // Read burst / process / write burst cycles.
+                let cycle = (rel_t * 6.0).fract();
+                if cycle < 0.4 {
+                    0
+                } else if cycle < 0.7 {
+                    1
+                } else {
+                    2
+                }
+            }
+            JobArchetype::NetworkHeavy => {
+                if rel_t < 0.05 {
+                    0
+                } else {
+                    1 + ((rel_t * 20.0) as usize % 2) // exchange vs compute beat
+                }
+            }
+            JobArchetype::DataAnalytics => {
+                if rel_t < 0.45 {
+                    0 // map
+                } else if rel_t < 0.7 {
+                    1 // shuffle
+                } else {
+                    2 // reduce
+                }
+            }
+            JobArchetype::Idle => 0,
+        }
+    }
+
+    /// Latent signal frame at relative position `rel_t` within the job.
+    ///
+    /// `intensity` is a per-job scale in roughly `[0.7, 1.1]` sampled by
+    /// the scheduler; `rng` supplies the observation noise; `t_index` and
+    /// `interval_s` feed monotone signals (uptime).
+    pub fn frame(
+        self,
+        rel_t: f64,
+        intensity: f64,
+        t_index: usize,
+        interval_s: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> SignalFrame {
+        let mut f = idle_frame(t_index, interval_s);
+        let set = |f: &mut SignalFrame, s: Signal, v: f64| f[s as usize] = v;
+        let phase = self.phase(rel_t);
+        let i = intensity;
+        match self {
+            JobArchetype::Idle => {}
+            JobArchetype::ComputeBound => match phase {
+                0 => {
+                    set(&mut f, Signal::CpuUser, 0.25 * i);
+                    set(&mut f, Signal::CpuSystem, 0.10);
+                    set(&mut f, Signal::DiskReadBytes, 0.5 * i);
+                    set(&mut f, Signal::MemUsed, 0.2 * i);
+                    set(&mut f, Signal::ProcsRunning, 0.5);
+                    set(&mut f, Signal::OpenFds, 0.3);
+                }
+                1 => {
+                    set(&mut f, Signal::CpuUser, 0.88 * i);
+                    set(&mut f, Signal::CpuSystem, 0.05);
+                    set(&mut f, Signal::LoadAvg, 0.9 * i);
+                    set(&mut f, Signal::MemUsed, 0.55 * i);
+                    set(&mut f, Signal::NetRxBytes, 0.25 * i);
+                    set(&mut f, Signal::NetTxBytes, 0.25 * i);
+                    set(&mut f, Signal::CtxSwitches, 0.4);
+                    set(&mut f, Signal::ProcsRunning, 0.8);
+                    set(&mut f, Signal::CpuTemp, 0.75 * i);
+                    set(&mut f, Signal::PowerWatts, 0.85 * i);
+                }
+                2 => {
+                    set(&mut f, Signal::CpuUser, 0.35 * i);
+                    set(&mut f, Signal::CpuIoWait, 0.30);
+                    set(&mut f, Signal::DiskWriteBytes, 0.9 * i);
+                    set(&mut f, Signal::MemUsed, 0.55 * i);
+                    set(&mut f, Signal::ProcsBlocked, 0.4);
+                    set(&mut f, Signal::PowerWatts, 0.5 * i);
+                }
+                _ => {
+                    set(&mut f, Signal::CpuUser, 0.15);
+                    set(&mut f, Signal::DiskWriteBytes, 0.4);
+                    set(&mut f, Signal::MemUsed, 0.15);
+                }
+            },
+            JobArchetype::MemoryIntensive => match phase {
+                0 => {
+                    // Residency ramps with rel_t.
+                    let ramp = (rel_t / 0.25).min(1.0);
+                    set(&mut f, Signal::CpuUser, 0.4 * i);
+                    set(&mut f, Signal::MemUsed, (0.15 + 0.65 * ramp) * i);
+                    set(&mut f, Signal::PageFaults, 0.7 * i);
+                    set(&mut f, Signal::MemCache, 0.3);
+                    set(&mut f, Signal::ProcsRunning, 0.6);
+                }
+                1 => {
+                    set(&mut f, Signal::CpuUser, 0.55 * i);
+                    set(&mut f, Signal::MemUsed, 0.8 * i);
+                    set(&mut f, Signal::MemKernel, 0.25);
+                    set(&mut f, Signal::PageFaults, 0.25 * i);
+                    set(&mut f, Signal::SwapUsed, 0.2 * i);
+                    set(&mut f, Signal::CtxSwitches, 0.5);
+                    set(&mut f, Signal::ProcsRunning, 0.7);
+                    set(&mut f, Signal::PowerWatts, 0.6 * i);
+                }
+                _ => {
+                    set(&mut f, Signal::CpuUser, 0.3 * i);
+                    set(&mut f, Signal::CpuIoWait, 0.2);
+                    set(&mut f, Signal::MemUsed, 0.5 * i);
+                    set(&mut f, Signal::SwapUsed, 0.3 * i);
+                    set(&mut f, Signal::PageFaults, 0.4 * i);
+                    set(&mut f, Signal::DiskWriteBytes, 0.7 * i);
+                }
+            },
+            JobArchetype::IoHeavy => match phase {
+                0 => {
+                    set(&mut f, Signal::CpuUser, 0.2 * i);
+                    set(&mut f, Signal::CpuIoWait, 0.5 * i);
+                    set(&mut f, Signal::DiskReadBytes, 0.95 * i);
+                    set(&mut f, Signal::MemCache, 0.6);
+                    set(&mut f, Signal::PageFaults, 0.35 * i);
+                    set(&mut f, Signal::ProcsBlocked, 0.5);
+                    set(&mut f, Signal::OpenFds, 0.7);
+                }
+                1 => {
+                    set(&mut f, Signal::CpuUser, 0.6 * i);
+                    set(&mut f, Signal::MemUsed, 0.45 * i);
+                    set(&mut f, Signal::MemCache, 0.7);
+                    set(&mut f, Signal::ProcsRunning, 0.6);
+                }
+                _ => {
+                    set(&mut f, Signal::CpuUser, 0.25 * i);
+                    set(&mut f, Signal::CpuIoWait, 0.45 * i);
+                    set(&mut f, Signal::DiskWriteBytes, 0.9 * i);
+                    set(&mut f, Signal::DiskUsedFrac, 0.55 + 0.15 * i);
+                    set(&mut f, Signal::OpenFds, 0.6);
+                    set(&mut f, Signal::ProcsBlocked, 0.45);
+                }
+            },
+            JobArchetype::NetworkHeavy => match phase {
+                0 => {
+                    set(&mut f, Signal::CpuUser, 0.2);
+                    set(&mut f, Signal::NetSockets, 0.6 * i);
+                    set(&mut f, Signal::NetRxBytes, 0.3);
+                }
+                1 => {
+                    set(&mut f, Signal::CpuUser, 0.45 * i);
+                    set(&mut f, Signal::CpuSystem, 0.25);
+                    set(&mut f, Signal::NetRxBytes, 0.9 * i);
+                    set(&mut f, Signal::NetTxBytes, 0.85 * i);
+                    set(&mut f, Signal::NetSockets, 0.7 * i);
+                    set(&mut f, Signal::NetRetrans, 0.18 * i);
+                    set(&mut f, Signal::CtxSwitches, 0.7);
+                    set(&mut f, Signal::ProcsBlocked, 0.2);
+                    set(&mut f, Signal::ProcsRunning, 0.5);
+                }
+                _ => {
+                    set(&mut f, Signal::CpuUser, 0.65 * i);
+                    set(&mut f, Signal::NetRxBytes, 0.35 * i);
+                    set(&mut f, Signal::NetTxBytes, 0.3 * i);
+                    set(&mut f, Signal::MemUsed, 0.4 * i);
+                    set(&mut f, Signal::PowerWatts, 0.55 * i);
+                }
+            },
+            JobArchetype::DataAnalytics => match phase {
+                0 => {
+                    set(&mut f, Signal::CpuUser, 0.8 * i);
+                    set(&mut f, Signal::DiskReadBytes, 0.6 * i);
+                    set(&mut f, Signal::MemUsed, 0.5 * i);
+                    set(&mut f, Signal::MemCache, 0.5);
+                    set(&mut f, Signal::ProcsRunning, 0.75);
+                    set(&mut f, Signal::PowerWatts, 0.7 * i);
+                }
+                1 => {
+                    set(&mut f, Signal::CpuUser, 0.3 * i);
+                    set(&mut f, Signal::CpuSystem, 0.3);
+                    set(&mut f, Signal::NetRxBytes, 0.8 * i);
+                    set(&mut f, Signal::NetTxBytes, 0.8 * i);
+                    set(&mut f, Signal::NetSockets, 0.6);
+                    set(&mut f, Signal::NetRetrans, 0.12 * i);
+                    set(&mut f, Signal::CtxSwitches, 0.8);
+                }
+                _ => {
+                    set(&mut f, Signal::CpuUser, 0.7 * i);
+                    set(&mut f, Signal::MemUsed, 0.65 * i);
+                    set(&mut f, Signal::DiskWriteBytes, 0.75 * i);
+                    set(&mut f, Signal::ProcsRunning, 0.6);
+                    set(&mut f, Signal::PowerWatts, 0.65 * i);
+                }
+            },
+        }
+        // Keep the CPU books consistent and add observation noise.
+        let busy = f[Signal::CpuUser as usize]
+            + f[Signal::CpuSystem as usize]
+            + f[Signal::CpuIoWait as usize];
+        f[Signal::CpuIdle as usize] = (1.0 - busy).max(0.0);
+        for (k, v) in f.iter_mut().enumerate() {
+            if k == Signal::Uptime as usize {
+                continue;
+            }
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            *v += noise * 0.015 * (0.2 + *v);
+        }
+        clamp_frame(&mut f);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn all_archetypes_produce_finite_frames() {
+        let mut r = rng();
+        for a in SCHEDULABLE_ARCHETYPES.iter().chain([JobArchetype::Idle].iter()) {
+            for step in 0..50 {
+                let f = a.frame(step as f64 / 49.0, 0.9, step, 30.0, &mut r);
+                assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0), "{a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compute_bound_has_checkpoint_subpattern() {
+        // Phases 1 (compute) and 2 (checkpoint) must both occur.
+        let phases: Vec<usize> = (0..1000)
+            .map(|i| JobArchetype::ComputeBound.phase(i as f64 / 999.0))
+            .collect();
+        assert!(phases.contains(&0) && phases.contains(&1) && phases.contains(&2));
+        // Checkpoints are short relative to compute.
+        let n1 = phases.iter().filter(|&&p| p == 1).count();
+        let n2 = phases.iter().filter(|&&p| p == 2).count();
+        assert!(n1 > 2 * n2, "compute {n1} vs checkpoint {n2}");
+    }
+
+    #[test]
+    fn analytics_phases_have_distinct_signatures() {
+        let mut r = rng();
+        let map = JobArchetype::DataAnalytics.frame(0.2, 1.0, 0, 30.0, &mut r);
+        let shuffle = JobArchetype::DataAnalytics.frame(0.6, 1.0, 0, 30.0, &mut r);
+        let reduce = JobArchetype::DataAnalytics.frame(0.85, 1.0, 0, 30.0, &mut r);
+        // Map is CPU-heavy, shuffle is network-heavy, reduce writes disk.
+        assert!(map[Signal::CpuUser as usize] > shuffle[Signal::CpuUser as usize]);
+        assert!(shuffle[Signal::NetRxBytes as usize] > map[Signal::NetRxBytes as usize]);
+        assert!(reduce[Signal::DiskWriteBytes as usize] > map[Signal::DiskWriteBytes as usize]);
+    }
+
+    #[test]
+    fn memory_intensive_ramps_memory() {
+        let mut r = rng();
+        let early = JobArchetype::MemoryIntensive.frame(0.05, 1.0, 0, 30.0, &mut r);
+        let late = JobArchetype::MemoryIntensive.frame(0.5, 1.0, 0, 30.0, &mut r);
+        assert!(late[Signal::MemUsed as usize] > early[Signal::MemUsed as usize] + 0.2);
+    }
+
+    #[test]
+    fn idle_stays_idle() {
+        let mut r = rng();
+        let f = JobArchetype::Idle.frame(0.5, 1.0, 10, 30.0, &mut r);
+        assert!(f[Signal::CpuUser as usize] < 0.1);
+        assert!(f[Signal::CpuIdle as usize] > 0.8);
+    }
+
+    #[test]
+    fn same_archetype_same_relative_position_is_similar_across_noise() {
+        // Two different noise streams: structural values must stay close
+        // (this is what makes cross-node patterns cluster together).
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(99);
+        let f1 = JobArchetype::NetworkHeavy.frame(0.5, 1.0, 0, 30.0, &mut r1);
+        let f2 = JobArchetype::NetworkHeavy.frame(0.5, 1.0, 0, 30.0, &mut r2);
+        for (a, b) in f1.iter().zip(f2.iter()) {
+            assert!((a - b).abs() < 0.2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn intensity_scales_load() {
+        let mut r = rng();
+        let lo = JobArchetype::ComputeBound.frame(0.5, 0.7, 0, 30.0, &mut r);
+        let hi = JobArchetype::ComputeBound.frame(0.5, 1.1, 0, 30.0, &mut r);
+        assert!(hi[Signal::CpuUser as usize] > lo[Signal::CpuUser as usize]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Dataset profiles and generation — the stand-in for the paper's D1/D2
+//! production datasets from NG-Tianhe.
+
+use crate::anomaly::{labels_for_node, plan_events_in_spans, AnomalyEvent, InjectionConfig};
+use crate::catalog::{CatalogSpec, MetricCatalog};
+use crate::schedule::{Schedule, ScheduleConfig};
+use crate::signals::SignalFrame;
+use crate::simulator::simulate_cluster;
+use ns_linalg::matrix::Matrix;
+
+/// Everything needed to generate a dataset deterministically.
+#[derive(Clone, Debug)]
+pub struct DatasetProfile {
+    pub name: String,
+    pub spec: CatalogSpec,
+    pub schedule: ScheduleConfig,
+    /// Sampling interval in seconds (paper: 15 s; scaled profiles use 30 s).
+    pub interval_s: f64,
+    /// Fraction of the horizon used for training (paper: first 60%).
+    pub train_frac: f64,
+    /// Expected injected anomaly events per node in the test window.
+    pub events_per_node: f64,
+    /// Anomaly event duration range in steps.
+    pub event_duration: (usize, usize),
+    /// Probability that any raw sample is lost in collection (cleaned by
+    /// the preprocessing interpolation step).
+    pub missing_rate: f64,
+    pub seed: u64,
+}
+
+impl DatasetProfile {
+    /// Scaled-down D1: one array, many nodes, wide metric catalog.
+    pub fn d1_prime() -> Self {
+        Self {
+            name: "D1'".into(),
+            spec: CatalogSpec::scaled(),
+            schedule: ScheduleConfig {
+                n_nodes: 16,
+                horizon: 2880, // 1 simulated day at 30 s
+                mean_interarrival: 6.0,
+                min_duration: 40,
+                max_duration: 900,
+                max_width: 8,
+                seed: 101,
+            },
+            interval_s: 30.0,
+            train_frac: 0.6,
+            events_per_node: 2.0,
+            event_duration: (15, 60),
+            missing_rate: 0.001,
+            seed: 101,
+        }
+    }
+
+    /// Scaled-down D2: few nodes, narrower catalog, longer window.
+    pub fn d2_prime() -> Self {
+        Self {
+            name: "D2'".into(),
+            spec: CatalogSpec::small(),
+            schedule: ScheduleConfig {
+                n_nodes: 8,
+                horizon: 2880, // 1 simulated day at 30 s
+                mean_interarrival: 10.0,
+                min_duration: 40,
+                max_duration: 700,
+                max_width: 4,
+                seed: 202,
+            },
+            interval_s: 30.0,
+            train_frac: 0.6,
+            events_per_node: 2.5,
+            event_duration: (15, 80),
+            missing_rate: 0.001,
+            seed: 202,
+        }
+    }
+
+    /// Tiny profile for unit/integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".into(),
+            spec: CatalogSpec::small(),
+            schedule: ScheduleConfig {
+                n_nodes: 4,
+                horizon: 600,
+                mean_interarrival: 6.0,
+                min_duration: 30,
+                max_duration: 150,
+                max_width: 2,
+                seed: 7,
+            },
+            interval_s: 30.0,
+            train_frac: 0.6,
+            events_per_node: 1.5,
+            event_duration: (10, 30),
+            missing_rate: 0.002,
+            seed: 7,
+        }
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let schedule = Schedule::generate(&self.schedule);
+        let split = (self.schedule.horizon as f64 * self.train_frac) as usize;
+        let injection = InjectionConfig {
+            window_start: split,
+            window_end: self.schedule.horizon,
+            events_per_node: self.events_per_node,
+            min_duration: self.event_duration.0,
+            max_duration: self.event_duration.1,
+            seed: self.seed ^ 0xEE,
+        };
+        // Events land inside job spans of the test window: the paper's
+        // performance anomalies manifest against running workloads.
+        let spans_per_node: Vec<Vec<(usize, usize)>> = (0..self.schedule.n_nodes)
+            .map(|n| {
+                schedule
+                    .node_timeline(n)
+                    .iter()
+                    .filter(|seg| seg.job.is_some())
+                    .map(|seg| (seg.start.max(split), seg.end))
+                    .filter(|&(s, e)| e > s)
+                    .collect()
+            })
+            .collect();
+        let events = plan_events_in_spans(&spans_per_node, &injection);
+        let latent = simulate_cluster(&schedule, &events, self.interval_s, self.seed);
+        let catalog = MetricCatalog::build(self.spec);
+        Dataset { profile: self.clone(), catalog, schedule, latent, events, split }
+    }
+}
+
+/// Summary statistics (Table 2 row).
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    pub name: String,
+    pub nodes: usize,
+    pub jobs: usize,
+    pub metrics: usize,
+    pub total_points: usize,
+    pub anomaly_ratio: f64,
+}
+
+/// A generated dataset: latent state for every node plus the machinery to
+/// expand raw metrics on demand (the full raw tensor is never held for
+/// all nodes at once).
+pub struct Dataset {
+    pub profile: DatasetProfile,
+    pub catalog: MetricCatalog,
+    pub schedule: Schedule,
+    /// Post-injection latent timelines, indexed `[node][step]`.
+    pub latent: Vec<Vec<SignalFrame>>,
+    pub events: Vec<AnomalyEvent>,
+    /// First step of the test split.
+    pub split: usize,
+}
+
+impl Dataset {
+    pub fn n_nodes(&self) -> usize {
+        self.schedule.n_nodes
+    }
+
+    pub fn horizon(&self) -> usize {
+        self.schedule.horizon
+    }
+
+    /// Training step range `[0, split)`.
+    pub fn train_range(&self) -> std::ops::Range<usize> {
+        0..self.split
+    }
+
+    /// Test step range `[split, horizon)`.
+    pub fn test_range(&self) -> std::ops::Range<usize> {
+        self.split..self.horizon()
+    }
+
+    /// Raw `T × M` metric matrix for a node, with collection losses
+    /// punched in as NaN at `missing_rate` (cleaned by preprocessing).
+    pub fn raw_node(&self, node: usize) -> Matrix {
+        let mut m = self
+            .catalog
+            .expand(&self.latent[node], self.profile.seed ^ ((node as u64) << 16));
+        if self.profile.missing_rate > 0.0 {
+            let threshold = (self.profile.missing_rate * u32::MAX as f64) as u32;
+            let cols = m.cols();
+            for t in 0..m.rows() {
+                for j in 0..cols {
+                    let h = splitmix(
+                        self.profile.seed ^ 0xBAD ^ ((node as u64) << 48)
+                            ^ ((t as u64) << 20)
+                            ^ j as u64,
+                    );
+                    if (h as u32) < threshold {
+                        m[(t, j)] = f64::NAN;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Ground-truth point labels for a node over the full horizon.
+    pub fn labels(&self, node: usize) -> Vec<bool> {
+        labels_for_node(&self.events, node, self.horizon())
+    }
+
+    /// If an anomaly event overlaps a running job, the job is considered
+    /// to fail at the earlier of job end and event end (case-study §5.2).
+    pub fn failure_step(&self, event: &AnomalyEvent) -> Option<usize> {
+        self.schedule
+            .jobs
+            .iter()
+            .filter(|j| j.nodes.contains(&event.node))
+            .find(|j| j.start < event.end && event.start < j.end)
+            .map(|j| j.end.min(event.end))
+    }
+
+    /// Table 2 statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let total_points = self.n_nodes() * self.horizon() * self.catalog.len();
+        let test_points: usize = self.n_nodes() * (self.horizon() - self.split);
+        let anomalous: usize = (0..self.n_nodes())
+            .map(|n| self.labels(n)[self.split..].iter().filter(|&&b| b).count())
+            .sum();
+        DatasetStats {
+            name: self.profile.name.clone(),
+            nodes: self.n_nodes(),
+            jobs: self.schedule.jobs.len(),
+            metrics: self.catalog.len(),
+            total_points,
+            anomaly_ratio: anomalous as f64 / test_points.max(1) as f64,
+        }
+    }
+}
+
+#[inline]
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_generates_consistently() {
+        let ds = DatasetProfile::tiny().generate();
+        assert_eq!(ds.n_nodes(), 4);
+        assert_eq!(ds.latent.len(), 4);
+        assert_eq!(ds.latent[0].len(), ds.horizon());
+        assert!(ds.split > 0 && ds.split < ds.horizon());
+        // Deterministic regeneration.
+        let ds2 = DatasetProfile::tiny().generate();
+        assert_eq!(ds.latent, ds2.latent);
+        assert_eq!(ds.events, ds2.events);
+    }
+
+    #[test]
+    fn anomalies_only_in_test_window() {
+        let ds = DatasetProfile::tiny().generate();
+        for e in &ds.events {
+            assert!(e.start >= ds.split, "event {e:?} starts in the training split");
+        }
+        for n in 0..ds.n_nodes() {
+            let labels = ds.labels(n);
+            assert!(labels[..ds.split].iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn raw_node_has_missing_values_at_low_rate() {
+        let ds = DatasetProfile::tiny().generate();
+        let raw = ds.raw_node(0);
+        let nan_count = raw.as_slice().iter().filter(|v| v.is_nan()).count();
+        let rate = nan_count as f64 / raw.len() as f64;
+        assert!(nan_count > 0, "missing-value corruption should occur");
+        assert!(rate < 0.01, "rate {rate} too high");
+    }
+
+    #[test]
+    fn stats_reflect_generation() {
+        let ds = DatasetProfile::tiny().generate();
+        let st = ds.stats();
+        assert_eq!(st.nodes, 4);
+        assert_eq!(st.jobs, ds.schedule.jobs.len());
+        assert_eq!(st.metrics, ds.catalog.len());
+        assert!(st.anomaly_ratio > 0.0 && st.anomaly_ratio < 0.5);
+        assert_eq!(st.total_points, 4 * ds.horizon() * ds.catalog.len());
+    }
+
+    #[test]
+    fn failure_step_found_for_overlapping_job() {
+        let ds = DatasetProfile::tiny().generate();
+        // At least one event should overlap a job in a busy tiny cluster.
+        let overlapping = ds.events.iter().find(|e| ds.failure_step(e).is_some());
+        if let Some(e) = overlapping {
+            let f = ds.failure_step(e).unwrap();
+            assert!(f >= e.start);
+        }
+    }
+}

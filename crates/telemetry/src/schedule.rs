@@ -1,0 +1,334 @@
+//! A Slurm-like gang scheduler producing the job scheduling lists the
+//! paper reads from `sacct` (§1, §3.2): per-job start/end timestamps and
+//! execution node sets, with idle gaps exposed as pseudo-jobs.
+
+use crate::archetype::{JobArchetype, SCHEDULABLE_ARCHETYPES};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled job (gang-scheduled across `nodes`). Times are in
+/// sample-step units.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub job_id: usize,
+    pub archetype: JobArchetype,
+    /// Per-job intensity scale applied to the archetype's signal levels.
+    pub intensity: f64,
+    pub nodes: Vec<usize>,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl JobRecord {
+    pub fn duration(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// One contiguous span in a node's timeline.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSegment {
+    /// Index into [`Schedule::jobs`], or `None` for idle waiting.
+    pub job: Option<usize>,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl NodeSegment {
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct ScheduleConfig {
+    pub n_nodes: usize,
+    /// Horizon in sample steps.
+    pub horizon: usize,
+    /// Mean inter-arrival between job submissions, in steps.
+    pub mean_interarrival: f64,
+    /// Job duration range in steps (log-uniform-ish sampling, §4.1: ~95%
+    /// of segments shorter than a day).
+    pub min_duration: usize,
+    pub max_duration: usize,
+    /// Maximum gang width (number of nodes per job).
+    pub max_width: usize,
+    pub seed: u64,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        Self {
+            n_nodes: 16,
+            horizon: 2880,
+            mean_interarrival: 12.0,
+            min_duration: 40,
+            max_duration: 700,
+            max_width: 8,
+            seed: 1,
+        }
+    }
+}
+
+/// The full cluster schedule.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    pub n_nodes: usize,
+    pub horizon: usize,
+    pub jobs: Vec<JobRecord>,
+}
+
+impl Schedule {
+    /// FCFS gang scheduling of a synthetic submission stream.
+    pub fn generate(cfg: &ScheduleConfig) -> Schedule {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut free_at = vec![0usize; cfg.n_nodes];
+        let mut jobs = Vec::new();
+        let mut arrival = 0.0f64;
+        let mut job_id = 0usize;
+        loop {
+            arrival += sample_exp(&mut rng, cfg.mean_interarrival);
+            let submit = arrival as usize;
+            if submit >= cfg.horizon {
+                break;
+            }
+            let width = sample_width(&mut rng, cfg.max_width.min(cfg.n_nodes));
+            let duration = sample_duration(&mut rng, cfg.min_duration, cfg.max_duration);
+            // FCFS: pick the `width` nodes that free up earliest.
+            let mut order: Vec<usize> = (0..cfg.n_nodes).collect();
+            order.sort_by_key(|&n| (free_at[n], n));
+            let chosen: Vec<usize> = order[..width].to_vec();
+            let start = chosen
+                .iter()
+                .map(|&n| free_at[n])
+                .max()
+                .unwrap()
+                .max(submit);
+            let end = (start + duration).min(cfg.horizon);
+            if start >= cfg.horizon || end <= start {
+                continue;
+            }
+            for &n in &chosen {
+                free_at[n] = end;
+            }
+            let archetype = SCHEDULABLE_ARCHETYPES[rng.gen_range(0..SCHEDULABLE_ARCHETYPES.len())];
+            let intensity = rng.gen_range(0.7..1.1);
+            jobs.push(JobRecord { job_id, archetype, intensity, nodes: chosen, start, end });
+            job_id += 1;
+        }
+        Schedule { n_nodes: cfg.n_nodes, horizon: cfg.horizon, jobs }
+    }
+
+    /// Per-node timeline: job segments in time order with idle gaps filled
+    /// in as `job: None` segments. Covers exactly `[0, horizon)`.
+    pub fn node_timeline(&self, node: usize) -> Vec<NodeSegment> {
+        let mut spans: Vec<(usize, usize, usize)> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.nodes.contains(&node))
+            .map(|(idx, j)| (j.start, j.end, idx))
+            .collect();
+        spans.sort_unstable();
+        let mut out = Vec::with_capacity(spans.len() * 2 + 1);
+        let mut cursor = 0usize;
+        for (start, end, idx) in spans {
+            if start > cursor {
+                out.push(NodeSegment { job: None, start: cursor, end: start });
+            }
+            out.push(NodeSegment { job: Some(idx), start, end });
+            cursor = end.max(cursor);
+        }
+        if cursor < self.horizon {
+            out.push(NodeSegment { job: None, start: cursor, end: self.horizon });
+        }
+        out
+    }
+
+    /// The archetype active on `node` at `step` (Idle between jobs), plus
+    /// the job index if any.
+    pub fn job_at(&self, node: usize, step: usize) -> Option<usize> {
+        self.jobs
+            .iter()
+            .position(|j| j.nodes.contains(&node) && j.start <= step && step < j.end)
+    }
+
+    /// `sacct`-style text export: one row per (job, node).
+    pub fn sacct(&self) -> String {
+        let mut s = String::from("JobID|Partition|NodeList|Start|End|State\n");
+        for j in &self.jobs {
+            for &n in &j.nodes {
+                s.push_str(&format!(
+                    "{}|{}|node{:04}|{}|{}|COMPLETED\n",
+                    j.job_id,
+                    j.archetype.name(),
+                    n,
+                    j.start,
+                    j.end
+                ));
+            }
+        }
+        s
+    }
+
+    /// Job duration list (in steps) across all jobs — the Fig. 4 series.
+    pub fn durations(&self) -> Vec<usize> {
+        self.jobs.iter().map(|j| j.duration()).collect()
+    }
+}
+
+fn sample_exp(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+fn sample_width(rng: &mut ChaCha8Rng, max_width: usize) -> usize {
+    // Geometric-ish: most jobs are narrow, a few are wide gangs.
+    let mut w = 1usize;
+    while w < max_width && rng.gen_bool(0.45) {
+        w *= 2;
+    }
+    w.min(max_width)
+}
+
+fn sample_duration(rng: &mut ChaCha8Rng, min_d: usize, max_d: usize) -> usize {
+    // Log-uniform: reproduces the heavy skew of Fig. 4 (most jobs short).
+    let lo = (min_d.max(1) as f64).ln();
+    let hi = (max_d.max(min_d + 1) as f64).ln();
+    let v = rng.gen_range(lo..hi);
+    v.exp() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Schedule {
+        Schedule::generate(&ScheduleConfig::default())
+    }
+
+    #[test]
+    fn jobs_fit_in_horizon_and_are_nonempty() {
+        let s = sched();
+        assert!(!s.jobs.is_empty());
+        for j in &s.jobs {
+            assert!(j.start < j.end);
+            assert!(j.end <= s.horizon);
+            assert!(!j.nodes.is_empty());
+        }
+    }
+
+    #[test]
+    fn no_node_runs_two_jobs_at_once() {
+        let s = sched();
+        for node in 0..s.n_nodes {
+            let mut spans: Vec<(usize, usize)> = s
+                .jobs
+                .iter()
+                .filter(|j| j.nodes.contains(&node))
+                .map(|j| (j.start, j.end))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap on node {node}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_partitions_the_horizon() {
+        let s = sched();
+        for node in 0..s.n_nodes {
+            let tl = s.node_timeline(node);
+            assert_eq!(tl.first().unwrap().start, 0);
+            assert_eq!(tl.last().unwrap().end, s.horizon);
+            for w in tl.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap/overlap in node {node} timeline");
+            }
+            assert!(tl.iter().all(|seg| !seg.is_empty()));
+        }
+    }
+
+    #[test]
+    fn timeline_has_idle_and_busy_segments() {
+        let s = sched();
+        let mut any_idle = false;
+        let mut any_job = false;
+        for node in 0..s.n_nodes {
+            for seg in s.node_timeline(node) {
+                match seg.job {
+                    None => any_idle = true,
+                    Some(_) => any_job = true,
+                }
+            }
+        }
+        assert!(any_idle && any_job);
+    }
+
+    #[test]
+    fn job_at_agrees_with_timeline() {
+        let s = sched();
+        for node in 0..4 {
+            for seg in s.node_timeline(node) {
+                let mid = (seg.start + seg.end) / 2;
+                assert_eq!(s.job_at(node, mid), seg.job);
+            }
+        }
+    }
+
+    #[test]
+    fn gang_jobs_share_exact_times() {
+        let s = sched();
+        let wide = s.jobs.iter().find(|j| j.nodes.len() >= 2);
+        // With default config wide jobs exist overwhelmingly often.
+        let j = wide.expect("expected at least one gang job");
+        for &n in &j.nodes {
+            let tl = s.node_timeline(n);
+            assert!(tl
+                .iter()
+                .any(|seg| seg.job.map(|i| s.jobs[i].job_id) == Some(j.job_id)
+                    && seg.start == j.start
+                    && seg.end == j.end));
+        }
+    }
+
+    #[test]
+    fn durations_are_heavily_skewed() {
+        let cfg = ScheduleConfig { horizon: 20000, seed: 3, ..Default::default() };
+        let s = Schedule::generate(&cfg);
+        let mut d = s.durations();
+        d.sort_unstable();
+        let median = d[d.len() / 2] as f64;
+        let p95 = d[d.len() * 95 / 100] as f64;
+        assert!(p95 > 3.0 * median, "median {median}, p95 {p95}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Schedule::generate(&ScheduleConfig::default());
+        let b = Schedule::generate(&ScheduleConfig::default());
+        assert_eq!(a.jobs.len(), b.jobs.len());
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.nodes, y.nodes);
+            assert_eq!(x.archetype, y.archetype);
+        }
+    }
+
+    #[test]
+    fn sacct_export_has_row_per_job_node() {
+        let s = sched();
+        let text = s.sacct();
+        let rows = text.lines().count() - 1;
+        let expected: usize = s.jobs.iter().map(|j| j.nodes.len()).sum();
+        assert_eq!(rows, expected);
+        assert!(text.starts_with("JobID|"));
+    }
+}

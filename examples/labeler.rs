@@ -1,0 +1,81 @@
+//! Headless anomaly-labeling session (the artifact-A2 labeling tool
+//! without the Tkinter front end): run the built-in suggestion detectors
+//! over a node's telemetry, accept high-confidence suggestions, edit one
+//! by hand, undo a mistake, and persist the labels as per-node CSV.
+//!
+//! ```sh
+//! cargo run --release --example labeler
+//! ```
+
+use nodesentry::eval::threshold::KSigmaConfig;
+use nodesentry::label::{
+    suggest_ksigma, suggest_level_shift, Action, AnnotationHistory, Interval, LabelStore,
+};
+use nodesentry::telemetry::{DatasetProfile, Signal};
+
+fn main() {
+    let dataset = DatasetProfile::tiny().generate();
+    let node = 0usize;
+    // A labeling view: a handful of interesting signals over the test
+    // window (the GUI shows these as selectable curves).
+    let signals = [Signal::CpuUser, Signal::MemUsed, Signal::NetRxBytes, Signal::PageFaults];
+    let view = nodesentry::linalg::Matrix::from_fn(
+        dataset.horizon() - dataset.split,
+        signals.len(),
+        |r, c| dataset.latent[node][dataset.split + r][signals[c] as usize],
+    );
+    println!(
+        "labeling node {node}: {} steps × {} metrics (test window)",
+        view.rows(),
+        view.cols()
+    );
+
+    // 1. Assisted labeling: built-in detectors propose intervals.
+    let mut suggestions = suggest_ksigma(&view, &KSigmaConfig::default(), 2, 3);
+    suggestions.extend(suggest_level_shift(&view, 20, 6.0));
+    suggestions.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap());
+    println!("{} suggestions from built-in detectors:", suggestions.len());
+    for s in suggestions.iter().take(8) {
+        println!(
+            "  [{}..{}] {} (confidence {:.2})",
+            s.interval.start, s.interval.end, s.source, s.confidence
+        );
+    }
+
+    // 2. The operator accepts confident suggestions, adds one manual
+    //    label, every action goes through the undoable history.
+    let mut store = LabelStore::new();
+    let mut history = AnnotationHistory::new();
+    for s in suggestions.iter().filter(|s| s.confidence >= 0.4) {
+        history.apply(
+            &mut store,
+            Action::Label { node, interval: s.interval.clone() },
+        );
+    }
+    history.apply(
+        &mut store,
+        Action::Label { node, interval: Interval::new(5, 9, "operator: warm-up artefact") },
+    );
+    println!("after triage: {} labelled intervals", store.intervals(node).len());
+
+    // Oops — the manual label was wrong; undo restores the prior state.
+    store = history.undo().expect("something to undo");
+    println!("after undo:   {} labelled intervals", store.intervals(node).len());
+
+    // 3. Persist: per-node CSV plus the JSONL action log.
+    let csv = store.to_csv(node);
+    let log = history.to_jsonl();
+    println!("--- labels/node{node:03}.csv ---\n{}", csv.lines().take(6).collect::<Vec<_>>().join("\n"));
+    println!("--- annotation_history.jsonl: {} actions ---", log.lines().count());
+
+    // Compare against ground truth so the demo is verifiable.
+    let truth = dataset.labels(node);
+    let marked = store.point_labels(node, view.rows());
+    let overlap = marked
+        .iter()
+        .enumerate()
+        .filter(|(i, &m)| m && truth[dataset.split + i])
+        .count();
+    let total_truth = truth[dataset.split..].iter().filter(|&&b| b).count();
+    println!("ground-truth anomalous points covered by labels: {overlap}/{total_truth}");
+}

@@ -1,0 +1,42 @@
+//! # NodeSentry
+//!
+//! A Rust reproduction of *"Effective Node-Level Anomaly Detection in HPC
+//! Systems via Coarse-Grained Clustering and Fine-Grained Model Sharing"*
+//! (SC '25).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`telemetry`] — synthetic HPC cluster: metric catalog, Slurm-like job
+//!   scheduler, job archetypes with sub-patterns, anomaly injection, dataset
+//!   profiles.
+//! * [`features`] — TSFEL-style statistical/temporal/spectral feature
+//!   extraction (134-feature default catalog, own FFT).
+//! * [`cluster`] — HAC, silhouette, k-means, Gaussian mixtures, DBSCAN, DTW,
+//!   PCA.
+//! * [`nn`] — from-scratch reverse-mode autodiff with Transformer, sparse
+//!   Mixture-of-Experts, LSTM and VAE building blocks.
+//! * [`core`] — the NodeSentry pipeline itself: preprocessing, coarse-grained
+//!   clustering, fine-grained model sharing, online detection, incremental
+//!   updates, ablation variants.
+//! * [`baselines`] — Prodigy, RUAD, ExaMon and ISC'20 re-implementations.
+//! * [`eval`] — point-adjusted precision/recall/F1, ROC-AUC, k-sigma dynamic
+//!   thresholding, timing harness.
+//! * [`label`] — the headless labeling / cluster-adjustment toolkit
+//!   (artifact A2).
+//! * [`linalg`] — the dense matrix substrate underneath everything.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ns_baselines as baselines;
+pub use ns_cluster as cluster;
+pub use ns_eval as eval;
+pub use ns_features as features;
+pub use ns_label as label;
+pub use ns_linalg as linalg;
+pub use ns_nn as nn;
+pub use ns_telemetry as telemetry;
+pub use nodesentry_core as core;
+
+/// Workspace version, for examples that print provenance headers.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
