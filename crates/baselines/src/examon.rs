@@ -22,7 +22,14 @@ pub struct ExamonConfig {
 
 impl Default for ExamonConfig {
     fn default() -> Self {
-        Self { hidden: 32, bottleneck: 8, epochs: 120, lr: 3e-3, max_rows_per_node: 1200, seed: 11 }
+        Self {
+            hidden: 32,
+            bottleneck: 8,
+            epochs: 120,
+            lr: 3e-3,
+            max_rows_per_node: 1200,
+            seed: 11,
+        }
     }
 }
 
@@ -56,7 +63,10 @@ pub struct Examon {
 
 impl Examon {
     pub fn new(cfg: ExamonConfig) -> Self {
-        Self { cfg, models: Vec::new() }
+        Self {
+            cfg,
+            models: Vec::new(),
+        }
     }
 }
 
@@ -106,7 +116,13 @@ impl Detector for Examon {
                     };
                     opt.step(&mut params, &grads);
                 }
-                NodeAe { params, enc1, enc2, dec1, dec2 }
+                NodeAe {
+                    params,
+                    enc1,
+                    enc2,
+                    dec1,
+                    dec2,
+                }
             })
             .collect();
     }
@@ -152,9 +168,13 @@ mod tests {
 
     #[test]
     fn one_model_per_node() {
-        let nodes: Vec<Matrix> =
-            (0..3).map(|n| Matrix::from_fn(100, 2, |t, _| (t + n) as f64 * 0.01)).collect();
-        let mut det = Examon::new(ExamonConfig { epochs: 5, ..Default::default() });
+        let nodes: Vec<Matrix> = (0..3)
+            .map(|n| Matrix::from_fn(100, 2, |t, _| (t + n) as f64 * 0.01))
+            .collect();
+        let mut det = Examon::new(ExamonConfig {
+            epochs: 5,
+            ..Default::default()
+        });
         det.fit(&nodes, 60);
         assert_eq!(det.models.len(), 3);
     }

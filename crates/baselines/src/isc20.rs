@@ -21,7 +21,13 @@ pub struct Isc20Config {
 
 impl Default for Isc20Config {
     fn default() -> Self {
-        Self { n_components: 6, max_iter: 60, weight_prior: 5.0, max_rows: 4000, seed: 13 }
+        Self {
+            n_components: 6,
+            max_iter: 60,
+            weight_prior: 5.0,
+            max_rows: 4000,
+            seed: 13,
+        }
     }
 }
 
@@ -78,7 +84,9 @@ impl Detector for Isc20 {
     fn score_node(&self, _node_idx: usize, data: &Matrix, split: usize) -> Vec<f64> {
         let gmm = self.model.as_ref().expect("fit before score");
         let test = data.slice_rows(split.min(data.rows()), data.rows());
-        (0..test.rows()).map(|r| gmm.min_mahalanobis(test.row(r))).collect()
+        (0..test.rows())
+            .map(|r| gmm.min_mahalanobis(test.row(r)))
+            .collect()
     }
 }
 
@@ -107,8 +115,14 @@ mod tests {
     #[test]
     fn training_is_fast_relative_to_data() {
         // Structural check: fitting must subsample to the configured cap.
-        let nodes: Vec<Matrix> = (0..4).map(|n| Matrix::from_fn(3000, 2, |t, _| ((t * (n + 1)) as f64 * 0.01).sin())).collect();
-        let mut det = Isc20::new(Isc20Config { max_rows: 500, max_iter: 10, ..Default::default() });
+        let nodes: Vec<Matrix> = (0..4)
+            .map(|n| Matrix::from_fn(3000, 2, |t, _| ((t * (n + 1)) as f64 * 0.01).sin()))
+            .collect();
+        let mut det = Isc20::new(Isc20Config {
+            max_rows: 500,
+            max_iter: 10,
+            ..Default::default()
+        });
         det.fit(&nodes, 2500);
         assert!(det.model.is_some());
     }

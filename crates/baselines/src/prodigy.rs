@@ -79,7 +79,13 @@ impl Detector for Prodigy {
         let dim = feats[0].len();
         let data = Matrix::from_rows(&feats);
         let mut params = ParamStore::new(self.cfg.seed);
-        let vae = Vae::new(&mut params, "prodigy", dim, self.cfg.hidden, self.cfg.latent);
+        let vae = Vae::new(
+            &mut params,
+            "prodigy",
+            dim,
+            self.cfg.hidden,
+            self.cfg.latent,
+        );
         let mut opt = Adam::new(self.cfg.lr);
         for epoch in 0..self.cfg.epochs {
             let eps = standard_normal(data.rows(), self.cfg.latent, self.cfg.seed ^ epoch as u64);
@@ -137,7 +143,10 @@ mod tests {
     #[test]
     fn prodigy_scores_anomaly_above_normal() {
         let (nodes, split, a0, a1) = node_with_anomaly();
-        let mut det = Prodigy::new(ProdigyConfig { epochs: 80, ..Default::default() });
+        let mut det = Prodigy::new(ProdigyConfig {
+            epochs: 80,
+            ..Default::default()
+        });
         det.fit(&nodes, split);
         let scores = det.score_node(0, &nodes[0], split);
         assert_eq!(scores.len(), nodes[0].rows() - split);

@@ -23,7 +23,14 @@ pub struct RuadConfig {
 
 impl Default for RuadConfig {
     fn default() -> Self {
-        Self { window: 16, hidden: 24, epochs: 6, lr: 4e-3, max_windows_per_node: 120, seed: 5 }
+        Self {
+            window: 16,
+            hidden: 24,
+            epochs: 6,
+            lr: 4e-3,
+            max_windows_per_node: 120,
+            seed: 5,
+        }
     }
 }
 
@@ -35,7 +42,10 @@ pub struct Ruad {
 
 impl Ruad {
     pub fn new(cfg: RuadConfig) -> Self {
-        Self { cfg, models: Vec::new() }
+        Self {
+            cfg,
+            models: Vec::new(),
+        }
     }
 }
 
@@ -124,7 +134,10 @@ mod tests {
         let nodes: Vec<Matrix> = (0..2)
             .map(|n| Matrix::from_fn(120, 3, |t, m| ((t + n * 7) as f64 * 0.3 + m as f64).sin()))
             .collect();
-        let mut det = Ruad::new(RuadConfig { epochs: 2, ..Default::default() });
+        let mut det = Ruad::new(RuadConfig {
+            epochs: 2,
+            ..Default::default()
+        });
         det.fit(&nodes, 80);
         assert_eq!(det.models.len(), 2);
         let scores = det.score_node(1, &nodes[1], 80);
@@ -141,7 +154,10 @@ mod tests {
             }
         }
         let nodes = vec![node];
-        let mut det = Ruad::new(RuadConfig { epochs: 4, ..Default::default() });
+        let mut det = Ruad::new(RuadConfig {
+            epochs: 4,
+            ..Default::default()
+        });
         det.fit(&nodes, 120);
         let scores = det.score_node(0, &nodes[0], 120);
         let anom: f64 = scores[40..70].iter().sum::<f64>() / 30.0;

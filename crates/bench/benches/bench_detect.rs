@@ -2,13 +2,15 @@
 //! adjustment, AUC, and the preprocessing pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use nodesentry_core::preprocess::{interpolate_missing, Preprocessor};
 use ns_eval::metrics::{adjusted_confusion, roc_auc_adjusted};
 use ns_eval::threshold::{ksigma_detect, KSigmaConfig};
 use ns_linalg::matrix::Matrix;
-use nodesentry_core::preprocess::{interpolate_missing, Preprocessor};
 
 fn bench_detect(c: &mut Criterion) {
-    let scores: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 101) as f64 * 0.01).collect();
+    let scores: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 37) % 101) as f64 * 0.01)
+        .collect();
     let truth: Vec<bool> = (0..10_000).map(|i| (4000..4100).contains(&i)).collect();
     let cfg = KSigmaConfig::default();
 
@@ -19,7 +21,9 @@ fn bench_detect(c: &mut Criterion) {
     group.bench_function("point_adjust_confusion_10k", |b| {
         b.iter(|| adjusted_confusion(&pred, &truth, None))
     });
-    group.bench_function("roc_auc_10k", |b| b.iter(|| roc_auc_adjusted(&scores, &truth, None)));
+    group.bench_function("roc_auc_10k", |b| {
+        b.iter(|| roc_auc_adjusted(&scores, &truth, None))
+    });
 
     // Preprocessing micro-costs.
     let raw = Matrix::from_fn(2000, 120, |r, m| {
@@ -38,7 +42,9 @@ fn bench_detect(c: &mut Criterion) {
     });
     let groups: Vec<usize> = (0..120).map(|i| i / 4).collect();
     let pp = Preprocessor::fit(&raw, &groups, 0.99, 0.05);
-    group.bench_function("preprocess_transform_2000x120", |b| b.iter(|| pp.transform(&raw)));
+    group.bench_function("preprocess_transform_2000x120", |b| {
+        b.iter(|| pp.transform(&raw))
+    });
     group.finish();
 }
 

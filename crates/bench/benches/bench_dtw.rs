@@ -14,10 +14,18 @@ fn bench_dtw(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("dtw_vs_features");
     group.sample_size(20);
-    group.bench_function("dtw_unbanded_500", |bch| bch.iter(|| dtw_distance(&a, &b, None)));
-    group.bench_function("dtw_band20_500", |bch| bch.iter(|| dtw_distance(&a, &b, Some(20))));
-    group.bench_function("feature_extract_500", |bch| bch.iter(|| catalog.extract(&a, 1.0)));
-    group.bench_function("feature_euclidean", |bch| bch.iter(|| vecops::euclidean(&fa, &fb)));
+    group.bench_function("dtw_unbanded_500", |bch| {
+        bch.iter(|| dtw_distance(&a, &b, None))
+    });
+    group.bench_function("dtw_band20_500", |bch| {
+        bch.iter(|| dtw_distance(&a, &b, Some(20)))
+    });
+    group.bench_function("feature_extract_500", |bch| {
+        bch.iter(|| catalog.extract(&a, 1.0))
+    });
+    group.bench_function("feature_euclidean", |bch| {
+        bch.iter(|| vecops::euclidean(&fa, &fb))
+    });
     group.finish();
 }
 

@@ -11,7 +11,9 @@ fn bench_features(c: &mut Criterion) {
     let mut group = c.benchmark_group("features");
     group.sample_size(20);
     for len in [240usize, 1024] {
-        let series: Vec<f64> = (0..len).map(|i| (i as f64 * 0.13).sin() * 2.0 + 0.4).collect();
+        let series: Vec<f64> = (0..len)
+            .map(|i| (i as f64 * 0.13).sin() * 2.0 + 0.4)
+            .collect();
         group.bench_with_input(BenchmarkId::new("standard_134", len), &series, |b, s| {
             b.iter(|| catalog.extract(s, 1.0 / 30.0))
         });

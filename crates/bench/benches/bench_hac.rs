@@ -22,13 +22,15 @@ fn bench_hac(c: &mut Criterion) {
         let feats = synth_features(n, 64);
         group.bench_with_input(BenchmarkId::new("linkage_ward", n), &feats, |b, f| {
             b.iter(|| {
-                let dist = CondensedDistance::compute(f.len(), |i, j| vecops::euclidean(&f[i], &f[j]));
+                let dist =
+                    CondensedDistance::compute(f.len(), |i, j| vecops::euclidean(&f[i], &f[j]));
                 linkage_from_distance(&dist, Linkage::Ward)
             })
         });
     }
     let feats = synth_features(200, 64);
-    let dist = CondensedDistance::compute(feats.len(), |i, j| vecops::euclidean(&feats[i], &feats[j]));
+    let dist =
+        CondensedDistance::compute(feats.len(), |i, j| vecops::euclidean(&feats[i], &feats[j]));
     let dend = linkage_from_distance(&dist, Linkage::Ward);
     group.bench_function("silhouette_sweep_k12_n200", |b| {
         b.iter(|| select_k(&dist, &dend, 12, 0.0))

@@ -5,8 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ns_linalg::matrix::Matrix;
 use ns_nn::{
-    sinusoidal_pe, Adam, BlockKind, Graph, ParamStore, ReconstructionTransformer,
-    TransformerConfig,
+    sinusoidal_pe, Adam, BlockKind, Graph, ParamStore, ReconstructionTransformer, TransformerConfig,
 };
 
 fn make_model(block: BlockKind) -> (ParamStore, ReconstructionTransformer) {
@@ -35,7 +34,13 @@ fn bench_model(c: &mut Criterion) {
     group.sample_size(20);
 
     for (label, block) in [
-        ("moe3_top1", BlockKind::Moe { n_experts: 3, top_k: 1 }),
+        (
+            "moe3_top1",
+            BlockKind::Moe {
+                n_experts: 3,
+                top_k: 1,
+            },
+        ),
         ("dense_ffn", BlockKind::Dense),
     ] {
         let (mut params, model) = make_model(block);

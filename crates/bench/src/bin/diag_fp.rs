@@ -1,20 +1,28 @@
 //! Diagnostic: where do NodeSentry's false positives come from on the
 //! full profiles, and which anomaly kinds get missed?
 
+use nodesentry_core::NodeSentry;
 use ns_bench::{default_ns_config, transitions_of, DatasetSource, SMOOTH_WINDOW};
 use ns_eval::threshold::{ksigma_detect, smooth_scores};
 use ns_telemetry::DatasetProfile;
-use nodesentry_core::NodeSentry;
 use std::collections::BTreeMap;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let ds = if full { DatasetProfile::d1_prime().generate() } else { ns_bench::sweep_profile_d1().generate() };
+    let ds = if full {
+        DatasetProfile::d1_prime().generate()
+    } else {
+        ns_bench::sweep_profile_d1().generate()
+    };
     let cfg = default_ns_config();
     let threshold = cfg.threshold;
     let groups = ds.catalog.group_ids();
     let model = NodeSentry::fit_from_source(cfg, &DatasetSource(&ds), &groups, ds.split);
-    eprintln!("clusters: {} segments {}", model.n_clusters(), model.train_segments.len());
+    eprintln!(
+        "clusters: {} segments {}",
+        model.n_clusters(),
+        model.train_segments.len()
+    );
 
     let mut fp_by_arch: BTreeMap<String, usize> = BTreeMap::new();
     let mut events_hit: BTreeMap<String, (usize, usize)> = BTreeMap::new();
@@ -42,8 +50,8 @@ fn main() {
             }
         }
         for e in ds.events.iter().filter(|e| e.node == node) {
-            let hit = (e.start..e.end.min(ds.horizon()))
-                .any(|t| t >= ds.split && pred[t - ds.split]);
+            let hit =
+                (e.start..e.end.min(ds.horizon())).any(|t| t >= ds.split && pred[t - ds.split]);
             let entry = events_hit.entry(e.kind.name().to_string()).or_default();
             entry.1 += 1;
             if hit {

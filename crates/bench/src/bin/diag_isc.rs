@@ -25,8 +25,8 @@ fn main() {
             }
         }
         for e in ds.events.iter().filter(|e| e.node == n) {
-            let hit = (e.start..e.end.min(ds.horizon()))
-                .any(|t| t >= ds.split && pred[t - ds.split]);
+            let hit =
+                (e.start..e.end.min(ds.horizon())).any(|t| t >= ds.split && pred[t - ds.split]);
             let entry = per_kind.entry(e.kind.name()).or_default();
             entry.1 += 1;
             if hit {

@@ -1,7 +1,7 @@
 //! Diagnostic: per-test-segment matching quality and scores.
 
-use ns_bench::{default_ns_config, transitions_of, DatasetSource};
 use nodesentry_core::NodeSentry;
+use ns_bench::{default_ns_config, transitions_of, DatasetSource};
 
 fn main() {
     let ds = ns_bench::sweep_profile_d1().generate();
@@ -38,8 +38,15 @@ fn main() {
             let seg_scores = &scores[lo..hi];
             let n_anom = (start..end).filter(|&t| labels[t]).count();
             let mean_normal: f64 = {
-                let v: Vec<f64> = (lo..hi).filter(|&i| !labels[i + ds.split]).map(|i| scores[i]).collect();
-                if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+                let v: Vec<f64> = (lo..hi)
+                    .filter(|&i| !labels[i + ds.split])
+                    .map(|i| scores[i])
+                    .collect();
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
             };
             let max_s = seg_scores.iter().cloned().fold(0.0f64, f64::max);
             eprintln!(

@@ -1,19 +1,30 @@
 //! Diagnostic: inspect NodeSentry score distributions on one sweep node.
 
-use ns_bench::{default_ns_config, transitions_of, DatasetSource};
 use nodesentry_core::NodeSentry;
+use ns_bench::{default_ns_config, transitions_of, DatasetSource};
 
 fn main() {
     let ds = ns_bench::sweep_profile_d1().generate();
     let cfg = default_ns_config();
     let groups = ds.catalog.group_ids();
     let model = NodeSentry::fit_from_source(cfg, &DatasetSource(&ds), &groups, ds.split);
-    eprintln!("clusters: {} silhouette {:.3}", model.n_clusters(), model.cluster_model.silhouette);
+    eprintln!(
+        "clusters: {} silhouette {:.3}",
+        model.n_clusters(),
+        model.cluster_model.silhouette
+    );
     eprintln!("segments: {}", model.train_segments.len());
     for (c, m) in model.shared_models.iter().enumerate() {
-        eprintln!("cluster {c}: members {} loss history {:?}",
-            model.cluster_model.labels.iter().filter(|&&l| l == c).count(),
-            m.loss_history);
+        eprintln!(
+            "cluster {c}: members {} loss history {:?}",
+            model
+                .cluster_model
+                .labels
+                .iter()
+                .filter(|&&l| l == c)
+                .count(),
+            m.loss_history
+        );
     }
     for node in 0..3 {
         let raw = ds.raw_node(node);
@@ -29,7 +40,13 @@ fn main() {
                 normal.push(s);
             }
         }
-        let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
         let mx = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
         eprintln!(
             "node {node}: segments {} | normal mean {:.4} p99 {:.4} max {:.4} | anomaly mean {:.4} max {:.4} (n={})",

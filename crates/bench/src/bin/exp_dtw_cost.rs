@@ -73,9 +73,18 @@ fn main() {
     }
     let euclid_per_pair = sw.seconds() / epairs.max(1) as f64;
 
-    println!("DTW (banded, 8 metrics):      {:>12.3} ms / pair", dtw_per_pair * 1e3);
-    println!("134-feature extraction:       {:>12.3} ms / segment", feat_per_segment * 1e3);
-    println!("Euclidean over features:      {:>12.6} ms / pair", euclid_per_pair * 1e3);
+    println!(
+        "DTW (banded, 8 metrics):      {:>12.3} ms / pair",
+        dtw_per_pair * 1e3
+    );
+    println!(
+        "134-feature extraction:       {:>12.3} ms / segment",
+        feat_per_segment * 1e3
+    );
+    println!(
+        "Euclidean over features:      {:>12.6} ms / pair",
+        euclid_per_pair * 1e3
+    );
 
     // Extrapolate to the paper's D1 week: 13,379 jobs → ~13k segments.
     let big_n = 13_379f64;
@@ -88,9 +97,7 @@ fn main() {
     let feat_total_h =
         (big_n * feat_per_segment * (82.0 / 8.0) * 10.0 + big_pairs * euclid_per_pair) / 3600.0;
     println!();
-    println!(
-        "extrapolated to D1 scale (13,379 segments, 82 metrics, 10x longer):"
-    );
+    println!("extrapolated to D1 scale (13,379 segments, 82 metrics, 10x longer):");
     println!("  DTW clustering:      {dtw_total_days:>10.1} days  (paper: ~3.8 months ≈ 115 days)");
     println!("  feature clustering:  {feat_total_h:>10.1} hours");
     let ratio = dtw_total_days * 24.0 / feat_total_h;
@@ -105,5 +112,8 @@ fn main() {
             "extrapolated_feature_hours": feat_total_h,
         }),
     );
-    assert!(dtw_total_days * 24.0 > feat_total_h * 10.0, "DTW must be dramatically slower");
+    assert!(
+        dtw_total_days * 24.0 > feat_total_h * 10.0,
+        "DTW must be dramatically slower"
+    );
 }

@@ -69,8 +69,15 @@ fn main() {
     ];
     let span = ds.horizon().min(4320);
     let sample_every = 60; // thin the dump
-    println!("\n--- trace dump (t, node, {}) every {} steps ---",
-        signals.iter().map(|s| s.name()).collect::<Vec<_>>().join(", "), sample_every);
+    println!(
+        "\n--- trace dump (t, node, {}) every {} steps ---",
+        signals
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        sample_every
+    );
     for t in (0..span).step_by(sample_every) {
         for node in [na, nb, other.nodes[0]] {
             let vals: Vec<String> = signals
@@ -90,5 +97,8 @@ fn main() {
             "tail_mean": tail_mean,
         }),
     );
-    assert!(r_same_job > r_diff_job, "similar pair must beat different pair");
+    assert!(
+        r_same_job > r_diff_job,
+        "similar pair must beat different pair"
+    );
 }

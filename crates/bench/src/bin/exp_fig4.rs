@@ -10,12 +10,19 @@ fn main() {
     let profile = DatasetProfile::d1_prime();
     let ds = profile.generate();
     let step_s = profile.interval_s;
-    let mut durations_s: Vec<f64> =
-        ds.schedule.durations().iter().map(|&d| d as f64 * step_s).collect();
+    let mut durations_s: Vec<f64> = ds
+        .schedule
+        .durations()
+        .iter()
+        .map(|&d| d as f64 * step_s)
+        .collect();
     durations_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = durations_s.len() as f64;
 
-    println!("=== Fig. 4: distribution of job durations (D1', {} jobs) ===", ds.schedule.jobs.len());
+    println!(
+        "=== Fig. 4: distribution of job durations (D1', {} jobs) ===",
+        ds.schedule.jobs.len()
+    );
     println!("{:>14} {:>10}", "duration ≤", "CDF");
     // Report the CDF at log-spaced duration marks, scaled to the profile
     // horizon the way the paper's marks scale to a week.
@@ -33,11 +40,18 @@ fn main() {
     // The paper's headline number, transposed to our horizon: fraction of
     // jobs shorter than 2/3 of the horizon ("under one day" of a 1.5-day
     // window).
-    let short = durations_s.iter().filter(|&&d| d <= horizon_s * 2.0 / 3.0).count() as f64 / n;
+    let short = durations_s
+        .iter()
+        .filter(|&&d| d <= horizon_s * 2.0 / 3.0)
+        .count() as f64
+        / n;
     println!();
     println!(
         "fraction of segments shorter than 2/3 horizon: {:.1}%  (paper: 94.9% under one day)",
         short * 100.0
     );
-    write_json("fig4", &json!({ "jobs": ds.schedule.jobs.len(), "cdf": series, "short_fraction": short }));
+    write_json(
+        "fig4",
+        &json!({ "jobs": ds.schedule.jobs.len(), "cdf": series, "short_fraction": short }),
+    );
 }

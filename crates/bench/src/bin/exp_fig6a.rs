@@ -2,9 +2,9 @@
 //! window). Also the incremental-training experiment of §4.5: smaller
 //! training sets degrade performance, recovering as data accumulates.
 
+use nodesentry_core::NodeSentry;
 use ns_bench::{default_ns_config, evaluate_scores, transitions_of, write_json, DatasetSource};
 use ns_telemetry::Dataset;
-use nodesentry_core::NodeSentry;
 use serde_json::json;
 
 fn f1_with_fraction(ds: &Dataset, frac: f64) -> f64 {

@@ -39,7 +39,8 @@ fn main() {
         p.events_per_node = 0.0;
         let mut d = p.generate();
         let events = vec![event.clone()];
-        d.latent = ns_telemetry::simulator::simulate_cluster(&d.schedule, &events, p.interval_s, p.seed);
+        d.latent =
+            ns_telemetry::simulator::simulate_cluster(&d.schedule, &events, p.interval_s, p.seed);
         d.events = events;
         d
     };
@@ -53,7 +54,11 @@ fn main() {
     println!("anomaly onset step {ev_start}, job failure step {failure_step}");
 
     let (result, model) = run_nodesentry(&ds, default_ns_config());
-    println!("detector trained: {} clusters, F1 on this scenario {:.3}", model.n_clusters(), result.f1);
+    println!(
+        "detector trained: {} clusters, F1 on this scenario {:.3}",
+        model.n_clusters(),
+        result.f1
+    );
 
     let raw = ds.raw_node(0);
     let pred = model.detect_node(&raw, &transitions_of(&ds, 0), split);

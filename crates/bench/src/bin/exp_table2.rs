@@ -34,7 +34,11 @@ fn main() {
         }));
     }
     println!();
-    println!("paper reference: D1 = 1294 nodes / 13379 jobs / 3014 metrics / 106.9M points / 0.16%");
-    println!("                 D2 =   30 nodes /  1430 jobs /  773 metrics /   1.6M points / 0.04%");
+    println!(
+        "paper reference: D1 = 1294 nodes / 13379 jobs / 3014 metrics / 106.9M points / 0.16%"
+    );
+    println!(
+        "                 D2 =   30 nodes /  1430 jobs /  773 metrics /   1.6M points / 0.04%"
+    );
     write_json("table2", &rows);
 }

@@ -4,11 +4,11 @@
 //! Pass `--sweep-profiles` to run on the smaller sweep datasets instead
 //! (faster smoke run).
 
+use ns_baselines::{Detector, Examon, Isc20, Prodigy, Ruad};
 use ns_bench::{
     default_ns_config, print_method_row, run_baseline, run_nodesentry, sweep_profile_d1,
     sweep_profile_d2, write_json, MethodResult,
 };
-use ns_baselines::{Detector, Examon, Isc20, Prodigy, Ruad};
 use ns_telemetry::DatasetProfile;
 
 fn main() {
@@ -21,7 +21,10 @@ fn main() {
     println!("=== Table 4: effectiveness of anomaly detection ===\n");
     let mut results: Vec<MethodResult> = Vec::new();
     for profile in profiles {
-        println!("--- dataset {} ({} nodes, {} steps) ---", profile.name, profile.schedule.n_nodes, profile.schedule.horizon);
+        println!(
+            "--- dataset {} ({} nodes, {} steps) ---",
+            profile.name, profile.schedule.n_nodes, profile.schedule.horizon
+        );
         let ds = profile.generate();
         let threshold = default_ns_config().threshold;
 

@@ -1,9 +1,9 @@
 //! Table 5 — ablation study: the full pipeline vs variants C1–C5 on D1′
 //! and D2′ (paper §4.4).
 
+use nodesentry_core::Variant;
 use ns_bench::{print_method_row, run_variant, write_json, MethodResult};
 use ns_telemetry::DatasetProfile;
-use nodesentry_core::Variant;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--sweep-profiles");

@@ -100,7 +100,11 @@ pub fn evaluate_scores(
             let mask = transition_mask(scores.len(), &transitions, BOUNDARY_RADIUS);
             let c = adjusted_confusion(&pred, truth, Some(&mask));
             let auc = roc_auc_adjusted(scores, truth, Some(&mask));
-            NodeScores { precision: c.precision(), recall: c.recall(), auc }
+            NodeScores {
+                precision: c.precision(),
+                recall: c.recall(),
+                auc,
+            }
         })
         .collect();
     aggregate(&nodes)
@@ -116,13 +120,19 @@ pub fn run_nodesentry(ds: &Dataset, cfg: NodeSentryConfig) -> (MethodResult, Nod
     let offline_s = sw.seconds();
 
     let sw = Stopwatch::start();
-    let per_node: Vec<Vec<f64>> = (0..ds.n_nodes())
-        .map(|n| {
-            let raw = ds.raw_node(n);
-            let (scores, _) = model.score_node(&raw, &transitions_of(ds, n), ds.split);
-            scores
-        })
-        .collect();
+    // Nodes score independently; parallelize with order-preserving
+    // collection so results are identical to the serial loop.
+    let per_node: Vec<Vec<f64>> = {
+        use rayon::prelude::*;
+        (0..ds.n_nodes())
+            .into_par_iter()
+            .map(|n| {
+                let raw = ds.raw_node(n);
+                let (scores, _) = model.score_node(&raw, &transitions_of(ds, n), ds.split);
+                scores
+            })
+            .collect()
+    };
     let online_s_per_node = sw.seconds() / ds.n_nodes().max(1) as f64;
 
     let agg = evaluate_scores(ds, &per_node, &threshold);
@@ -151,7 +161,13 @@ pub fn preprocessed_nodes(ds: &Dataset) -> Vec<Matrix> {
         .collect();
     let stacked = Matrix::vstack(&sample.iter().collect::<Vec<_>>());
     let pp = nodesentry_core::Preprocessor::fit(&stacked, &groups, 0.99, 0.05);
-    (0..ds.n_nodes()).map(|n| pp.transform(&ds.raw_node(n))).collect()
+    {
+        use rayon::prelude::*;
+        (0..ds.n_nodes())
+            .into_par_iter()
+            .map(|n| pp.transform(&ds.raw_node(n)))
+            .collect()
+    }
 }
 
 /// Train + evaluate one baseline detector.

@@ -18,9 +18,7 @@ pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
         return if n == m { 0.0 } else { f64::INFINITY };
     }
     // The band must be at least |n-m| wide to admit any path.
-    let w = band
-        .map(|r| r.max(n.abs_diff(m)))
-        .unwrap_or(usize::MAX);
+    let w = band.map(|r| r.max(n.abs_diff(m))).unwrap_or(usize::MAX);
 
     // Two-row rolling DP.
     let inf = f64::INFINITY;
@@ -29,7 +27,11 @@ pub fn dtw_distance(a: &[f64], b: &[f64], band: Option<usize>) -> f64 {
     prev[0] = 0.0;
     for i in 1..=n {
         curr.fill(inf);
-        let lo = if w == usize::MAX { 1 } else { i.saturating_sub(w).max(1) };
+        let lo = if w == usize::MAX {
+            1
+        } else {
+            i.saturating_sub(w).max(1)
+        };
         let hi = if w == usize::MAX { m } else { (i + w).min(m) };
         for j in lo..=hi {
             let d = a[i - 1] - b[j - 1];
@@ -57,7 +59,11 @@ pub fn dtw_distance_mts(a: &[Vec<f64>], b: &[Vec<f64>], band: Option<usize>) -> 
     prev[0] = 0.0;
     for i in 1..=n {
         curr.fill(inf);
-        let lo = if w == usize::MAX { 1 } else { i.saturating_sub(w).max(1) };
+        let lo = if w == usize::MAX {
+            1
+        } else {
+            i.saturating_sub(w).max(1)
+        };
         let hi = if w == usize::MAX { m } else { (i + w).min(m) };
         for j in lo..=hi {
             let cost = ns_linalg::vecops::euclidean_sq(&a[i - 1], &b[j - 1]);

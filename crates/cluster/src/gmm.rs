@@ -229,8 +229,9 @@ impl GaussianMixture {
                             }
                             m
                         });
-                        let ld = decomp::log_det(&cov)
-                            .unwrap_or_else(|_| (0..dim).map(|a| cov[(a, a)].max(cfg.reg).ln()).sum());
+                        let ld = decomp::log_det(&cov).unwrap_or_else(|_| {
+                            (0..dim).map(|a| cov[(a, a)].max(cfg.reg).ln()).sum()
+                        });
                         components[c].var = (0..dim).map(|a| cov[(a, a)]).collect();
                         components[c].cov = Some(cov);
                         components[c].inv_cov = Some(inv);
@@ -314,7 +315,10 @@ mod tests {
         let data = two_gaussians();
         let gmm = GaussianMixture::fit(
             &data,
-            &GmmConfig { n_components: 2, ..Default::default() },
+            &GmmConfig {
+                n_components: 2,
+                ..Default::default()
+            },
         );
         let mut means: Vec<f64> = gmm.components.iter().map(|c| c.mean[0]).collect();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -335,7 +339,11 @@ mod tests {
             .collect();
         let gmm = GaussianMixture::fit(
             &data,
-            &GmmConfig { n_components: 1, covariance: Covariance::Full, ..Default::default() },
+            &GmmConfig {
+                n_components: 1,
+                covariance: Covariance::Full,
+                ..Default::default()
+            },
         );
         let cov = gmm.components[0].cov.as_ref().unwrap();
         // Off-diagonal should be close to the diagonal (corr ≈ 1).
@@ -350,11 +358,17 @@ mod tests {
         let data = two_gaussians();
         let gmm = GaussianMixture::fit(
             &data,
-            &GmmConfig { n_components: 2, ..Default::default() },
+            &GmmConfig {
+                n_components: 2,
+                ..Default::default()
+            },
         );
         let inlier = gmm.min_mahalanobis(&[0.0, 0.0]);
         let outlier = gmm.min_mahalanobis(&[40.0, -30.0]);
-        assert!(outlier > 10.0 * inlier.max(0.1), "in={inlier} out={outlier}");
+        assert!(
+            outlier > 10.0 * inlier.max(0.1),
+            "in={inlier} out={outlier}"
+        );
     }
 
     #[test]
@@ -362,7 +376,10 @@ mod tests {
         let data = two_gaussians();
         let gmm = GaussianMixture::fit(
             &data,
-            &GmmConfig { n_components: 2, ..Default::default() },
+            &GmmConfig {
+                n_components: 2,
+                ..Default::default()
+            },
         );
         let a = gmm.predict(&[0.0, 0.0]);
         let b = gmm.predict(&[8.0, 8.0]);
@@ -374,14 +391,31 @@ mod tests {
         let data = two_gaussians();
         let plain = GaussianMixture::fit(
             &data,
-            &GmmConfig { n_components: 6, seed: 3, ..Default::default() },
+            &GmmConfig {
+                n_components: 6,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let bayes = GaussianMixture::fit(
             &data,
-            &GmmConfig { n_components: 6, weight_prior: 20.0, seed: 3, ..Default::default() },
+            &GmmConfig {
+                n_components: 6,
+                weight_prior: 20.0,
+                seed: 3,
+                ..Default::default()
+            },
         );
-        let min_plain = plain.components.iter().map(|c| c.weight).fold(f64::INFINITY, f64::min);
-        let min_bayes = bayes.components.iter().map(|c| c.weight).fold(f64::INFINITY, f64::min);
+        let min_plain = plain
+            .components
+            .iter()
+            .map(|c| c.weight)
+            .fold(f64::INFINITY, f64::min);
+        let min_bayes = bayes
+            .components
+            .iter()
+            .map(|c| c.weight)
+            .fold(f64::INFINITY, f64::min);
         // The prior pulls small weights toward uniform, away from zero.
         assert!(min_bayes >= min_plain - 1e-9);
     }
@@ -389,9 +423,24 @@ mod tests {
     #[test]
     fn likelihood_is_finite_and_improves() {
         let data = two_gaussians();
-        let g1 = GaussianMixture::fit(&data, &GmmConfig { n_components: 1, ..Default::default() });
-        let g2 = GaussianMixture::fit(&data, &GmmConfig { n_components: 2, ..Default::default() });
+        let g1 = GaussianMixture::fit(
+            &data,
+            &GmmConfig {
+                n_components: 1,
+                ..Default::default()
+            },
+        );
+        let g2 = GaussianMixture::fit(
+            &data,
+            &GmmConfig {
+                n_components: 2,
+                ..Default::default()
+            },
+        );
         assert!(g1.log_likelihood.is_finite());
-        assert!(g2.log_likelihood > g1.log_likelihood, "more components must fit better");
+        assert!(
+            g2.log_likelihood > g1.log_likelihood,
+            "more components must fit better"
+        );
     }
 }

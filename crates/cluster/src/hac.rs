@@ -85,7 +85,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {
@@ -128,7 +130,10 @@ impl UnionFind {
 pub fn linkage_from_distance(dist: &CondensedDistance, linkage: Linkage) -> Dendrogram {
     let n = dist.len();
     if n == 0 {
-        return Dendrogram { n, merges: Vec::new() };
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
     }
     // Working square distance matrix indexed by representative slot.
     // O(n²) memory like the condensed input, but mutable with O(1) access.
@@ -162,7 +167,9 @@ pub fn linkage_from_distance(dist: &CondensedDistance, linkage: Linkage) -> Dend
 
     while merges.len() + 1 < n {
         if chain.is_empty() {
-            let start = (0..n).find(|&i| active[i]).expect("active cluster must exist");
+            let start = (0..n)
+                .find(|&i| active[i])
+                .expect("active cluster must exist");
             chain.push(start);
         }
         loop {
@@ -190,8 +197,7 @@ pub fn linkage_from_distance(dist: &CondensedDistance, linkage: Linkage) -> Dend
                         Linkage::Average => (ni * dik + nj * djk) / (ni + nj),
                         Linkage::Ward => {
                             let t = ni + nj + nk;
-                            (((ni + nk) * dik * dik + (nj + nk) * djk * djk - nk * dij * dij)
-                                / t)
+                            (((ni + nk) * dik * dik + (nj + nk) * djk * djk - nk * dij * dij) / t)
                                 .max(0.0)
                                 .sqrt()
                         }
@@ -201,7 +207,12 @@ pub fn linkage_from_distance(dist: &CondensedDistance, linkage: Linkage) -> Dend
                 }
                 active[j] = false;
                 size[i] += size[j];
-                merges.push(Merge { a: i, b: j, height: dij, size: size[i] });
+                merges.push(Merge {
+                    a: i,
+                    b: j,
+                    height: dij,
+                    size: size[i],
+                });
                 break;
             }
             chain.push(b);
@@ -209,7 +220,11 @@ pub fn linkage_from_distance(dist: &CondensedDistance, linkage: Linkage) -> Dend
     }
     // NN-chain emits merges in chain order; sort by height for dendrogram
     // semantics (ties keep emission order, which is deterministic).
-    merges.sort_by(|x, y| x.height.partial_cmp(&y.height).unwrap_or(std::cmp::Ordering::Equal));
+    merges.sort_by(|x, y| {
+        x.height
+            .partial_cmp(&y.height)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Dendrogram { n, merges }
 }
 
@@ -237,7 +252,12 @@ mod tests {
 
     #[test]
     fn recovers_three_well_separated_blobs() {
-        for lk in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for lk in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let dend = linkage(&three_blobs(), lk);
             let labels = dend.cut_k(3);
             // Each blob of 5 shares a label and the blobs differ.
@@ -258,7 +278,12 @@ mod tests {
         let data: Vec<Vec<f64>> = (0..40)
             .map(|i| vec![((i * 37) % 17) as f64, ((i * 11) % 23) as f64])
             .collect();
-        for lk in [Linkage::Single, Linkage::Complete, Linkage::Average, Linkage::Ward] {
+        for lk in [
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+            Linkage::Ward,
+        ] {
             let dend = linkage(&data, lk);
             let merges = dend.merges();
             assert_eq!(merges.len(), 39);

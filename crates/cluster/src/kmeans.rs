@@ -24,7 +24,12 @@ pub struct KMeansResult {
 pub fn kmeans(data: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeansResult {
     let n = data.len();
     if n == 0 || k == 0 {
-        return KMeansResult { centroids: Vec::new(), labels: Vec::new(), inertia: 0.0, iterations: 0 };
+        return KMeansResult {
+            centroids: Vec::new(),
+            labels: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
     }
     let k = k.min(n);
     let dim = data[0].len();
@@ -33,7 +38,10 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans
     // --- k-means++ seeding ---
     let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
     centroids.push(data[rng.gen_range(0..n)].clone());
-    let mut d2: Vec<f64> = data.iter().map(|p| vecops::euclidean_sq(p, &centroids[0])).collect();
+    let mut d2: Vec<f64> = data
+        .iter()
+        .map(|p| vecops::euclidean_sq(p, &centroids[0]))
+        .collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 1e-24 {
@@ -101,7 +109,12 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans
         .zip(&labels)
         .map(|(p, &l)| vecops::euclidean_sq(p, &centroids[l]))
         .sum();
-    KMeansResult { centroids, labels, inertia, iterations }
+    KMeansResult {
+        centroids,
+        labels,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]

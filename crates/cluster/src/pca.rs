@@ -43,7 +43,9 @@ impl Pca {
         let mut work = cov;
         for comp in 0..k {
             // Deterministic start vector.
-            let mut v: Vec<f64> = (0..d).map(|i| ((i + comp + 1) as f64).sin() + 0.5).collect();
+            let mut v: Vec<f64> = (0..d)
+                .map(|i| ((i + comp + 1) as f64).sin() + 0.5)
+                .collect();
             normalize(&mut v);
             let mut eig = 0.0;
             for _ in 0..200 {
@@ -75,7 +77,11 @@ impl Pca {
                 }
             }
         }
-        Pca { mean, components, explained_variance: explained }
+        Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        }
     }
 
     /// Project row-sample data into component space (`n × k`).
@@ -139,7 +145,11 @@ mod tests {
             let norm: f64 = ri.iter().map(|v| v * v).sum::<f64>().sqrt();
             assert!((norm - 1.0).abs() < 1e-6, "component {i} norm {norm}");
             for j in 0..i {
-                let dot: f64 = ri.iter().zip(pca.components.row(j)).map(|(a, b)| a * b).sum();
+                let dot: f64 = ri
+                    .iter()
+                    .zip(pca.components.row(j))
+                    .map(|(a, b)| a * b)
+                    .sum();
                 assert!(dot.abs() < 1e-6, "components {i},{j} not orthogonal: {dot}");
             }
         }

@@ -96,8 +96,18 @@ pub fn select_k(
         }
     }
     match best {
-        Some((k, score, labels)) if score >= min_score => KSelection { k, labels, score, sweep },
-        _ => KSelection { k: 1, labels: vec![0; n], score: 0.0, sweep },
+        Some((k, score, labels)) if score >= min_score => KSelection {
+            k,
+            labels,
+            score,
+            sweep,
+        },
+        _ => KSelection {
+            k: 1,
+            labels: vec![0; n],
+            score: 0.0,
+            sweep,
+        },
     }
 }
 
@@ -141,7 +151,9 @@ mod tests {
 
     #[test]
     fn score_bounded_in_unit_interval() {
-        let data: Vec<Vec<f64>> = (0..20).map(|i| vec![((i * 7) % 13) as f64, (i % 5) as f64]).collect();
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![((i * 7) % 13) as f64, (i % 5) as f64])
+            .collect();
         let dist = dist_of(&data);
         for k in 2..6 {
             let labels: Vec<usize> = (0..20).map(|i| i % k).collect();
@@ -176,7 +188,9 @@ mod tests {
     fn select_k_falls_back_to_one_cluster() {
         // A single diffuse blob: every cut scores below an aggressive
         // threshold, so selection falls back to k = 1.
-        let data: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64 * 0.1, (i / 4) as f64 * 0.1]).collect();
+        let data: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![(i % 4) as f64 * 0.1, (i / 4) as f64 * 0.1])
+            .collect();
         let dist = dist_of(&data);
         let dend = linkage(&data, Linkage::Average);
         let sel = select_k(&dist, &dend, 6, 0.99);

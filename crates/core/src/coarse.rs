@@ -128,7 +128,9 @@ impl ClusterModel {
         if n <= k || k == 0 {
             return members;
         }
-        (0..k).map(|j| members[j * (n - 1) / (k - 1).max(1)]).collect()
+        (0..k)
+            .map(|j| members[j * (n - 1) / (k - 1).max(1)])
+            .collect()
     }
 
     fn members_by_distance(&self, c: usize) -> Vec<usize> {
@@ -209,7 +211,11 @@ pub fn fit(cfg: &CoarseConfig, segments: &[Segment]) -> (ClusterModel, Vec<Vec<f
         Some(k) => {
             let k = k.clamp(1, n);
             let labels = dendrogram.cut_k(k);
-            let s = if k >= 2 { ns_cluster::silhouette_score(&dist, &labels) } else { 0.0 };
+            let s = if k >= 2 {
+                ns_cluster::silhouette_score(&dist, &labels)
+            } else {
+                0.0
+            };
             (labels, s)
         }
         None => {
@@ -322,7 +328,12 @@ mod tests {
             let data = Matrix::from_fn(t, 3, |r, c| {
                 ((r as f64) * 0.2 + c as f64).sin() + 0.01 * i as f64
             });
-            segs.push(Segment { node: 0, start: 0, end: t, data });
+            segs.push(Segment {
+                node: 0,
+                start: 0,
+                end: t,
+                data,
+            });
         }
         for i in 0..6 {
             // Family B: high-frequency sawtooth with trend.
@@ -330,13 +341,21 @@ mod tests {
             let data = Matrix::from_fn(t, 3, |r, c| {
                 ((r % 4) as f64) * 1.5 - 2.0 + 0.03 * r as f64 + c as f64 * 0.2 + 0.01 * i as f64
             });
-            segs.push(Segment { node: 1, start: 0, end: t, data });
+            segs.push(Segment {
+                node: 1,
+                start: 0,
+                end: t,
+                data,
+            });
         }
         segs
     }
 
     fn fast_cfg() -> CoarseConfig {
-        CoarseConfig { catalog: FeatureCatalog::compact(), ..Default::default() }
+        CoarseConfig {
+            catalog: FeatureCatalog::compact(),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -363,7 +382,11 @@ mod tests {
         let f = segment_features(&cfg, &probe);
         let (cluster, dist) = model.match_pattern(&f);
         assert_eq!(cluster, model.labels[0]);
-        assert!(model.is_match(dist), "distance {dist} vs radius {}", model.match_radius);
+        assert!(
+            model.is_match(dist),
+            "distance {dist} vs radius {}",
+            model.match_radius
+        );
     }
 
     #[test]
@@ -381,7 +404,10 @@ mod tests {
     #[test]
     fn force_k_overrides_selection() {
         let segs = two_family_segments();
-        let cfg = CoarseConfig { force_k: Some(4), ..fast_cfg() };
+        let cfg = CoarseConfig {
+            force_k: Some(4),
+            ..fast_cfg()
+        };
         let (model, _) = fit(&cfg, &segs);
         assert_eq!(model.k(), 4);
     }

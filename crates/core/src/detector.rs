@@ -153,8 +153,10 @@ impl NodeSentry {
 
     /// Streaming variant of [`NodeSentry::fit`]: raw node matrices are
     /// pulled one at a time, preprocessed, reduced to segments and
-    /// dropped — the full raw tensor never exists in memory.
-    pub fn fit_from_source<S: NodeSource + ?Sized>(
+    /// dropped — the full raw tensor never exists in memory. Per-node
+    /// preprocessing runs in parallel; segment order (and therefore the
+    /// trained model) is independent of the thread count.
+    pub fn fit_from_source<S: NodeSource + ?Sized + Sync>(
         mut cfg: NodeSentryConfig,
         nodes: &S,
         groups: &[usize],
@@ -178,35 +180,54 @@ impl NodeSentry {
         let preprocessor = Preprocessor::fit(&stacked, groups, 0.99, 0.05);
         drop(stacked);
 
-        // 2. Preprocess + segment each node's training split.
-        let mut train_segments: Vec<Segment> = Vec::new();
-        for node_id in 0..nodes.n_nodes() {
-            let raw = nodes.raw(node_id);
-            let upto = split.min(raw.rows());
-            let train_raw = raw.slice_rows(0, upto);
-            drop(raw);
-            let processed = preprocessor.transform(&train_raw);
-            let segs = match cfg.variant {
-                Variant::C3EqualLength => {
-                    segment_equal_length(node_id, &processed, cfg.sharing.window * 4)
-                }
-                _ => {
-                    let transitions: Vec<usize> = nodes
-                        .transitions(node_id)
-                        .into_iter()
-                        .filter(|&t| t < upto)
-                        .collect();
-                    segment_at_transitions(node_id, &processed, &transitions, cfg.min_segment_len)
-                }
-            };
-            train_segments.extend(segs);
-        }
+        // 2. Preprocess + segment each node's training split, in
+        // parallel across nodes. The per-node results are collected in
+        // node order, so the flattened segment list — and everything
+        // downstream of it — is identical at any thread count.
+        let per_node: Vec<Vec<Segment>> = {
+            use rayon::prelude::*;
+            (0..nodes.n_nodes())
+                .into_par_iter()
+                .map(|node_id| {
+                    let raw = nodes.raw(node_id);
+                    let upto = split.min(raw.rows());
+                    let train_raw = raw.slice_rows(0, upto);
+                    drop(raw);
+                    let processed = preprocessor.transform(&train_raw);
+                    match cfg.variant {
+                        Variant::C3EqualLength => {
+                            segment_equal_length(node_id, &processed, cfg.sharing.window * 4)
+                        }
+                        _ => {
+                            let transitions: Vec<usize> = nodes
+                                .transitions(node_id)
+                                .into_iter()
+                                .filter(|&t| t < upto)
+                                .collect();
+                            segment_at_transitions(
+                                node_id,
+                                &processed,
+                                &transitions,
+                                cfg.min_segment_len,
+                            )
+                        }
+                    }
+                })
+                .collect()
+        };
+        let train_segments: Vec<Segment> = per_node.into_iter().flatten().collect();
         assert!(!train_segments.is_empty(), "no usable training segments");
 
         // 3. Coarse clustering.
         let (mut cluster_model, feats) = coarse::fit(&cfg.coarse, &train_segments);
         if cfg.variant == Variant::C2RandomGroups {
-            randomize_groups(&mut cluster_model, &feats, &train_segments, &cfg.coarse, cfg.seed);
+            randomize_groups(
+                &mut cluster_model,
+                &feats,
+                &train_segments,
+                &cfg.coarse,
+                cfg.seed,
+            );
         }
 
         // 4. One shared model per cluster (§3.4).
@@ -214,7 +235,13 @@ impl NodeSentry {
             .map(|c| train_cluster_model(&cfg.sharing, c, &cluster_model, &train_segments))
             .collect();
 
-        NodeSentry { cfg, preprocessor, cluster_model, shared_models, train_segments }
+        NodeSentry {
+            cfg,
+            preprocessor,
+            cluster_model,
+            shared_models,
+            train_segments,
+        }
     }
 
     /// Number of clusters / shared models.
@@ -292,10 +319,13 @@ impl NodeSentry {
     /// freshly trained model.
     ///
     /// Returns `(cluster_id, was_new)`.
-    pub fn incremental_update(&mut self, segment: &Matrix, fine_tune_epochs: usize) -> (usize, bool) {
+    pub fn incremental_update(
+        &mut self,
+        segment: &Matrix,
+        fine_tune_epochs: usize,
+    ) -> (usize, bool) {
         let probe_len = self.cfg.match_period.clamp(1, segment.rows());
-        let feat =
-            coarse::segment_features(&self.cfg.coarse, &segment.slice_rows(0, probe_len));
+        let feat = coarse::segment_features(&self.cfg.coarse, &segment.slice_rows(0, probe_len));
         let (cluster, dist) = self.cluster_model.match_pattern(&feat);
         if self.cluster_model.is_match(dist) {
             self.cluster_model.refine_centroid(cluster, &feat, 0.1);
@@ -339,7 +369,10 @@ impl NodeSentry {
                 detector: &'a NodeSentry,
                 models: &'a [SharedModel],
             }
-            serde_json::to_string(&OnDisk { detector: &slim, models: &self.shared_models })
+            serde_json::to_string(&OnDisk {
+                detector: &slim,
+                models: &self.shared_models,
+            })
         }
     }
 
@@ -352,7 +385,10 @@ impl NodeSentry {
             models: Vec<SharedModel>,
         }
         if let Ok(d) = serde_json::from_str::<OnDisk>(json) {
-            return Ok(NodeSentry { shared_models: d.models, ..d.detector });
+            return Ok(NodeSentry {
+                shared_models: d.models,
+                ..d.detector
+            });
         }
         serde_json::from_str(json)
     }
@@ -403,7 +439,10 @@ fn randomize_groups(
     let probe_z: Vec<Vec<f64>> = segments
         .iter()
         .map(|s| {
-            let take = coarse_cfg.probe_len.unwrap_or(s.data.rows()).clamp(1, s.data.rows());
+            let take = coarse_cfg
+                .probe_len
+                .unwrap_or(s.data.rows())
+                .clamp(1, s.data.rows());
             let f = coarse::segment_features(coarse_cfg, &s.data.slice_rows(0, take));
             model.standardize_probe(&f)
         })
@@ -433,7 +472,11 @@ mod tests {
                     } else {
                         ((t % 7) as f64) * 0.4 - 1.0
                     };
-                    let latent2 = if (seg + node).is_multiple_of(2) { 0.2 } else { 0.9 };
+                    let latent2 = if (seg + node).is_multiple_of(2) {
+                        0.2
+                    } else {
+                        0.9
+                    };
                     let base = if m < 3 { latent } else { latent2 };
                     base * (1.0 + m as f64 * 0.05) + m as f64 * 0.01
                 });
@@ -467,7 +510,11 @@ mod tests {
                 ..Default::default()
             },
             match_period: 20,
-            threshold: KSigmaConfig { window: 30, k: 3.0, ..Default::default() },
+            threshold: KSigmaConfig {
+                window: 30,
+                k: 3.0,
+                ..Default::default()
+            },
             min_segment_len: 8,
             ..Default::default()
         }
@@ -477,7 +524,12 @@ mod tests {
     fn fit_discovers_the_two_patterns() {
         let (nodes, groups, split) = synthetic_nodes(600);
         let ns = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
-        assert_eq!(ns.n_clusters(), 2, "silhouette={}", ns.cluster_model.silhouette);
+        assert_eq!(
+            ns.n_clusters(),
+            2,
+            "silhouette={}",
+            ns.cluster_model.silhouette
+        );
         assert!(ns.preprocessor.out_dim() >= 1);
         assert!(!ns.train_segments.is_empty());
     }
@@ -496,29 +548,52 @@ mod tests {
         let (scores, matches) = ns.score_node(&nodes[0].raw, &nodes[0].transitions, split);
         assert_eq!(scores.len(), 600 - split);
         assert!(!matches.is_empty());
-        let anom_mean: f64 = scores[a_start - split..a_end - split].iter().sum::<f64>()
-            / (a_end - a_start) as f64;
-        let norm_mean: f64 = scores[..a_start - split].iter().sum::<f64>()
-            / (a_start - split) as f64;
+        let anom_mean: f64 =
+            scores[a_start - split..a_end - split].iter().sum::<f64>() / (a_end - a_start) as f64;
+        let norm_mean: f64 =
+            scores[..a_start - split].iter().sum::<f64>() / (a_start - split) as f64;
         assert!(
             anom_mean > 3.0 * norm_mean,
             "anomaly {anom_mean} vs normal {norm_mean}"
         );
         let pred = ns.detect_node(&nodes[0].raw, &nodes[0].transitions, split);
-        let hits = pred[a_start - split..a_end - split].iter().filter(|&&b| b).count();
+        let hits = pred[a_start - split..a_end - split]
+            .iter()
+            .filter(|&&b| b)
+            .count();
         assert!(hits > 0, "threshold missed the anomaly entirely");
     }
 
     #[test]
     fn variants_produce_expected_structure() {
         let (nodes, groups, split) = synthetic_nodes(600);
-        let c1 = NodeSentry::fit(quick_cfg().with_variant(Variant::C1SingleModel), &nodes, &groups, split);
+        let c1 = NodeSentry::fit(
+            quick_cfg().with_variant(Variant::C1SingleModel),
+            &nodes,
+            &groups,
+            split,
+        );
         assert_eq!(c1.n_clusters(), 1);
-        let c5 = NodeSentry::fit(quick_cfg().with_variant(Variant::C5DenseFfn), &nodes, &groups, split);
+        let c5 = NodeSentry::fit(
+            quick_cfg().with_variant(Variant::C5DenseFfn),
+            &nodes,
+            &groups,
+            split,
+        );
         assert!(c5.shared_models[0].cfg.dense_ffn);
-        let c4 = NodeSentry::fit(quick_cfg().with_variant(Variant::C4NoSegmentPe), &nodes, &groups, split);
+        let c4 = NodeSentry::fit(
+            quick_cfg().with_variant(Variant::C4NoSegmentPe),
+            &nodes,
+            &groups,
+            split,
+        );
         assert!(!c4.shared_models[0].cfg.segment_aware_pe);
-        let c3 = NodeSentry::fit(quick_cfg().with_variant(Variant::C3EqualLength), &nodes, &groups, split);
+        let c3 = NodeSentry::fit(
+            quick_cfg().with_variant(Variant::C3EqualLength),
+            &nodes,
+            &groups,
+            split,
+        );
         // Equal-length chopping: all training segments share one length.
         let lens: std::collections::BTreeSet<usize> =
             c3.train_segments.iter().map(|s| s.len()).collect();
@@ -529,7 +604,12 @@ mod tests {
     fn c2_randomization_keeps_k_but_scrambles_labels() {
         let (nodes, groups, split) = synthetic_nodes(600);
         let full = NodeSentry::fit(quick_cfg(), &nodes, &groups, split);
-        let c2 = NodeSentry::fit(quick_cfg().with_variant(Variant::C2RandomGroups), &nodes, &groups, split);
+        let c2 = NodeSentry::fit(
+            quick_cfg().with_variant(Variant::C2RandomGroups),
+            &nodes,
+            &groups,
+            split,
+        );
         assert_eq!(full.n_clusters(), c2.n_clusters());
         assert_ne!(full.cluster_model.labels, c2.cluster_model.labels);
         // Every group stays populated.
@@ -573,8 +653,7 @@ mod tests {
         let restored = NodeSentry::from_json(&json).unwrap();
         assert_eq!(restored.n_clusters(), ns.n_clusters());
         assert!(restored.train_segments.is_empty());
-        let (scores_after, _) =
-            restored.score_node(&nodes[0].raw, &nodes[0].transitions, split);
+        let (scores_after, _) = restored.score_node(&nodes[0].raw, &nodes[0].transitions, split);
         assert_eq!(scores_before.len(), scores_after.len());
         for (a, b) in scores_before.iter().zip(&scores_after) {
             assert!((a - b).abs() < 1e-9, "scores diverged after reload");

@@ -125,9 +125,9 @@ pub fn prune_correlated(fit_data: &Matrix, threshold: f64) -> Vec<usize> {
         .collect();
     let mut kept: Vec<usize> = Vec::new();
     for &c in &variable {
-        let dup = kept.par_iter().any(|&k| {
-            stats::pearson(&col_data[k], &col_data[c]).abs() >= threshold
-        });
+        let dup = kept
+            .par_iter()
+            .any(|&k| stats::pearson(&col_data[k], &col_data[c]).abs() >= threshold);
         if !dup {
             kept.push(c);
         }
@@ -156,7 +156,11 @@ impl Standardizer {
                 (m, if s < 1e-9 { 1.0 } else { s })
             })
             .unzip();
-        Self { mean, std, clip: 5.0 }
+        Self {
+            mean,
+            std,
+            clip: 5.0,
+        }
     }
 
     pub fn transform(&self, data: &Matrix) -> Matrix {
@@ -222,7 +226,12 @@ pub fn segment_at_transitions(
             }
             continue; // dropped
         }
-        segs.push(Segment { node, start: s, end: e, data: data.slice_rows(s, e) });
+        segs.push(Segment {
+            node,
+            start: s,
+            end: e,
+            data: data.slice_rows(s, e),
+        });
     }
     segs
 }
@@ -237,7 +246,12 @@ pub fn segment_equal_length(node: usize, data: &Matrix, chunk: usize) -> Vec<Seg
     while s < rows {
         let e = (s + chunk).min(rows);
         if e - s >= chunk / 2 {
-            segs.push(Segment { node, start: s, end: e, data: data.slice_rows(s, e) });
+            segs.push(Segment {
+                node,
+                start: s,
+                end: e,
+                data: data.slice_rows(s, e),
+            });
         }
         s = e;
     }
@@ -318,7 +332,12 @@ impl Preprocessor {
         let kept = prune_correlated(&aggregated, prune_threshold);
         let reduced = aggregated.gather_cols(&kept);
         let standardizer = Standardizer::fit(&reduced, trim);
-        Self { groups: groups.to_vec(), counters, kept, standardizer }
+        Self {
+            groups: groups.to_vec(),
+            counters,
+            kept,
+            standardizer,
+        }
     }
 
     /// Apply cleaning → aggregation → rate conversion → pruning →
@@ -363,12 +382,7 @@ mod tests {
 
     #[test]
     fn interpolation_fills_gaps_linearly() {
-        let mut m = Matrix::from_rows(&[
-            vec![1.0],
-            vec![f64::NAN],
-            vec![f64::NAN],
-            vec![4.0],
-        ]);
+        let mut m = Matrix::from_rows(&[vec![1.0], vec![f64::NAN], vec![f64::NAN], vec![4.0]]);
         interpolate_missing(&mut m);
         assert_eq!(m.col(0), vec![1.0, 2.0, 3.0, 4.0]);
     }
@@ -449,7 +463,10 @@ mod tests {
         assert_eq!((segs[2].start, segs[2].end), (70, 100));
         assert_eq!(segs[1].data.rows(), 40);
         assert_eq!(segs[1].data[(0, 0)], 30.0);
-        assert_eq!(segs.iter().map(|s| s.node).collect::<Vec<_>>(), vec![3, 3, 3]);
+        assert_eq!(
+            segs.iter().map(|s| s.node).collect::<Vec<_>>(),
+            vec![3, 3, 3]
+        );
     }
 
     #[test]
@@ -489,6 +506,9 @@ mod tests {
         let out = pp.transform(&raw);
         assert_eq!(out.rows(), 120);
         assert!(out.cols() >= 1 && out.cols() <= 2);
-        assert!(out.as_slice().iter().all(|v| v.is_finite() && v.abs() <= 5.0));
+        assert!(out
+            .as_slice()
+            .iter()
+            .all(|v| v.is_finite() && v.abs() <= 5.0));
     }
 }

@@ -181,7 +181,10 @@ fn windows_of(segments: &[&Matrix], cfg: &SharingConfig, ranks: &[usize]) -> Vec
 impl SharedModel {
     /// Train a shared model for one cluster from its selected segments.
     pub fn train(cfg: &SharingConfig, segments: &[&Matrix]) -> SharedModel {
-        assert!(!segments.is_empty(), "shared model needs at least one segment");
+        assert!(
+            !segments.is_empty(),
+            "shared model needs at least one segment"
+        );
         let input_dim = segments[0].cols();
         let weights = mac_weights(segments);
         let mut params = ParamStore::new(cfg.seed);
@@ -196,7 +199,10 @@ impl SharedModel {
                 block: if cfg.dense_ffn {
                     BlockKind::Dense
                 } else {
-                    BlockKind::Moe { n_experts: cfg.n_experts, top_k: cfg.top_k }
+                    BlockKind::Moe {
+                        n_experts: cfg.n_experts,
+                        top_k: cfg.top_k,
+                    }
                 },
                 aux_weight: 0.01,
             },
@@ -505,8 +511,26 @@ mod tests {
         let segs = [pattern_segment(24, 2, 0.4), pattern_segment(24, 2, 0.4)];
         let refs: Vec<&Matrix> = segs.iter().collect();
         let ranks = [0usize, 1];
-        let aware = windows_of(&refs, &SharingConfig { segment_aware_pe: true, window: 12, stride: 12, ..Default::default() }, &ranks);
-        let plain = windows_of(&refs, &SharingConfig { segment_aware_pe: false, window: 12, stride: 12, ..Default::default() }, &ranks);
+        let aware = windows_of(
+            &refs,
+            &SharingConfig {
+                segment_aware_pe: true,
+                window: 12,
+                stride: 12,
+                ..Default::default()
+            },
+            &ranks,
+        );
+        let plain = windows_of(
+            &refs,
+            &SharingConfig {
+                segment_aware_pe: false,
+                window: 12,
+                stride: 12,
+                ..Default::default()
+            },
+            &ranks,
+        );
         // With segment-aware PE, windows of segment rank 1 are shifted by
         // the stride; without it every segment starts at position 0, so
         // the PE tables of the two segments' first windows coincide.
@@ -527,7 +551,10 @@ mod tests {
         let new_refs = [&new_pattern];
         shared.fit_windows(&new_refs, 15);
         let after: f64 = shared.score_series(&new_pattern).iter().sum();
-        assert!(after < before, "fine-tune did not adapt: {before} → {after}");
+        assert!(
+            after < before,
+            "fine-tune did not adapt: {before} → {after}"
+        );
     }
 
     #[test]

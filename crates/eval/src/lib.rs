@@ -6,10 +6,13 @@
 //!   (F1 computed from averaged P and R).
 //! * [`threshold`] — the sliding-window k-sigma dynamic threshold of
 //!   §3.5 (3-sigma by default, window swept by Fig. 6(f)).
+//! * [`streaming`] — incremental, bit-exact replays of the smoothing and
+//!   k-sigma detectors for one-point-at-a-time deployment (`ns-stream`).
 //! * [`timing`] — stopwatch + the paper's duration formatting for the
 //!   Table 4 cost columns.
 
 pub mod metrics;
+pub mod streaming;
 pub mod threshold;
 pub mod timing;
 
@@ -17,5 +20,6 @@ pub use metrics::{
     adjusted_confusion, aggregate, f1_from, point_adjust, roc_auc_adjusted, transition_mask,
     AggregateScores, Confusion, NodeScores,
 };
-pub use threshold::{ksigma_detect, three_sigma, KSigmaConfig};
+pub use streaming::{StreamingKSigma, StreamingSmoother};
+pub use threshold::{ksigma_detect, smooth_scores, three_sigma, KSigmaConfig};
 pub use timing::{format_duration, Stopwatch};

@@ -131,7 +131,10 @@ pub fn roc_auc_adjusted(scores: &[f64], truth: &[bool], include: Option<&[bool]>
                 i += 1;
             }
             let end = i;
-            let maxv = scores[start..end].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let maxv = scores[start..end]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
             for s in adj_scores[start..end].iter_mut() {
                 *s = maxv;
             }
@@ -199,7 +202,12 @@ pub fn aggregate(nodes: &[NodeScores]) -> AggregateScores {
     let p = nodes.iter().map(|s| s.precision).sum::<f64>() / n;
     let r = nodes.iter().map(|s| s.recall).sum::<f64>() / n;
     let auc = nodes.iter().map(|s| s.auc).sum::<f64>() / n;
-    AggregateScores { precision: p, recall: r, auc, f1: f1_from(p, r) }
+    AggregateScores {
+        precision: p,
+        recall: r,
+        auc,
+        f1: f1_from(p, r),
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +236,15 @@ mod tests {
         let pred = [true, false, true, false];
         // After adjustment, pred hits the run [0,2) → both true.
         let c = adjusted_confusion(&pred, &truth, None);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, fn_: 0, tn: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                fn_: 0,
+                tn: 1
+            }
+        );
         assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(c.recall(), 1.0);
         assert!((c.f1() - 0.8).abs() < 1e-12);
@@ -237,7 +253,10 @@ mod tests {
     #[test]
     fn mask_excludes_boundary_points() {
         let mask = transition_mask(10, &[5], 2);
-        assert_eq!(mask, vec![true, true, true, false, false, false, false, true, true, true]);
+        assert_eq!(
+            mask,
+            vec![true, true, true, false, false, false, false, true, true, true]
+        );
         // Masked points don't count.
         let truth = [false; 10];
         let mut pred = [false; 10];
@@ -275,8 +294,16 @@ mod tests {
     #[test]
     fn aggregate_matches_paper_protocol() {
         let nodes = [
-            NodeScores { precision: 1.0, recall: 0.5, auc: 0.9 },
-            NodeScores { precision: 0.5, recall: 1.0, auc: 0.7 },
+            NodeScores {
+                precision: 1.0,
+                recall: 0.5,
+                auc: 0.9,
+            },
+            NodeScores {
+                precision: 0.5,
+                recall: 1.0,
+                auc: 0.7,
+            },
         ];
         let agg = aggregate(&nodes);
         assert!((agg.precision - 0.75).abs() < 1e-12);

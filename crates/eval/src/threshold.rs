@@ -24,7 +24,12 @@ pub struct KSigmaConfig {
 
 impl Default for KSigmaConfig {
     fn default() -> Self {
-        Self { window: 40, k: 3.0, min_sigma: 1e-6, rel_floor: 0.3 }
+        Self {
+            window: 40,
+            k: 3.0,
+            min_sigma: 1e-6,
+            rel_floor: 0.3,
+        }
     }
 }
 
@@ -98,7 +103,13 @@ fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
 
 /// Convenience: detect with the default 3-sigma config and a given window.
 pub fn three_sigma(scores: &[f64], window: usize) -> Vec<bool> {
-    ksigma_detect(scores, &KSigmaConfig { window, ..Default::default() })
+    ksigma_detect(
+        scores,
+        &KSigmaConfig {
+            window,
+            ..Default::default()
+        },
+    )
 }
 
 /// Centered moving-average smoothing of a score series. Real anomalies
@@ -138,7 +149,10 @@ mod tests {
         scores[150] = 5.0;
         let det = three_sigma(&scores, 40);
         assert!(det[150], "obvious spike missed");
-        assert!(det[..150].iter().filter(|&&d| d).count() <= 2, "too many false alarms");
+        assert!(
+            det[..150].iter().filter(|&&d| d).count() <= 2,
+            "too many false alarms"
+        );
     }
 
     #[test]
@@ -162,8 +176,22 @@ mod tests {
     fn higher_k_is_stricter() {
         let mut scores: Vec<f64> = (0..300).map(|i| ((i * 13) % 11) as f64 * 0.05).collect();
         scores[250] = 1.2;
-        let loose = ksigma_detect(&scores, &KSigmaConfig { window: 50, k: 1.0, ..Default::default() });
-        let strict = ksigma_detect(&scores, &KSigmaConfig { window: 50, k: 4.0, ..Default::default() });
+        let loose = ksigma_detect(
+            &scores,
+            &KSigmaConfig {
+                window: 50,
+                k: 1.0,
+                ..Default::default()
+            },
+        );
+        let strict = ksigma_detect(
+            &scores,
+            &KSigmaConfig {
+                window: 50,
+                k: 4.0,
+                ..Default::default()
+            },
+        );
         let nl = loose.iter().filter(|&&d| d).count();
         let ns = strict.iter().filter(|&&d| d).count();
         assert!(nl >= ns, "loose {nl} < strict {ns}");

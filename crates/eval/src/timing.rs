@@ -10,7 +10,9 @@ pub struct Stopwatch {
 
 impl Stopwatch {
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self {
+            start: Instant::now(),
+        }
     }
 
     pub fn elapsed(&self) -> Duration {

@@ -121,16 +121,16 @@ impl FeatureKind {
     pub fn domain(&self) -> Domain {
         use FeatureKind::*;
         match self {
-            Mean | Median | Std | Variance | Min | Max | PeakToPeak | Rms | Skewness
-            | Kurtosis | Iqr | Mad | MeanAbsDeviation | AbsEnergy | Sum | CoefVariation
-            | Quantile(_) | HistEntropy | CountAboveMean | CountBelowMean | ArgmaxRel
-            | ArgminRel | TrimmedMean | HistBin(_) => Domain::Statistical,
+            Mean | Median | Std | Variance | Min | Max | PeakToPeak | Rms | Skewness | Kurtosis
+            | Iqr | Mad | MeanAbsDeviation | AbsEnergy | Sum | CoefVariation | Quantile(_)
+            | HistEntropy | CountAboveMean | CountBelowMean | ArgmaxRel | ArgminRel
+            | TrimmedMean | HistBin(_) => Domain::Statistical,
             MeanAbsDiff | MedianAbsDiff | MeanDiff | MedianDiff | SumAbsDiff | MaxDiff
             | MinDiff | StdDiff | Slope | ZeroCrossRate | MeanCrossRate | PosTurning
             | NegTurning | PeakCount | TrapzArea | AbsTrapzArea | TemporalCentroid
-            | TotalEnergy | EntropyDiff | LongestStrikeAbove | LongestStrikeBelow
-            | FirstLocMax | FirstLocMin | LastLocMax | LastLocMin | TimeReversalAsym | C3
-            | CidCe | RatioBeyondSigma(_) | AutoCorr(_) | EnergyChunk(_) => Domain::Temporal,
+            | TotalEnergy | EntropyDiff | LongestStrikeAbove | LongestStrikeBelow | FirstLocMax
+            | FirstLocMin | LastLocMax | LastLocMin | TimeReversalAsym | C3 | CidCe
+            | RatioBeyondSigma(_) | AutoCorr(_) | EnergyChunk(_) => Domain::Temporal,
             _ => Domain::Spectral,
         }
     }
@@ -187,9 +187,21 @@ impl<'a> SeriesContext<'a> {
         } else {
             (vec![0.0], vec![0.0])
         };
-        let mags = if x.len() >= 2 { fft::magnitude_spectrum(x) } else { vec![0.0] };
+        let mags = if x.len() >= 2 {
+            fft::magnitude_spectrum(x)
+        } else {
+            vec![0.0]
+        };
         let wavelet = dwt::wavelet_energies(x, 5);
-        Self { x, sorted, diffs, freqs, power, mags, wavelet }
+        Self {
+            x,
+            sorted,
+            diffs,
+            freqs,
+            power,
+            mags,
+            wavelet,
+        }
     }
 
     fn eval(&self, kind: FeatureKind) -> f64 {
@@ -225,7 +237,8 @@ impl<'a> SeriesContext<'a> {
             Skewness => stats::skewness(x),
             Kurtosis => stats::kurtosis(x),
             Iqr => {
-                stats::quantile_sorted(&self.sorted, 0.75) - stats::quantile_sorted(&self.sorted, 0.25)
+                stats::quantile_sorted(&self.sorted, 0.75)
+                    - stats::quantile_sorted(&self.sorted, 0.25)
             }
             Mad => stats::mad(x),
             MeanAbsDeviation => statistical::mean_abs_deviation(x),
@@ -287,9 +300,9 @@ impl<'a> SeriesContext<'a> {
             AutoCorr(l) => stats::autocorrelation(x, l as usize),
             EnergyChunk(i) => temporal::energy_ratio_chunk(x, i as usize, 8),
             MaxPower => stats::max(&self.power).max(0.0),
-            FreqAtMaxPower => {
-                vecops::argmax(&self.power).map(|i| self.freqs[i]).unwrap_or(0.0)
-            }
+            FreqAtMaxPower => vecops::argmax(&self.power)
+                .map(|i| self.freqs[i])
+                .unwrap_or(0.0),
             SpectralCentroid => spectral::centroid(&self.freqs, &self.power),
             SpectralSpread => spectral::spread(&self.freqs, &self.power),
             SpectralSkewness => spectral::skewness(&self.freqs, &self.power),
@@ -327,23 +340,67 @@ impl FeatureCatalog {
         use FeatureKind::*;
         let mut kinds = vec![
             // statistical (38)
-            Mean, Median, Std, Variance, Min, Max, PeakToPeak, Rms, Skewness, Kurtosis, Iqr,
-            Mad, MeanAbsDeviation, AbsEnergy, Sum, CoefVariation,
+            Mean,
+            Median,
+            Std,
+            Variance,
+            Min,
+            Max,
+            PeakToPeak,
+            Rms,
+            Skewness,
+            Kurtosis,
+            Iqr,
+            Mad,
+            MeanAbsDeviation,
+            AbsEnergy,
+            Sum,
+            CoefVariation,
         ];
         for p in [1u8, 5, 25, 75, 95, 99] {
             kinds.push(Quantile(p));
         }
-        kinds.extend([HistEntropy, CountAboveMean, CountBelowMean, ArgmaxRel, ArgminRel, TrimmedMean]);
+        kinds.extend([
+            HistEntropy,
+            CountAboveMean,
+            CountBelowMean,
+            ArgmaxRel,
+            ArgminRel,
+            TrimmedMean,
+        ]);
         for i in 0..10u8 {
             kinds.push(HistBin(i));
         }
         // temporal (44)
         kinds.extend([
-            MeanAbsDiff, MedianAbsDiff, MeanDiff, MedianDiff, SumAbsDiff, MaxDiff, MinDiff,
-            StdDiff, Slope, ZeroCrossRate, MeanCrossRate, PosTurning, NegTurning, PeakCount,
-            TrapzArea, AbsTrapzArea, TemporalCentroid, TotalEnergy, EntropyDiff,
-            LongestStrikeAbove, LongestStrikeBelow, FirstLocMax, FirstLocMin, LastLocMax,
-            LastLocMin, TimeReversalAsym, C3, CidCe,
+            MeanAbsDiff,
+            MedianAbsDiff,
+            MeanDiff,
+            MedianDiff,
+            SumAbsDiff,
+            MaxDiff,
+            MinDiff,
+            StdDiff,
+            Slope,
+            ZeroCrossRate,
+            MeanCrossRate,
+            PosTurning,
+            NegTurning,
+            PeakCount,
+            TrapzArea,
+            AbsTrapzArea,
+            TemporalCentroid,
+            TotalEnergy,
+            EntropyDiff,
+            LongestStrikeAbove,
+            LongestStrikeBelow,
+            FirstLocMax,
+            FirstLocMin,
+            LastLocMax,
+            LastLocMin,
+            TimeReversalAsym,
+            C3,
+            CidCe,
         ]);
         for r in [1u8, 2, 3] {
             kinds.push(RatioBeyondSigma(r));
@@ -356,10 +413,21 @@ impl FeatureCatalog {
         }
         // spectral (52)
         kinds.extend([
-            MaxPower, FreqAtMaxPower, SpectralCentroid, SpectralSpread, SpectralSkewness,
-            SpectralKurtosis, SpectralEntropy, SpectralSlope, SpectralDecrease,
-            SpectralRolloff(85), SpectralRolloff(95), MedianFrequency, FundamentalFrequency,
-            PowerBandwidth, SpectralPosTurning,
+            MaxPower,
+            FreqAtMaxPower,
+            SpectralCentroid,
+            SpectralSpread,
+            SpectralSkewness,
+            SpectralKurtosis,
+            SpectralEntropy,
+            SpectralSlope,
+            SpectralDecrease,
+            SpectralRolloff(85),
+            SpectralRolloff(95),
+            MedianFrequency,
+            FundamentalFrequency,
+            PowerBandwidth,
+            SpectralPosTurning,
         ]);
         for i in 0..10u8 {
             kinds.push(BandEnergy(i));
@@ -380,10 +448,27 @@ impl FeatureCatalog {
         use FeatureKind::*;
         Self {
             kinds: vec![
-                Mean, Median, Std, Min, Max, Rms, Skewness, Kurtosis, Iqr,
-                MeanAbsDiff, Slope, ZeroCrossRate, TemporalCentroid, CidCe, AutoCorr(1),
-                MaxPower, SpectralCentroid, SpectralEntropy, MedianFrequency,
-                WaveletEnergy(0), WaveletEntropy,
+                Mean,
+                Median,
+                Std,
+                Min,
+                Max,
+                Rms,
+                Skewness,
+                Kurtosis,
+                Iqr,
+                MeanAbsDiff,
+                Slope,
+                ZeroCrossRate,
+                TemporalCentroid,
+                CidCe,
+                AutoCorr(1),
+                MaxPower,
+                SpectralCentroid,
+                SpectralEntropy,
+                MedianFrequency,
+                WaveletEnergy(0),
+                WaveletEntropy,
             ],
         }
     }
@@ -471,7 +556,10 @@ mod tests {
         assert_eq!(c.len(), 134, "paper §3.3: 134 features per metric");
         let (s, t, p) = c.domain_counts();
         assert_eq!(s + t + p, 134);
-        assert!(s >= 30 && t >= 40 && p >= 40, "all domains represented: {s}/{t}/{p}");
+        assert!(
+            s >= 30 && t >= 40 && p >= 40,
+            "all domains represented: {s}/{t}/{p}"
+        );
     }
 
     #[test]
@@ -497,14 +585,19 @@ mod tests {
         ] {
             let f = c.extract(&x, 1.0);
             assert_eq!(f.len(), 134);
-            assert!(f.iter().all(|v| v.is_finite()), "non-finite feature for {x:?}");
+            assert!(
+                f.iter().all(|v| v.is_finite()),
+                "non-finite feature for {x:?}"
+            );
         }
     }
 
     #[test]
     fn extraction_is_deterministic() {
         let c = FeatureCatalog::standard();
-        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.13).sin() * 3.0 + 1.0).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.13).sin() * 3.0 + 1.0)
+            .collect();
         assert_eq!(c.extract(&x, 0.5), c.extract(&x, 0.5));
     }
 
@@ -523,11 +616,16 @@ mod tests {
     fn distinguishes_different_signals() {
         let c = FeatureCatalog::standard();
         let quiet: Vec<f64> = (0..256).map(|i| 0.01 * (i as f64 * 0.05).sin()).collect();
-        let busy: Vec<f64> = (0..256).map(|i| 5.0 * (i as f64 * 1.3).sin() + i as f64 * 0.1).collect();
+        let busy: Vec<f64> = (0..256)
+            .map(|i| 5.0 * (i as f64 * 1.3).sin() + i as f64 * 0.1)
+            .collect();
         let fq = c.extract(&quiet, 1.0);
         let fb = c.extract(&busy, 1.0);
         let dist: f64 = fq.iter().zip(&fb).map(|(a, b)| (a - b).abs()).sum();
-        assert!(dist > 1.0, "feature vectors should separate distinct signals");
+        assert!(
+            dist > 1.0,
+            "feature vectors should separate distinct signals"
+        );
     }
 
     #[test]

@@ -97,7 +97,9 @@ mod tests {
 
     #[test]
     fn alternating_signal_energy_in_finest_level() {
-        let x: Vec<f64> = (0..32).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..32)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let e = wavelet_energies(&x, 4);
         assert!((e[0] - 1.0).abs() < 1e-12);
         assert!(e[1..].iter().all(|&v| v < 1e-12));
@@ -116,8 +118,12 @@ mod tests {
     fn entropy_degenerate_cases() {
         assert_eq!(wavelet_entropy(&[0.0; 16], 4), 0.0);
         // Concentrated energy → low entropy; mixed signal → higher.
-        let alt: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
-        let mixed: Vec<f64> = (0..64).map(|i| (i as f64 * 0.9).sin() + (i as f64 * 0.1).sin()).collect();
+        let alt: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let mixed: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.9).sin() + (i as f64 * 0.1).sin())
+            .collect();
         assert!(wavelet_entropy(&alt, 5) < wavelet_entropy(&mixed, 5));
     }
 

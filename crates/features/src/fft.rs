@@ -40,7 +40,10 @@ impl Complex {
     #[inline]
     #[allow(clippy::should_implement_trait)] // bare math helpers, not operator overloads
     pub fn mul(self, o: Complex) -> Complex {
-        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
     }
 
     /// Squared magnitude.
@@ -65,7 +68,10 @@ pub fn next_pow2(n: usize) -> usize {
 /// `inverse` selects the inverse transform (including the 1/n scaling).
 pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
     let n = buf.len();
-    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "fft length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -197,7 +203,9 @@ pub fn welch_psd(x: &[f64], sample_rate: f64, nperseg: usize) -> (Vec<f64>, Vec<
         }
         count = 1;
     }
-    let freqs: Vec<f64> = (0..=half).map(|i| i as f64 * sample_rate / nfft as f64).collect();
+    let freqs: Vec<f64> = (0..=half)
+        .map(|i| i as f64 * sample_rate / nfft as f64)
+        .collect();
     let psd: Vec<f64> = acc.into_iter().map(|v| v / count as f64).collect();
     (freqs, psd)
 }
@@ -208,7 +216,9 @@ mod tests {
 
     #[test]
     fn fft_roundtrip_recovers_signal() {
-        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin() + 0.1 * i as f64).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.3).sin() + 0.1 * i as f64)
+            .collect();
         let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
         fft_in_place(&mut buf, false);
         fft_in_place(&mut buf, true);
@@ -232,7 +242,9 @@ mod tests {
         let n = 256;
         let fs = 1.0;
         let k = 16; // 16 cycles over n samples → bin 16
-        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).sin())
+            .collect();
         let (freqs, power) = power_spectrum(&x, fs);
         let peak = power
             .iter()
@@ -244,7 +256,10 @@ mod tests {
         assert!((freqs[peak] - k as f64 / n as f64).abs() < 1e-12);
         // Total one-sided power ≈ signal variance (0.5 for a unit sine).
         let total: f64 = power.iter().sum();
-        assert!((total - 0.5).abs() < 1e-6, "total one-sided power was {total}");
+        assert!(
+            (total - 0.5).abs() < 1e-6,
+            "total one-sided power was {total}"
+        );
     }
 
     #[test]
@@ -259,7 +274,9 @@ mod tests {
     fn zero_padding_keeps_peak_location() {
         // 100 samples (non power of two) of a 10-cycle tone.
         let n = 100;
-        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * 10.0 * i as f64 / n as f64).sin()).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 10.0 * i as f64 / n as f64).sin())
+            .collect();
         let (freqs, power) = power_spectrum(&x, 1.0);
         let peak = power
             .iter()

@@ -200,7 +200,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(n: usize, cycles: f64) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * cycles * i as f64 / n as f64).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * cycles * i as f64 / n as f64).sin())
+            .collect()
     }
 
     #[test]
@@ -213,14 +215,18 @@ mod tests {
     #[test]
     fn entropy_orders_pure_vs_noise() {
         let (_, pure) = power_spectrum(&tone(256, 16.0), 1.0);
-        let noise: Vec<f64> = (0..256).map(|i| ((i * 7919 + 13) % 101) as f64 / 50.0 - 1.0).collect();
+        let noise: Vec<f64> = (0..256)
+            .map(|i| ((i * 7919 + 13) % 101) as f64 / 50.0 - 1.0)
+            .collect();
         let (_, noisy) = power_spectrum(&noise, 1.0);
         assert!(entropy(&pure) < entropy(&noisy));
     }
 
     #[test]
     fn rolloff_monotone_in_fraction() {
-        let noise: Vec<f64> = (0..512).map(|i| ((i * 2654435761_usize) % 997) as f64 / 500.0 - 1.0).collect();
+        let noise: Vec<f64> = (0..512)
+            .map(|i| ((i * 2654435761_usize) % 997) as f64 / 500.0 - 1.0)
+            .collect();
         let (f, p) = power_spectrum(&noise, 1.0);
         let r50 = rolloff(&f, &p, 0.5);
         let r85 = rolloff(&f, &p, 0.85);
@@ -254,7 +260,9 @@ mod tests {
 
     #[test]
     fn band_energies_partition() {
-        let noise: Vec<f64> = (0..256).map(|i| ((i * 131 + 3) % 23) as f64 - 11.0).collect();
+        let noise: Vec<f64> = (0..256)
+            .map(|i| ((i * 131 + 3) % 23) as f64 - 11.0)
+            .collect();
         let (_, p) = power_spectrum(&noise, 1.0);
         let s: f64 = (0..10).map(|i| band_energy(&p, i, 10)).sum();
         assert!((s - 1.0).abs() < 1e-9);

@@ -144,7 +144,11 @@ fn relative_location(x: &[f64], maximum: bool, first: bool) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let target = if maximum { stats::max(x) } else { stats::min(x) };
+    let target = if maximum {
+        stats::max(x)
+    } else {
+        stats::min(x)
+    };
     let iter: Box<dyn Iterator<Item = (usize, &f64)>> = if first {
         Box::new(x.iter().enumerate())
     } else {
@@ -177,7 +181,10 @@ pub fn c3(x: &[f64], lag: usize) -> f64 {
         return 0.0;
     }
     let n = x.len() - 2 * lag;
-    (0..n).map(|t| x[t + 2 * lag] * x[t + lag] * x[t]).sum::<f64>() / n as f64
+    (0..n)
+        .map(|t| x[t + 2 * lag] * x[t + lag] * x[t])
+        .sum::<f64>()
+        / n as f64
 }
 
 /// CID complexity estimate: `sqrt(sum(diff²))`. Higher for more complex
@@ -290,7 +297,9 @@ mod tests {
     #[test]
     fn cid_monotone_in_wiggliness() {
         let smooth: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
-        let rough: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        let rough: Vec<f64> = (0..50)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 2.0 })
+            .collect();
         assert!(cid_ce(&rough) > cid_ce(&smooth));
     }
 

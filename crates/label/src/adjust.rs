@@ -112,7 +112,11 @@ impl ClusterAdjustment {
     /// Export `item cluster` rows (the `cluster_adjust.txt` format);
     /// `original` selects the raw algorithmic labels instead.
     pub fn export(&self, original: bool) -> String {
-        let labels = if original { &self.original } else { &self.adjusted };
+        let labels = if original {
+            &self.original
+        } else {
+            &self.adjusted
+        };
         let mut s = String::new();
         for (i, l) in labels.iter().enumerate() {
             let _ = writeln!(s, "{i} {l}");

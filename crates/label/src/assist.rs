@@ -67,7 +67,10 @@ pub fn suggest_ksigma(
     flags_to_intervals(&flagged, min_len)
         .into_iter()
         .map(|(s, e)| {
-            let conf = votes[s..e].iter().map(|&v| v as f64 / cols as f64).sum::<f64>()
+            let conf = votes[s..e]
+                .iter()
+                .map(|&v| v as f64 / cols as f64)
+                .sum::<f64>()
                 / (e - s) as f64;
             Suggestion {
                 interval: Interval::new(s, e, "ksigma"),
@@ -135,9 +138,13 @@ mod tests {
         });
         let sugg = suggest_ksigma(&data, &KSigmaConfig::default(), 2, 2);
         assert!(!sugg.is_empty(), "no suggestions produced");
-        let hit = sugg.iter().any(|s| s.interval.start >= 195 && s.interval.start <= 205);
+        let hit = sugg
+            .iter()
+            .any(|s| s.interval.start >= 195 && s.interval.start <= 205);
         assert!(hit, "suggestions {sugg:?} missed the burst");
-        assert!(sugg.iter().all(|s| s.confidence > 0.0 && s.confidence <= 1.0));
+        assert!(sugg
+            .iter()
+            .all(|s| s.confidence > 0.0 && s.confidence <= 1.0));
     }
 
     #[test]
@@ -149,7 +156,11 @@ mod tests {
 
     #[test]
     fn level_shift_detector_fires_on_step() {
-        let data = Matrix::from_fn(200, 1, |t, _| if t < 100 { 0.0 } else { 2.0 } + ((t % 5) as f64) * 0.01);
+        let data = Matrix::from_fn(
+            200,
+            1,
+            |t, _| if t < 100 { 0.0 } else { 2.0 } + ((t % 5) as f64) * 0.01,
+        );
         let sugg = suggest_level_shift(&data, 20, 4.0);
         assert!(!sugg.is_empty());
         assert!(sugg.iter().any(|s| (80..120).contains(&s.interval.start)));

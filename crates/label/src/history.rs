@@ -7,8 +7,15 @@ use serde::{Deserialize, Serialize};
 /// One labeling action.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Action {
-    Label { node: usize, interval: Interval },
-    Unlabel { node: usize, start: usize, end: usize },
+    Label {
+        node: usize,
+        interval: Interval,
+    },
+    Unlabel {
+        node: usize,
+        start: usize,
+        end: usize,
+    },
 }
 
 /// The history: actions applied in order; undo pops the latest and
@@ -90,9 +97,28 @@ mod tests {
     fn apply_and_undo() {
         let mut store = LabelStore::new();
         let mut hist = AnnotationHistory::new();
-        hist.apply(&mut store, Action::Label { node: 0, interval: Interval::new(10, 20, "a") });
-        hist.apply(&mut store, Action::Label { node: 0, interval: Interval::new(30, 40, "b") });
-        hist.apply(&mut store, Action::Unlabel { node: 0, start: 12, end: 15 });
+        hist.apply(
+            &mut store,
+            Action::Label {
+                node: 0,
+                interval: Interval::new(10, 20, "a"),
+            },
+        );
+        hist.apply(
+            &mut store,
+            Action::Label {
+                node: 0,
+                interval: Interval::new(30, 40, "b"),
+            },
+        );
+        hist.apply(
+            &mut store,
+            Action::Unlabel {
+                node: 0,
+                start: 12,
+                end: 15,
+            },
+        );
         assert_eq!(store.intervals(0).len(), 3);
         // Undo the unlabel: back to two whole intervals.
         let store = hist.undo().unwrap();
@@ -110,8 +136,21 @@ mod tests {
     fn jsonl_roundtrip() {
         let mut store = LabelStore::new();
         let mut hist = AnnotationHistory::new();
-        hist.apply(&mut store, Action::Label { node: 2, interval: Interval::new(1, 5, "x") });
-        hist.apply(&mut store, Action::Unlabel { node: 2, start: 2, end: 3 });
+        hist.apply(
+            &mut store,
+            Action::Label {
+                node: 2,
+                interval: Interval::new(1, 5, "x"),
+            },
+        );
+        hist.apply(
+            &mut store,
+            Action::Unlabel {
+                node: 2,
+                start: 2,
+                end: 3,
+            },
+        );
         let text = hist.to_jsonl();
         let hist2 = AnnotationHistory::from_jsonl(&text).unwrap();
         assert_eq!(hist2.len(), 2);

@@ -16,7 +16,11 @@ pub struct Interval {
 impl Interval {
     pub fn new(start: usize, end: usize, note: impl Into<String>) -> Self {
         assert!(start < end, "interval must be non-empty");
-        Self { start, end, note: note.into() }
+        Self {
+            start,
+            end,
+            note: note.into(),
+        }
     }
 
     pub fn overlaps(&self, other: &Interval) -> bool {
@@ -71,10 +75,18 @@ impl LabelStore {
                 continue;
             }
             if iv.start < start {
-                next.push(Interval { start: iv.start, end: start, note: iv.note.clone() });
+                next.push(Interval {
+                    start: iv.start,
+                    end: start,
+                    note: iv.note.clone(),
+                });
             }
             if iv.end > end {
-                next.push(Interval { start: end, end: iv.end, note: iv.note.clone() });
+                next.push(Interval {
+                    start: end,
+                    end: iv.end,
+                    note: iv.note.clone(),
+                });
             }
         }
         *list = next;
@@ -87,7 +99,11 @@ impl LabelStore {
 
     /// Nodes that carry at least one label.
     pub fn labelled_nodes(&self) -> Vec<usize> {
-        self.nodes.iter().filter(|(_, v)| !v.is_empty()).map(|(&n, _)| n).collect()
+        self.nodes
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(&n, _)| n)
+            .collect()
     }
 
     /// Point-wise boolean labels over `[0, horizon)`.
@@ -160,7 +176,7 @@ mod tests {
         s.label(0, Interval::new(10, 20, "a"));
         s.label(0, Interval::new(15, 30, "b"));
         s.label(0, Interval::new(30, 35, "c")); // adjacent merges too
-        // The most recent non-empty note wins the merged interval.
+                                                // The most recent non-empty note wins the merged interval.
         assert_eq!(s.intervals(0), &[Interval::new(10, 35, "c")]);
     }
 

@@ -24,7 +24,10 @@ impl CondensedDistance {
         F: Fn(usize, usize) -> f64 + Sync,
     {
         if n < 2 {
-            return Self { n, data: Vec::new() };
+            return Self {
+                n,
+                data: Vec::new(),
+            };
         }
         let mut data = vec![0.0f32; n * (n - 1) / 2];
         // Parallelise over i: row i owns the contiguous range of pairs

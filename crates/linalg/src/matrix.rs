@@ -27,12 +27,20 @@ const PAR_MIN_ROWS: usize = 32;
 impl Matrix {
     /// Create a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Identity matrix of size `n × n`.
@@ -60,7 +68,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -75,17 +87,29 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have the same length");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// A `1 × n` row vector.
     pub fn row_vector(v: &[f64]) -> Self {
-        Self { rows: 1, cols: v.len(), data: v.to_vec() }
+        Self {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// An `n × 1` column vector.
     pub fn col_vector(v: &[f64]) -> Self {
-        Self { rows: v.len(), cols: 1, data: v.to_vec() }
+        Self {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     #[inline]
@@ -172,7 +196,11 @@ impl Matrix {
     /// Elementwise map into a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
         let data = self.data.iter().map(|&x| f(x)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place elementwise map.
@@ -185,8 +213,17 @@ impl Matrix {
     /// Elementwise binary zip into a new matrix. Shapes must match.
     pub fn zip(&self, other: &Matrix, f: impl Fn(f64, f64) -> f64) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in zip");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// `self + other`.
@@ -327,7 +364,11 @@ impl Matrix {
     /// Per-row sums as a column vector (`rows × 1`).
     pub fn row_sums(&self) -> Matrix {
         let data = self.rows_iter().map(|r| r.iter().sum()).collect();
-        Matrix { rows: self.rows, cols: 1, data }
+        Matrix {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Per-column sums as a row vector (`1 × cols`).
@@ -338,7 +379,11 @@ impl Matrix {
                 *acc += v;
             }
         }
-        Matrix { rows: 1, cols: self.cols, data }
+        Matrix {
+            rows: 1,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Per-column means as a row vector.
@@ -354,7 +399,11 @@ impl Matrix {
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
         assert!(start <= end && end <= self.rows, "row slice out of bounds");
         let data = self.data[start * self.cols..end * self.cols].to_vec();
-        Matrix { rows: end - start, cols: self.cols, data }
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Gather the given rows (with repetition allowed) into a new matrix.
@@ -363,7 +412,11 @@ impl Matrix {
         for &i in idx {
             data.extend_from_slice(self.row(i));
         }
-        Matrix { rows: idx.len(), cols: self.cols, data }
+        Matrix {
+            rows: idx.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Vertically stack matrices (all must share the column count).
@@ -419,7 +472,10 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -427,7 +483,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

@@ -165,7 +165,11 @@ pub fn trimmed_mean_std(x: &[f64], trim: f64) -> (f64, f64) {
     let mut v: Vec<f64> = x.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let k = ((v.len() as f64) * trim).floor() as usize;
-    let kept = if v.len() > 2 * k + 1 { &v[k..v.len() - k] } else { &v[..] };
+    let kept = if v.len() > 2 * k + 1 {
+        &v[k..v.len() - k]
+    } else {
+        &v[..]
+    };
     (mean(kept), std_dev(kept))
 }
 
@@ -188,7 +192,9 @@ pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
     if var < 1e-24 {
         return 0.0;
     }
-    let cov: f64 = (0..x.len() - lag).map(|i| (x[i] - m) * (x[i + lag] - m)).sum();
+    let cov: f64 = (0..x.len() - lag)
+        .map(|i| (x[i] - m) * (x[i + lag] - m))
+        .sum();
     cov / var
 }
 
@@ -309,7 +315,9 @@ mod tests {
 
     #[test]
     fn autocorr_of_periodic_signal() {
-        let x: Vec<f64> = (0..64).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..64)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&x, 2) > 0.9);
         assert!(autocorrelation(&x, 1) < -0.9);
         assert_eq!(autocorrelation(&[1.0, 1.0], 1), 0.0); // constant

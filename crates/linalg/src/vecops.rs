@@ -43,7 +43,9 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    a.iter()
+        .zip(b)
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
 }
 
 /// Cosine distance `1 - cos(a, b)`; returns 1 when either vector is zero.
@@ -94,7 +96,11 @@ pub fn softmax(x: &[f64]) -> Vec<f64> {
 /// Ties resolve to the lower index first (deterministic).
 pub fn top_k_indices(x: &[f64], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
     idx.truncate(k.min(x.len()));
     idx
 }

@@ -21,7 +21,12 @@ impl Linear {
     pub fn new(params: &mut ParamStore, name: &str, in_dim: usize, out_dim: usize) -> Self {
         let w = params.xavier(format!("{name}.w"), in_dim, out_dim);
         let b = params.zeros(format!("{name}.b"), 1, out_dim);
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward over a `n × in_dim` node.
@@ -90,7 +95,10 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     pub fn new(params: &mut ParamStore, name: &str, d_model: usize, n_heads: usize) -> Self {
-        assert!(d_model.is_multiple_of(n_heads), "d_model must divide by n_heads");
+        assert!(
+            d_model.is_multiple_of(n_heads),
+            "d_model must divide by n_heads"
+        );
         Self {
             wq: Linear::new(params, &format!("{name}.wq"), d_model, d_model),
             wk: Linear::new(params, &format!("{name}.wk"), d_model, d_model),
@@ -165,7 +173,10 @@ mod tests {
         let lin = Linear::new(&mut params, "l", 4, 2);
         // Zero weights → output equals bias.
         params.get_mut(lin.w).map_inplace(|_| 0.0);
-        params.get_mut(lin.b).row_mut(0).copy_from_slice(&[7.0, -3.0]);
+        params
+            .get_mut(lin.b)
+            .row_mut(0)
+            .copy_from_slice(&[7.0, -3.0]);
         let mut g = Graph::new(&params);
         let x = g.input(Matrix::filled(5, 4, 1.0));
         let y = lin.forward(&mut g, x);
@@ -179,7 +190,9 @@ mod tests {
         let mut params = ParamStore::new(2);
         let ln = LayerNorm::new(&mut params, "ln", 8);
         let mut g = Graph::new(&params);
-        let x = g.input(Matrix::from_fn(3, 8, |r, c| (r * 8 + c) as f64 * 3.0 + 100.0));
+        let x = g.input(Matrix::from_fn(3, 8, |r, c| {
+            (r * 8 + c) as f64 * 3.0 + 100.0
+        }));
         let y = ln.forward(&mut g, x);
         for r in 0..3 {
             let row = g.value(y).row(r);
@@ -272,7 +285,12 @@ mod tests {
         let pe = sinusoidal_pe(100, 32, 0);
         for a in (0..100).step_by(17) {
             for b in (a + 1..100).step_by(13) {
-                let d: f64 = pe.row(a).iter().zip(pe.row(b)).map(|(x, y)| (x - y).abs()).sum();
+                let d: f64 = pe
+                    .row(a)
+                    .iter()
+                    .zip(pe.row(b))
+                    .map(|(x, y)| (x - y).abs())
+                    .sum();
                 assert!(d > 1e-6, "positions {a} and {b} collide");
             }
         }

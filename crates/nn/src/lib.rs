@@ -33,7 +33,9 @@ pub mod tape;
 pub mod transformer;
 pub mod vae;
 
-pub use layers::{sinusoidal_pe, sinusoidal_pe_at, FeedForward, LayerNorm, Linear, MultiHeadAttention};
+pub use layers::{
+    sinusoidal_pe, sinusoidal_pe_at, FeedForward, LayerNorm, Linear, MultiHeadAttention,
+};
 pub use moe::{MoeLayer, MoeOutput};
 pub use optim::{Adam, Sgd};
 pub use params::{GradStore, ParamId, ParamStore};

@@ -33,13 +33,7 @@ impl LstmCell {
 
     /// One step: `x` is `1 × input_dim`, state is `(h, c)` each
     /// `1 × hidden_dim`. Returns the new `(h, c)`.
-    pub fn step(
-        &self,
-        g: &mut Graph<'_>,
-        x: NodeId,
-        h: NodeId,
-        c: NodeId,
-    ) -> (NodeId, NodeId) {
+    pub fn step(&self, g: &mut Graph<'_>, x: NodeId, h: NodeId, c: NodeId) -> (NodeId, NodeId) {
         let xh = g.concat_cols(&[x, h]);
         let f_lin = self.wf.forward(g, xh);
         let f = g.sigmoid(f_lin);
@@ -195,7 +189,10 @@ mod tests {
             last = loss;
             opt.step(&mut params, &grads);
         }
-        assert!(last < first.unwrap() * 0.2, "LSTM-AE failed to learn: {first:?} → {last}");
+        assert!(
+            last < first.unwrap() * 0.2,
+            "LSTM-AE failed to learn: {first:?} → {last}"
+        );
     }
 
     #[test]
@@ -206,7 +203,10 @@ mod tests {
         let mut g = Graph::new(&params);
         let l = ae.loss(&mut g, &window);
         let grads = g.backward(l);
-        assert!(grads.get(ae.encoder.wf.w).max_abs() > 0.0, "BPTT must reach the encoder");
+        assert!(
+            grads.get(ae.encoder.wf.w).max_abs() > 0.0,
+            "BPTT must reach the encoder"
+        );
         assert!(grads.get(ae.readout.w).max_abs() > 0.0);
     }
 }

@@ -49,7 +49,12 @@ impl MoeLayer {
             .map(|e| FeedForward::new(params, &format!("{name}.expert{e}"), d_model, hidden))
             .collect();
         let gate = params.xavier(format!("{name}.gate"), d_model, n_experts);
-        Self { experts, gate, top_k: top_k.clamp(1, n_experts), d_model }
+        Self {
+            experts,
+            gate,
+            top_k: top_k.clamp(1, n_experts),
+            d_model,
+        }
     }
 
     pub fn n_experts(&self) -> usize {
@@ -116,7 +121,12 @@ impl MoeLayer {
         let s = g.sum_all(prod);
         let aux_loss = g.scale(s, n_exp as f64);
 
-        MoeOutput { out, gate_probs: p, assignments, aux_loss }
+        MoeOutput {
+            out,
+            gate_probs: p,
+            assignments,
+            aux_loss,
+        }
     }
 }
 
@@ -136,7 +146,9 @@ mod tests {
     fn gate_probabilities_normalized() {
         let (params, moe) = layer(4, 1, 7);
         let mut g = Graph::new(&params);
-        let x = g.input(Matrix::from_fn(10, 8, |r, c| ((r * 3 + c) as f64 * 0.21).sin()));
+        let x = g.input(Matrix::from_fn(10, 8, |r, c| {
+            ((r * 3 + c) as f64 * 0.21).sin()
+        }));
         let out = moe.forward(&mut g, x);
         let probs = g.value(out.gate_probs);
         assert_eq!(probs.shape(), (10, 4));
@@ -152,7 +164,9 @@ mod tests {
         for top_k in 1..=3 {
             let (params, moe) = layer(3, top_k, 11);
             let mut g = Graph::new(&params);
-            let x = g.input(Matrix::from_fn(20, 8, |r, c| ((r + 2 * c) as f64 * 0.37).cos()));
+            let x = g.input(Matrix::from_fn(20, 8, |r, c| {
+                ((r + 2 * c) as f64 * 0.37).cos()
+            }));
             let out = moe.forward(&mut g, x);
             let total: usize = out.assignments.iter().map(|a| a.len()).sum();
             assert_eq!(total, 20 * top_k, "top_k={top_k}");
@@ -199,13 +213,18 @@ mod tests {
     fn gradients_flow_into_router_and_experts() {
         let (params, moe) = layer(3, 1, 19);
         let mut g = Graph::new(&params);
-        let x = g.input(Matrix::from_fn(12, 8, |r, c| ((r * 5 + c * 3) as f64 * 0.13).sin()));
+        let x = g.input(Matrix::from_fn(12, 8, |r, c| {
+            ((r * 5 + c * 3) as f64 * 0.13).sin()
+        }));
         let out = moe.forward(&mut g, x);
         let target = g.input(Matrix::zeros(12, 8));
         let l = g.mse(out.out, target);
         let grads = g.backward(l);
         // Router gradient must be nonzero (flows through selected gates).
-        assert!(grads.get(moe.gate).max_abs() > 0.0, "router got no gradient");
+        assert!(
+            grads.get(moe.gate).max_abs() > 0.0,
+            "router got no gradient"
+        );
         // At least one expert's weights get gradient.
         let any_expert = moe
             .experts
@@ -253,10 +272,15 @@ mod tests {
         // collapsed routing pushes it toward n_experts.
         let (params, moe) = layer(4, 1, 29);
         let mut g = Graph::new(&params);
-        let x = g.input(Matrix::from_fn(40, 8, |r, c| ((r * 7 + c) as f64 * 0.11).sin()));
+        let x = g.input(Matrix::from_fn(40, 8, |r, c| {
+            ((r * 7 + c) as f64 * 0.11).sin()
+        }));
         let out = moe.forward(&mut g, x);
         let aux = g.scalar(out.aux_loss);
-        assert!(aux >= 1.0 - 1e-6, "aux {aux} must be ≥ 1 (balanced optimum)");
+        assert!(
+            aux >= 1.0 - 1e-6,
+            "aux {aux} must be ≥ 1 (balanced optimum)"
+        );
         assert!(aux <= 4.0 + 1e-6);
     }
 }

@@ -12,7 +12,11 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f64, momentum: f64) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Apply one update step.
@@ -53,7 +57,15 @@ pub struct Adam {
 impl Adam {
     /// Standard betas (0.9, 0.999), eps 1e-8.
     pub fn new(lr: f64) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Apply one update step.

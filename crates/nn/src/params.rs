@@ -25,14 +25,21 @@ pub struct ParamStore {
 impl ParamStore {
     /// Create an empty store; `seed` drives all weight initialisation.
     pub fn new(seed: u64) -> Self {
-        Self { values: Vec::new(), names: Vec::new(), rng: seed }
+        Self {
+            values: Vec::new(),
+            names: Vec::new(),
+            rng: seed,
+        }
     }
 
     fn next_rng(&mut self) -> ChaCha8Rng {
         // Derive a fresh stream per parameter so insertion order, not
         // global call count, determines each init.
         let seed = self.rng;
-        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ChaCha8Rng::seed_from_u64(seed)
     }
 
@@ -57,7 +64,13 @@ impl ParamStore {
     }
 
     /// Constant-initialised parameter (LayerNorm gains start at 1).
-    pub fn constant(&mut self, name: impl Into<String>, rows: usize, cols: usize, v: f64) -> ParamId {
+    pub fn constant(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        v: f64,
+    ) -> ParamId {
         self.add(name, Matrix::filled(rows, cols, v))
     }
 
@@ -90,7 +103,11 @@ impl ParamStore {
     /// Fresh zeroed gradient store aligned with this parameter set.
     pub fn zero_grads(&self) -> GradStore {
         GradStore {
-            grads: self.values.iter().map(|m| Matrix::zeros(m.rows(), m.cols())).collect(),
+            grads: self
+                .values
+                .iter()
+                .map(|m| Matrix::zeros(m.rows(), m.cols()))
+                .collect(),
         }
     }
 }
@@ -136,7 +153,11 @@ impl GradStore {
 
     /// Global L2 norm across all gradients.
     pub fn global_norm(&self) -> f64 {
-        self.grads.iter().map(|g| g.as_slice().iter().map(|v| v * v).sum::<f64>()).sum::<f64>().sqrt()
+        self.grads
+            .iter()
+            .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Clip by global norm: rescale if the norm exceeds `max_norm`.

@@ -35,7 +35,12 @@ enum Op {
     /// Row-wise softmax.
     SoftmaxRows(NodeId),
     /// Row-wise LayerNorm with learnable gain/shift (`1 × d` each).
-    LayerNorm { x: NodeId, gamma: NodeId, beta: NodeId, eps: f64 },
+    LayerNorm {
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f64,
+    },
     /// `a + row` with `row` broadcast over all rows of `a`.
     AddRowBroadcast(NodeId, NodeId),
     /// `a ⊙ row` with `row` broadcast over all rows.
@@ -44,7 +49,11 @@ enum Op {
     MulColBroadcast(NodeId, NodeId),
     GatherRows(NodeId, Vec<usize>),
     /// Place rows of `src` at `idx` within a `rows`-tall zero matrix.
-    ScatterRows { src: NodeId, idx: Vec<usize>, rows: usize },
+    ScatterRows {
+        src: NodeId,
+        idx: Vec<usize>,
+        rows: usize,
+    },
     /// Pick one element per listed `(row, col)` pair into a column vector.
     SelectElems(NodeId, Vec<(usize, usize)>),
     SliceCols(NodeId, usize, usize),
@@ -69,11 +78,18 @@ pub struct Graph<'p> {
 
 impl<'p> Graph<'p> {
     pub fn new(params: &'p ParamStore) -> Self {
-        Self { params, nodes: Vec::with_capacity(256) }
+        Self {
+            params,
+            nodes: Vec::with_capacity(256),
+        }
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         self.nodes.len() - 1
     }
 
@@ -185,11 +201,21 @@ impl<'p> Graph<'p> {
                 *v = g.as_slice()[i] * (*v - mean) * inv + b.as_slice()[i];
             }
         }
-        self.push(out, Op::LayerNorm { x, gamma, beta, eps })
+        self.push(
+            out,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     pub fn add_row_broadcast(&mut self, a: NodeId, row: NodeId) -> NodeId {
-        let v = self.nodes[a].value.add_row_broadcast(&self.nodes[row].value);
+        let v = self.nodes[a]
+            .value
+            .add_row_broadcast(&self.nodes[row].value);
         self.push(v, Op::AddRowBroadcast(a, row))
     }
 
@@ -236,7 +262,14 @@ impl<'p> Graph<'p> {
         for (r, &target) in idx.iter().enumerate() {
             v.row_mut(target).copy_from_slice(sv.row(r));
         }
-        self.push(v, Op::ScatterRows { src, idx: idx.to_vec(), rows })
+        self.push(
+            v,
+            Op::ScatterRows {
+                src,
+                idx: idx.to_vec(),
+                rows,
+            },
+        )
     }
 
     /// Pick `a[(r, c)]` for each pair into an `len × 1` column vector.
@@ -323,7 +356,11 @@ impl<'p> Graph<'p> {
     /// Backpropagate from a scalar (`1 × 1`) loss node; returns gradients
     /// for every parameter reachable from it.
     pub fn backward(&mut self, loss: NodeId) -> GradStore {
-        assert_eq!(self.nodes[loss].value.shape(), (1, 1), "loss must be scalar");
+        assert_eq!(
+            self.nodes[loss].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
         self.nodes[loss].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
         let mut grads = self.params.zero_grads();
 
@@ -395,7 +432,12 @@ impl<'p> Graph<'p> {
                     }
                     self.accum(a, g);
                 }
-                Op::LayerNorm { x, gamma, beta, eps } => {
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
                     let xv = self.nodes[x].value.clone();
                     let gv = self.nodes[gamma].value.clone();
                     let (rows, d) = xv.shape();
@@ -421,7 +463,8 @@ impl<'p> Graph<'p> {
                         let sum_dxhat_xhat: f64 = dxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum();
                         let out = gx.row_mut(r);
                         for i in 0..d {
-                            out[i] = inv / df * (df * dxhat[i] - sum_dxhat - xhat[i] * sum_dxhat_xhat);
+                            out[i] =
+                                inv / df * (df * dxhat[i] - sum_dxhat - xhat[i] * sum_dxhat_xhat);
                         }
                     }
                     self.accum(x, gx);
@@ -678,7 +721,11 @@ mod tests {
         let y = g.add(wn, wn);
         let loss = g.sum_all(y);
         let grads = g.backward(loss);
-        assert!(grads.get(w).as_slice().iter().all(|&v| (v - 2.0).abs() < 1e-12));
+        assert!(grads
+            .get(w)
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 2.0).abs() < 1e-12));
     }
 
     #[test]

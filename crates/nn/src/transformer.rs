@@ -47,14 +47,33 @@ impl EncoderLayer {
         let norm2 = LayerNorm::new(params, &format!("{name}.norm2"), d_model);
         let (moe, ffn) = match kind {
             BlockKind::Moe { n_experts, top_k } => (
-                Some(MoeLayer::new(params, &format!("{name}.moe"), d_model, hidden, *n_experts, *top_k)),
+                Some(MoeLayer::new(
+                    params,
+                    &format!("{name}.moe"),
+                    d_model,
+                    hidden,
+                    *n_experts,
+                    *top_k,
+                )),
                 None,
             ),
-            BlockKind::Dense => {
-                (None, Some(FeedForward::new(params, &format!("{name}.ffn"), d_model, hidden)))
-            }
+            BlockKind::Dense => (
+                None,
+                Some(FeedForward::new(
+                    params,
+                    &format!("{name}.ffn"),
+                    d_model,
+                    hidden,
+                )),
+            ),
         };
-        Self { attn, norm1, norm2, moe, ffn }
+        Self {
+            attn,
+            norm1,
+            norm2,
+            moe,
+            ffn,
+        }
     }
 
     /// Forward; returns `(output, aux_loss_node_if_moe)`.
@@ -102,7 +121,10 @@ impl Default for TransformerConfig {
             n_heads: 3,
             n_layers: 3,
             hidden: 48,
-            block: BlockKind::Moe { n_experts: 3, top_k: 1 },
+            block: BlockKind::Moe {
+                n_experts: 3,
+                top_k: 1,
+            },
             aux_weight: 0.01,
         }
     }
@@ -134,7 +156,12 @@ impl ReconstructionTransformer {
             })
             .collect();
         let decoder = Linear::new(params, "decoder", cfg.d_model, cfg.input_dim);
-        Self { cfg, embed, layers, decoder }
+        Self {
+            cfg,
+            embed,
+            layers,
+            decoder,
+        }
     }
 
     /// Forward a `T × input_dim` window with a precomputed positional
@@ -191,7 +218,9 @@ mod tests {
     use ns_linalg::matrix::Matrix;
 
     fn window(t: usize, m: usize, phase: f64) -> Matrix {
-        Matrix::from_fn(t, m, |r, c| ((r as f64 * 0.4 + c as f64 + phase) * 0.7).sin())
+        Matrix::from_fn(t, m, |r, c| {
+            ((r as f64 * 0.4 + c as f64 + phase) * 0.7).sin()
+        })
     }
 
     fn small_cfg(block: BlockKind) -> TransformerConfig {
@@ -208,7 +237,13 @@ mod tests {
 
     #[test]
     fn forward_shapes() {
-        for block in [BlockKind::Moe { n_experts: 3, top_k: 1 }, BlockKind::Dense] {
+        for block in [
+            BlockKind::Moe {
+                n_experts: 3,
+                top_k: 1,
+            },
+            BlockKind::Dense,
+        ] {
             let mut params = ParamStore::new(1);
             let model = ReconstructionTransformer::new(&mut params, small_cfg(block));
             let mut g = Graph::new(&params);
@@ -228,7 +263,10 @@ mod tests {
         let mut params = ParamStore::new(42);
         let model = ReconstructionTransformer::new(
             &mut params,
-            small_cfg(BlockKind::Moe { n_experts: 2, top_k: 1 }),
+            small_cfg(BlockKind::Moe {
+                n_experts: 2,
+                top_k: 1,
+            }),
         );
         let data = window(12, 4, 0.0);
         let w = Matrix::filled(1, 4, 1.0);
@@ -282,7 +320,10 @@ mod tests {
             last = loss;
             opt.step(&mut params, &grads);
         }
-        assert!(last < first.unwrap() * 0.2, "dense transformer: {first:?} → {last}");
+        assert!(
+            last < first.unwrap() * 0.2,
+            "dense transformer: {first:?} → {last}"
+        );
     }
 
     #[test]
@@ -292,7 +333,10 @@ mod tests {
         let mut params = ParamStore::new(44);
         let model = ReconstructionTransformer::new(
             &mut params,
-            small_cfg(BlockKind::Moe { n_experts: 2, top_k: 1 }),
+            small_cfg(BlockKind::Moe {
+                n_experts: 2,
+                top_k: 1,
+            }),
         );
         let train = window(12, 4, 0.0);
         let w = Matrix::filled(1, 4, 1.0);
@@ -330,7 +374,10 @@ mod tests {
         let mut params = ParamStore::new(7);
         let _model = ReconstructionTransformer::new(
             &mut params,
-            small_cfg(BlockKind::Moe { n_experts: 3, top_k: 1 }),
+            small_cfg(BlockKind::Moe {
+                n_experts: 3,
+                top_k: 1,
+            }),
         );
         // Structure sanity: embed + 2 layers × (4 attn linears ×2 + 2 norms ×2
         // + 3 experts ×4 + gate) + decoder.

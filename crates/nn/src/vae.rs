@@ -57,12 +57,7 @@ impl Vae {
     /// Reparameterised forward pass with externally supplied standard
     /// normal noise `eps` (same shape as the latent batch). Returns
     /// `(reconstruction, mu, logvar)`.
-    pub fn forward(
-        &self,
-        g: &mut Graph<'_>,
-        x: NodeId,
-        eps: &Matrix,
-    ) -> (NodeId, NodeId, NodeId) {
+    pub fn forward(&self, g: &mut Graph<'_>, x: NodeId, eps: &Matrix) -> (NodeId, NodeId, NodeId) {
         let (mu, logvar) = self.encode(g, x);
         let half = g.scale(logvar, 0.5);
         let std = g.exp(half);
@@ -78,11 +73,7 @@ impl Vae {
     pub fn loss(&self, g: &mut Graph<'_>, x: NodeId, eps: &Matrix, beta: f64) -> NodeId {
         let (recon, mu, logvar) = self.forward(g, x, eps);
         let mse = g.mse(recon, x);
-        let ones = g.input(Matrix::filled(
-            g.value(mu).rows(),
-            g.value(mu).cols(),
-            1.0,
-        ));
+        let ones = g.input(Matrix::filled(g.value(mu).rows(), g.value(mu).cols(), 1.0));
         let mu2 = g.mul(mu, mu);
         let ev = g.exp(logvar);
         let t1 = g.add(ones, logvar);
@@ -136,7 +127,11 @@ mod tests {
     fn normal_noise_moments() {
         let m = standard_normal(100, 10, 7);
         let mean = m.mean();
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
             / m.len() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.15, "var {var}");
@@ -164,7 +159,10 @@ mod tests {
             last = loss;
             opt.step(&mut params, &grads);
         }
-        assert!(last < first.unwrap() * 0.3, "VAE failed to learn: {first:?} → {last}");
+        assert!(
+            last < first.unwrap() * 0.3,
+            "VAE failed to learn: {first:?} → {last}"
+        );
     }
 
     #[test]
@@ -192,7 +190,10 @@ mod tests {
             let errs = vae.reconstruction_errors(&params, &anomalous);
             errs.iter().sum::<f64>() / errs.len() as f64
         };
-        assert!(anom_err > normal_err * 3.0, "normal {normal_err} anomalous {anom_err}");
+        assert!(
+            anom_err > normal_err * 3.0,
+            "normal {normal_err} anomalous {anom_err}"
+        );
     }
 
     #[test]
@@ -215,6 +216,10 @@ mod tests {
         let mut g = Graph::new(&params);
         let x = g.input(data.clone());
         let (mu, _) = vae.encode(&mut g, x);
-        assert!(g.value(mu).max_abs() < 0.5, "mu {:?}", g.value(mu).max_abs());
+        assert!(
+            g.value(mu).max_abs() < 0.5,
+            "mu {:?}",
+            g.value(mu).max_abs()
+        );
     }
 }

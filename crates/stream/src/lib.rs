@@ -1,0 +1,711 @@
+//! `ns-stream` — sharded streaming deployment of a trained
+//! [`NodeSentry`] detector.
+//!
+//! The batch API ([`NodeSentry::score_node`]) scores a node from its full
+//! raw matrix after the fact. A monitoring deployment instead sees one
+//! telemetry sample per node per sampling step and must emit verdicts as
+//! the data arrives. This crate provides that path without changing the
+//! answer: every stage of the batch pipeline is replayed incrementally —
+//!
+//! * [`StreamingPreprocessor`] applies a fitted
+//!   [`Preprocessor`](nodesentry_core::Preprocessor) one raw row at a
+//!   time. Linear NaN interpolation is anti-causal (a gap is filled once
+//!   the next observation arrives), so rows are emitted behind a
+//!   per-column resolution watermark and back-filled exactly as the batch
+//!   code would.
+//! * [`NodeState`] assembles preprocessed test rows into job segments at
+//!   transition ticks, pattern-matches each segment's probe head against
+//!   the cluster library as soon as `match_period` rows exist, scores the
+//!   segment through the matched shared model at segment close (the
+//!   positional encoding spans the whole segment, so scores finalize
+//!   there), applies the per-segment baseline normalization, and feeds a
+//!   node-level [`StreamingSmoother`] → [`StreamingKSigma`] chain.
+//! * [`Engine`] shards nodes across a worker pool over bounded channels
+//!   (ingest blocks when a shard falls behind — backpressure, not
+//!   unbounded buffering) and returns every [`Verdict`] plus deployment
+//!   cost statistics.
+//!
+//! `tests/stream_equivalence.rs` at the workspace root holds the whole
+//! chain to `f64::to_bits` equality with batch scoring.
+
+use nodesentry_core::coarse;
+use nodesentry_core::{NodeSentry, Preprocessor};
+use ns_eval::streaming::{StreamingKSigma, StreamingSmoother};
+use ns_linalg::matrix::Matrix;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One telemetry sample for one node.
+#[derive(Clone, Debug)]
+pub struct Tick {
+    pub node: usize,
+    /// Global step index; per node, ticks must arrive starting at 0 with
+    /// no gaps (the training span is needed for interpolation context and
+    /// counter rates, exactly as batch scoring transforms the full
+    /// horizon).
+    pub step: usize,
+    /// Raw metric values (may contain NaN for lost samples).
+    pub values: Vec<f64>,
+    /// Whether a job transition occurs at this step (from the scheduler).
+    pub transition: bool,
+}
+
+/// One detection outcome for one node at one step of the test span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Verdict {
+    pub node: usize,
+    /// Global step index (`>= split`).
+    pub step: usize,
+    /// Normalized anomaly score — identical to the batch
+    /// [`NodeSentry::score_node`] value at this step.
+    pub score: f64,
+    /// Dynamic-threshold decision on the smoothed score.
+    pub anomalous: bool,
+    /// Cluster whose shared model scored this step's segment.
+    pub cluster: usize,
+}
+
+// ---------------------------------------------------------------------
+// Streaming preprocessing
+// ---------------------------------------------------------------------
+
+/// Streaming replay of [`Preprocessor::transform`].
+///
+/// Raw rows go in one at a time; preprocessed rows come out behind a
+/// resolution watermark: a row is emitted once every column's value is
+/// final, i.e. once each column has a later (or equal) observation that
+/// pins down the batch code's linear gap interpolation. [`flush`]
+/// finalizes the tail, where the batch code extends the last observation
+/// forward (and zeroes never-observed columns).
+///
+/// Memory is bounded by the longest missing-value run, not the stream
+/// length.
+///
+/// [`flush`]: StreamingPreprocessor::flush
+pub struct StreamingPreprocessor {
+    groups: Vec<usize>,
+    group_counts: Vec<usize>,
+    counters: Vec<bool>,
+    kept: Vec<usize>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    clip: f64,
+    /// Raw rows not yet fully resolved; front is row `base`.
+    buf: VecDeque<Vec<f64>>,
+    base: usize,
+    n_pushed: usize,
+    /// Rows `[0, resolved)` have been emitted.
+    resolved: usize,
+    /// Per raw column: index of the latest observed (non-NaN) row.
+    last_obs: Vec<Option<usize>>,
+    /// Per raw column: value at `last_obs` (for gap and tail filling).
+    last_val: Vec<f64>,
+    /// Per aggregated counter column: previous cumulative value.
+    rate_prev: Vec<f64>,
+    any_row: bool,
+}
+
+impl StreamingPreprocessor {
+    pub fn new(pre: &Preprocessor) -> Self {
+        let n_groups = pre.counters.len();
+        let mut group_counts = vec![0usize; n_groups];
+        for &g in &pre.groups {
+            group_counts[g] += 1;
+        }
+        StreamingPreprocessor {
+            groups: pre.groups.clone(),
+            group_counts,
+            counters: pre.counters.clone(),
+            kept: pre.kept.clone(),
+            mean: pre.standardizer.mean.clone(),
+            std: pre.standardizer.std.clone(),
+            clip: pre.standardizer.clip,
+            buf: VecDeque::new(),
+            base: 0,
+            n_pushed: 0,
+            resolved: 0,
+            last_obs: vec![None; pre.groups.len()],
+            last_val: vec![0.0; pre.groups.len()],
+            rate_prev: vec![0.0; n_groups],
+            any_row: false,
+        }
+    }
+
+    /// Ingest one raw row; returns the preprocessed rows that became
+    /// final (in row order), possibly none during a missing-value run.
+    pub fn push(&mut self, raw_row: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(raw_row.len(), self.groups.len(), "raw row width");
+        let r = self.n_pushed;
+        self.buf.push_back(raw_row.to_vec());
+        self.n_pushed += 1;
+        for (c, &v) in raw_row.iter().enumerate() {
+            if v.is_nan() {
+                continue;
+            }
+            match self.last_obs[c] {
+                Some(p) => {
+                    if r > p + 1 {
+                        // Batch `interpolate_missing` gap fill, verbatim.
+                        let a = self.last_val[c];
+                        let b = v;
+                        let gap = (r - p) as f64;
+                        for k in p + 1..r {
+                            let t = (k - p) as f64 / gap;
+                            self.buf[k - self.base][c] = a + (b - a) * t;
+                        }
+                    }
+                }
+                None => {
+                    // Head fill: leading NaNs take the first observation.
+                    for k in 0..r {
+                        self.buf[k - self.base][c] = v;
+                    }
+                }
+            }
+            self.last_obs[c] = Some(r);
+            self.last_val[c] = v;
+        }
+        self.drain_watermark()
+    }
+
+    /// End of stream: tail-fill every column (never-observed columns
+    /// become zero, like the batch code) and emit the remaining rows.
+    pub fn flush(&mut self) -> Vec<Vec<f64>> {
+        for (c, lo) in self.last_obs.iter().enumerate() {
+            let (from, fill) = match lo {
+                Some(l) => (l + 1, self.last_val[c]),
+                None => (0, 0.0),
+            };
+            for k in from.max(self.base)..self.n_pushed {
+                self.buf[k - self.base][c] = fill;
+            }
+        }
+        let mut out = Vec::new();
+        while self.resolved < self.n_pushed {
+            out.push(self.emit_front());
+        }
+        out
+    }
+
+    /// Emit rows up to the minimum per-column resolution point.
+    fn drain_watermark(&mut self) -> Vec<Vec<f64>> {
+        let watermark = self
+            .last_obs
+            .iter()
+            .map(|lo| lo.map(|l| l + 1).unwrap_or(0))
+            .min()
+            .unwrap_or(0);
+        let mut out = Vec::new();
+        while self.resolved < watermark {
+            out.push(self.emit_front());
+        }
+        out
+    }
+
+    /// Pop the front (fully resolved) raw row and run aggregation → rate
+    /// conversion → pruning gather → standardization on it, matching the
+    /// batch arithmetic operation for operation.
+    fn emit_front(&mut self) -> Vec<f64> {
+        let raw = self.buf.pop_front().expect("resolved row buffered");
+        self.base += 1;
+        self.resolved += 1;
+        // Aggregation: accumulate in raw-column order, then divide — the
+        // exact loop structure of `aggregate_groups`.
+        let mut agg = vec![0.0f64; self.group_counts.len()];
+        for (j, &g) in self.groups.iter().enumerate() {
+            agg[g] += raw[j];
+        }
+        for (g, v) in agg.iter_mut().enumerate() {
+            if self.group_counts[g] > 0 {
+                *v /= self.group_counts[g] as f64;
+            }
+        }
+        // Rate conversion: first row becomes 0, later rows the difference.
+        for (g, v) in agg.iter_mut().enumerate() {
+            if !self.counters[g] {
+                continue;
+            }
+            let cur = *v;
+            *v = if self.any_row {
+                cur - self.rate_prev[g]
+            } else {
+                0.0
+            };
+            self.rate_prev[g] = cur;
+        }
+        self.any_row = true;
+        // Pruning gather + trimmed z-score with clipping.
+        self.kept
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| ((agg[c] - self.mean[j]) / self.std[j]).clamp(-self.clip, self.clip))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-node incremental detection state
+// ---------------------------------------------------------------------
+
+/// Deployment-cost counters accumulated by one node (merged per shard).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamStats {
+    /// Raw ticks ingested.
+    pub n_ticks: u64,
+    /// Pattern-matching cycles performed.
+    pub n_matches: u64,
+    /// Seconds spent in probe feature extraction + library matching.
+    pub match_seconds: f64,
+    /// Seconds spent in model scoring + thresholding.
+    pub score_seconds: f64,
+    /// Test-span points given a verdict.
+    pub n_points: u64,
+}
+
+impl StreamStats {
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.n_ticks += other.n_ticks;
+        self.n_matches += other.n_matches;
+        self.match_seconds += other.match_seconds;
+        self.score_seconds += other.score_seconds;
+        self.n_points += other.n_points;
+    }
+
+    /// Seconds per pattern-matching cycle (paper Table 5's match cost).
+    pub fn match_s_per_cycle(&self) -> f64 {
+        self.match_seconds / (self.n_matches.max(1) as f64)
+    }
+
+    /// Milliseconds of scoring compute per detected point.
+    pub fn point_latency_ms(&self) -> f64 {
+        self.score_seconds * 1e3 / (self.n_points.max(1) as f64)
+    }
+}
+
+/// Incremental detection state for a single node.
+///
+/// Drives the full online pipeline of [`NodeSentry::score_node`] +
+/// smoothing + k-sigma from one tick at a time. Scores for a segment are
+/// emitted when the segment closes (next job transition or flush): the
+/// shared model's positional encoding is relative to the whole segment,
+/// so earlier emission would change the answer.
+pub struct NodeState {
+    model: Arc<NodeSentry>,
+    node: usize,
+    split: usize,
+    next_step: usize,
+    pre: StreamingPreprocessor,
+    /// Global index of the next preprocessed row to come out of `pre`.
+    next_row: usize,
+    /// Pending job-transition cuts (global steps > split), in order.
+    cuts: VecDeque<usize>,
+    /// Current segment's preprocessed rows (test span only).
+    seg_rows: Vec<Vec<f64>>,
+    seg_start: usize,
+    /// Eager probe match for the current segment, once available.
+    matched: Option<usize>,
+    smoother: StreamingSmoother,
+    detector: StreamingKSigma,
+    /// Scores awaiting their (lagged) smoothed verdict.
+    pending: VecDeque<(usize, f64, usize)>,
+    pub stats: StreamStats,
+}
+
+impl NodeState {
+    pub fn new(model: Arc<NodeSentry>, node: usize, split: usize, smooth_window: usize) -> Self {
+        let pre = StreamingPreprocessor::new(&model.preprocessor);
+        let detector = StreamingKSigma::new(model.cfg.threshold);
+        NodeState {
+            model,
+            node,
+            split,
+            next_step: 0,
+            pre,
+            next_row: 0,
+            cuts: VecDeque::new(),
+            seg_rows: Vec::new(),
+            seg_start: 0,
+            matched: None,
+            smoother: StreamingSmoother::new(smooth_window),
+            detector,
+            pending: VecDeque::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Ingest one tick; returns verdicts finalized by it (usually none —
+    /// a burst arrives when a segment closes).
+    pub fn push(&mut self, tick: &Tick) -> Vec<Verdict> {
+        assert_eq!(tick.node, self.node, "tick routed to wrong node state");
+        assert_eq!(
+            tick.step, self.next_step,
+            "node {} ticks must arrive in step order without gaps",
+            self.node
+        );
+        self.next_step += 1;
+        self.stats.n_ticks += 1;
+        // Batch segmentation keeps transitions strictly inside the test
+        // span: `t > split && t < horizon`.
+        if tick.transition && tick.step > self.split {
+            self.cuts.push_back(tick.step);
+        }
+        let rows = self.pre.push(&tick.values);
+        self.absorb_rows(rows)
+    }
+
+    /// End of stream: resolve the preprocessing tail, close the last
+    /// segment, and drain the smoothing lag.
+    pub fn flush(&mut self) -> Vec<Verdict> {
+        let rows = self.pre.flush();
+        let mut out = self.absorb_rows(rows);
+        if !self.seg_rows.is_empty() {
+            out.extend(self.close_segment());
+        }
+        let t0 = Instant::now();
+        for sv in self.smoother.flush() {
+            let flagged = self.detector.push(sv);
+            out.push(self.emit_verdict(flagged));
+        }
+        self.stats.score_seconds += t0.elapsed().as_secs_f64();
+        debug_assert!(self.pending.is_empty(), "scores left without verdicts");
+        out
+    }
+
+    fn absorb_rows(&mut self, rows: Vec<Vec<f64>>) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        for row in rows {
+            let r = self.next_row;
+            self.next_row += 1;
+            if r < self.split {
+                continue; // training span: context only
+            }
+            if self.cuts.front() == Some(&r) {
+                self.cuts.pop_front();
+                if !self.seg_rows.is_empty() {
+                    out.extend(self.close_segment());
+                }
+            }
+            if self.seg_rows.is_empty() {
+                self.seg_start = r;
+            }
+            self.seg_rows.push(row);
+            // Eager pattern matching: the probe is the segment's first
+            // `match_period` rows, available long before the segment
+            // closes. This is the deployment's per-transition match cycle.
+            if self.matched.is_none() && self.seg_rows.len() == self.model.cfg.match_period {
+                self.matched = Some(self.match_probe(self.seg_rows.len()));
+            }
+        }
+        out
+    }
+
+    fn match_probe(&mut self, probe_len: usize) -> usize {
+        let t0 = Instant::now();
+        let probe = Matrix::from_rows(&self.seg_rows[..probe_len.min(self.seg_rows.len())]);
+        let feat = coarse::segment_features(&self.model.cfg.coarse, &probe);
+        let (cluster, _dist) = self.model.cluster_model.match_pattern(&feat);
+        self.stats.match_seconds += t0.elapsed().as_secs_f64();
+        self.stats.n_matches += 1;
+        cluster
+    }
+
+    /// Score the finished segment through its matched shared model and
+    /// feed the smoothing → k-sigma chain; returns finalized verdicts.
+    fn close_segment(&mut self) -> Vec<Verdict> {
+        let probe_len = self.model.cfg.match_period.clamp(1, self.seg_rows.len());
+        let cluster = match self.matched.take() {
+            Some(c) => c,
+            // Segment shorter than the match period: probe is the whole
+            // segment, matched at close like the batch code.
+            None => self.match_probe(probe_len),
+        };
+        let t0 = Instant::now();
+        let data = Matrix::from_rows(&self.seg_rows);
+        let model = &self.model.shared_models[cluster.min(self.model.shared_models.len() - 1)];
+        let mut seg_scores = model.score_series(&data);
+        // Per-segment baseline normalization (batch `score_node`).
+        let baseline = {
+            let mut head: Vec<f64> = seg_scores[..probe_len].to_vec();
+            head.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            ns_linalg::stats::quantile_sorted(&head, 0.5).max(1.0)
+        };
+        for v in seg_scores.iter_mut() {
+            *v /= baseline;
+        }
+        let mut out = Vec::new();
+        for (k, score) in seg_scores.into_iter().enumerate() {
+            self.pending.push_back((self.seg_start + k, score, cluster));
+            for sv in self.smoother.push(score) {
+                let flagged = self.detector.push(sv);
+                out.push(self.emit_verdict(flagged));
+            }
+        }
+        self.seg_rows.clear();
+        self.stats.score_seconds += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    fn emit_verdict(&mut self, anomalous: bool) -> Verdict {
+        let (step, score, cluster) = self
+            .pending
+            .pop_front()
+            .expect("smoothed value without a pending score");
+        self.stats.n_points += 1;
+        Verdict {
+            node: self.node,
+            step,
+            score,
+            anomalous,
+            cluster,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded engine
+// ---------------------------------------------------------------------
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// First test step; steps before it are preprocessing context.
+    pub split: usize,
+    /// Worker shards; nodes are routed by `node % n_shards`.
+    pub n_shards: usize,
+    /// Bounded per-shard queue depth (tick batches). Ingest blocks when a
+    /// shard is this far behind — backpressure instead of unbounded RAM.
+    pub queue_depth: usize,
+    /// Smoothing window fed to the k-sigma detector (1 disables
+    /// smoothing, matching raw `ksigma_detect` on batch scores;
+    /// `cfg.smooth_window` matches [`NodeSentry::detect_node`]).
+    pub smooth_window: usize,
+}
+
+impl EngineConfig {
+    pub fn new(split: usize) -> Self {
+        EngineConfig {
+            split,
+            n_shards: 2,
+            queue_depth: 64,
+            smooth_window: 1,
+        }
+    }
+}
+
+/// Everything a finished engine run produced.
+pub struct EngineReport {
+    /// All verdicts, sorted by `(node, step)`.
+    pub verdicts: Vec<Verdict>,
+    /// Merged deployment-cost counters across shards.
+    pub stats: StreamStats,
+    /// Wall-clock seconds from engine start to finish.
+    pub wall_seconds: f64,
+}
+
+/// Sharded concurrent streaming engine over a trained [`NodeSentry`].
+///
+/// ```ignore
+/// let mut engine = Engine::new(Arc::new(model), EngineConfig::new(split));
+/// for batch in tick_batches {
+///     engine.ingest(batch);
+/// }
+/// let report = engine.finish();
+/// ```
+pub struct Engine {
+    senders: Vec<mpsc::SyncSender<Vec<Tick>>>,
+    workers: Vec<std::thread::JoinHandle<(Vec<Verdict>, StreamStats)>>,
+    n_shards: usize,
+    started: Instant,
+}
+
+impl Engine {
+    pub fn new(model: Arc<NodeSentry>, cfg: EngineConfig) -> Self {
+        let n_shards = cfg.n_shards.max(1);
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let (tx, rx) = mpsc::sync_channel::<Vec<Tick>>(cfg.queue_depth.max(1));
+            let model = Arc::clone(&model);
+            let handle = std::thread::Builder::new()
+                .name(format!("ns-stream-{shard}"))
+                .spawn(move || worker_loop(rx, model, cfg))
+                .expect("spawn stream worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Engine {
+            senders,
+            workers,
+            n_shards,
+            started: Instant::now(),
+        }
+    }
+
+    /// Route a batch of ticks to their shards. Blocks when a shard's
+    /// queue is full.
+    pub fn ingest(&self, batch: Vec<Tick>) {
+        let mut per_shard: Vec<Vec<Tick>> = vec![Vec::new(); self.n_shards];
+        for tick in batch {
+            per_shard[tick.node % self.n_shards].push(tick);
+        }
+        for (shard, ticks) in per_shard.into_iter().enumerate() {
+            if !ticks.is_empty() {
+                self.senders[shard]
+                    .send(ticks)
+                    .expect("stream worker alive");
+            }
+        }
+    }
+
+    /// Convenience for single-tick ingestion.
+    pub fn ingest_tick(&self, tick: Tick) {
+        self.senders[tick.node % self.n_shards]
+            .send(vec![tick])
+            .expect("stream worker alive");
+    }
+
+    /// Close the stream: flush every node, join the workers, and return
+    /// all verdicts plus cost statistics.
+    pub fn finish(self) -> EngineReport {
+        drop(self.senders);
+        let mut verdicts = Vec::new();
+        let mut stats = StreamStats::default();
+        for handle in self.workers {
+            let (v, s) = handle.join().expect("stream worker panicked");
+            verdicts.extend(v);
+            stats.merge(&s);
+        }
+        verdicts.sort_by_key(|v| (v.node, v.step));
+        EngineReport {
+            verdicts,
+            stats,
+            wall_seconds: self.started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+fn worker_loop(
+    rx: mpsc::Receiver<Vec<Tick>>,
+    model: Arc<NodeSentry>,
+    cfg: EngineConfig,
+) -> (Vec<Verdict>, StreamStats) {
+    let mut states: FxHashMap<usize, NodeState> = FxHashMap::default();
+    let mut verdicts = Vec::new();
+    while let Ok(batch) = rx.recv() {
+        for tick in batch {
+            let state = states.entry(tick.node).or_insert_with(|| {
+                NodeState::new(Arc::clone(&model), tick.node, cfg.split, cfg.smooth_window)
+            });
+            verdicts.extend(state.push(&tick));
+        }
+    }
+    // Channel closed: flush in node order so shard output is
+    // deterministic.
+    let mut nodes: Vec<usize> = states.keys().copied().collect();
+    nodes.sort_unstable();
+    let mut stats = StreamStats::default();
+    for n in nodes {
+        let state = states.get_mut(&n).expect("state for node");
+        verdicts.extend(state.flush());
+        stats.merge(&state.stats);
+    }
+    (verdicts, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodesentry_core::preprocess::Preprocessor;
+
+    /// Deterministic pseudo-random raw matrix with NaN holes.
+    fn raw_with_holes(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Matrix::from_fn(rows, cols, |r, c| {
+            let u = next() as f64 / u64::MAX as f64;
+            if u < 0.04 {
+                f64::NAN
+            } else {
+                ((r as f64 * 0.13 + c as f64).sin() + u * 0.3) * (1.0 + c as f64 * 0.2)
+            }
+        })
+    }
+
+    #[test]
+    fn streaming_preprocessor_matches_batch_bitwise() {
+        for seed in [3u64, 17, 99] {
+            let raw = raw_with_holes(160, 6, seed);
+            let groups = vec![0usize, 0, 1, 1, 2, 2];
+            // Fit on the clean prefix so NaNs in the tail exercise the
+            // streaming watermark rather than the fit path.
+            let pp = Preprocessor::fit(&raw.slice_rows(0, 100), &groups, 0.995, 0.05);
+            let batch = pp.transform(&raw);
+
+            let mut sp = StreamingPreprocessor::new(&pp);
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            for r in 0..raw.rows() {
+                rows.extend(sp.push(raw.row(r)));
+            }
+            rows.extend(sp.flush());
+
+            assert_eq!(rows.len(), batch.rows(), "seed {seed}");
+            for (r, row) in rows.iter().enumerate() {
+                for (c, v) in row.iter().enumerate() {
+                    assert_eq!(
+                        v.to_bits(),
+                        batch[(r, c)].to_bits(),
+                        "seed {seed} row {r} col {c}: {v} vs {}",
+                        batch[(r, c)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_preprocessor_handles_all_nan_column() {
+        let mut raw = raw_with_holes(60, 4, 5);
+        for r in 0..60 {
+            raw[(r, 2)] = f64::NAN;
+        }
+        let groups = vec![0usize, 1, 2, 3];
+        let pp = Preprocessor::fit(&raw.slice_rows(0, 40), &groups, 0.995, 0.05);
+        let batch = pp.transform(&raw);
+        let mut sp = StreamingPreprocessor::new(&pp);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for r in 0..raw.rows() {
+            rows.extend(sp.push(raw.row(r)));
+        }
+        rows.extend(sp.flush());
+        assert_eq!(rows.len(), batch.rows());
+        for (r, row) in rows.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                assert_eq!(v.to_bits(), batch[(r, c)].to_bits(), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn watermark_defers_rows_across_nan_runs() {
+        let groups = vec![0usize, 1];
+        let fit = Matrix::from_fn(50, 2, |r, c| (r + c) as f64 * 0.1);
+        let pp = Preprocessor::fit(&fit, &groups, 0.9999, 0.05);
+        let mut sp = StreamingPreprocessor::new(&pp);
+        assert_eq!(sp.push(&[1.0, 1.0]).len(), 1);
+        // NaN opens a gap: nothing can be emitted until it closes.
+        assert_eq!(sp.push(&[f64::NAN, 2.0]).len(), 0);
+        assert_eq!(sp.push(&[f64::NAN, 3.0]).len(), 0);
+        // Observation closes the gap: all three deferred rows finalize.
+        assert_eq!(sp.push(&[4.0, 4.0]).len(), 3);
+        assert_eq!(sp.flush().len(), 0);
+    }
+}

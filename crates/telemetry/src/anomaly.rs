@@ -93,12 +93,15 @@ impl AnomalyKind {
         }
         // Replace a frame with another archetype's frame at relative
         // position `rel`, preserving the monotone uptime signal.
-        let replace =
-            |f: &mut SignalFrame, arch: JobArchetype, rel: f64, inten: f64, rng: &mut ChaCha8Rng| {
-                let uptime = f[Signal::Uptime as usize];
-                *f = arch.frame(rel, inten, 0, 30.0, rng);
-                f[Signal::Uptime as usize] = uptime;
-            };
+        let replace = |f: &mut SignalFrame,
+                       arch: JobArchetype,
+                       rel: f64,
+                       inten: f64,
+                       rng: &mut ChaCha8Rng| {
+            let uptime = f[Signal::Uptime as usize];
+            *f = arch.frame(rel, inten, 0, 30.0, rng);
+            f[Signal::Uptime as usize] = uptime;
+        };
         let set_add = |f: &mut SignalFrame, s: Signal, v: f64| f[s as usize] += v;
         // Per-event intensity drawn from the same distribution normal jobs
         // use, so the replaced behaviour carries no intensity signature.
@@ -238,7 +241,12 @@ pub fn plan_events_in_spans(
                 if taken.iter().all(|&(s, e)| end <= s || start >= e) {
                     taken.push((start, end));
                     let kind = ALL_ANOMALIES[rng.gen_range(0..ALL_ANOMALIES.len())];
-                    events.push(AnomalyEvent { node, kind, start, end });
+                    events.push(AnomalyEvent {
+                        node,
+                        kind,
+                        start,
+                        end,
+                    });
                     break;
                 }
             }
@@ -304,7 +312,12 @@ pub fn plan_events(n_nodes: usize, cfg: &InjectionConfig) -> Vec<AnomalyEvent> {
                 if taken.iter().all(|&(s, e)| end <= s || start >= e) {
                     taken.push((start, end));
                     let kind = ALL_ANOMALIES[rng.gen_range(0..ALL_ANOMALIES.len())];
-                    events.push(AnomalyEvent { node, kind, start, end });
+                    events.push(AnomalyEvent {
+                        node,
+                        kind,
+                        start,
+                        end,
+                    });
                     break;
                 }
             }
@@ -355,7 +368,12 @@ mod tests {
             let delta: f64 = clean
                 .iter()
                 .zip(&dirty)
-                .map(|(a, b)| a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>())
+                .map(|(a, b)| {
+                    a.iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| (x - y).abs())
+                        .sum::<f64>()
+                })
                 .sum();
             assert!(delta > 0.5, "{kind:?} produced no visible perturbation");
             for f in &dirty {
@@ -415,8 +433,18 @@ mod tests {
     #[test]
     fn labels_mark_exactly_the_event_spans() {
         let events = vec![
-            AnomalyEvent { node: 0, kind: AnomalyKind::CpuOverload, start: 5, end: 8 },
-            AnomalyEvent { node: 1, kind: AnomalyKind::DiskFull, start: 0, end: 2 },
+            AnomalyEvent {
+                node: 0,
+                kind: AnomalyKind::CpuOverload,
+                start: 5,
+                end: 8,
+            },
+            AnomalyEvent {
+                node: 1,
+                kind: AnomalyKind::DiskFull,
+                start: 0,
+                end: 2,
+            },
         ];
         let l0 = labels_for_node(&events, 0, 10);
         assert_eq!(l0.iter().filter(|&&b| b).count(), 3);
@@ -447,7 +475,11 @@ mod tests {
         let mut lo = [f64::INFINITY; crate::signals::NUM_SIGNALS];
         let mut hi = [f64::NEG_INFINITY; crate::signals::NUM_SIGNALS];
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        for arch in SCHEDULABLE_ARCHETYPES.iter().copied().chain([JobArchetype::Idle]) {
+        for arch in SCHEDULABLE_ARCHETYPES
+            .iter()
+            .copied()
+            .chain([JobArchetype::Idle])
+        {
             for k in 0..400 {
                 let rel = (k % 100) as f64 / 99.0;
                 let inten = 0.7 + 0.4 * ((k / 100) as f64 / 3.0);

@@ -306,7 +306,10 @@ mod tests {
     #[test]
     fn all_archetypes_produce_finite_frames() {
         let mut r = rng();
-        for a in SCHEDULABLE_ARCHETYPES.iter().chain([JobArchetype::Idle].iter()) {
+        for a in SCHEDULABLE_ARCHETYPES
+            .iter()
+            .chain([JobArchetype::Idle].iter())
+        {
             for step in 0..50 {
                 let f = a.frame(step as f64 / 49.0, 0.9, step, 30.0, &mut r);
                 assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0), "{a:?}");

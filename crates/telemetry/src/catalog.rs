@@ -87,17 +87,32 @@ impl CatalogSpec {
     /// D1's hardware: 64 cores, 8 NUMA nodes, 4 mounts, 3 NICs →
     /// exactly 3,014 metrics (Table 3 counts).
     pub fn full() -> Self {
-        Self { cores: 64, numa_nodes: 8, mounts: 4, interfaces: 3 }
+        Self {
+            cores: 64,
+            numa_nodes: 8,
+            mounts: 4,
+            interfaces: 3,
+        }
     }
 
     /// Scaled-down default for laptop-scale experiments.
     pub fn scaled() -> Self {
-        Self { cores: 8, numa_nodes: 2, mounts: 2, interfaces: 2 }
+        Self {
+            cores: 8,
+            numa_nodes: 2,
+            mounts: 2,
+            interfaces: 2,
+        }
     }
 
     /// Small shape for the D2-like profile.
     pub fn small() -> Self {
-        Self { cores: 4, numa_nodes: 1, mounts: 1, interfaces: 1 }
+        Self {
+            cores: 4,
+            numa_nodes: 1,
+            mounts: 1,
+            interfaces: 1,
+        }
     }
 }
 
@@ -141,39 +156,96 @@ pub struct MetricCatalog {
 /// Realistic base names cycled through for generated kinds.
 fn kind_name(category: Category, k: usize) -> String {
     let cpu = [
-        "cpu_seconds_user", "cpu_seconds_system", "cpu_seconds_iowait", "cpu_seconds_idle",
-        "cpu_seconds_irq", "cpu_seconds_softirq", "cpu_seconds_steal", "perf_cpu_cycles",
-        "perf_instructions", "perf_cache_references", "perf_cache_misses", "perf_branch_misses",
-        "perf_cpu_migrations_total", "cpu_frequency_hertz", "cpu_scaling_governor_perf",
-        "cpu_throttles_total", "cpu_core_throttle_seconds", "schedstat_running_seconds",
-        "schedstat_waiting_seconds", "cpu_guest_seconds", "cpu_nice_seconds",
+        "cpu_seconds_user",
+        "cpu_seconds_system",
+        "cpu_seconds_iowait",
+        "cpu_seconds_idle",
+        "cpu_seconds_irq",
+        "cpu_seconds_softirq",
+        "cpu_seconds_steal",
+        "perf_cpu_cycles",
+        "perf_instructions",
+        "perf_cache_references",
+        "perf_cache_misses",
+        "perf_branch_misses",
+        "perf_cpu_migrations_total",
+        "cpu_frequency_hertz",
+        "cpu_scaling_governor_perf",
+        "cpu_throttles_total",
+        "cpu_core_throttle_seconds",
+        "schedstat_running_seconds",
+        "schedstat_waiting_seconds",
+        "cpu_guest_seconds",
+        "cpu_nice_seconds",
     ];
     let mem = [
-        "memory_active_bytes", "memory_inactive_bytes", "memory_dirty_bytes",
-        "memory_writeback_bytes", "memory_kernel_stack_bytes", "memory_slab_bytes",
-        "memory_page_tables_bytes", "numa_foreign_total", "numa_hit_total", "numa_miss_total",
-        "vmstat_pgfault", "vmstat_pgmajfault", "vmstat_pswpin", "vmstat_pswpout",
+        "memory_active_bytes",
+        "memory_inactive_bytes",
+        "memory_dirty_bytes",
+        "memory_writeback_bytes",
+        "memory_kernel_stack_bytes",
+        "memory_slab_bytes",
+        "memory_page_tables_bytes",
+        "numa_foreign_total",
+        "numa_hit_total",
+        "numa_miss_total",
+        "vmstat_pgfault",
+        "vmstat_pgmajfault",
+        "vmstat_pswpin",
+        "vmstat_pswpout",
     ];
     let fs = [
-        "filesystem_files_free", "filesystem_free_bytes", "filesystem_size_bytes",
-        "filefd_allocated", "disk_reads_completed_total", "disk_writes_completed_total",
-        "disk_read_time_seconds", "disk_write_time_seconds", "disk_io_now",
+        "filesystem_files_free",
+        "filesystem_free_bytes",
+        "filesystem_size_bytes",
+        "filefd_allocated",
+        "disk_reads_completed_total",
+        "disk_writes_completed_total",
+        "disk_read_time_seconds",
+        "disk_write_time_seconds",
+        "disk_io_now",
     ];
     let net = [
-        "network_receive_bytes_total", "network_transmit_bytes_total",
-        "network_receive_packets_total", "network_transmit_packets_total",
-        "network_receive_errs_total", "network_transmit_errs_total", "network_receive_drop_total",
-        "sockstat_sockets_used", "netstat_tcp_retrans_segs", "netstat_tcp_in_segs",
+        "network_receive_bytes_total",
+        "network_transmit_bytes_total",
+        "network_receive_packets_total",
+        "network_transmit_packets_total",
+        "network_receive_errs_total",
+        "network_transmit_errs_total",
+        "network_receive_drop_total",
+        "sockstat_sockets_used",
+        "netstat_tcp_retrans_segs",
+        "netstat_tcp_in_segs",
     ];
     let proc = [
-        "procs_running", "procs_blocked", "processes_state_running", "processes_state_sleeping",
-        "processes_state_zombie", "processes_threads", "forks_total", "processes_max_processes",
-        "processes_pids", "procs_running_max", "context_switches_total", "interrupts_total",
+        "procs_running",
+        "procs_blocked",
+        "processes_state_running",
+        "processes_state_sleeping",
+        "processes_state_zombie",
+        "processes_threads",
+        "forks_total",
+        "processes_max_processes",
+        "processes_pids",
+        "procs_running_max",
+        "context_switches_total",
+        "interrupts_total",
     ];
     let sys = [
-        "system_uptime", "timex_status", "ksmd_run", "boot_time_seconds", "entropy_available_bits",
-        "time_seconds", "load1", "load5", "load15", "thermal_zone_temp", "power_supply_watts",
-        "hwmon_temp_celsius", "edac_correctable_errors_total", "edac_uncorrectable_errors_total",
+        "system_uptime",
+        "timex_status",
+        "ksmd_run",
+        "boot_time_seconds",
+        "entropy_available_bits",
+        "time_seconds",
+        "load1",
+        "load5",
+        "load15",
+        "thermal_zone_temp",
+        "power_supply_watts",
+        "hwmon_temp_celsius",
+        "edac_correctable_errors_total",
+        "edac_uncorrectable_errors_total",
     ];
     let pool: &[&str] = match category {
         Category::Cpu => &cpu,
@@ -223,7 +295,11 @@ fn signal_for(category: Category, k: usize) -> usize {
             Signal::NetSockets,
             Signal::NetRetrans,
         ],
-        Category::Process => &[Signal::ProcsRunning, Signal::ProcsBlocked, Signal::CtxSwitches],
+        Category::Process => &[
+            Signal::ProcsRunning,
+            Signal::ProcsBlocked,
+            Signal::CtxSwitches,
+        ],
         Category::System => &[
             Signal::Uptime,
             Signal::CpuTemp,
@@ -252,11 +328,11 @@ impl MetricCatalog {
         let mut metrics = Vec::new();
         let mut group = 0usize;
         let push_kind = |metrics: &mut Vec<RawMetric>,
-                             group: &mut usize,
-                             category: Category,
-                             k: usize,
-                             units: usize,
-                             unit_label: &str| {
+                         group: &mut usize,
+                         category: Category,
+                         k: usize,
+                         units: usize,
+                         unit_label: &str| {
             let sig = signal_for(category, k);
             let tr = transform_for(category, k);
             let h = mix((category as u64) << 40 | (k as u64) << 8 | units as u64);
@@ -298,10 +374,24 @@ impl MetricCatalog {
         };
 
         for k in 0..CPU_PER_CORE_KINDS {
-            push_kind(&mut metrics, &mut group, Category::Cpu, k, spec.cores, "cpu");
+            push_kind(
+                &mut metrics,
+                &mut group,
+                Category::Cpu,
+                k,
+                spec.cores,
+                "cpu",
+            );
         }
         for k in 0..CPU_GLOBAL_KINDS {
-            push_kind(&mut metrics, &mut group, Category::Cpu, CPU_PER_CORE_KINDS + k, 1, "");
+            push_kind(
+                &mut metrics,
+                &mut group,
+                Category::Cpu,
+                CPU_PER_CORE_KINDS + k,
+                1,
+                "",
+            );
         }
         for k in 0..MEM_GLOBAL_KINDS {
             push_kind(&mut metrics, &mut group, Category::Memory, k, 1, "");
@@ -348,7 +438,11 @@ impl MetricCatalog {
         for k in 0..SYS_KINDS {
             push_kind(&mut metrics, &mut group, Category::System, k, 1, "");
         }
-        Self { spec, metrics, n_groups: group }
+        Self {
+            spec,
+            metrics,
+            n_groups: group,
+        }
     }
 
     /// Number of raw metrics.
@@ -450,7 +544,10 @@ impl MetricCatalog {
 
     /// The latent signal each group projects (useful for diagnostics).
     pub fn group_signal(&self, group: usize) -> Option<usize> {
-        self.metrics.iter().find(|m| m.group == group).map(|m| m.signal)
+        self.metrics
+            .iter()
+            .find(|m| m.group == group)
+            .map(|m| m.signal)
     }
 }
 

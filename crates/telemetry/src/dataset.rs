@@ -126,7 +126,14 @@ impl DatasetProfile {
         let events = plan_events_in_spans(&spans_per_node, &injection);
         let latent = simulate_cluster(&schedule, &events, self.interval_s, self.seed);
         let catalog = MetricCatalog::build(self.spec);
-        Dataset { profile: self.clone(), catalog, schedule, latent, events, split }
+        Dataset {
+            profile: self.clone(),
+            catalog,
+            schedule,
+            latent,
+            events,
+            split,
+        }
     }
 }
 
@@ -177,16 +184,19 @@ impl Dataset {
     /// Raw `T × M` metric matrix for a node, with collection losses
     /// punched in as NaN at `missing_rate` (cleaned by preprocessing).
     pub fn raw_node(&self, node: usize) -> Matrix {
-        let mut m = self
-            .catalog
-            .expand(&self.latent[node], self.profile.seed ^ ((node as u64) << 16));
+        let mut m = self.catalog.expand(
+            &self.latent[node],
+            self.profile.seed ^ ((node as u64) << 16),
+        );
         if self.profile.missing_rate > 0.0 {
             let threshold = (self.profile.missing_rate * u32::MAX as f64) as u32;
             let cols = m.cols();
             for t in 0..m.rows() {
                 for j in 0..cols {
                     let h = splitmix(
-                        self.profile.seed ^ 0xBAD ^ ((node as u64) << 48)
+                        self.profile.seed
+                            ^ 0xBAD
+                            ^ ((node as u64) << 48)
                             ^ ((t as u64) << 20)
                             ^ j as u64,
                     );
@@ -263,7 +273,10 @@ mod tests {
     fn anomalies_only_in_test_window() {
         let ds = DatasetProfile::tiny().generate();
         for e in &ds.events {
-            assert!(e.start >= ds.split, "event {e:?} starts in the training split");
+            assert!(
+                e.start >= ds.split,
+                "event {e:?} starts in the training split"
+            );
         }
         for n in 0..ds.n_nodes() {
             let labels = ds.labels(n);

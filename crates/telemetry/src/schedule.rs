@@ -120,10 +120,21 @@ impl Schedule {
             }
             let archetype = SCHEDULABLE_ARCHETYPES[rng.gen_range(0..SCHEDULABLE_ARCHETYPES.len())];
             let intensity = rng.gen_range(0.7..1.1);
-            jobs.push(JobRecord { job_id, archetype, intensity, nodes: chosen, start, end });
+            jobs.push(JobRecord {
+                job_id,
+                archetype,
+                intensity,
+                nodes: chosen,
+                start,
+                end,
+            });
             job_id += 1;
         }
-        Schedule { n_nodes: cfg.n_nodes, horizon: cfg.horizon, jobs }
+        Schedule {
+            n_nodes: cfg.n_nodes,
+            horizon: cfg.horizon,
+            jobs,
+        }
     }
 
     /// Per-node timeline: job segments in time order with idle gaps filled
@@ -141,13 +152,25 @@ impl Schedule {
         let mut cursor = 0usize;
         for (start, end, idx) in spans {
             if start > cursor {
-                out.push(NodeSegment { job: None, start: cursor, end: start });
+                out.push(NodeSegment {
+                    job: None,
+                    start: cursor,
+                    end: start,
+                });
             }
-            out.push(NodeSegment { job: Some(idx), start, end });
+            out.push(NodeSegment {
+                job: Some(idx),
+                start,
+                end,
+            });
             cursor = end.max(cursor);
         }
         if cursor < self.horizon {
-            out.push(NodeSegment { job: None, start: cursor, end: self.horizon });
+            out.push(NodeSegment {
+                job: None,
+                start: cursor,
+                end: self.horizon,
+            });
         }
         out
     }
@@ -301,7 +324,11 @@ mod tests {
 
     #[test]
     fn durations_are_heavily_skewed() {
-        let cfg = ScheduleConfig { horizon: 20000, seed: 3, ..Default::default() };
+        let cfg = ScheduleConfig {
+            horizon: 20000,
+            seed: 3,
+            ..Default::default()
+        };
         let s = Schedule::generate(&cfg);
         let mut d = s.durations();
         d.sort_unstable();

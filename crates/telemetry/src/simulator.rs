@@ -25,9 +25,17 @@ pub fn node_latent(
         let (archetype, intensity, stream) = match seg.job {
             Some(idx) => {
                 let j = &schedule.jobs[idx];
-                (j.archetype, j.intensity, seed ^ ((j.job_id as u64) << 20) ^ node as u64)
+                (
+                    j.archetype,
+                    j.intensity,
+                    seed ^ ((j.job_id as u64) << 20) ^ node as u64,
+                )
             }
-            None => (JobArchetype::Idle, 1.0, seed ^ 0xDEAD ^ ((node as u64) << 8) ^ seg.start as u64),
+            None => (
+                JobArchetype::Idle,
+                1.0,
+                seed ^ 0xDEAD ^ ((node as u64) << 8) ^ seg.start as u64,
+            ),
         };
         let mut rng = ChaCha8Rng::seed_from_u64(stream);
         let len = seg.len().max(1);
@@ -59,7 +67,8 @@ pub fn simulate_cluster(
         let timeline = &mut latent[e.node];
         let end = e.end.min(timeline.len());
         let start = e.start.min(end);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA50A ^ ((e.node as u64) << 32) ^ e.start as u64);
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(seed ^ 0xA50A ^ ((e.node as u64) << 32) ^ e.start as u64);
         e.kind.inject(&mut timeline[start..end], &mut rng);
     }
     latent
@@ -97,13 +106,19 @@ mod tests {
     #[test]
     fn gang_members_have_similar_patterns() {
         let s = small_schedule();
-        let gang = s.jobs.iter().find(|j| j.nodes.len() >= 2).expect("gang job");
+        let gang = s
+            .jobs
+            .iter()
+            .find(|j| j.nodes.len() >= 2)
+            .expect("gang job");
         let a = node_latent(&s, gang.nodes[0], 30.0, 1);
         let b = node_latent(&s, gang.nodes[1], 30.0, 1);
         // Mean CPU over the job span must be close, but traces not equal.
         let span = gang.start..gang.end;
         let mean = |l: &[SignalFrame]| {
-            span.clone().map(|t| l[t][Signal::CpuUser as usize]).sum::<f64>()
+            span.clone()
+                .map(|t| l[t][Signal::CpuUser as usize])
+                .sum::<f64>()
                 / span.len() as f64
         };
         let (ma, mb) = (mean(&a), mean(&b));
@@ -116,15 +131,24 @@ mod tests {
     fn injection_changes_only_the_event_window() {
         let s = small_schedule();
         let clean = simulate_cluster(&s, &[], 30.0, 2);
-        let event = AnomalyEvent { node: 1, kind: AnomalyKind::CpuOverload, start: 100, end: 140 };
+        let event = AnomalyEvent {
+            node: 1,
+            kind: AnomalyKind::CpuOverload,
+            start: 100,
+            end: 140,
+        };
         let dirty = simulate_cluster(&s, &[event], 30.0, 2);
         // Outside the window everything matches.
         for t in (0..90).chain(150..s.horizon) {
             assert_eq!(clean[1][t], dirty[1][t], "leak outside window at t={t}");
         }
         // Inside it, CPU goes up.
-        let cpu_clean: f64 = (100..140).map(|t| clean[1][t][Signal::CpuUser as usize]).sum();
-        let cpu_dirty: f64 = (100..140).map(|t| dirty[1][t][Signal::CpuUser as usize]).sum();
+        let cpu_clean: f64 = (100..140)
+            .map(|t| clean[1][t][Signal::CpuUser as usize])
+            .sum();
+        let cpu_dirty: f64 = (100..140)
+            .map(|t| dirty[1][t][Signal::CpuUser as usize])
+            .sum();
         assert!(cpu_dirty > cpu_clean + 1.0);
         // Other nodes untouched.
         for t in 0..s.horizon {

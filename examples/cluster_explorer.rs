@@ -66,7 +66,11 @@ fn main() {
             .filter(|(_, &l)| l == c)
             .map(|(i, _)| &descriptions[i])
             .collect();
-        println!("  cluster {c} ({} members): {}", members.len(), members.first().map(|s| s.as_str()).unwrap_or("-"));
+        println!(
+            "  cluster {c} ({} members): {}",
+            members.len(),
+            members.first().map(|s| s.as_str()).unwrap_or("-")
+        );
     }
 
     // Operator move: reassign segment 0 into a fresh cluster, watch the
@@ -86,5 +90,8 @@ fn main() {
     let exported = adjust.export(false);
     let parsed = ClusterAdjustment::parse_labels(&exported).expect("roundtrip");
     assert_eq!(&parsed, adjust.labels());
-    println!("assignment export/import roundtrip OK ({} rows)", parsed.len());
+    println!(
+        "assignment export/import roundtrip OK ({} rows)",
+        parsed.len()
+    );
 }

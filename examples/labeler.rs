@@ -18,7 +18,12 @@ fn main() {
     let node = 0usize;
     // A labeling view: a handful of interesting signals over the test
     // window (the GUI shows these as selectable curves).
-    let signals = [Signal::CpuUser, Signal::MemUsed, Signal::NetRxBytes, Signal::PageFaults];
+    let signals = [
+        Signal::CpuUser,
+        Signal::MemUsed,
+        Signal::NetRxBytes,
+        Signal::PageFaults,
+    ];
     let view = nodesentry::linalg::Matrix::from_fn(
         dataset.horizon() - dataset.split,
         signals.len(),
@@ -49,24 +54,42 @@ fn main() {
     for s in suggestions.iter().filter(|s| s.confidence >= 0.4) {
         history.apply(
             &mut store,
-            Action::Label { node, interval: s.interval.clone() },
+            Action::Label {
+                node,
+                interval: s.interval.clone(),
+            },
         );
     }
     history.apply(
         &mut store,
-        Action::Label { node, interval: Interval::new(5, 9, "operator: warm-up artefact") },
+        Action::Label {
+            node,
+            interval: Interval::new(5, 9, "operator: warm-up artefact"),
+        },
     );
-    println!("after triage: {} labelled intervals", store.intervals(node).len());
+    println!(
+        "after triage: {} labelled intervals",
+        store.intervals(node).len()
+    );
 
     // Oops — the manual label was wrong; undo restores the prior state.
     store = history.undo().expect("something to undo");
-    println!("after undo:   {} labelled intervals", store.intervals(node).len());
+    println!(
+        "after undo:   {} labelled intervals",
+        store.intervals(node).len()
+    );
 
     // 3. Persist: per-node CSV plus the JSONL action log.
     let csv = store.to_csv(node);
     let log = history.to_jsonl();
-    println!("--- labels/node{node:03}.csv ---\n{}", csv.lines().take(6).collect::<Vec<_>>().join("\n"));
-    println!("--- annotation_history.jsonl: {} actions ---", log.lines().count());
+    println!(
+        "--- labels/node{node:03}.csv ---\n{}",
+        csv.lines().take(6).collect::<Vec<_>>().join("\n")
+    );
+    println!(
+        "--- annotation_history.jsonl: {} actions ---",
+        log.lines().count()
+    );
 
     // Compare against ground truth so the demo is verifiable.
     let truth = dataset.labels(node);

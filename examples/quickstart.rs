@@ -67,9 +67,16 @@ fn main() {
             c.recall(),
         );
         if positives > 0 {
-            node_scores.push(NodeScores { precision: c.precision(), recall: c.recall(), auc: 0.0 });
+            node_scores.push(NodeScores {
+                precision: c.precision(),
+                recall: c.recall(),
+                auc: 0.0,
+            });
         }
     }
     let agg = aggregate(&node_scores);
-    println!("overall: P {:.2} / R {:.2} / F1 {:.2}", agg.precision, agg.recall, agg.f1);
+    println!(
+        "overall: P {:.2} / R {:.2} / F1 {:.2}",
+        agg.precision, agg.recall, agg.f1
+    );
 }

@@ -20,14 +20,18 @@
 //!   clustering, fine-grained model sharing, online detection, incremental
 //!   updates, ablation variants.
 //! * [`baselines`] — Prodigy, RUAD, ExaMon and ISC'20 re-implementations.
+//! * [`stream`] — sharded streaming deployment engine: per-node incremental
+//!   state over a trained detector, bit-identical to batch scoring.
 //! * [`eval`] — point-adjusted precision/recall/F1, ROC-AUC, k-sigma dynamic
-//!   thresholding, timing harness.
+//!   thresholding (batch + streaming), timing harness.
 //! * [`label`] — the headless labeling / cluster-adjustment toolkit
 //!   (artifact A2).
 //! * [`linalg`] — the dense matrix substrate underneath everything.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/stream_monitor.rs` for the streaming deployment loop.
 
+pub use nodesentry_core as core;
 pub use ns_baselines as baselines;
 pub use ns_cluster as cluster;
 pub use ns_eval as eval;
@@ -35,8 +39,8 @@ pub use ns_features as features;
 pub use ns_label as label;
 pub use ns_linalg as linalg;
 pub use ns_nn as nn;
+pub use ns_stream as stream;
 pub use ns_telemetry as telemetry;
-pub use nodesentry_core as core;
 
 /// Workspace version, for examples that print provenance headers.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

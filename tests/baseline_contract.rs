@@ -2,7 +2,9 @@
 //! preprocessed representation NodeSentry uses, produces finite scores of
 //! the right length, and separates an easy synthetic anomaly.
 
-use nodesentry::baselines::{Detector, Examon, ExamonConfig, Isc20, Isc20Config, Prodigy, ProdigyConfig, Ruad, RuadConfig};
+use nodesentry::baselines::{
+    Detector, Examon, ExamonConfig, Isc20, Isc20Config, Prodigy, ProdigyConfig, Ruad, RuadConfig,
+};
 use nodesentry::linalg::Matrix;
 
 fn easy_nodes() -> (Vec<Matrix>, usize, usize, usize) {
@@ -26,10 +28,23 @@ fn easy_nodes() -> (Vec<Matrix>, usize, usize, usize) {
 
 fn detectors() -> Vec<Box<dyn Detector>> {
     vec![
-        Box::new(Prodigy::new(ProdigyConfig { epochs: 30, ..Default::default() })),
-        Box::new(Ruad::new(RuadConfig { epochs: 2, max_windows_per_node: 20, ..Default::default() })),
-        Box::new(Examon::new(ExamonConfig { epochs: 40, ..Default::default() })),
-        Box::new(Isc20::new(Isc20Config { max_iter: 20, ..Default::default() })),
+        Box::new(Prodigy::new(ProdigyConfig {
+            epochs: 30,
+            ..Default::default()
+        })),
+        Box::new(Ruad::new(RuadConfig {
+            epochs: 2,
+            max_windows_per_node: 20,
+            ..Default::default()
+        })),
+        Box::new(Examon::new(ExamonConfig {
+            epochs: 40,
+            ..Default::default()
+        })),
+        Box::new(Isc20::new(Isc20Config {
+            max_iter: 20,
+            ..Default::default()
+        })),
     ]
 }
 
@@ -41,13 +56,16 @@ fn all_baselines_fit_and_score() {
         for (n, data) in nodes.iter().enumerate() {
             let scores = det.score_node(n, data, split);
             assert_eq!(scores.len(), data.rows() - split, "{}", det.name());
-            assert!(scores.iter().all(|s| s.is_finite()), "{} emitted NaN", det.name());
+            assert!(
+                scores.iter().all(|s| s.is_finite()),
+                "{} emitted NaN",
+                det.name()
+            );
         }
         // Node 0 carries the anomaly: its scores there should beat the
         // clean region on average.
         let scores = det.score_node(0, &nodes[0], split);
-        let anom: f64 =
-            scores[a0 - split..a1 - split].iter().sum::<f64>() / (a1 - a0) as f64;
+        let anom: f64 = scores[a0 - split..a1 - split].iter().sum::<f64>() / (a1 - a0) as f64;
         let clean: f64 = scores[..a0 - split].iter().sum::<f64>() / (a0 - split) as f64;
         assert!(
             anom > clean,

@@ -5,7 +5,7 @@
 use nodesentry::core::{CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig};
 use nodesentry::eval::metrics::{adjusted_confusion, roc_auc_adjusted};
 use nodesentry::features::FeatureCatalog;
-use nodesentry::telemetry::{DatasetProfile, Dataset};
+use nodesentry::telemetry::{Dataset, DatasetProfile};
 
 fn quick_cfg() -> NodeSentryConfig {
     NodeSentryConfig {
@@ -89,7 +89,10 @@ fn full_pipeline_detects_better_than_chance() {
     // The tiny profile's contextual anomalies are hard at this reduced
     // model scale; the bar is "clearly better than chance", the paper's
     // numbers are the bench harness's job.
-    assert!(mean_auc > 0.55, "mean AUC {mean_auc} barely better than chance");
+    assert!(
+        mean_auc > 0.55,
+        "mean AUC {mean_auc} barely better than chance"
+    );
 }
 
 #[test]
@@ -103,7 +106,11 @@ fn detection_protocol_produces_consistent_confusion() {
         let truth = ds.labels(n);
         let c = adjusted_confusion(&pred, &truth[ds.split..], None);
         let total = c.tp + c.fp + c.fn_ + c.tn;
-        assert_eq!(total, ds.horizon() - ds.split, "confusion must cover the test window");
+        assert_eq!(
+            total,
+            ds.horizon() - ds.split,
+            "confusion must cover the test window"
+        );
     }
 }
 
@@ -113,7 +120,11 @@ fn ablation_variants_run_end_to_end() {
     let ds = DatasetProfile::tiny().generate();
     let groups = ds.catalog.group_ids();
     let inputs = inputs_of(&ds);
-    for v in [Variant::C1SingleModel, Variant::C3EqualLength, Variant::C5DenseFfn] {
+    for v in [
+        Variant::C1SingleModel,
+        Variant::C3EqualLength,
+        Variant::C5DenseFfn,
+    ] {
         let model = NodeSentry::fit(quick_cfg().with_variant(v), &inputs, &groups, ds.split);
         let (scores, _) = model.score_node(&inputs[0].raw, &inputs[0].transitions, ds.split);
         assert!(scores.iter().all(|s| s.is_finite()), "{v:?} produced NaNs");

@@ -5,7 +5,9 @@
 
 use nodesentry::eval::threshold::KSigmaConfig;
 use nodesentry::features::FeatureCatalog;
-use nodesentry::label::{suggest_ksigma, Action, AnnotationHistory, ClusterAdjustment, Interval, LabelStore};
+use nodesentry::label::{
+    suggest_ksigma, Action, AnnotationHistory, ClusterAdjustment, Interval, LabelStore,
+};
 use nodesentry::linalg::Matrix;
 use nodesentry::telemetry::DatasetProfile;
 
@@ -48,9 +50,28 @@ fn assisted_suggestions_cover_injected_anomalies() {
 fn labeling_session_roundtrips_through_csv_and_history() {
     let mut store = LabelStore::new();
     let mut history = AnnotationHistory::new();
-    history.apply(&mut store, Action::Label { node: 4, interval: Interval::new(100, 130, "oom") });
-    history.apply(&mut store, Action::Label { node: 4, interval: Interval::new(300, 310, "") });
-    history.apply(&mut store, Action::Unlabel { node: 4, start: 110, end: 120 });
+    history.apply(
+        &mut store,
+        Action::Label {
+            node: 4,
+            interval: Interval::new(100, 130, "oom"),
+        },
+    );
+    history.apply(
+        &mut store,
+        Action::Label {
+            node: 4,
+            interval: Interval::new(300, 310, ""),
+        },
+    );
+    history.apply(
+        &mut store,
+        Action::Unlabel {
+            node: 4,
+            start: 110,
+            end: 120,
+        },
+    );
 
     // CSV round trip.
     let csv = store.to_csv(4);

@@ -1,0 +1,100 @@
+//! Parallel preprocessing in `fit_from_source` must be deterministic:
+//! the same seed produces bit-identical models and scores whether the
+//! thread pool has one thread or many.
+//!
+//! `RAYON_NUM_THREADS` is process-global, so this file holds a single
+//! test that toggles it around each fit.
+
+use nodesentry::core::{CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig};
+use nodesentry::features::FeatureCatalog;
+use nodesentry::telemetry::{Dataset, DatasetProfile};
+
+fn quick_cfg() -> NodeSentryConfig {
+    NodeSentryConfig {
+        coarse: CoarseConfig {
+            catalog: FeatureCatalog::compact(),
+            k_max: 6,
+            ..Default::default()
+        },
+        sharing: SharingConfig {
+            window: 12,
+            stride: 6,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            hidden: 32,
+            n_experts: 2,
+            epochs: 6,
+            lr: 3e-3,
+            batch: 16,
+            k_nearest: 4,
+            ..Default::default()
+        },
+        match_period: 40,
+        min_segment_len: 8,
+        ..Default::default()
+    }
+}
+
+fn inputs_of(ds: &Dataset) -> Vec<NodeInput> {
+    (0..ds.n_nodes())
+        .map(|n| NodeInput {
+            raw: ds.raw_node(n),
+            transitions: ds
+                .schedule
+                .node_timeline(n)
+                .iter()
+                .map(|s| s.start)
+                .filter(|&s| s > 0)
+                .collect(),
+        })
+        .collect()
+}
+
+fn fit_and_score(ds: &Dataset, inputs: &[NodeInput]) -> (String, Vec<Vec<u64>>) {
+    let groups = ds.catalog.group_ids();
+    let model = NodeSentry::fit(quick_cfg(), inputs, &groups, ds.split);
+    let scores: Vec<Vec<u64>> = inputs
+        .iter()
+        .map(|input| {
+            let (s, _) = model.score_node(&input.raw, &input.transitions, ds.split);
+            s.iter().map(|v| v.to_bits()).collect()
+        })
+        .collect();
+    // The serialized model captures every trained weight; comparing the
+    // JSON compares the entire model bit for bit.
+    (model.to_json(true).expect("serialize"), scores)
+}
+
+#[test]
+fn fit_is_bitwise_identical_across_thread_counts() {
+    let ds = DatasetProfile::tiny().generate();
+    let inputs = inputs_of(&ds);
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let (model_serial, scores_serial) = fit_and_score(&ds, &inputs);
+
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let (model_parallel, scores_parallel) = fit_and_score(&ds, &inputs);
+
+    std::env::set_var("RAYON_NUM_THREADS", "3");
+    let (model_three, scores_three) = fit_and_score(&ds, &inputs);
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(
+        model_serial, model_parallel,
+        "model differs between 1 thread and default"
+    );
+    assert_eq!(
+        model_serial, model_three,
+        "model differs between 1 and 3 threads"
+    );
+    assert_eq!(
+        scores_serial, scores_parallel,
+        "scores differ between 1 thread and default"
+    );
+    assert_eq!(
+        scores_serial, scores_three,
+        "scores differ between 1 and 3 threads"
+    );
+}

@@ -22,7 +22,10 @@ fn reduction_reaches_paper_ballpark() {
     // Transform yields standardized, clipped, finite output.
     let out = pp.transform(&ds.raw_node(0));
     assert_eq!(out.rows(), ds.horizon());
-    assert!(out.as_slice().iter().all(|v| v.is_finite() && v.abs() <= 5.0));
+    assert!(out
+        .as_slice()
+        .iter()
+        .all(|v| v.is_finite() && v.abs() <= 5.0));
 }
 
 #[test]
@@ -70,18 +73,17 @@ fn transitions_from_schedule_segment_the_timeline() {
     let ds = DatasetProfile::tiny().generate();
     for node in 0..ds.n_nodes() {
         let timeline = ds.schedule.node_timeline(node);
-        let transitions: Vec<usize> =
-            timeline.iter().map(|s| s.start).filter(|&s| s > 0).collect();
+        let transitions: Vec<usize> = timeline
+            .iter()
+            .map(|s| s.start)
+            .filter(|&s| s > 0)
+            .collect();
         let raw = ds.raw_node(node);
         let groups = ds.catalog.group_ids();
         let pp = Preprocessor::fit(&raw.slice_rows(0, ds.split), &groups, 0.99, 0.05);
         let processed = pp.transform(&raw);
-        let segs = nodesentry::core::preprocess::segment_at_transitions(
-            node,
-            &processed,
-            &transitions,
-            4,
-        );
+        let segs =
+            nodesentry::core::preprocess::segment_at_transitions(node, &processed, &transitions, 4);
         // Segments tile the horizon (up to dropped short spans).
         let covered: usize = segs.iter().map(|s| s.len()).sum();
         assert!(covered as f64 > 0.9 * ds.horizon() as f64);

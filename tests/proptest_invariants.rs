@@ -3,6 +3,7 @@
 use nodesentry::cluster::dtw::dtw_distance;
 use nodesentry::cluster::{linkage, Linkage};
 use nodesentry::eval::metrics::{point_adjust, roc_auc_adjusted};
+use nodesentry::eval::streaming::{StreamingKSigma, StreamingSmoother};
 use nodesentry::eval::threshold::{ksigma_detect, smooth_scores, KSigmaConfig};
 use nodesentry::features::fft::{fft_in_place, Complex};
 use nodesentry::features::FeatureCatalog;
@@ -140,5 +141,57 @@ proptest! {
         let (_, trimmed) = stats::trimmed_mean_std(&x, 0.05);
         let plain = stats::std_dev(&x);
         prop_assert!(trimmed <= plain + 1e-9);
+    }
+
+    #[test]
+    fn streaming_smoother_matches_batch_on_arbitrary_series(
+        scores in prop::collection::vec(-50.0f64..50.0, 0..160),
+        window in 1usize..12
+    ) {
+        let batch = smooth_scores(&scores, window);
+        let mut sm = StreamingSmoother::new(window);
+        let mut streamed = Vec::new();
+        for &s in &scores {
+            streamed.extend(sm.push(s));
+        }
+        streamed.extend(sm.flush());
+        prop_assert_eq!(batch.len(), streamed.len());
+        for (a, b) in batch.iter().zip(&streamed) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_ksigma_matches_batch_on_arbitrary_series(
+        scores in prop::collection::vec(-20.0f64..20.0, 0..300),
+        window in 1usize..50,
+        k_tenths in 10usize..60
+    ) {
+        let cfg = KSigmaConfig { window, k: k_tenths as f64 / 10.0, ..Default::default() };
+        let batch = ksigma_detect(&scores, &cfg);
+        let mut det = StreamingKSigma::new(cfg);
+        let streamed: Vec<bool> = scores.iter().map(|&s| det.push(s)).collect();
+        prop_assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn streaming_smooth_then_ksigma_matches_batch_composition(
+        scores in prop::collection::vec(0.0f64..10.0, 0..250),
+        smooth_w in 1usize..9
+    ) {
+        let cfg = KSigmaConfig::default();
+        let batch = ksigma_detect(&smooth_scores(&scores, smooth_w), &cfg);
+        let mut sm = StreamingSmoother::new(smooth_w);
+        let mut det = StreamingKSigma::new(cfg);
+        let mut streamed = Vec::new();
+        for &s in &scores {
+            for sv in sm.push(s) {
+                streamed.push(det.push(sv));
+            }
+        }
+        for sv in sm.flush() {
+            streamed.push(det.push(sv));
+        }
+        prop_assert_eq!(batch, streamed);
     }
 }

@@ -1,0 +1,84 @@
+//! Model persistence: a trained detector serialized with
+//! `NodeSentry::to_json` and restored with `from_json` must score
+//! identically — both the slim deployment envelope (no training
+//! segments) and the full layout.
+
+use nodesentry::core::{CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig};
+use nodesentry::features::FeatureCatalog;
+use nodesentry::telemetry::DatasetProfile;
+
+fn quick_cfg() -> NodeSentryConfig {
+    NodeSentryConfig {
+        coarse: CoarseConfig {
+            catalog: FeatureCatalog::compact(),
+            k_max: 6,
+            ..Default::default()
+        },
+        sharing: SharingConfig {
+            window: 12,
+            stride: 6,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            hidden: 32,
+            n_experts: 2,
+            epochs: 6,
+            lr: 3e-3,
+            batch: 16,
+            k_nearest: 4,
+            ..Default::default()
+        },
+        match_period: 40,
+        min_segment_len: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn fit_serialize_deserialize_scores_identically() {
+    let ds = DatasetProfile::tiny().generate();
+    let groups = ds.catalog.group_ids();
+    let inputs: Vec<NodeInput> = (0..ds.n_nodes())
+        .map(|n| NodeInput {
+            raw: ds.raw_node(n),
+            transitions: ds
+                .schedule
+                .node_timeline(n)
+                .iter()
+                .map(|s| s.start)
+                .filter(|&s| s > 0)
+                .collect(),
+        })
+        .collect();
+    let model = NodeSentry::fit(quick_cfg(), &inputs, &groups, ds.split);
+
+    for include_segments in [false, true] {
+        let json = model.to_json(include_segments).expect("serialize");
+        let restored = NodeSentry::from_json(&json).expect("deserialize");
+        assert_eq!(restored.n_clusters(), model.n_clusters());
+        assert_eq!(
+            restored.preprocessor.out_dim(),
+            model.preprocessor.out_dim()
+        );
+        if include_segments {
+            assert_eq!(restored.train_segments.len(), model.train_segments.len());
+        } else {
+            assert!(restored.train_segments.is_empty());
+        }
+        // Identical scoring, bit for bit, on every node.
+        for input in &inputs {
+            let (before, matches_before) =
+                model.score_node(&input.raw, &input.transitions, ds.split);
+            let (after, matches_after) =
+                restored.score_node(&input.raw, &input.transitions, ds.split);
+            assert_eq!(matches_before, matches_after);
+            assert_eq!(before.len(), after.len());
+            for (a, b) in before.iter().zip(&after) {
+                assert_eq!(a.to_bits(), b.to_bits(), "score changed across round-trip");
+            }
+        }
+        // A second round-trip is a fixed point of serialization.
+        let json2 = restored.to_json(include_segments).expect("re-serialize");
+        assert_eq!(json, json2, "serialization not stable across a round-trip");
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`).
+//!
+//! Under `cargo bench` (a `--bench` flag is present in argv) each closure
+//! is timed over a modest number of iterations and a mean is printed.
+//! Under `cargo test` the closures run exactly once — matching real
+//! criterion's smoke-test behaviour that keeps test runs fast.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+pub struct Criterion {
+    timed: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let timed = std::env::args().any(|a| a == "--bench");
+        Criterion { timed }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            timed: self.timed,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one("", self.timed, 10, &id.to_string(), |b| f(b));
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    timed: bool,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            self.timed,
+            self.sample_size,
+            &id.to_string(),
+            |b| f(b),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, self.timed, self.sample_size, &id.0, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+pub struct Bencher {
+    timed: bool,
+    samples: usize,
+    /// Mean seconds per iteration, filled by `iter` in timed mode.
+    mean_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.timed {
+            black_box(f());
+            return;
+        }
+        // Warm-up, then timed samples.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean_s = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, timed: bool, samples: usize, id: &str, mut f: F) {
+    let mut b = Bencher {
+        timed,
+        samples,
+        mean_s: 0.0,
+    };
+    f(&mut b);
+    if timed {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        let m = b.mean_s;
+        let human = if m >= 1.0 {
+            format!("{m:.3} s")
+        } else if m >= 1e-3 {
+            format!("{:.3} ms", m * 1e3)
+        } else if m >= 1e-6 {
+            format!("{:.3} µs", m * 1e6)
+        } else {
+            format!("{:.1} ns", m * 1e9)
+        };
+        println!("bench: {label:<48} {human}/iter ({samples} samples)");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

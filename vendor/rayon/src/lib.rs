@@ -1,0 +1,243 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the subset of rayon's API it actually uses: `par_iter`,
+//! `into_par_iter` (slices, `Vec`, `Range<usize>`), `par_chunks_mut`,
+//! `map` / `enumerate` / `for_each` / `any` / `collect` / `sum` / `unzip`,
+//! and [`current_num_threads`].
+//!
+//! Two properties matter more here than raw scheduling cleverness:
+//!
+//! 1. **Ordering** — results are always concatenated in input order, and
+//!    reductions (`sum`, `collect`, `unzip`) fold the ordered result
+//!    sequentially, so every combinator is *bitwise deterministic*
+//!    regardless of thread count. Upstream rayon guarantees this for
+//!    `collect` but not for `sum`; we guarantee it across the board,
+//!    which the workspace's determinism tests rely on.
+//! 2. **Thread-count control** — `RAYON_NUM_THREADS` is re-read on every
+//!    parallel call (upstream reads it once at global-pool init), so
+//!    tests can flip between serial and parallel execution in-process.
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on a scoped thread pool, preserving input order.
+fn run_parallel<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk_size).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// A materialized parallel iterator (items are collected eagerly).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<R, F: Fn(I) -> R + Sync>(self, f: F) -> ParMap<I, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        run_parallel(self.items, f);
+    }
+
+    pub fn any<F: Fn(I) -> bool + Sync>(self, f: F) -> bool {
+        run_parallel(self.items, f).into_iter().any(|b| b)
+    }
+}
+
+/// Splits a pair item for `unzip` without unconstrained impl parameters.
+pub trait Pair {
+    type A;
+    type B;
+    fn split(self) -> (Self::A, Self::B);
+}
+
+impl<A, B> Pair for (A, B) {
+    type A = A;
+    type B = B;
+    fn split(self) -> (A, B) {
+        self
+    }
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> ParMap<I, F> {
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        run_parallel(self.items, self.f).into_iter().collect()
+    }
+
+    pub fn for_each_result(self) {
+        run_parallel(self.items, self.f);
+    }
+
+    /// Ordered, sequential reduction of the parallel map results —
+    /// deterministic for floating-point sums regardless of thread count.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        run_parallel(self.items, self.f).into_iter().sum()
+    }
+
+    pub fn unzip<CA, CB>(self) -> (CA, CB)
+    where
+        R: Pair,
+        CA: FromIterator<R::A>,
+        CB: FromIterator<R::B>,
+    {
+        let pairs = run_parallel(self.items, self.f);
+        let mut left = Vec::with_capacity(pairs.len());
+        let mut right = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            let (a, b) = p.split();
+            left.push(a);
+            right.push(b);
+        }
+        (left.into_iter().collect(), right.into_iter().collect())
+    }
+}
+
+/// `par_iter` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` over mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(size.max(1)).collect(),
+        }
+    }
+}
+
+/// `into_par_iter` for owned collections and index ranges.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential_bitwise() {
+        let xs: Vec<f64> = (0..997).map(|i| (i as f64).sin() * 1e-3).collect();
+        let par: f64 = xs.par_iter().map(|&x| x * 1.000001).sum();
+        let seq: f64 = xs.iter().map(|&x| x * 1.000001).sum();
+        assert_eq!(par.to_bits(), seq.to_bits());
+    }
+
+    #[test]
+    fn chunks_mut_cover_all() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = i * 10 + k;
+            }
+        });
+        assert_eq!(data, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn any_and_unzip() {
+        let xs = [1, 5, 9];
+        assert!(xs.par_iter().any(|&x| x == 5));
+        assert!(!xs.par_iter().any(|&x| x == 4));
+        let (a, b): (Vec<usize>, Vec<usize>) = (0..10).into_par_iter().map(|i| (i, i * i)).unzip();
+        assert_eq!(a.len(), 10);
+        assert_eq!(b[3], 9);
+    }
+}

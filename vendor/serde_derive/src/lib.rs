@@ -1,0 +1,394 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored value-tree `serde`, parsing the item's token stream by hand
+//! (no `syn` / `quote` — the registry is unreachable, so this crate has zero
+//! dependencies). Supported shapes cover everything the workspace derives:
+//!
+//! * structs with named fields (including lifetime-generic structs holding
+//!   references, for serialize-only envelopes);
+//! * tuple / newtype / unit structs;
+//! * enums with unit variants (optionally with explicit discriminants),
+//!   newtype variants, tuple variants and struct variants — encoded the
+//!   serde_json way (`"Variant"` / `{"Variant": payload}`).
+//!
+//! `#[serde(...)]` field/container attributes are NOT interpreted; the
+//! workspace does not use any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+struct Item {
+    name: String,
+    /// `"<'a>"`-style lifetime generics, or empty. Type parameters are not
+    /// supported (the workspace never derives on type-generic items).
+    generics: String,
+    shape: Shape,
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`).
+fn skip_attrs_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        if is_punct(toks.get(*i), '#') {
+            *i += 2; // '#' + bracket group
+        } else if is_ident(toks.get(*i), "pub") {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        } else {
+            return;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse `<'a, 'b>`-style lifetime-only generics into a reusable string.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> String {
+    if !is_punct(toks.get(*i), '<') {
+        return String::new();
+    }
+    *i += 1;
+    let mut out = String::from("<");
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *i += 1;
+                out.push('>');
+                return out;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => out.push('\''),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => out.push_str(", "),
+            Some(TokenTree::Ident(id)) => {
+                out.push_str(&id.to_string());
+                out.push(' ');
+            }
+            other => panic!("serde derive: unsupported generics token {other:?}"),
+        }
+        *i += 1;
+    }
+}
+
+/// Parse `name: Type, ...` named fields, returning field names. Types are
+/// skipped with angle-bracket depth tracking (groups are atomic tokens).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < toks.len() {
+        skip_attrs_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "field name");
+        if !is_punct(toks.get(i), ':') {
+            panic!("serde derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name);
+    }
+    names
+}
+
+/// Count top-level comma-separated fields of a tuple struct / variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    let mut last_was_comma = false;
+    for t in &toks {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional explicit discriminant: `= expr` (skipped to the comma).
+        if is_punct(toks.get(i), '=') {
+            i += 1;
+            while i < toks.len() && !is_punct(toks.get(i), ',') {
+                i += 1;
+            }
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "item name");
+    let generics = parse_generics(&toks, &mut i);
+    let shape = match (kw.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", t) if is_punct(t, ';') => Shape::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("serde derive: unsupported item `{kw}` body {other:?}"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let g = &item.generics;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(String::from(\"{v}\")),")
+                    }
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => \
+                         ::serde::variant(\"{v}\", ::serde::Serialize::to_value(__f0)),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds = tuple_bindings(*n);
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::variant(\"{v}\", \
+                             ::serde::Value::Array(vec![{}])),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::variant(\"{v}\", \
+                             ::serde::Value::Object(vec![{}])),",
+                            fields.join(", "),
+                            pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl{g} ::serde::Serialize for {name}{g} {{\n\
+            fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let g = &item.generics;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::element(__v, {k})?"))
+                .collect();
+            format!("Ok({name}({}))", items.join(", "))
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(_payload)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::element(_payload, {k})?"))
+                            .collect();
+                        Some(format!("\"{v}\" => Ok({name}::{v}({})),", items.join(", ")))
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(_payload, \"{f}\")?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => Ok({name}::{v} {{ {} }}),",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                    ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                        {unit}\n\
+                        _other => Err(::serde::Error::msg(\
+                            format!(\"unknown variant `{{}}` of {name}\", _other))),\n\
+                    }},\n\
+                    ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                        let (__key, _payload) = &__pairs[0];\n\
+                        match __key.as_str() {{\n\
+                            {data}\n\
+                            _other => Err(::serde::Error::msg(\
+                                format!(\"unknown variant `{{}}` of {name}\", _other))),\n\
+                        }}\n\
+                    }}\n\
+                    _ => Err(::serde::Error::msg(\"expected enum value for {name}\")),\n\
+                }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    let out = format!(
+        "impl{g} ::serde::Deserialize for {name}{g} {{\n\
+            fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    out.parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
