@@ -57,10 +57,12 @@ fn main() {
                 transition: transitions.contains(&step),
             });
             if cycle.len() == steps_per_hour {
-                engine.ingest(std::mem::take(&mut cycle));
+                engine
+                    .ingest(std::mem::take(&mut cycle))
+                    .expect("stream shard alive");
             }
         }
-        engine.ingest(cycle);
+        engine.ingest(cycle).expect("stream shard alive");
     }
     let report = engine.finish();
     let stream_wall = sw.seconds();

@@ -1,0 +1,242 @@
+//! Robustness experiment: how much detection quality does each telemetry
+//! fault class cost, as a function of fault rate?
+//!
+//! A detector is trained once on a clean simulated cluster. The held-out
+//! window is then replayed through the hardened `ns-stream` engine — once
+//! clean (baseline) and once per (fault class × fault rate) cell, with
+//! faults injected by `ns-telemetry::faults`. Missing verdicts (dropped
+//! ticks, blackout gaps) count as "not flagged", exactly what an operator
+//! dashboard would show. For every cell the experiment reports:
+//!
+//! * adjusted precision/recall against the injected anomaly ground
+//!   truth, overall and restricted to steps *outside* the fault windows
+//!   (via `interval_mask`) — the latter shows the engine's containment:
+//!   outside the windows, quality should stay at baseline;
+//! * the engine's fault counters (synthesized rows, blackouts,
+//!   degraded/suppressed verdicts, …), which is how a deployment
+//!   observes its own degradation.
+//!
+//! Results land in `target/experiments/faults.json`.
+
+use nodesentry_core::{NodeSentry, NodeSentryConfig};
+use ns_bench::{transitions_of, write_json, DatasetSource};
+use ns_eval::metrics::{adjusted_confusion, aggregate, interval_mask, NodeScores};
+use ns_stream::{Engine, EngineConfig, Tick};
+use ns_telemetry::{DatasetProfile, FaultInjector, FaultPlan, FaultPlanSpec, ALL_FAULTS};
+use serde_json::json;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+const RATES: [f64; 3] = [0.02, 0.05, 0.10];
+const N_SHARDS: usize = 3;
+
+fn engine_cfg(split: usize) -> EngineConfig {
+    let mut cfg = EngineConfig::new(split);
+    cfg.n_shards = N_SHARDS;
+    cfg.smooth_window = 1;
+    cfg.reorder_bound = 16;
+    cfg.blackout_gap = 60;
+    cfg
+}
+
+struct Cell {
+    precision: f64,
+    recall: f64,
+    outside_precision: f64,
+    outside_recall: f64,
+}
+
+/// Replay `stream` through a fresh engine and score the verdicts against
+/// ground truth, overall and outside the per-node `dirty` windows.
+fn run_cell(
+    model: &Arc<NodeSentry>,
+    ds: &ns_telemetry::Dataset,
+    stream: &[Tick],
+    dirty: &[Vec<(usize, usize)>],
+) -> (Cell, ns_stream::FaultCounters) {
+    let engine = Engine::new(Arc::clone(model), engine_cfg(ds.split));
+    for chunk in stream.chunks(512) {
+        engine.ingest(chunk.to_vec()).expect("stream shard alive");
+    }
+    let report = engine.finish();
+    let span = ds.horizon() - ds.split;
+    let mut overall = Vec::new();
+    let mut outside = Vec::new();
+    for (n, node_dirty) in dirty.iter().enumerate() {
+        // Missing verdicts (dropped ticks, blackouts) read as "not
+        // flagged" — the operator-visible default.
+        let mut pred = vec![false; span];
+        for v in report.verdicts.iter().filter(|v| v.node == n) {
+            pred[v.step - ds.split] = v.anomalous;
+        }
+        let truth_full = ds.labels(n);
+        let truth = &truth_full[ds.split..];
+        let c = adjusted_confusion(&pred, truth, None);
+        overall.push(NodeScores {
+            precision: c.precision(),
+            recall: c.recall(),
+            auc: 0.0,
+        });
+        let local: Vec<(usize, usize)> = node_dirty
+            .iter()
+            .map(|&(s, e)| (s.saturating_sub(ds.split), e.saturating_sub(ds.split)))
+            .collect();
+        let mask = interval_mask(span, &local);
+        let c = adjusted_confusion(&pred, truth, Some(&mask));
+        outside.push(NodeScores {
+            precision: c.precision(),
+            recall: c.recall(),
+            auc: 0.0,
+        });
+    }
+    let all = aggregate(&overall);
+    let out = aggregate(&outside);
+    (
+        Cell {
+            precision: all.precision,
+            recall: all.recall,
+            outside_precision: out.precision,
+            outside_recall: out.recall,
+        },
+        report.faults,
+    )
+}
+
+fn main() {
+    let mut profile = DatasetProfile::tiny();
+    profile.name = "faults".into();
+    profile.schedule.n_nodes = 6;
+    profile.schedule.horizon = 1200;
+    profile.events_per_node = 2.0;
+    let ds = profile.generate();
+
+    // Trimmed hyperparameters: the experiment needs a competent detector,
+    // not a paper-scale one, and it replays the stream 25 times.
+    let mut cfg = NodeSentryConfig::default();
+    cfg.sharing.epochs = 8;
+    cfg.sharing.n_experts = 2;
+    let groups = ds.catalog.group_ids();
+    let model = NodeSentry::fit_from_source(cfg, &DatasetSource(&ds), &groups, ds.split);
+    println!(
+        "=== fault robustness: {} nodes × {} steps, {} clusters ===",
+        ds.n_nodes(),
+        ds.horizon(),
+        model.n_clusters()
+    );
+    let model = Arc::new(model);
+
+    let transition_sets: Vec<HashSet<usize>> = (0..ds.n_nodes())
+        .map(|n| transitions_of(&ds, n).into_iter().collect())
+        .collect();
+    let mut clean = Vec::new();
+    for step in 0..ds.horizon() {
+        for (node, transitions) in transition_sets.iter().enumerate() {
+            clean.push(Tick {
+                node,
+                step,
+                values: ds.raw_node(node).row(step).to_vec(),
+                transition: transitions.contains(&step),
+            });
+        }
+    }
+
+    let pp = &model.preprocessor;
+    let n_cols = pp.groups.len();
+    let counter_cols: Vec<usize> = (0..n_cols)
+        .filter(|&c| pp.counters[pp.groups[c]] && pp.kept.contains(&pp.groups[c]))
+        .collect();
+
+    let no_dirty = vec![Vec::new(); ds.n_nodes()];
+    let (base, base_faults) = run_cell(&model, &ds, &clean, &no_dirty);
+    assert!(base_faults.is_clean(), "clean replay must trip no counters");
+    println!(
+        "baseline (clean stream): precision {:.3} / recall {:.3}",
+        base.precision, base.recall
+    );
+    println!(
+        "{:<14} {:>5}  {:>6} {:>6}  {:>6} {:>6}  {:>6} {:>6}  engine counters",
+        "class", "rate", "prec", "rec", "Δprec", "Δrec", "o.prec", "o.rec"
+    );
+
+    let mut records = Vec::new();
+    for (ki, kind) in ALL_FAULTS.iter().enumerate() {
+        for (ri, &rate) in RATES.iter().enumerate() {
+            let spec = FaultPlanSpec {
+                seed: 0x0FA17 + (ki as u64) * 31 + ri as u64,
+                window: (ds.split, ds.horizon()),
+                kinds: vec![*kind],
+                rate,
+                event_len: (4, 40),
+                n_cols,
+                counter_cols: counter_cols.clone(),
+            };
+            let plan = FaultPlan::random(&spec, ds.n_nodes());
+            if plan.events.is_empty() {
+                // CounterReset is skipped when the catalog keeps no
+                // counter groups; keep the sweep honest about it.
+                println!(
+                    "{:<14} {:>5.2}  (no events generated, skipped)",
+                    format!("{kind:?}"),
+                    rate
+                );
+                continue;
+            }
+            let dirty: Vec<Vec<(usize, usize)>> =
+                (0..ds.n_nodes()).map(|n| plan.dirty_windows(n)).collect();
+            let outcome = FaultInjector::new(plan).apply(&clean);
+            let (cell, faults) = run_cell(&model, &ds, &outcome.stream, &dirty);
+            println!(
+                "{:<14} {:>5.2}  {:>6.3} {:>6.3}  {:>+6.3} {:>+6.3}  {:>6.3} {:>6.3}  syn {} nan {} rst {} stk {} blk {} degr {} supp {} quar {}",
+                format!("{kind:?}"),
+                rate,
+                cell.precision,
+                cell.recall,
+                cell.precision - base.precision,
+                cell.recall - base.recall,
+                cell.outside_precision,
+                cell.outside_recall,
+                faults.synthesized_rows,
+                faults.nan_rows,
+                faults.counter_resets,
+                faults.stuck_rows,
+                faults.blackouts,
+                faults.degraded_verdicts,
+                faults.suppressed_verdicts,
+                faults.quarantined_nodes,
+            );
+            let counters = json!({
+                "late_ticks": faults.late_ticks,
+                "duplicate_ticks": faults.duplicate_ticks,
+                "reordered_ticks": faults.reordered_ticks,
+                "synthesized_rows": faults.synthesized_rows,
+                "nan_rows": faults.nan_rows,
+                "counter_resets": faults.counter_resets,
+                "stuck_rows": faults.stuck_rows,
+                "blackouts": faults.blackouts,
+                "degraded_verdicts": faults.degraded_verdicts,
+                "suppressed_verdicts": faults.suppressed_verdicts,
+            });
+            records.push(json!({
+                "class": format!("{kind:?}"),
+                "rate": rate,
+                "precision": cell.precision,
+                "recall": cell.recall,
+                "precision_drop": base.precision - cell.precision,
+                "recall_drop": base.recall - cell.recall,
+                "outside_precision": cell.outside_precision,
+                "outside_recall": cell.outside_recall,
+                "counters": counters,
+            }));
+        }
+    }
+    let baseline = json!({ "precision": base.precision, "recall": base.recall });
+    write_json(
+        "faults",
+        &json!({
+            "baseline": baseline,
+            "rates": RATES.to_vec(),
+            "cells": records,
+            "n_shards": N_SHARDS,
+        }),
+    );
+}

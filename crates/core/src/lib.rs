@@ -25,8 +25,10 @@ pub mod coarse;
 pub mod detector;
 pub mod preprocess;
 pub mod sharing;
+pub mod tick;
 
 pub use coarse::{ClusterModel, CoarseConfig};
 pub use detector::{NodeInput, NodeSentry, NodeSentryConfig, NodeSource, Variant};
 pub use preprocess::{Preprocessor, Segment, Standardizer};
 pub use sharing::{SharedModel, SharingConfig};
+pub use tick::Tick;

@@ -1,0 +1,28 @@
+//! The streaming wire format: one telemetry sample for one node.
+//!
+//! `Tick` is the unit every online consumer of NodeSentry speaks — the
+//! sharded engine in `ns-stream` ingests them, and the fault-injection
+//! layer in `ns-telemetry::faults` perturbs sequences of them. It lives
+//! here (rather than in either of those crates) so the simulator and the
+//! engine can agree on the format without depending on each other.
+
+use serde::{Deserialize, Serialize};
+
+/// One telemetry sample for one node.
+///
+/// A *clean* feed delivers, per node, exactly one tick per step starting
+/// at 0 with no gaps, duplicates, or reordering. A *real* feed does not:
+/// collectors drop samples, deliver late and twice, reset counters, skew
+/// clocks, and black out whole nodes. The streaming engine is hardened
+/// against all of those (see `ns-stream`); the fault model is documented
+/// in DESIGN.md §"Fault model & degraded mode".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tick {
+    pub node: usize,
+    /// Global step index over the monitoring horizon.
+    pub step: usize,
+    /// Raw metric values (may contain NaN for lost samples).
+    pub values: Vec<f64>,
+    /// Whether a job transition occurs at this step (from the scheduler).
+    pub transition: bool,
+}

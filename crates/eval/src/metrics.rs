@@ -98,6 +98,20 @@ pub fn adjusted_confusion(pred: &[bool], truth: &[bool], include: Option<&[bool]
     c
 }
 
+/// Inclusion mask that excludes the half-open step intervals in
+/// `intervals` (clamped to `len`). Used by the fault-injection
+/// experiments to score detection quality outside the injected fault
+/// windows, where verdicts are still expected to be trustworthy.
+pub fn interval_mask(len: usize, intervals: &[(usize, usize)]) -> Vec<bool> {
+    let mut mask = vec![true; len];
+    for &(lo, hi) in intervals {
+        for slot in mask[lo.min(len)..hi.min(len)].iter_mut() {
+            *slot = false;
+        }
+    }
+    mask
+}
+
 /// Inclusion mask that excludes `radius` points on each side of every
 /// pattern-transition step (the paper's 1-minute boundary exclusion).
 pub fn transition_mask(len: usize, transitions: &[usize], radius: usize) -> Vec<bool> {

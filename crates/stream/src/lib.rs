@@ -1,5 +1,5 @@
 //! `ns-stream` — sharded streaming deployment of a trained
-//! [`NodeSentry`] detector.
+//! [`NodeSentry`] detector, hardened against malformed feeds.
 //!
 //! The batch API ([`NodeSentry::score_node`]) scores a node from its full
 //! raw matrix after the fact. A monitoring deployment instead sees one
@@ -12,7 +12,9 @@
 //!   time. Linear NaN interpolation is anti-causal (a gap is filled once
 //!   the next observation arrives), so rows are emitted behind a
 //!   per-column resolution watermark and back-filled exactly as the batch
-//!   code would.
+//!   code would. Each emitted [`PreRow`] also carries fault annotations:
+//!   whether the input row was entirely NaN, and whether a kept
+//!   cumulative counter went backwards (a collector restart).
 //! * [`NodeState`] assembles preprocessed test rows into job segments at
 //!   transition ticks, pattern-matches each segment's probe head against
 //!   the cluster library as soon as `match_period` rows exist, scores the
@@ -23,34 +25,70 @@
 //! * [`Engine`] shards nodes across a worker pool over bounded channels
 //!   (ingest blocks when a shard falls behind — backpressure, not
 //!   unbounded buffering) and returns every [`Verdict`] plus deployment
-//!   cost statistics.
+//!   cost statistics and [`FaultCounters`].
 //!
-//! `tests/stream_equivalence.rs` at the workspace root holds the whole
-//! chain to `f64::to_bits` equality with batch scoring.
+//! # Fault model & degraded mode
+//!
+//! A production feed violates the clean contract (per node: one tick per
+//! step, in order, no gaps) in well-known ways. [`NodeState::offer`]
+//! survives all of them instead of asserting:
+//!
+//! * **Late & duplicate ticks** (`step < next`, or already buffered) are
+//!   rejected and counted — at-least-once transport heals to
+//!   exactly-once.
+//! * **Out-of-order ticks** (`step > next`) wait in a bounded reorder
+//!   buffer and are ingested once the gap closes; a reorder displaced by
+//!   at most `reorder_bound` is healed bit-exactly.
+//! * **Dropped ticks**: when the buffer spans more than `reorder_bound`
+//!   steps, the oldest missing step is synthesized as an all-NaN row (the
+//!   preprocessor interpolates it like any lost sample). Synthesized
+//!   steps never receive a verdict, and their segment is marked
+//!   [`VerdictKind::Degraded`].
+//! * **Blackout + rejoin**: a gap of at least `blackout_gap` steps resets
+//!   the node — the old state is flushed (degraded), preprocessing,
+//!   smoothing and thresholding restart, and the node resyncs at the
+//!   rejoin step. The first segment after rejoin is degraded; afterwards
+//!   scores realign with the batch oracle at the next job transition.
+//! * **NaN bursts** and **counter resets** are detected from the data
+//!   (all-NaN input rows; kept counter groups decreasing) and degrade the
+//!   enclosing segment.
+//! * **Stuck sensors** are detected by exact-repeat run length: when at
+//!   least a quarter of the watched (non-counter) columns repeat their
+//!   value for `stuck_run` consecutive delivered ticks, the run's rows
+//!   are marked faulty and degrade their segment.
+//! * **Worker panics** (e.g. the [`EngineConfig::panic_at`] chaos hook)
+//!   are caught per tick; the offending node is quarantined and its
+//!   subsequent ticks dropped, while every other node keeps streaming.
+//!
+//! On a clean feed none of these paths fire and the engine remains
+//! bit-identical to batch scoring (`tests/stream_equivalence.rs`); the
+//! differential fault-tolerance suite (`tests/fault_tolerance.rs`) proves
+//! the degraded-mode contract per fault class against
+//! `ns-telemetry::faults`.
 
 use nodesentry_core::coarse;
 use nodesentry_core::{NodeSentry, Preprocessor};
 use ns_eval::streaming::{StreamingKSigma, StreamingSmoother};
 use ns_linalg::matrix::Matrix;
-use rustc_hash::FxHashMap;
-use std::collections::VecDeque;
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One telemetry sample for one node.
-#[derive(Clone, Debug)]
-pub struct Tick {
-    pub node: usize,
-    /// Global step index; per node, ticks must arrive starting at 0 with
-    /// no gaps (the training span is needed for interpolation context and
-    /// counter rates, exactly as batch scoring transforms the full
-    /// horizon).
-    pub step: usize,
-    /// Raw metric values (may contain NaN for lost samples).
-    pub values: Vec<f64>,
-    /// Whether a job transition occurs at this step (from the scheduler).
-    pub transition: bool,
+pub use nodesentry_core::Tick;
+
+/// How trustworthy a verdict is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// The full clean pipeline produced this verdict; it is bit-identical
+    /// to what batch scoring of the same data would emit.
+    Ok,
+    /// A stream fault touched this verdict's segment (synthesized rows,
+    /// NaN bursts, counter resets, stuck sensors, or a blackout resync):
+    /// the score is a best effort, not the batch answer.
+    Degraded,
 }
 
 /// One detection outcome for one node at one step of the test span.
@@ -60,17 +98,131 @@ pub struct Verdict {
     /// Global step index (`>= split`).
     pub step: usize,
     /// Normalized anomaly score — identical to the batch
-    /// [`NodeSentry::score_node`] value at this step.
+    /// [`NodeSentry::score_node`] value at this step when `kind` is
+    /// [`VerdictKind::Ok`].
     pub score: f64,
     /// Dynamic-threshold decision on the smoothed score.
     pub anomalous: bool,
     /// Cluster whose shared model scored this step's segment.
     pub cluster: usize,
+    /// Whether stream faults degraded this verdict.
+    pub kind: VerdictKind,
+}
+
+/// Typed failures of the streaming engine. Injected stream faults are
+/// *not* errors — they are absorbed and counted in [`FaultCounters`];
+/// these are the conditions that make the engine itself unusable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A shard's worker is gone and its queue rejects ticks.
+    ShardClosed { shard: usize },
+    /// The model has no shared experts to score segments with.
+    NoSharedModels,
+    /// The OS refused to spawn a worker thread.
+    SpawnFailed(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ShardClosed { shard } => {
+                write!(f, "stream shard {shard} is closed")
+            }
+            EngineError::NoSharedModels => {
+                write!(f, "model has no shared experts; nothing can score segments")
+            }
+            EngineError::SpawnFailed(e) => write!(f, "failed to spawn stream worker: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Counters for every fault class the engine absorbed, surfaced in
+/// [`EngineReport`]. All zeros on a clean feed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Ticks rejected because their step was already consumed
+    /// (duplicates delivered after their original, or stragglers that
+    /// arrived after their step was synthesized).
+    pub late_ticks: u64,
+    /// Ticks rejected because an identical step was already waiting in
+    /// the reorder buffer.
+    pub duplicate_ticks: u64,
+    /// Ticks that arrived ahead of their step and were buffered.
+    pub reordered_ticks: u64,
+    /// All-NaN rows synthesized for steps that never arrived.
+    pub synthesized_rows: u64,
+    /// Delivered rows whose every value was NaN (collector up, payload
+    /// lost).
+    pub nan_rows: u64,
+    /// Rows where a kept cumulative counter went backwards.
+    pub counter_resets: u64,
+    /// Rows confirmed inside a stuck-sensor run.
+    pub stuck_rows: u64,
+    /// Blackout resets (gap of at least `blackout_gap` steps).
+    pub blackouts: u64,
+    /// Ticks whose payload width didn't match the model.
+    pub malformed_ticks: u64,
+    /// Nodes quarantined after a worker panic in their state.
+    pub quarantined_nodes: u64,
+    /// Ticks dropped because their node was quarantined.
+    pub quarantine_dropped: u64,
+    /// Verdicts withheld for synthesized (never-delivered) steps.
+    pub suppressed_verdicts: u64,
+    /// Verdicts emitted with [`VerdictKind::Degraded`].
+    pub degraded_verdicts: u64,
+    /// Whole workers lost to a panic outside the per-tick guard.
+    pub worker_crashes: u64,
+}
+
+impl FaultCounters {
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.late_ticks += other.late_ticks;
+        self.duplicate_ticks += other.duplicate_ticks;
+        self.reordered_ticks += other.reordered_ticks;
+        self.synthesized_rows += other.synthesized_rows;
+        self.nan_rows += other.nan_rows;
+        self.counter_resets += other.counter_resets;
+        self.stuck_rows += other.stuck_rows;
+        self.blackouts += other.blackouts;
+        self.malformed_ticks += other.malformed_ticks;
+        self.quarantined_nodes += other.quarantined_nodes;
+        self.quarantine_dropped += other.quarantine_dropped;
+        self.suppressed_verdicts += other.suppressed_verdicts;
+        self.degraded_verdicts += other.degraded_verdicts;
+        self.worker_crashes += other.worker_crashes;
+    }
+
+    /// Total ticks rejected without reaching the pipeline.
+    pub fn rejected(&self) -> u64 {
+        self.late_ticks + self.duplicate_ticks + self.malformed_ticks + self.quarantine_dropped
+    }
+
+    /// True when no fault path fired at all (clean feed).
+    pub fn is_clean(&self) -> bool {
+        *self == FaultCounters::default()
+    }
 }
 
 // ---------------------------------------------------------------------
 // Streaming preprocessing
 // ---------------------------------------------------------------------
+
+/// One finalized preprocessed row plus fault annotations derived from the
+/// raw data that produced it.
+#[derive(Clone, Debug)]
+pub struct PreRow {
+    /// Aggregated, rate-converted, pruned, standardized values — the
+    /// exact batch [`Preprocessor::transform`] row.
+    pub values: Vec<f64>,
+    /// The raw input row was entirely NaN (lost payload or synthesized
+    /// placeholder); its values here are interpolation artifacts.
+    pub all_nan: bool,
+    /// A kept cumulative counter decreased at this row — the collecting
+    /// daemon restarted, so the rate sample is a large negative spike.
+    pub counter_reset: bool,
+}
 
 /// Streaming replay of [`Preprocessor::transform`].
 ///
@@ -90,11 +242,16 @@ pub struct StreamingPreprocessor {
     group_counts: Vec<usize>,
     counters: Vec<bool>,
     kept: Vec<usize>,
+    /// Kept aggregated counter groups — the only ones whose resets can
+    /// perturb the output and therefore the only ones watched.
+    reset_watch: Vec<usize>,
     mean: Vec<f64>,
     std: Vec<f64>,
     clip: f64,
     /// Raw rows not yet fully resolved; front is row `base`.
     buf: VecDeque<Vec<f64>>,
+    /// Whether each buffered raw row arrived entirely NaN.
+    nan_flags: VecDeque<bool>,
     base: usize,
     n_pushed: usize,
     /// Rows `[0, resolved)` have been emitted.
@@ -115,15 +272,23 @@ impl StreamingPreprocessor {
         for &g in &pre.groups {
             group_counts[g] += 1;
         }
+        let reset_watch = pre
+            .kept
+            .iter()
+            .copied()
+            .filter(|&g| pre.counters[g])
+            .collect();
         StreamingPreprocessor {
             groups: pre.groups.clone(),
             group_counts,
             counters: pre.counters.clone(),
             kept: pre.kept.clone(),
+            reset_watch,
             mean: pre.standardizer.mean.clone(),
             std: pre.standardizer.std.clone(),
             clip: pre.standardizer.clip,
             buf: VecDeque::new(),
+            nan_flags: VecDeque::new(),
             base: 0,
             n_pushed: 0,
             resolved: 0,
@@ -134,12 +299,20 @@ impl StreamingPreprocessor {
         }
     }
 
+    /// Raw row width this preprocessor expects.
+    pub fn width(&self) -> usize {
+        self.groups.len()
+    }
+
     /// Ingest one raw row; returns the preprocessed rows that became
     /// final (in row order), possibly none during a missing-value run.
-    pub fn push(&mut self, raw_row: &[f64]) -> Vec<Vec<f64>> {
+    pub fn push(&mut self, raw_row: &[f64]) -> Vec<PreRow> {
+        // Width is guarded upstream: the engine counts wrong-width ticks
+        // as malformed before they reach any node state.
         assert_eq!(raw_row.len(), self.groups.len(), "raw row width");
         let r = self.n_pushed;
         self.buf.push_back(raw_row.to_vec());
+        self.nan_flags.push_back(raw_row.iter().all(|v| v.is_nan()));
         self.n_pushed += 1;
         for (c, &v) in raw_row.iter().enumerate() {
             if v.is_nan() {
@@ -173,7 +346,7 @@ impl StreamingPreprocessor {
 
     /// End of stream: tail-fill every column (never-observed columns
     /// become zero, like the batch code) and emit the remaining rows.
-    pub fn flush(&mut self) -> Vec<Vec<f64>> {
+    pub fn flush(&mut self) -> Vec<PreRow> {
         for (c, lo) in self.last_obs.iter().enumerate() {
             let (from, fill) = match lo {
                 Some(l) => (l + 1, self.last_val[c]),
@@ -191,7 +364,7 @@ impl StreamingPreprocessor {
     }
 
     /// Emit rows up to the minimum per-column resolution point.
-    fn drain_watermark(&mut self) -> Vec<Vec<f64>> {
+    fn drain_watermark(&mut self) -> Vec<PreRow> {
         let watermark = self
             .last_obs
             .iter()
@@ -208,8 +381,11 @@ impl StreamingPreprocessor {
     /// Pop the front (fully resolved) raw row and run aggregation → rate
     /// conversion → pruning gather → standardization on it, matching the
     /// batch arithmetic operation for operation.
-    fn emit_front(&mut self) -> Vec<f64> {
+    fn emit_front(&mut self) -> PreRow {
+        // Invariant: callers only reach here while `resolved < n_pushed`,
+        // so the front row (and its NaN flag) is always buffered.
         let raw = self.buf.pop_front().expect("resolved row buffered");
+        let all_nan = self.nan_flags.pop_front().unwrap_or(false);
         self.base += 1;
         self.resolved += 1;
         // Aggregation: accumulate in raw-column order, then divide — the
@@ -221,6 +397,22 @@ impl StreamingPreprocessor {
         for (g, v) in agg.iter_mut().enumerate() {
             if self.group_counts[g] > 0 {
                 *v /= self.group_counts[g] as f64;
+            }
+        }
+        // Counter-reset watch: a kept cumulative group moving backwards
+        // means the collecting daemon lost its history. Clean counters
+        // are non-decreasing even through interpolation (linear fills
+        // between observations) and tail clamping (constant), so an
+        // epsilon-guarded decrease is a true reset, not rounding.
+        let mut counter_reset = false;
+        if self.any_row {
+            for &g in &self.reset_watch {
+                let prev = self.rate_prev[g];
+                let eps = 1e-9 * prev.abs().max(1.0);
+                if agg[g] < prev - eps {
+                    counter_reset = true;
+                    break;
+                }
             }
         }
         // Rate conversion: first row becomes 0, later rows the difference.
@@ -238,11 +430,17 @@ impl StreamingPreprocessor {
         }
         self.any_row = true;
         // Pruning gather + trimmed z-score with clipping.
-        self.kept
+        let values = self
+            .kept
             .iter()
             .enumerate()
             .map(|(j, &c)| ((agg[c] - self.mean[j]) / self.std[j]).clamp(-self.clip, self.clip))
-            .collect()
+            .collect();
+        PreRow {
+            values,
+            all_nan,
+            counter_reset,
+        }
     }
 }
 
@@ -285,6 +483,28 @@ impl StreamStats {
     }
 }
 
+/// Provenance of one preprocessed row, tracked from tick ingestion
+/// through segment close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowKind {
+    /// Delivered normally, no fault detected.
+    Clean,
+    /// Fabricated by the engine for a step that never arrived.
+    Synthesized,
+    /// Delivered but fault-tainted (all-NaN, counter reset, stuck run).
+    Faulty,
+}
+
+/// A score waiting for its (lagged) smoothed threshold decision.
+struct PendingScore {
+    step: usize,
+    score: f64,
+    cluster: usize,
+    /// Synthesized step: feed the chain for alignment, emit nothing.
+    suppress: bool,
+    degraded: bool,
+}
+
 /// Incremental detection state for a single node.
 ///
 /// Drives the full online pipeline of [`NodeSentry::score_node`] +
@@ -292,73 +512,297 @@ impl StreamStats {
 /// emitted when the segment closes (next job transition or flush): the
 /// shared model's positional encoding is relative to the whole segment,
 /// so earlier emission would change the answer.
+///
+/// Unlike the clean-contract version, [`offer`](NodeState::offer)
+/// tolerates arbitrary arrival order: late and duplicate ticks are
+/// rejected, early ticks wait in a bounded reorder buffer, persistent
+/// gaps are synthesized as lost samples, and long gaps trigger a full
+/// blackout resync. See the crate docs for the fault model.
 pub struct NodeState {
     model: Arc<NodeSentry>,
     node: usize,
     split: usize,
+    /// Next step to ingest; everything below it is consumed.
     next_step: usize,
     pre: StreamingPreprocessor,
     /// Global index of the next preprocessed row to come out of `pre`.
     next_row: usize,
+    /// Raw stream width (for synthesizing lost rows).
+    width: usize,
     /// Pending job-transition cuts (global steps > split), in order.
     cuts: VecDeque<usize>,
     /// Current segment's preprocessed rows (test span only).
     seg_rows: Vec<Vec<f64>>,
+    /// Provenance of each current-segment row, parallel to `seg_rows`.
+    seg_row_kinds: Vec<RowKind>,
     seg_start: usize,
     /// Eager probe match for the current segment, once available.
     matched: Option<usize>,
     smoother: StreamingSmoother,
     detector: StreamingKSigma,
     /// Scores awaiting their (lagged) smoothed verdict.
-    pending: VecDeque<(usize, f64, usize)>,
+    pending: VecDeque<PendingScore>,
+    /// Early ticks waiting for their gap to close, keyed by step.
+    ahead: BTreeMap<usize, Tick>,
+    reorder_bound: usize,
+    blackout_gap: usize,
+    stuck_run: usize,
+    smooth_window: usize,
+    /// Provenance of rows pushed into `pre` but not yet absorbed; front
+    /// corresponds to global row `next_row`.
+    row_kinds: VecDeque<RowKind>,
+    /// The segment being assembled spans a blackout resync; its scores
+    /// cannot match the batch oracle's segmentation.
+    resync_degraded: bool,
+    /// Stuck-sensor watch: last delivered value and exact-repeat run
+    /// length per raw column (non-counter columns only — idle counters
+    /// legitimately repeat).
+    prev_raw: Vec<f64>,
+    runs: Vec<u32>,
+    stuck_watch: Vec<bool>,
+    n_watch: usize,
     pub stats: StreamStats,
+    pub faults: FaultCounters,
 }
 
 impl NodeState {
-    pub fn new(model: Arc<NodeSentry>, node: usize, split: usize, smooth_window: usize) -> Self {
+    pub fn new(model: Arc<NodeSentry>, node: usize, cfg: &EngineConfig) -> Self {
         let pre = StreamingPreprocessor::new(&model.preprocessor);
         let detector = StreamingKSigma::new(model.cfg.threshold);
+        let width = pre.width();
+        let stuck_watch: Vec<bool> = model
+            .preprocessor
+            .groups
+            .iter()
+            .map(|&g| !model.preprocessor.counters[g])
+            .collect();
+        let n_watch = stuck_watch.iter().filter(|&&w| w).count();
         NodeState {
             model,
             node,
-            split,
+            split: cfg.split,
             next_step: 0,
             pre,
             next_row: 0,
+            width,
             cuts: VecDeque::new(),
             seg_rows: Vec::new(),
+            seg_row_kinds: Vec::new(),
             seg_start: 0,
             matched: None,
-            smoother: StreamingSmoother::new(smooth_window),
+            smoother: StreamingSmoother::new(cfg.smooth_window),
             detector,
             pending: VecDeque::new(),
+            ahead: BTreeMap::new(),
+            reorder_bound: cfg.reorder_bound.max(1),
+            blackout_gap: cfg.blackout_gap.max(2),
+            stuck_run: cfg.stuck_run.max(2),
+            smooth_window: cfg.smooth_window,
+            row_kinds: VecDeque::new(),
+            resync_degraded: false,
+            prev_raw: vec![f64::NAN; width],
+            runs: vec![0; width],
+            stuck_watch,
+            n_watch,
             stats: StreamStats::default(),
+            faults: FaultCounters::default(),
         }
     }
 
-    /// Ingest one tick; returns verdicts finalized by it (usually none —
-    /// a burst arrives when a segment closes).
-    pub fn push(&mut self, tick: &Tick) -> Vec<Verdict> {
-        assert_eq!(tick.node, self.node, "tick routed to wrong node state");
-        assert_eq!(
-            tick.step, self.next_step,
-            "node {} ticks must arrive in step order without gaps",
-            self.node
-        );
-        self.next_step += 1;
+    /// Offer one tick in arbitrary arrival order; returns verdicts
+    /// finalized by it (usually none — a burst arrives when a segment
+    /// closes). Never panics on malformed sequencing: out-of-contract
+    /// ticks are buffered, rejected, or synthesized around, and counted
+    /// in [`NodeState::faults`].
+    pub fn offer(&mut self, tick: &Tick) -> Vec<Verdict> {
+        debug_assert_eq!(tick.node, self.node, "tick routed to wrong node state");
         self.stats.n_ticks += 1;
+        if tick.step < self.next_step {
+            // Already consumed (duplicate after original, or a straggler
+            // whose step was synthesized past).
+            self.faults.late_ticks += 1;
+            return Vec::new();
+        }
+        if tick.step > self.next_step {
+            match self.ahead.entry(tick.step) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(tick.clone());
+                    self.faults.reordered_ticks += 1;
+                }
+                std::collections::btree_map::Entry::Occupied(_) => {
+                    self.faults.duplicate_ticks += 1;
+                    return Vec::new();
+                }
+            }
+            return self.settle();
+        }
+        let mut out = self.ingest_now(tick);
+        out.extend(self.settle());
+        out
+    }
+
+    /// Drain the reorder buffer as far as policy allows: contiguous ticks
+    /// ingest immediately, a gap of `blackout_gap` resets the node, and a
+    /// buffer spanning more than `reorder_bound` steps forces the oldest
+    /// missing step to be synthesized (the straggler is declared lost).
+    fn settle(&mut self) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        loop {
+            while let Some(t) = self.ahead.remove(&self.next_step) {
+                out.extend(self.ingest_now(&t));
+            }
+            let Some((&front, _)) = self.ahead.first_key_value() else {
+                break;
+            };
+            if front - self.next_step >= self.blackout_gap {
+                out.extend(self.blackout_reset(front));
+                continue;
+            }
+            // Invariant: the map is non-empty, so a last key exists.
+            let span = match self.ahead.last_key_value() {
+                Some((&last, _)) => last - self.next_step,
+                None => break,
+            };
+            if span > self.reorder_bound {
+                out.extend(self.ingest_missing());
+            } else {
+                break; // wait for the straggler
+            }
+        }
+        out
+    }
+
+    /// Ingest the tick for exactly `next_step`.
+    fn ingest_now(&mut self, tick: &Tick) -> Vec<Verdict> {
+        let kind = self.observe_raw(tick.step, &tick.values);
+        self.next_step += 1;
         // Batch segmentation keeps transitions strictly inside the test
         // span: `t > split && t < horizon`.
         if tick.transition && tick.step > self.split {
             self.cuts.push_back(tick.step);
         }
+        self.row_kinds.push_back(kind);
         let rows = self.pre.push(&tick.values);
         self.absorb_rows(rows)
     }
 
-    /// End of stream: resolve the preprocessing tail, close the last
-    /// segment, and drain the smoothing lag.
+    /// Declare `next_step` lost and synthesize an all-NaN row for it; the
+    /// preprocessor interpolates it like any missing sample. The step
+    /// never receives a verdict.
+    fn ingest_missing(&mut self) -> Vec<Verdict> {
+        self.faults.synthesized_rows += 1;
+        self.next_step += 1;
+        self.row_kinds.push_back(RowKind::Synthesized);
+        let nan_row = vec![f64::NAN; self.width];
+        let rows = self.pre.push(&nan_row);
+        self.absorb_rows(rows)
+    }
+
+    /// Update the stuck-sensor watch with a delivered raw row and return
+    /// the row's provenance.
+    fn observe_raw(&mut self, step: usize, values: &[f64]) -> RowKind {
+        let mut stuck_cols = 0usize;
+        for (c, &v) in values.iter().enumerate() {
+            if !self.stuck_watch[c] {
+                continue;
+            }
+            if v.is_nan() {
+                self.runs[c] = 0;
+                continue;
+            }
+            if !self.prev_raw[c].is_nan() && v == self.prev_raw[c] {
+                self.runs[c] += 1;
+            } else {
+                self.runs[c] = 0;
+            }
+            self.prev_raw[c] = v;
+            if self.runs[c] >= self.stuck_run as u32 {
+                stuck_cols += 1;
+            }
+        }
+        // Continuous gauge signals essentially never repeat bit-exactly;
+        // a quarter of them frozen for `stuck_run` ticks is a collector
+        // fault, not chance.
+        if self.n_watch > 0 && stuck_cols * 4 >= self.n_watch {
+            self.faults.stuck_rows += 1;
+            // The run began `stuck_run` rows back; taint those too.
+            for k in step.saturating_sub(self.stuck_run)..step {
+                self.mark_row_faulty(k);
+            }
+            return RowKind::Faulty;
+        }
+        RowKind::Clean
+    }
+
+    /// Retroactively taint a row discovered to be faulty after ingestion
+    /// (stuck-run confirmation lags the run start). Best effort: rows
+    /// whose segment already closed have emitted their verdicts.
+    fn mark_row_faulty(&mut self, row: usize) {
+        if row >= self.next_row {
+            let i = row - self.next_row;
+            if i < self.row_kinds.len() && self.row_kinds[i] == RowKind::Clean {
+                self.row_kinds[i] = RowKind::Faulty;
+            }
+            return;
+        }
+        if !self.seg_rows.is_empty() && row >= self.seg_start {
+            let i = row - self.seg_start;
+            if i < self.seg_row_kinds.len() && self.seg_row_kinds[i] == RowKind::Clean {
+                self.seg_row_kinds[i] = RowKind::Faulty;
+            }
+        }
+    }
+
+    /// The node went dark for at least `blackout_gap` steps: flush the
+    /// stale state (degraded), then restart preprocessing, smoothing and
+    /// thresholding at the rejoin step. No state leaks across the reset —
+    /// the next segment is scored from scratch.
+    fn blackout_reset(&mut self, resync_at: usize) -> Vec<Verdict> {
+        self.faults.blackouts += 1;
+        let out = self.flush_tail(true);
+        self.pre = StreamingPreprocessor::new(&self.model.preprocessor);
+        self.smoother = StreamingSmoother::new(self.smooth_window);
+        self.detector = StreamingKSigma::new(self.model.cfg.threshold);
+        self.cuts.clear();
+        self.seg_rows.clear();
+        self.seg_row_kinds.clear();
+        self.row_kinds.clear();
+        self.pending.clear();
+        self.matched = None;
+        self.next_step = resync_at;
+        self.next_row = resync_at;
+        self.resync_degraded = true;
+        self.runs.iter_mut().for_each(|r| *r = 0);
+        self.prev_raw.iter_mut().for_each(|p| *p = f64::NAN);
+        out
+    }
+
+    /// End of stream: resolve every remaining gap (stragglers will never
+    /// arrive), flush the preprocessing tail, close the last segment, and
+    /// drain the smoothing lag.
     pub fn flush(&mut self) -> Vec<Verdict> {
+        let mut out = Vec::new();
+        while let Some((&front, _)) = self.ahead.first_key_value() {
+            if front - self.next_step >= self.blackout_gap {
+                out.extend(self.blackout_reset(front));
+            } else {
+                while self.next_step < front {
+                    out.extend(self.ingest_missing());
+                }
+            }
+            while let Some(t) = self.ahead.remove(&self.next_step) {
+                out.extend(self.ingest_now(&t));
+            }
+        }
+        out.extend(self.flush_tail(false));
+        out
+    }
+
+    /// Flush preprocessing + segment + smoothing lag. With `degrade`,
+    /// every verdict emitted here is marked [`VerdictKind::Degraded`]
+    /// (used mid-stream at blackout resets, where the tail clamp differs
+    /// from what batch interpolation across the gap would produce).
+    fn flush_tail(&mut self, degrade: bool) -> Vec<Verdict> {
         let rows = self.pre.flush();
         let mut out = self.absorb_rows(rows);
         if !self.seg_rows.is_empty() {
@@ -367,18 +811,41 @@ impl NodeState {
         let t0 = Instant::now();
         for sv in self.smoother.flush() {
             let flagged = self.detector.push(sv);
-            out.push(self.emit_verdict(flagged));
+            if let Some(v) = self.emit_verdict(flagged) {
+                out.push(v);
+            }
         }
         self.stats.score_seconds += t0.elapsed().as_secs_f64();
         debug_assert!(self.pending.is_empty(), "scores left without verdicts");
+        if degrade {
+            for v in out.iter_mut() {
+                if v.kind == VerdictKind::Ok {
+                    v.kind = VerdictKind::Degraded;
+                    self.faults.degraded_verdicts += 1;
+                }
+            }
+        }
         out
     }
 
-    fn absorb_rows(&mut self, rows: Vec<Vec<f64>>) -> Vec<Verdict> {
+    fn absorb_rows(&mut self, rows: Vec<PreRow>) -> Vec<Verdict> {
         let mut out = Vec::new();
-        for row in rows {
+        for prerow in rows {
             let r = self.next_row;
             self.next_row += 1;
+            // Invariant: exactly one kind was queued per row pushed into
+            // `pre`, so the front always exists.
+            let mut kind = self.row_kinds.pop_front().unwrap_or(RowKind::Clean);
+            if prerow.all_nan && kind == RowKind::Clean {
+                self.faults.nan_rows += 1;
+                kind = RowKind::Faulty;
+            }
+            if prerow.counter_reset {
+                self.faults.counter_resets += 1;
+                if kind == RowKind::Clean {
+                    kind = RowKind::Faulty;
+                }
+            }
             if r < self.split {
                 continue; // training span: context only
             }
@@ -391,7 +858,8 @@ impl NodeState {
             if self.seg_rows.is_empty() {
                 self.seg_start = r;
             }
-            self.seg_rows.push(row);
+            self.seg_rows.push(prerow.values);
+            self.seg_row_kinds.push(kind);
             // Eager pattern matching: the probe is the segment's first
             // `match_period` rows, available long before the segment
             // closes. This is the deployment's per-transition match cycle.
@@ -424,6 +892,8 @@ impl NodeState {
         };
         let t0 = Instant::now();
         let data = Matrix::from_rows(&self.seg_rows);
+        // Invariant: `Engine::try_new` rejects models without shared
+        // experts, so the clamped index is always in range.
         let model = &self.model.shared_models[cluster.min(self.model.shared_models.len() - 1)];
         let mut seg_scores = model.score_series(&data);
         // Per-segment baseline normalization (batch `score_node`).
@@ -435,32 +905,58 @@ impl NodeState {
         for v in seg_scores.iter_mut() {
             *v /= baseline;
         }
+        // Any tainted row poisons the whole segment: scoring is
+        // segment-local (positional encoding + baseline), so no verdict
+        // in it can claim batch equivalence.
+        let degraded =
+            self.resync_degraded || self.seg_row_kinds.iter().any(|&k| k != RowKind::Clean);
+        self.resync_degraded = false;
         let mut out = Vec::new();
         for (k, score) in seg_scores.into_iter().enumerate() {
-            self.pending.push_back((self.seg_start + k, score, cluster));
+            let suppress = self.seg_row_kinds[k] == RowKind::Synthesized;
+            self.pending.push_back(PendingScore {
+                step: self.seg_start + k,
+                score,
+                cluster,
+                suppress,
+                degraded,
+            });
             for sv in self.smoother.push(score) {
                 let flagged = self.detector.push(sv);
-                out.push(self.emit_verdict(flagged));
+                if let Some(v) = self.emit_verdict(flagged) {
+                    out.push(v);
+                }
             }
         }
         self.seg_rows.clear();
+        self.seg_row_kinds.clear();
         self.stats.score_seconds += t0.elapsed().as_secs_f64();
         out
     }
 
-    fn emit_verdict(&mut self, anomalous: bool) -> Verdict {
-        let (step, score, cluster) = self
-            .pending
-            .pop_front()
-            .expect("smoothed value without a pending score");
-        self.stats.n_points += 1;
-        Verdict {
-            node: self.node,
-            step,
-            score,
-            anomalous,
-            cluster,
+    fn emit_verdict(&mut self, anomalous: bool) -> Option<Verdict> {
+        // Invariant: every score entering the smoother pushed a pending
+        // entry first, so one is always waiting here.
+        let p = self.pending.pop_front()?;
+        if p.suppress {
+            self.faults.suppressed_verdicts += 1;
+            return None;
         }
+        self.stats.n_points += 1;
+        let kind = if p.degraded {
+            self.faults.degraded_verdicts += 1;
+            VerdictKind::Degraded
+        } else {
+            VerdictKind::Ok
+        };
+        Some(Verdict {
+            node: self.node,
+            step: p.step,
+            score: p.score,
+            anomalous,
+            cluster: p.cluster,
+            kind,
+        })
     }
 }
 
@@ -482,6 +978,18 @@ pub struct EngineConfig {
     /// smoothing, matching raw `ksigma_detect` on batch scores;
     /// `cfg.smooth_window` matches [`NodeSentry::detect_node`]).
     pub smooth_window: usize,
+    /// Maximum step span the per-node reorder buffer absorbs before the
+    /// oldest missing step is declared lost and synthesized.
+    pub reorder_bound: usize,
+    /// Gap length (in steps) treated as a node blackout: the node's state
+    /// is flushed and resynced at the rejoin step instead of synthesizing
+    /// the whole gap.
+    pub blackout_gap: usize,
+    /// Exact-repeat run length that confirms a stuck sensor.
+    pub stuck_run: usize,
+    /// Chaos hook: the worker panics while ingesting this `(node, step)`
+    /// tick, exercising the catch_unwind + quarantine path. Testing only.
+    pub panic_at: Option<(usize, usize)>,
 }
 
 impl EngineConfig {
@@ -491,6 +999,10 @@ impl EngineConfig {
             n_shards: 2,
             queue_depth: 64,
             smooth_window: 1,
+            reorder_bound: 32,
+            blackout_gap: 240,
+            stuck_run: 8,
+            panic_at: None,
         }
     }
 }
@@ -501,6 +1013,8 @@ pub struct EngineReport {
     pub verdicts: Vec<Verdict>,
     /// Merged deployment-cost counters across shards.
     pub stats: StreamStats,
+    /// Merged fault counters across shards (all zeros on a clean feed).
+    pub faults: FaultCounters,
     /// Wall-clock seconds from engine start to finish.
     pub wall_seconds: f64,
 }
@@ -510,19 +1024,29 @@ pub struct EngineReport {
 /// ```ignore
 /// let mut engine = Engine::new(Arc::new(model), EngineConfig::new(split));
 /// for batch in tick_batches {
-///     engine.ingest(batch);
+///     engine.ingest(batch)?;
 /// }
 /// let report = engine.finish();
 /// ```
 pub struct Engine {
     senders: Vec<mpsc::SyncSender<Vec<Tick>>>,
-    workers: Vec<std::thread::JoinHandle<(Vec<Verdict>, StreamStats)>>,
+    #[allow(clippy::type_complexity)]
+    workers: Vec<std::thread::JoinHandle<(Vec<Verdict>, StreamStats, FaultCounters)>>,
     n_shards: usize,
     started: Instant,
 }
 
 impl Engine {
+    /// Build the engine or panic on an unusable model / spawn failure.
+    /// Prefer [`Engine::try_new`] where the caller can recover.
     pub fn new(model: Arc<NodeSentry>, cfg: EngineConfig) -> Self {
+        Self::try_new(model, cfg).expect("engine construction")
+    }
+
+    pub fn try_new(model: Arc<NodeSentry>, cfg: EngineConfig) -> Result<Self, EngineError> {
+        if model.shared_models.is_empty() {
+            return Err(EngineError::NoSharedModels);
+        }
         let n_shards = cfg.n_shards.max(1);
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
@@ -532,21 +1056,21 @@ impl Engine {
             let handle = std::thread::Builder::new()
                 .name(format!("ns-stream-{shard}"))
                 .spawn(move || worker_loop(rx, model, cfg))
-                .expect("spawn stream worker");
+                .map_err(|e| EngineError::SpawnFailed(e.to_string()))?;
             senders.push(tx);
             workers.push(handle);
         }
-        Engine {
+        Ok(Engine {
             senders,
             workers,
             n_shards,
             started: Instant::now(),
-        }
+        })
     }
 
     /// Route a batch of ticks to their shards. Blocks when a shard's
-    /// queue is full.
-    pub fn ingest(&self, batch: Vec<Tick>) {
+    /// queue is full; errors if a shard has shut down.
+    pub fn ingest(&self, batch: Vec<Tick>) -> Result<(), EngineError> {
         let mut per_shard: Vec<Vec<Tick>> = vec![Vec::new(); self.n_shards];
         for tick in batch {
             per_shard[tick.node % self.n_shards].push(tick);
@@ -555,33 +1079,44 @@ impl Engine {
             if !ticks.is_empty() {
                 self.senders[shard]
                     .send(ticks)
-                    .expect("stream worker alive");
+                    .map_err(|_| EngineError::ShardClosed { shard })?;
             }
         }
+        Ok(())
     }
 
     /// Convenience for single-tick ingestion.
-    pub fn ingest_tick(&self, tick: Tick) {
-        self.senders[tick.node % self.n_shards]
+    pub fn ingest_tick(&self, tick: Tick) -> Result<(), EngineError> {
+        let shard = tick.node % self.n_shards;
+        self.senders[shard]
             .send(vec![tick])
-            .expect("stream worker alive");
+            .map_err(|_| EngineError::ShardClosed { shard })
     }
 
     /// Close the stream: flush every node, join the workers, and return
-    /// all verdicts plus cost statistics.
+    /// all verdicts plus cost statistics. A worker lost to a panic is
+    /// recorded in [`FaultCounters::worker_crashes`] instead of
+    /// propagating.
     pub fn finish(self) -> EngineReport {
         drop(self.senders);
         let mut verdicts = Vec::new();
         let mut stats = StreamStats::default();
+        let mut faults = FaultCounters::default();
         for handle in self.workers {
-            let (v, s) = handle.join().expect("stream worker panicked");
-            verdicts.extend(v);
-            stats.merge(&s);
+            match handle.join() {
+                Ok((v, s, f)) => {
+                    verdicts.extend(v);
+                    stats.merge(&s);
+                    faults.merge(&f);
+                }
+                Err(_) => faults.worker_crashes += 1,
+            }
         }
         verdicts.sort_by_key(|v| (v.node, v.step));
         EngineReport {
             verdicts,
             stats,
+            faults,
             wall_seconds: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -591,28 +1126,67 @@ fn worker_loop(
     rx: mpsc::Receiver<Vec<Tick>>,
     model: Arc<NodeSentry>,
     cfg: EngineConfig,
-) -> (Vec<Verdict>, StreamStats) {
+) -> (Vec<Verdict>, StreamStats, FaultCounters) {
+    let width = model.preprocessor.groups.len();
     let mut states: FxHashMap<usize, NodeState> = FxHashMap::default();
+    let mut quarantined: FxHashSet<usize> = FxHashSet::default();
     let mut verdicts = Vec::new();
+    let mut stats = StreamStats::default();
+    let mut faults = FaultCounters::default();
     while let Ok(batch) = rx.recv() {
         for tick in batch {
-            let state = states.entry(tick.node).or_insert_with(|| {
-                NodeState::new(Arc::clone(&model), tick.node, cfg.split, cfg.smooth_window)
-            });
-            verdicts.extend(state.push(&tick));
+            if quarantined.contains(&tick.node) {
+                faults.quarantine_dropped += 1;
+                continue;
+            }
+            if tick.values.len() != width {
+                faults.malformed_ticks += 1;
+                continue;
+            }
+            let state = states
+                .entry(tick.node)
+                .or_insert_with(|| NodeState::new(Arc::clone(&model), tick.node, &cfg));
+            let chaos = cfg.panic_at == Some((tick.node, tick.step));
+            // A panic in one node's pipeline must not take down the
+            // shard: quarantine the node and keep serving the others.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if chaos {
+                    panic!(
+                        "injected chaos panic at node {} step {}",
+                        tick.node, tick.step
+                    );
+                }
+                state.offer(&tick)
+            }));
+            match outcome {
+                Ok(vs) => verdicts.extend(vs),
+                Err(_) => {
+                    if let Some(dead) = states.remove(&tick.node) {
+                        stats.merge(&dead.stats);
+                        faults.merge(&dead.faults);
+                    }
+                    quarantined.insert(tick.node);
+                    faults.quarantined_nodes += 1;
+                }
+            }
         }
     }
     // Channel closed: flush in node order so shard output is
     // deterministic.
     let mut nodes: Vec<usize> = states.keys().copied().collect();
     nodes.sort_unstable();
-    let mut stats = StreamStats::default();
     for n in nodes {
-        let state = states.get_mut(&n).expect("state for node");
-        verdicts.extend(state.flush());
+        let Some(state) = states.get_mut(&n) else {
+            continue;
+        };
+        match catch_unwind(AssertUnwindSafe(|| state.flush())) {
+            Ok(vs) => verdicts.extend(vs),
+            Err(_) => faults.quarantined_nodes += 1,
+        }
         stats.merge(&state.stats);
+        faults.merge(&state.faults);
     }
-    (verdicts, stats)
+    (verdicts, stats, faults)
 }
 
 #[cfg(test)]
@@ -640,6 +1214,31 @@ mod tests {
         })
     }
 
+    fn stream_rows(pp: &Preprocessor, raw: &Matrix) -> (Vec<Vec<f64>>, Vec<PreRow>) {
+        let mut sp = StreamingPreprocessor::new(pp);
+        let mut pre_rows: Vec<PreRow> = Vec::new();
+        for r in 0..raw.rows() {
+            pre_rows.extend(sp.push(raw.row(r)));
+        }
+        pre_rows.extend(sp.flush());
+        let values = pre_rows.iter().map(|p| p.values.clone()).collect();
+        (values, pre_rows)
+    }
+
+    fn assert_rows_match(rows: &[Vec<f64>], batch: &Matrix, tag: &str) {
+        assert_eq!(rows.len(), batch.rows(), "{tag}");
+        for (r, row) in rows.iter().enumerate() {
+            for (c, v) in row.iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    batch[(r, c)].to_bits(),
+                    "{tag} row {r} col {c}: {v} vs {}",
+                    batch[(r, c)]
+                );
+            }
+        }
+    }
+
     #[test]
     fn streaming_preprocessor_matches_batch_bitwise() {
         for seed in [3u64, 17, 99] {
@@ -649,25 +1248,8 @@ mod tests {
             // streaming watermark rather than the fit path.
             let pp = Preprocessor::fit(&raw.slice_rows(0, 100), &groups, 0.995, 0.05);
             let batch = pp.transform(&raw);
-
-            let mut sp = StreamingPreprocessor::new(&pp);
-            let mut rows: Vec<Vec<f64>> = Vec::new();
-            for r in 0..raw.rows() {
-                rows.extend(sp.push(raw.row(r)));
-            }
-            rows.extend(sp.flush());
-
-            assert_eq!(rows.len(), batch.rows(), "seed {seed}");
-            for (r, row) in rows.iter().enumerate() {
-                for (c, v) in row.iter().enumerate() {
-                    assert_eq!(
-                        v.to_bits(),
-                        batch[(r, c)].to_bits(),
-                        "seed {seed} row {r} col {c}: {v} vs {}",
-                        batch[(r, c)]
-                    );
-                }
-            }
+            let (rows, _) = stream_rows(&pp, &raw);
+            assert_rows_match(&rows, &batch, &format!("seed {seed}"));
         }
     }
 
@@ -680,18 +1262,8 @@ mod tests {
         let groups = vec![0usize, 1, 2, 3];
         let pp = Preprocessor::fit(&raw.slice_rows(0, 40), &groups, 0.995, 0.05);
         let batch = pp.transform(&raw);
-        let mut sp = StreamingPreprocessor::new(&pp);
-        let mut rows: Vec<Vec<f64>> = Vec::new();
-        for r in 0..raw.rows() {
-            rows.extend(sp.push(raw.row(r)));
-        }
-        rows.extend(sp.flush());
-        assert_eq!(rows.len(), batch.rows());
-        for (r, row) in rows.iter().enumerate() {
-            for (c, v) in row.iter().enumerate() {
-                assert_eq!(v.to_bits(), batch[(r, c)].to_bits(), "row {r} col {c}");
-            }
-        }
+        let (rows, _) = stream_rows(&pp, &raw);
+        assert_rows_match(&rows, &batch, "all-nan column");
     }
 
     #[test]
@@ -707,5 +1279,107 @@ mod tests {
         // Observation closes the gap: all three deferred rows finalize.
         assert_eq!(sp.push(&[4.0, 4.0]).len(), 3);
         assert_eq!(sp.flush().len(), 0);
+    }
+
+    #[test]
+    fn empty_stream_flush_is_empty() {
+        let groups = vec![0usize, 1];
+        let fit = Matrix::from_fn(50, 2, |r, c| (r + c) as f64 * 0.1);
+        let pp = Preprocessor::fit(&fit, &groups, 0.9999, 0.05);
+        let mut sp = StreamingPreprocessor::new(&pp);
+        assert!(sp.flush().is_empty(), "no rows pushed, none emitted");
+        // Flushing twice is also fine.
+        assert!(sp.flush().is_empty());
+        assert_eq!(sp.width(), 2);
+    }
+
+    #[test]
+    fn all_nan_tail_resolved_by_flush_matches_batch() {
+        let mut raw = raw_with_holes(80, 4, 11);
+        // The last 7 rows lose every value: only flush's tail clamp can
+        // resolve them.
+        for r in 73..80 {
+            for c in 0..4 {
+                raw[(r, c)] = f64::NAN;
+            }
+        }
+        let groups = vec![0usize, 0, 1, 1];
+        let pp = Preprocessor::fit(&raw.slice_rows(0, 60), &groups, 0.995, 0.05);
+        let batch = pp.transform(&raw);
+        let mut sp = StreamingPreprocessor::new(&pp);
+        let mut pre_rows: Vec<PreRow> = Vec::new();
+        for r in 0..raw.rows() {
+            pre_rows.extend(sp.push(raw.row(r)));
+        }
+        assert!(
+            pre_rows.len() <= 73,
+            "tail rows must wait for flush, got {}",
+            pre_rows.len()
+        );
+        pre_rows.extend(sp.flush());
+        let rows: Vec<Vec<f64>> = pre_rows.iter().map(|p| p.values.clone()).collect();
+        assert_rows_match(&rows, &batch, "nan tail");
+        // The all-NaN rows are annotated as such.
+        for p in &pre_rows[73..] {
+            assert!(p.all_nan, "tail rows arrived entirely NaN");
+        }
+        assert!(!pre_rows[0].all_nan);
+    }
+
+    #[test]
+    fn counter_reset_column_pinned_against_batch() {
+        // Column 0 is a cumulative counter (steady ramp), column 1 a
+        // noisy gauge. The fit prefix is clean; the full series resets
+        // the counter at row 90.
+        let mut raw = Matrix::from_fn(140, 2, |r, c| {
+            if c == 0 {
+                r as f64 * 2.5
+            } else {
+                (r as f64 * 0.37).sin() * 3.0
+            }
+        });
+        let groups = vec![0usize, 1];
+        let pp = Preprocessor::fit(&raw.slice_rows(0, 80), &groups, 0.9999, 0.05);
+        assert!(
+            pp.counters[0],
+            "ramp column must be detected as a counter (fit contract)"
+        );
+        assert!(pp.kept.contains(&0), "counter group survived pruning");
+        for r in 90..140 {
+            raw[(r, 0)] -= 90.0 * 2.5; // daemon restart: history lost
+        }
+        let batch = pp.transform(&raw);
+        let (rows, pre_rows) = stream_rows(&pp, &raw);
+        // The negative-rate row is still the exact batch value...
+        assert_rows_match(&rows, &batch, "counter reset");
+        // ...but the streaming path annotates it.
+        let flagged: Vec<usize> = pre_rows
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.counter_reset)
+            .map(|(r, _)| r)
+            .collect();
+        assert_eq!(flagged, vec![90], "exactly the reset row is flagged");
+    }
+
+    #[test]
+    fn fault_counters_merge_and_report_clean() {
+        let mut a = FaultCounters {
+            late_ticks: 2,
+            blackouts: 1,
+            ..Default::default()
+        };
+        let b = FaultCounters {
+            late_ticks: 3,
+            degraded_verdicts: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.late_ticks, 5);
+        assert_eq!(a.blackouts, 1);
+        assert_eq!(a.degraded_verdicts, 7);
+        assert!(!a.is_clean());
+        assert!(FaultCounters::default().is_clean());
+        assert_eq!(a.rejected(), 5);
     }
 }

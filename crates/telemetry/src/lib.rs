@@ -23,6 +23,7 @@ pub mod anomaly;
 pub mod archetype;
 pub mod catalog;
 pub mod dataset;
+pub mod faults;
 pub mod schedule;
 pub mod signals;
 pub mod simulator;
@@ -31,5 +32,8 @@ pub use anomaly::{AnomalyEvent, AnomalyKind, InjectionConfig, ALL_ANOMALIES};
 pub use archetype::JobArchetype;
 pub use catalog::{CatalogSpec, Category, MetricCatalog};
 pub use dataset::{Dataset, DatasetProfile, DatasetStats};
+pub use faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultPlanSpec, ALL_FAULTS,
+};
 pub use schedule::{JobRecord, NodeSegment, Schedule, ScheduleConfig};
 pub use signals::{Signal, SignalFrame, NUM_SIGNALS};

@@ -70,9 +70,14 @@ fn main() {
                 transition: transitions[node].contains(&step),
             })
             .collect();
-        engine.ingest(batch);
+        engine.ingest(batch).expect("stream shard alive");
     }
     let report = engine.finish();
+    assert!(
+        report.faults.is_clean(),
+        "clean feed must trip no fault counters: {:?}",
+        report.faults
+    );
 
     // 4. Verdicts arrive sorted by (node, step); summarize per node.
     for node in 0..dataset.n_nodes() {

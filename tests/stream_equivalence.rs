@@ -112,7 +112,7 @@ fn assert_equivalence(ds: &Dataset, n_shards: usize) -> (NodeSentry, Vec<NodeInp
     cfg.n_shards = n_shards;
     let engine = Engine::new(Arc::clone(&shared), cfg);
     for batch in tick_batches(&inputs, horizon) {
-        engine.ingest(batch);
+        engine.ingest(batch).expect("stream shard alive");
     }
     let report = engine.finish();
 
@@ -123,6 +123,16 @@ fn assert_equivalence(ds: &Dataset, n_shards: usize) -> (NodeSentry, Vec<NodeInp
     );
     assert_eq!(report.stats.n_points as usize, report.verdicts.len());
     assert!(report.stats.n_matches > 0);
+    // A clean ordered feed must not trip any hardening path.
+    assert!(
+        report.faults.is_clean(),
+        "clean feed tripped fault counters: {:?}",
+        report.faults
+    );
+    assert!(report
+        .verdicts
+        .iter()
+        .all(|v| v.kind == nodesentry::stream::VerdictKind::Ok));
 
     for v in &report.verdicts {
         let k = v.step - ds.split;
@@ -169,7 +179,7 @@ fn streaming_matches_batch_on_tiny_dataset() {
     cfg.smooth_window = shared.cfg.smooth_window;
     let engine = Engine::new(Arc::clone(&shared), cfg);
     for batch in tick_batches(&inputs, ds.horizon()) {
-        engine.ingest(batch);
+        engine.ingest(batch).expect("stream shard alive");
     }
     let report = engine.finish();
     for (node, input) in inputs.iter().enumerate() {
