@@ -7,9 +7,8 @@
 //! injections.
 
 use nodesentry_core::NodeSentry;
-use ns_bench::{default_ns_config, transitions_of, write_json, DatasetSource};
+use ns_bench::{default_ns_config, transitions_of, write_bench_json, write_json, DatasetSource};
 use ns_eval::metrics::{adjusted_confusion, aggregate, NodeScores};
-use ns_eval::timing::Stopwatch;
 use ns_stream::{Engine, EngineConfig, Tick};
 use ns_telemetry::DatasetProfile;
 use serde_json::json;
@@ -17,6 +16,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 fn main() {
+    // Full observability: stage spans for the offline fit, live latency
+    // histograms + fault bridging for the online loop. Equivalence with
+    // the disabled path is pinned by tests/obs_equivalence.rs.
+    ns_obs::enable_all();
     // D2-like cluster (the deployment monitored a D2-sized system).
     let mut profile = DatasetProfile::d2_prime();
     profile.name = "deployment".into();
@@ -44,7 +47,7 @@ fn main() {
     let model = Arc::new(model);
     let engine = Engine::new(Arc::clone(&model), engine_cfg);
 
-    let sw = Stopwatch::start();
+    let replay_span = ns_obs::trace::span("stream_replay");
     for n in 0..ds.n_nodes() {
         let raw = ds.raw_node(n);
         let transitions: HashSet<usize> = transitions_of(&ds, n).into_iter().collect();
@@ -65,7 +68,7 @@ fn main() {
         engine.ingest(cycle).expect("stream shard alive");
     }
     let report = engine.finish();
-    let stream_wall = sw.seconds();
+    let stream_wall = replay_span.finish_seconds();
 
     // Evaluate the verdicts against the injected ground truth.
     let mut node_scores = Vec::new();
@@ -118,4 +121,43 @@ fn main() {
             "stream_wall_s": stream_wall,
         }),
     );
+
+    // Machine-readable benchmark record: wall time, the per-point and
+    // per-match latency distribution read back from the live ns-obs
+    // histograms, and every fault counter (all zero on this clean feed).
+    let reg = ns_obs::metrics::global();
+    let q = |name: &str, q: f64| reg.histogram_quantile(name, &[], q).unwrap_or(0.0);
+    let latency = |name: &str| {
+        json!({
+            "p50_ms": q(name, 0.50) * 1e3,
+            "p90_ms": q(name, 0.90) * 1e3,
+            "p99_ms": q(name, 0.99) * 1e3,
+        })
+    };
+    let faults = serde_json::Value::Object(
+        report
+            .faults
+            .as_pairs()
+            .iter()
+            .map(|&(class, v)| (class.to_string(), serde_json::to_value(&v)))
+            .collect(),
+    );
+    write_bench_json(
+        "stream",
+        &json!({
+            "wall_s": stream_wall,
+            "ticks_per_s": throughput,
+            "n_shards": n_shards,
+            "n_ticks": report.stats.n_ticks,
+            "point_latency": latency(ns_stream::metrics::POINT_SECONDS),
+            "score_latency": latency(ns_stream::metrics::SCORE_SECONDS),
+            "match_latency": latency(ns_stream::metrics::MATCH_SECONDS),
+            "precision": agg.precision,
+            "recall": agg.recall,
+            "faults": faults,
+        }),
+    );
+
+    println!("\n--- span report ---");
+    print!("{}", ns_obs::trace::report());
 }

@@ -19,7 +19,7 @@
 //! Results land in `target/experiments/faults.json`.
 
 use nodesentry_core::{NodeSentry, NodeSentryConfig};
-use ns_bench::{transitions_of, write_json, DatasetSource};
+use ns_bench::{transitions_of, write_bench_json, write_json, DatasetSource};
 use ns_eval::metrics::{adjusted_confusion, aggregate, interval_mask, NodeScores};
 use ns_stream::{Engine, EngineConfig, Tick};
 use ns_telemetry::{DatasetProfile, FaultInjector, FaultPlan, FaultPlanSpec, ALL_FAULTS};
@@ -103,6 +103,10 @@ fn run_cell(
 }
 
 fn main() {
+    // Live metrics + spans; verdict equivalence with observability off is
+    // pinned by tests/obs_equivalence.rs.
+    ns_obs::enable_all();
+    let sweep_span = ns_obs::trace::span("fault_sweep");
     let mut profile = DatasetProfile::tiny();
     profile.name = "faults".into();
     profile.schedule.n_nodes = 6;
@@ -159,6 +163,8 @@ fn main() {
     );
 
     let mut records = Vec::new();
+    let mut total_faults = ns_stream::FaultCounters::default();
+    let mut n_cells = 0usize;
     for (ki, kind) in ALL_FAULTS.iter().enumerate() {
         for (ri, &rate) in RATES.iter().enumerate() {
             let spec = FaultPlanSpec {
@@ -185,6 +191,8 @@ fn main() {
                 (0..ds.n_nodes()).map(|n| plan.dirty_windows(n)).collect();
             let outcome = FaultInjector::new(plan).apply(&clean);
             let (cell, faults) = run_cell(&model, &ds, &outcome.stream, &dirty);
+            total_faults.merge(&faults);
+            n_cells += 1;
             println!(
                 "{:<14} {:>5.2}  {:>6.3} {:>6.3}  {:>+6.3} {:>+6.3}  {:>6.3} {:>6.3}  syn {} nan {} rst {} stk {} blk {} degr {} supp {} quar {}",
                 format!("{kind:?}"),
@@ -239,4 +247,40 @@ fn main() {
             "n_shards": N_SHARDS,
         }),
     );
+
+    // Machine-readable benchmark record: sweep wall time, the per-point
+    // latency distribution accumulated across every replay (read back
+    // from the live ns-obs histograms), and summed fault counters.
+    let wall_s = sweep_span.finish_seconds();
+    let reg = ns_obs::metrics::global();
+    let q = |q: f64| {
+        reg.histogram_quantile(ns_stream::metrics::POINT_SECONDS, &[], q)
+            .unwrap_or(0.0)
+    };
+    let faults = serde_json::Value::Object(
+        total_faults
+            .as_pairs()
+            .iter()
+            .map(|&(class, v)| (class.to_string(), serde_json::to_value(&v)))
+            .collect(),
+    );
+    let point_latency = json!({
+        "p50_ms": q(0.50) * 1e3,
+        "p90_ms": q(0.90) * 1e3,
+        "p99_ms": q(0.99) * 1e3,
+    });
+    write_bench_json(
+        "faults",
+        &json!({
+            "wall_s": wall_s,
+            "n_cells": n_cells,
+            "n_shards": N_SHARDS,
+            "baseline": baseline,
+            "point_latency": point_latency,
+            "faults": faults,
+        }),
+    );
+
+    println!("\n--- span report ---");
+    print!("{}", ns_obs::trace::report());
 }

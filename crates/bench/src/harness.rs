@@ -15,7 +15,6 @@ use ns_eval::threshold::{ksigma_detect, smooth_scores};
 /// before thresholding and AUC — single-point spikes are noise at 30 s
 /// sampling; real events last ≥ 15 steps.
 pub const SMOOTH_WINDOW: usize = 5;
-use ns_eval::timing::Stopwatch;
 use ns_linalg::matrix::Matrix;
 use ns_telemetry::{Dataset, DatasetProfile};
 use serde::Serialize;
@@ -114,12 +113,15 @@ pub fn evaluate_scores(
 pub fn run_nodesentry(ds: &Dataset, cfg: NodeSentryConfig) -> (MethodResult, NodeSentry) {
     let threshold = cfg.threshold;
     let variant = cfg.variant;
-    let sw = Stopwatch::start();
+    // Timed via ns-obs spans: the durations come back directly from the
+    // guard, and with tracing enabled the core pipeline's own `fit/...`
+    // stage spans nest under `offline` in `ns_obs::trace::report()`.
+    let offline_span = ns_obs::trace::span("offline");
     let groups = ds.catalog.group_ids();
     let model = NodeSentry::fit_from_source(cfg, &DatasetSource(ds), &groups, ds.split);
-    let offline_s = sw.seconds();
+    let offline_s = offline_span.finish_seconds();
 
-    let sw = Stopwatch::start();
+    let online_span = ns_obs::trace::span("online");
     // Nodes score independently; parallelize with order-preserving
     // collection so results are identical to the serial loop.
     let per_node: Vec<Vec<f64>> = {
@@ -133,7 +135,7 @@ pub fn run_nodesentry(ds: &Dataset, cfg: NodeSentryConfig) -> (MethodResult, Nod
             })
             .collect()
     };
-    let online_s_per_node = sw.seconds() / ds.n_nodes().max(1) as f64;
+    let online_s_per_node = online_span.finish_seconds() / ds.n_nodes().max(1) as f64;
 
     let agg = evaluate_scores(ds, &per_node, &threshold);
     (
@@ -154,6 +156,7 @@ pub fn run_nodesentry(ds: &Dataset, cfg: NodeSentryConfig) -> (MethodResult, Nod
 /// Preprocess every node once with a NodeSentry-style preprocessor (the
 /// baselines consume the same reduced representation).
 pub fn preprocessed_nodes(ds: &Dataset) -> Vec<Matrix> {
+    ns_obs::span!("preprocess_nodes");
     let groups = ds.catalog.group_ids();
     let sample_n = 4.min(ds.n_nodes());
     let sample: Vec<Matrix> = (0..sample_n)
@@ -176,18 +179,18 @@ pub fn run_baseline(
     det: &mut dyn Detector,
     threshold: &ns_eval::threshold::KSigmaConfig,
 ) -> MethodResult {
-    let sw = Stopwatch::start();
+    let offline_span = ns_obs::trace::span("baseline_offline");
     let nodes = preprocessed_nodes(ds);
     det.fit(&nodes, ds.split);
-    let offline_s = sw.seconds();
+    let offline_s = offline_span.finish_seconds();
 
-    let sw = Stopwatch::start();
+    let online_span = ns_obs::trace::span("baseline_online");
     let per_node: Vec<Vec<f64>> = nodes
         .iter()
         .enumerate()
         .map(|(n, data)| det.score_node(n, data, ds.split))
         .collect();
-    let online_s_per_node = sw.seconds() / ds.n_nodes().max(1) as f64;
+    let online_s_per_node = online_span.finish_seconds() / ds.n_nodes().max(1) as f64;
 
     let agg = evaluate_scores(ds, &per_node, threshold);
     MethodResult {
@@ -247,6 +250,25 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
                 eprintln!("warn: cannot write {path:?}: {e}");
             } else {
                 eprintln!("[json] wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warn: serialisation failed: {e}"),
+    }
+}
+
+/// Write a machine-readable benchmark record as `BENCH_<name>.json` in
+/// the current working directory. Unlike [`write_json`] (which files
+/// experiment records under `target/experiments/` for EXPERIMENTS.md),
+/// these land where CI and regression tooling can pick them up by the
+/// `BENCH_` prefix alone.
+pub fn write_bench_json<T: Serialize>(name: &str, value: &T) {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(&path, s) {
+                eprintln!("warn: cannot write {path:?}: {e}");
+            } else {
+                eprintln!("[bench] wrote {}", path.display());
             }
         }
         Err(e) => eprintln!("warn: serialisation failed: {e}"),

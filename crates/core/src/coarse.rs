@@ -179,11 +179,14 @@ pub fn segment_features(cfg: &CoarseConfig, seg: &Matrix) -> Vec<f64> {
 /// by the fine-grained stage for nearest-member selection).
 pub fn fit(cfg: &CoarseConfig, segments: &[Segment]) -> (ClusterModel, Vec<Vec<f64>>) {
     assert!(!segments.is_empty(), "cannot cluster zero segments");
-    // 1. Features (parallel over segments).
+    // 1. Features (parallel over segments). The span wraps the parallel
+    // region from the calling thread, so it nests under `fit/coarse`.
+    let feat_span = ns_obs::trace::span("features");
     let feats: Vec<Vec<f64>> = segments
         .par_iter()
         .map(|s| segment_features(cfg, &s.data))
         .collect();
+    drop(feat_span);
     let dim = feats[0].len();
     // 2. Feature standardization across the segment population.
     let mut feat_mean = vec![0.0; dim];
@@ -204,6 +207,7 @@ pub fn fit(cfg: &CoarseConfig, segments: &[Segment]) -> (ClusterModel, Vec<Vec<f
         })
         .collect();
     // 3. HAC + silhouette-selected k.
+    let linkage_span = ns_obs::trace::span("linkage");
     let n = zfeats.len();
     let dist = CondensedDistance::compute(n, |i, j| vecops::euclidean(&zfeats[i], &zfeats[j]));
     let dendrogram = linkage_from_distance(&dist, cfg.linkage);
@@ -243,9 +247,11 @@ pub fn fit(cfg: &CoarseConfig, segments: &[Segment]) -> (ClusterModel, Vec<Vec<f
         .zip(&labels)
         .map(|(f, &l)| vecops::euclidean(f, &centroids[l]))
         .collect();
+    drop(linkage_span);
 
     // 5. Probe-space matching library: features of the first `probe_len`
     // steps of each segment, standardized and averaged per cluster.
+    let probe_span = ns_obs::trace::span("probe_library");
     let probe_feats: Vec<Vec<f64>> = match cfg.probe_len {
         Some(p) => segments
             .par_iter()
@@ -299,6 +305,7 @@ pub fn fit(cfg: &CoarseConfig, segments: &[Segment]) -> (ClusterModel, Vec<Vec<f
         let p95 = stats::quantile_sorted(&d, 0.95);
         (p95 * 2.0).max(1e-3)
     };
+    drop(probe_span);
     let model = ClusterModel {
         feat_mean,
         feat_std,

@@ -163,10 +163,12 @@ impl NodeSentry {
         split: usize,
     ) -> Self {
         assert!(nodes.n_nodes() > 0, "need at least one node");
+        ns_obs::span!("fit");
         // Build the online matching library at probe length so short
         // post-transition probes are comparable to it (§3.5).
         cfg.coarse.probe_len = Some(cfg.match_period);
         // 1. Preprocessing statistics from a sample of nodes.
+        let pre_span = ns_obs::trace::span("preprocess");
         let sample_n = cfg.fit_sample_nodes.clamp(1, nodes.n_nodes());
         let sample: Vec<Matrix> = (0..sample_n)
             .map(|i| {
@@ -179,11 +181,13 @@ impl NodeSentry {
         drop(sample);
         let preprocessor = Preprocessor::fit(&stacked, groups, 0.99, 0.05);
         drop(stacked);
+        drop(pre_span);
 
         // 2. Preprocess + segment each node's training split, in
         // parallel across nodes. The per-node results are collected in
         // node order, so the flattened segment list — and everything
         // downstream of it — is identical at any thread count.
+        let seg_span = ns_obs::trace::span("segment");
         let per_node: Vec<Vec<Segment>> = {
             use rayon::prelude::*;
             (0..nodes.n_nodes())
@@ -217,8 +221,10 @@ impl NodeSentry {
         };
         let train_segments: Vec<Segment> = per_node.into_iter().flatten().collect();
         assert!(!train_segments.is_empty(), "no usable training segments");
+        drop(seg_span);
 
         // 3. Coarse clustering.
+        let coarse_span = ns_obs::trace::span("coarse");
         let (mut cluster_model, feats) = coarse::fit(&cfg.coarse, &train_segments);
         if cfg.variant == Variant::C2RandomGroups {
             randomize_groups(
@@ -229,11 +235,14 @@ impl NodeSentry {
                 cfg.seed,
             );
         }
+        drop(coarse_span);
 
         // 4. One shared model per cluster (§3.4).
+        let fine_span = ns_obs::trace::span("fine");
         let shared_models: Vec<SharedModel> = (0..cluster_model.k())
             .map(|c| train_cluster_model(&cfg.sharing, c, &cluster_model, &train_segments))
             .collect();
+        drop(fine_span);
 
         NodeSentry {
             cfg,
@@ -266,7 +275,11 @@ impl NodeSentry {
         if split >= horizon {
             return (Vec::new(), Vec::new());
         }
-        let processed = self.preprocessor.transform(raw);
+        ns_obs::span!("score");
+        let processed = {
+            ns_obs::span!("preprocess");
+            self.preprocessor.transform(raw)
+        };
         let test = processed.slice_rows(split, horizon);
         let local_transitions: Vec<usize> = transitions
             .iter()
@@ -278,10 +291,14 @@ impl NodeSentry {
         let mut matches = Vec::with_capacity(segs.len());
         for seg in &segs {
             let probe_len = self.cfg.match_period.clamp(1, seg.len());
-            let probe = seg.data.slice_rows(0, probe_len);
-            let feat = coarse::segment_features(&self.cfg.coarse, &probe);
-            let (cluster, _dist) = self.cluster_model.match_pattern(&feat);
+            let (cluster, _dist) = {
+                ns_obs::span!("match");
+                let probe = seg.data.slice_rows(0, probe_len);
+                let feat = coarse::segment_features(&self.cfg.coarse, &probe);
+                self.cluster_model.match_pattern(&feat)
+            };
             let model = &self.shared_models[cluster.min(self.shared_models.len() - 1)];
+            let model_span = ns_obs::trace::span("model");
             let mut seg_scores = model.score_series(&seg.data);
             // Per-segment baseline normalization: the matched probe
             // period defines the segment's own "normal" reconstruction
@@ -300,6 +317,7 @@ impl NodeSentry {
             for (k, v) in seg_scores.into_iter().enumerate() {
                 scores[seg.start + k] = v;
             }
+            drop(model_span);
             matches.push((seg.start + split, seg.end + split, cluster));
         }
         (scores, matches)

@@ -387,6 +387,7 @@ pub fn train_cluster_model(
     model: &crate::coarse::ClusterModel,
     segments: &[Segment],
 ) -> SharedModel {
+    ns_obs::span!("train_cluster_model");
     // Selection size scales with cluster population (up to 2K) and is
     // stratified over the distance distribution so large clusters'
     // spread is represented, not just their cores.

@@ -1,0 +1,161 @@
+//! Minimal HTTP `/metrics` endpoint over `std::net::TcpListener`.
+//!
+//! One accept-loop thread serves the [global metrics
+//! registry](crate::metrics::global) in Prometheus text exposition
+//! format. No HTTP library: the request line is parsed just far enough
+//! to route `/metrics` (or `/`) vs everything else, which is exactly
+//! what a Prometheus scraper needs.
+
+use crate::metrics;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to a running exporter. Dropping it (or calling
+/// [`shutdown`](MetricsServer::shutdown)) stops the accept loop and
+/// joins the serving thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address — with port 0 requested, the actual ephemeral
+    /// port chosen by the OS.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:9464"`, or port `0` for an ephemeral
+/// port in tests) and serve the global registry at `/metrics` on a
+/// background thread.
+pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("ns-obs-metrics".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        // Serve inline: scrapes are tiny and sequential.
+                        let _ = handle_conn(stream);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+                    Err(_) => break,
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn handle_conn(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read at most one request head; anything beyond 4 KiB is not a
+    // scrape we care about.
+    let mut buf = [0u8; 4096];
+    let mut used = 0usize;
+    loop {
+        if used == buf.len() {
+            break;
+        }
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                used += n;
+                if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", metrics::global().render())
+    } else {
+        ("404 Not Found", "not found; scrape /metrics\n".to_string())
+    };
+    let resp = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(resp.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_elsewhere() {
+        let _l = crate::test_lock();
+        metrics::set_enabled(true);
+        metrics::global()
+            .counter("exporter_test_total", "Exporter smoke counter.", &[])
+            .add(5);
+        metrics::set_enabled(false);
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+        let ok = get(addr, "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"));
+        assert!(ok.contains("exporter_test_total 5"), "{ok}");
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.shutdown();
+        // Port released: connecting now fails or yields no response.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(100)).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! `ns-obs` — zero-dependency observability for the NodeSentry stack.
+//!
+//! Three pieces, all std-only so they can ride inside every hot path:
+//!
+//! * [`trace`] — a hierarchical span tracer. [`span!`] opens a
+//!   [`trace::SpanGuard`] that records wall time into a thread-safe span
+//!   tree keyed by `parent/child` paths; [`trace::report`] renders a
+//!   flamegraph-style text breakdown and [`trace::export_jsonl`] dumps
+//!   the raw span events one JSON object per line.
+//! * [`metrics`] — a registry of named counters, gauges and log-bucketed
+//!   histograms. Every update is a single atomic op behind one relaxed
+//!   enabled-flag load, cheap enough for per-tick hot paths.
+//!   [`metrics::Registry::render`] emits Prometheus text exposition
+//!   format (0.0.4).
+//! * [`exporter`] — a `std::net::TcpListener` HTTP endpoint serving the
+//!   global registry at `/metrics`, spawnable from the streaming engine.
+//!
+//! # The no-op-when-disabled guarantee
+//!
+//! Both subsystems start **disabled**. While disabled, a span guard is
+//! two `Instant::now` calls and a metric update is one relaxed atomic
+//! load; neither takes a lock, allocates, or touches shared state.
+//! Observability never reads or writes pipeline data in either state, so
+//! enabling it cannot change a single verdict bit —
+//! `tests/obs_equivalence.rs` holds the streaming engine to that
+//! contract with `f64::to_bits` equality.
+//!
+//! ```
+//! ns_obs::enable_all();
+//! {
+//!     let _outer = ns_obs::trace::span("demo");
+//!     let _inner = ns_obs::trace::span("step");
+//!     ns_obs::metrics::global()
+//!         .counter("demo_total", "Demo events.", &[])
+//!         .inc();
+//! }
+//! assert!(ns_obs::trace::stats("demo/step").is_some());
+//! assert!(ns_obs::metrics::global().render().contains("demo_total 1"));
+//! ns_obs::disable_all();
+//! ```
+
+pub mod exporter;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::SpanGuard;
+
+/// Switch tracing and metrics on together (the usual deployment mode).
+pub fn enable_all() {
+    trace::set_enabled(true);
+    metrics::set_enabled(true);
+}
+
+/// Switch tracing and metrics off together. Already-recorded spans and
+/// metric values are retained (use [`trace::reset`] /
+/// [`metrics::Registry::reset`] to clear them).
+pub fn disable_all() {
+    trace::set_enabled(false);
+    metrics::set_enabled(false);
+}
+
+/// Open a named [`trace::SpanGuard`] covering the rest of the enclosing
+/// scope:
+///
+/// ```
+/// fn stage() {
+///     ns_obs::span!("pipeline.stage");
+///     // ... the whole function body is timed ...
+/// }
+/// stage();
+/// ```
+///
+/// The guard is bound to a hidden local so a bare `span!(...)` statement
+/// is enough; use [`trace::span`] directly when the guard itself is
+/// needed (early `drop`, [`trace::SpanGuard::finish_seconds`]).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _ns_obs_span_guard = $crate::trace::span($name);
+    };
+}
+
+/// Unit tests toggle the process-wide enable flags, so they serialize on
+/// one lock to stay independent of the harness thread count.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enable_disable_roundtrip() {
+        let _l = crate::test_lock();
+        crate::enable_all();
+        assert!(crate::trace::is_enabled());
+        assert!(crate::metrics::is_enabled());
+        crate::disable_all();
+        assert!(!crate::trace::is_enabled());
+        assert!(!crate::metrics::is_enabled());
+    }
+}

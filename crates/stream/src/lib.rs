@@ -7,8 +7,8 @@
 //! the data arrives. This crate provides that path without changing the
 //! answer: every stage of the batch pipeline is replayed incrementally —
 //!
-//! * [`StreamingPreprocessor`] applies a fitted
-//!   [`Preprocessor`](nodesentry_core::Preprocessor) one raw row at a
+//! * [`StreamingPreprocessor`] applies a fitted [`Preprocessor`] one raw
+//!   row at a
 //!   time. Linear NaN interpolation is anti-causal (a gap is filled once
 //!   the next observation arrives), so rows are emitted behind a
 //!   per-column resolution watermark and back-filled exactly as the batch
@@ -65,7 +65,22 @@
 //! differential fault-tolerance suite (`tests/fault_tolerance.rs`) proves
 //! the degraded-mode contract per fault class against
 //! `ns-telemetry::faults`.
+//!
+//! # Observability
+//!
+//! The engine publishes live metrics into the global `ns-obs` registry
+//! (see [`metrics`] for the full name table): per-shard queue-depth and
+//! reorder-buffer gauges, ingest/match/score latency histograms, verdict
+//! counters by kind, and a live per-class bridge of [`FaultCounters`] —
+//! the same numbers as the end-of-run [`EngineReport`], but moving while
+//! the stream runs. [`Engine::serve_metrics`] exposes everything over a
+//! Prometheus `/metrics` endpoint. All of it is disabled by default and
+//! observes only timings and counts, never pipeline data, so enabling it
+//! cannot change a verdict bit (`tests/obs_equivalence.rs`).
 
+pub mod metrics;
+
+use crate::metrics::{ingest_seconds, node_metrics, ShardMetrics};
 use nodesentry_core::coarse;
 use nodesentry_core::{NodeSentry, Preprocessor};
 use ns_eval::streaming::{StreamingKSigma, StreamingSmoother};
@@ -192,6 +207,28 @@ impl FaultCounters {
         self.suppressed_verdicts += other.suppressed_verdicts;
         self.degraded_verdicts += other.degraded_verdicts;
         self.worker_crashes += other.worker_crashes;
+    }
+
+    /// Every counter as a `(class, value)` pair, in declaration order.
+    /// The class names double as the `class` label values of the live
+    /// `ns_stream_faults_total` metric (see [`metrics`]).
+    pub fn as_pairs(&self) -> [(&'static str, u64); 14] {
+        [
+            ("late_ticks", self.late_ticks),
+            ("duplicate_ticks", self.duplicate_ticks),
+            ("reordered_ticks", self.reordered_ticks),
+            ("synthesized_rows", self.synthesized_rows),
+            ("nan_rows", self.nan_rows),
+            ("counter_resets", self.counter_resets),
+            ("stuck_rows", self.stuck_rows),
+            ("blackouts", self.blackouts),
+            ("malformed_ticks", self.malformed_ticks),
+            ("quarantined_nodes", self.quarantined_nodes),
+            ("quarantine_dropped", self.quarantine_dropped),
+            ("suppressed_verdicts", self.suppressed_verdicts),
+            ("degraded_verdicts", self.degraded_verdicts),
+            ("worker_crashes", self.worker_crashes),
+        ]
     }
 
     /// Total ticks rejected without reaching the pipeline.
@@ -875,8 +912,10 @@ impl NodeState {
         let probe = Matrix::from_rows(&self.seg_rows[..probe_len.min(self.seg_rows.len())]);
         let feat = coarse::segment_features(&self.model.cfg.coarse, &probe);
         let (cluster, _dist) = self.model.cluster_model.match_pattern(&feat);
-        self.stats.match_seconds += t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed().as_secs_f64();
+        self.stats.match_seconds += elapsed;
         self.stats.n_matches += 1;
+        node_metrics().match_seconds.observe(elapsed);
         cluster
     }
 
@@ -928,9 +967,17 @@ impl NodeState {
                 }
             }
         }
+        let n_rows = self.seg_rows.len();
         self.seg_rows.clear();
         self.seg_row_kinds.clear();
-        self.stats.score_seconds += t0.elapsed().as_secs_f64();
+        let elapsed = t0.elapsed().as_secs_f64();
+        self.stats.score_seconds += elapsed;
+        let nm = node_metrics();
+        nm.score_seconds.observe(elapsed);
+        if n_rows > 0 {
+            nm.point_seconds
+                .observe_n(elapsed / n_rows as f64, n_rows as u64);
+        }
         out
     }
 
@@ -974,9 +1021,12 @@ pub struct EngineConfig {
     /// Bounded per-shard queue depth (tick batches). Ingest blocks when a
     /// shard is this far behind — backpressure instead of unbounded RAM.
     pub queue_depth: usize,
-    /// Smoothing window fed to the k-sigma detector (1 disables
-    /// smoothing, matching raw `ksigma_detect` on batch scores;
-    /// `cfg.smooth_window` matches [`NodeSentry::detect_node`]).
+    /// Smoothing window fed to the k-sigma detector.
+    ///
+    /// Use `1` to disable smoothing (equivalent to running batch
+    /// `ksigma_detect` on raw scores), or the model's own
+    /// `cfg.smooth_window` to reproduce [`NodeSentry::detect_node`]
+    /// exactly.
     pub smooth_window: usize,
     /// Maximum step span the per-node reorder buffer absorbs before the
     /// oldest missing step is declared lost and synthesized.
@@ -1034,6 +1084,10 @@ pub struct Engine {
     workers: Vec<std::thread::JoinHandle<(Vec<Verdict>, StreamStats, FaultCounters)>>,
     n_shards: usize,
     started: Instant,
+    /// Per-shard in-flight batch gauges (incremented on send, decremented
+    /// by the worker on receive); no-ops while ns-obs is disabled.
+    queue_gauges: Vec<ns_obs::metrics::Gauge>,
+    ingest_hist: ns_obs::metrics::Histogram,
 }
 
 impl Engine {
@@ -1050,12 +1104,20 @@ impl Engine {
         let n_shards = cfg.n_shards.max(1);
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
+        let mut queue_gauges = Vec::with_capacity(n_shards);
         for shard in 0..n_shards {
             let (tx, rx) = mpsc::sync_channel::<Vec<Tick>>(cfg.queue_depth.max(1));
             let model = Arc::clone(&model);
+            // Registration is idempotent: this resolves to the same
+            // underlying gauge the worker's `ShardMetrics` decrements.
+            queue_gauges.push(ns_obs::metrics::global().gauge(
+                metrics::QUEUE_DEPTH,
+                "Tick batches waiting in a shard's bounded queue.",
+                &[("shard", &shard.to_string())],
+            ));
             let handle = std::thread::Builder::new()
                 .name(format!("ns-stream-{shard}"))
-                .spawn(move || worker_loop(rx, model, cfg))
+                .spawn(move || worker_loop(shard, rx, model, cfg))
                 .map_err(|e| EngineError::SpawnFailed(e.to_string()))?;
             senders.push(tx);
             workers.push(handle);
@@ -1065,32 +1127,56 @@ impl Engine {
             workers,
             n_shards,
             started: Instant::now(),
+            queue_gauges,
+            ingest_hist: ingest_seconds(),
         })
     }
 
     /// Route a batch of ticks to their shards. Blocks when a shard's
     /// queue is full; errors if a shard has shut down.
     pub fn ingest(&self, batch: Vec<Tick>) -> Result<(), EngineError> {
+        let t0 = Instant::now();
         let mut per_shard: Vec<Vec<Tick>> = vec![Vec::new(); self.n_shards];
         for tick in batch {
             per_shard[tick.node % self.n_shards].push(tick);
         }
         for (shard, ticks) in per_shard.into_iter().enumerate() {
             if !ticks.is_empty() {
-                self.senders[shard]
-                    .send(ticks)
-                    .map_err(|_| EngineError::ShardClosed { shard })?;
+                self.send_to(shard, ticks)?;
             }
         }
+        self.ingest_hist.observe(t0.elapsed().as_secs_f64());
         Ok(())
     }
 
     /// Convenience for single-tick ingestion.
     pub fn ingest_tick(&self, tick: Tick) -> Result<(), EngineError> {
+        let t0 = Instant::now();
         let shard = tick.node % self.n_shards;
-        self.senders[shard]
-            .send(vec![tick])
-            .map_err(|_| EngineError::ShardClosed { shard })
+        self.send_to(shard, vec![tick])?;
+        self.ingest_hist.observe(t0.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    /// Send one batch to a shard, keeping its queue-depth gauge honest:
+    /// incremented before the (possibly blocking) send so the gauge counts
+    /// in-flight batches and never goes negative, rolled back on failure.
+    fn send_to(&self, shard: usize, ticks: Vec<Tick>) -> Result<(), EngineError> {
+        self.queue_gauges[shard].add(1);
+        self.senders[shard].send(ticks).map_err(|_| {
+            self.queue_gauges[shard].sub(1);
+            EngineError::ShardClosed { shard }
+        })
+    }
+
+    /// Serve the process-global ns-obs registry — every live engine
+    /// metric (see [`metrics`]) plus anything else the process registered
+    /// — as a Prometheus `/metrics` endpoint on `addr` (e.g.
+    /// `"127.0.0.1:9184"`). Call [`ns_obs::enable_all`] first or every
+    /// series reads zero. The server runs on its own thread until the
+    /// returned handle is dropped or shut down.
+    pub fn serve_metrics(addr: &str) -> std::io::Result<ns_obs::exporter::MetricsServer> {
+        ns_obs::exporter::serve(addr)
     }
 
     /// Close the stream: flush every node, join the workers, and return
@@ -1122,18 +1208,35 @@ impl Engine {
     }
 }
 
+/// Count newly emitted verdicts into the live by-kind counters.
+fn meter_verdicts(vs: &[Verdict]) {
+    if vs.is_empty() || !ns_obs::metrics::is_enabled() {
+        return;
+    }
+    let ok = vs.iter().filter(|v| v.kind == VerdictKind::Ok).count() as u64;
+    let nm = node_metrics();
+    nm.verdicts_ok.add(ok);
+    nm.verdicts_degraded.add(vs.len() as u64 - ok);
+}
+
 fn worker_loop(
+    shard: usize,
     rx: mpsc::Receiver<Vec<Tick>>,
     model: Arc<NodeSentry>,
     cfg: EngineConfig,
 ) -> (Vec<Verdict>, StreamStats, FaultCounters) {
     let width = model.preprocessor.groups.len();
+    let m = ShardMetrics::new(shard);
     let mut states: FxHashMap<usize, NodeState> = FxHashMap::default();
     let mut quarantined: FxHashSet<usize> = FxHashSet::default();
     let mut verdicts = Vec::new();
     let mut stats = StreamStats::default();
     let mut faults = FaultCounters::default();
+    // Cumulative fault snapshot already bridged into the live counters.
+    let mut published = FaultCounters::default();
     while let Ok(batch) = rx.recv() {
+        m.queue_depth.sub(1);
+        m.ticks_total.add(batch.len() as u64);
         for tick in batch {
             if quarantined.contains(&tick.node) {
                 faults.quarantine_dropped += 1;
@@ -1159,7 +1262,10 @@ fn worker_loop(
                 state.offer(&tick)
             }));
             match outcome {
-                Ok(vs) => verdicts.extend(vs),
+                Ok(vs) => {
+                    meter_verdicts(&vs);
+                    verdicts.extend(vs);
+                }
                 Err(_) => {
                     if let Some(dead) = states.remove(&tick.node) {
                         stats.merge(&dead.stats);
@@ -1170,6 +1276,7 @@ fn worker_loop(
                 }
             }
         }
+        publish_shard_metrics(&m, &states, &faults, &mut published);
     }
     // Channel closed: flush in node order so shard output is
     // deterministic.
@@ -1180,13 +1287,44 @@ fn worker_loop(
             continue;
         };
         match catch_unwind(AssertUnwindSafe(|| state.flush())) {
-            Ok(vs) => verdicts.extend(vs),
+            Ok(vs) => {
+                meter_verdicts(&vs);
+                verdicts.extend(vs);
+            }
             Err(_) => faults.quarantined_nodes += 1,
         }
         stats.merge(&state.stats);
         faults.merge(&state.faults);
     }
+    // `faults` now holds every per-node counter merged in; one last
+    // bridge pass (against an empty state map — their faults are already
+    // in `faults`) brings the live view up to the final report.
+    states.clear();
+    publish_shard_metrics(&m, &states, &faults, &mut published);
     (verdicts, stats, faults)
+}
+
+/// Refresh the shard's live gauges and bridge fault-counter deltas into
+/// the `ns_stream_faults_total` counters. A no-op (without touching any
+/// node state) while metrics are disabled.
+fn publish_shard_metrics(
+    m: &ShardMetrics,
+    states: &FxHashMap<usize, NodeState>,
+    shard_faults: &FaultCounters,
+    published: &mut FaultCounters,
+) {
+    if !ns_obs::metrics::is_enabled() {
+        return;
+    }
+    let mut occupancy = 0i64;
+    let mut cur = *shard_faults;
+    for state in states.values() {
+        occupancy += state.ahead.len() as i64;
+        cur.merge(&state.faults);
+    }
+    m.reorder_occupancy.set(occupancy);
+    m.faults.publish(published, &cur);
+    *published = cur;
 }
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! Live metrics for the streaming engine.
+//!
+//! Every series lives in the [global ns-obs
+//! registry](ns_obs::metrics::global) so one `/metrics` endpoint
+//! ([`Engine::serve_metrics`](crate::Engine::serve_metrics)) exposes
+//! all engines in the process. The constants below are the single
+//! source of truth for metric names — tests and dashboards key off
+//! them.
+//!
+//! | metric | type | labels | meaning |
+//! |---|---|---|---|
+//! | [`QUEUE_DEPTH`] | gauge | `shard` | tick batches waiting in a shard's bounded queue |
+//! | [`REORDER_OCCUPANCY`] | gauge | `shard` | ticks parked in the shard's per-node reorder buffers |
+//! | [`INGEST_SECONDS`] | histogram | — | wall time of one `Engine::ingest` call (includes backpressure blocking) |
+//! | [`MATCH_SECONDS`] | histogram | — | one probe feature-extraction + library-match cycle |
+//! | [`SCORE_SECONDS`] | histogram | — | one segment scored through its shared model |
+//! | [`POINT_SECONDS`] | histogram | — | scoring compute attributed per emitted point |
+//! | [`TICKS_TOTAL`] | counter | `shard` | ticks accepted off the queue |
+//! | [`VERDICTS_TOTAL`] | counter | `kind` (`ok`/`degraded`) | verdicts emitted |
+//! | [`FAULTS_TOTAL`] | counter | `class` | live view of every [`FaultCounters`] field |
+//!
+//! All updates are no-ops while `ns_obs` metrics are disabled; nothing
+//! here reads or writes pipeline data, which is how the engine keeps its
+//! bit-exactness contract with observability on
+//! (`tests/obs_equivalence.rs`).
+
+use crate::FaultCounters;
+use ns_obs::metrics::{global, latency_buckets, Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Gauge: tick batches currently queued for a shard (`shard` label).
+pub const QUEUE_DEPTH: &str = "ns_stream_shard_queue_depth";
+/// Gauge: ticks waiting in a shard's per-node reorder buffers.
+pub const REORDER_OCCUPANCY: &str = "ns_stream_reorder_occupancy";
+/// Histogram: seconds one `ingest` call took, blocking included.
+pub const INGEST_SECONDS: &str = "ns_stream_ingest_seconds";
+/// Histogram: seconds per pattern-matching cycle.
+pub const MATCH_SECONDS: &str = "ns_stream_match_seconds";
+/// Histogram: seconds per segment scoring pass.
+pub const SCORE_SECONDS: &str = "ns_stream_score_seconds";
+/// Histogram: scoring seconds attributed to each emitted point.
+pub const POINT_SECONDS: &str = "ns_stream_point_seconds";
+/// Counter: ticks accepted by shard workers (`shard` label).
+pub const TICKS_TOTAL: &str = "ns_stream_ticks_total";
+/// Counter: verdicts emitted, labeled `kind="ok"|"degraded"`.
+pub const VERDICTS_TOTAL: &str = "ns_stream_verdicts_total";
+/// Counter: absorbed stream faults, labeled `class=<FaultCounters field>`.
+pub const FAULTS_TOTAL: &str = "ns_stream_faults_total";
+
+/// Handles used from per-node pipeline code (match/score/verdict path).
+/// One set per process — every engine and shard shares them.
+pub(crate) struct NodeMetrics {
+    pub match_seconds: Histogram,
+    pub score_seconds: Histogram,
+    pub point_seconds: Histogram,
+    pub verdicts_ok: Counter,
+    pub verdicts_degraded: Counter,
+}
+
+pub(crate) fn node_metrics() -> &'static NodeMetrics {
+    static CELL: OnceLock<NodeMetrics> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = global();
+        let buckets = latency_buckets();
+        NodeMetrics {
+            match_seconds: reg.histogram(
+                MATCH_SECONDS,
+                "Seconds per probe pattern-matching cycle.",
+                &[],
+                &buckets,
+            ),
+            score_seconds: reg.histogram(
+                SCORE_SECONDS,
+                "Seconds per segment scoring pass through the shared model.",
+                &[],
+                &buckets,
+            ),
+            point_seconds: reg.histogram(
+                POINT_SECONDS,
+                "Scoring seconds attributed per emitted detection point.",
+                &[],
+                &buckets,
+            ),
+            verdicts_ok: reg.counter(
+                VERDICTS_TOTAL,
+                "Verdicts emitted by kind.",
+                &[("kind", "ok")],
+            ),
+            verdicts_degraded: reg.counter(
+                VERDICTS_TOTAL,
+                "Verdicts emitted by kind.",
+                &[("kind", "degraded")],
+            ),
+        }
+    })
+}
+
+/// One live counter per [`FaultCounters`] field, bridged by delta so the
+/// `/metrics` view moves while the engine runs instead of only in the
+/// end-of-run [`EngineReport`](crate::EngineReport).
+pub(crate) struct FaultMeters {
+    /// Index-aligned with [`FaultCounters::as_pairs`].
+    counters: Vec<Counter>,
+}
+
+impl FaultMeters {
+    pub fn new() -> Self {
+        let reg = global();
+        let counters = FaultCounters::default()
+            .as_pairs()
+            .iter()
+            .map(|(class, _)| {
+                reg.counter(
+                    FAULTS_TOTAL,
+                    "Stream faults absorbed by the engine, by class.",
+                    &[("class", class)],
+                )
+            })
+            .collect();
+        FaultMeters { counters }
+    }
+
+    /// Add the per-class deltas between two cumulative snapshots.
+    pub fn publish(&self, prev: &FaultCounters, cur: &FaultCounters) {
+        for ((_, p), ((_, c), counter)) in prev
+            .as_pairs()
+            .iter()
+            .zip(cur.as_pairs().iter().zip(&self.counters))
+        {
+            // Counters only move forward; saturate defensively anyway.
+            let d = c.saturating_sub(*p);
+            if d > 0 {
+                counter.add(d);
+            }
+        }
+    }
+}
+
+/// Per-shard worker handles.
+pub(crate) struct ShardMetrics {
+    pub queue_depth: Gauge,
+    pub reorder_occupancy: Gauge,
+    pub ticks_total: Counter,
+    pub faults: FaultMeters,
+}
+
+impl ShardMetrics {
+    pub fn new(shard: usize) -> Self {
+        let reg = global();
+        let label = shard.to_string();
+        ShardMetrics {
+            queue_depth: reg.gauge(
+                QUEUE_DEPTH,
+                "Tick batches waiting in a shard's bounded queue.",
+                &[("shard", &label)],
+            ),
+            reorder_occupancy: reg.gauge(
+                REORDER_OCCUPANCY,
+                "Ticks parked in the shard's per-node reorder buffers.",
+                &[("shard", &label)],
+            ),
+            ticks_total: reg.counter(
+                TICKS_TOTAL,
+                "Ticks accepted by shard workers.",
+                &[("shard", &label)],
+            ),
+            faults: FaultMeters::new(),
+        }
+    }
+}
+
+/// The ingest-side histogram (created once per process).
+pub(crate) fn ingest_seconds() -> Histogram {
+    static CELL: OnceLock<Histogram> = OnceLock::new();
+    CELL.get_or_init(|| {
+        global().histogram(
+            INGEST_SECONDS,
+            "Seconds one Engine::ingest call took, backpressure blocking included.",
+            &[],
+            &latency_buckets(),
+        )
+    })
+    .clone()
+}

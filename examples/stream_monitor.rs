@@ -11,14 +11,21 @@
 //! cluster library, scores through the matched shared model, and emits a
 //! `Verdict` per test-window point — bit-identical to batch scoring
 //! (`tests/stream_equivalence.rs` proves it).
+//!
+//! Observability is switched on for the whole run: training stages land
+//! in the span report printed at the end, and the engine's live metrics
+//! (queue depths, latency histograms, fault counters) are served on a
+//! local Prometheus `/metrics` endpoint while the stream runs.
 
 use nodesentry::core::{NodeSentry, NodeSentryConfig};
+use nodesentry::obs;
 use nodesentry::stream::{Engine, EngineConfig, Tick};
 use nodesentry::telemetry::DatasetProfile;
 use std::collections::HashSet;
 use std::sync::Arc;
 
 fn main() {
+    obs::enable_all();
     // 1. A small simulated cluster with injected anomalies.
     let mut profile = DatasetProfile::tiny();
     profile.name = "stream_monitor".into();
@@ -57,6 +64,10 @@ fn main() {
     cfg.n_shards = 3;
     cfg.smooth_window = model.cfg.smooth_window; // flag on smoothed scores, as detect_node does
     let engine = Engine::new(Arc::new(model), cfg);
+    // Live metrics: scrape `curl localhost:<port>/metrics` while the
+    // replay below runs (ephemeral port so repeated runs never collide).
+    let metrics_server = Engine::serve_metrics("127.0.0.1:0").expect("bind metrics endpoint");
+    println!("metrics: http://{}/metrics", metrics_server.local_addr());
     let transitions: Vec<HashSet<usize>> = inputs
         .iter()
         .map(|i| i.transitions.iter().copied().collect())
@@ -103,4 +114,20 @@ fn main() {
         report.stats.match_s_per_cycle(),
         report.stats.point_latency_ms()
     );
+
+    // 5. What observability saw: p50/p99 per-point latency from the live
+    //    histogram, then the span report for the offline fit.
+    let reg = obs::metrics::global();
+    let q = |q: f64| {
+        reg.histogram_quantile(nodesentry::stream::metrics::POINT_SECONDS, &[], q)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "live histogram: point latency p50 {:.3} ms / p99 {:.3} ms",
+        q(0.50) * 1e3,
+        q(0.99) * 1e3
+    );
+    metrics_server.shutdown();
+    println!("\n--- span report ---");
+    print!("{}", obs::trace::report());
 }

@@ -26,6 +26,9 @@
 //!   thresholding (batch + streaming), timing harness.
 //! * [`label`] — the headless labeling / cluster-adjustment toolkit
 //!   (artifact A2).
+//! * [`obs`] — zero-dependency observability: tracing spans over the
+//!   training stages, live metrics from the streaming engine, and a
+//!   Prometheus `/metrics` exporter.
 //! * [`linalg`] — the dense matrix substrate underneath everything.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and
@@ -39,6 +42,7 @@ pub use ns_features as features;
 pub use ns_label as label;
 pub use ns_linalg as linalg;
 pub use ns_nn as nn;
+pub use ns_obs as obs;
 pub use ns_stream as stream;
 pub use ns_telemetry as telemetry;
 

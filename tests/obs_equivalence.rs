@@ -1,0 +1,277 @@
+//! The observability layer's contract: enabling ns-obs tracing + metrics
+//! changes *nothing* about what the engine computes. Verdicts with
+//! observability on are bit-identical (`f64::to_bits`) to verdicts with
+//! it off, at 1, 2, and 4 shards — while the live registry demonstrably
+//! moves. A second test scrapes the `/metrics` endpoint over a real
+//! socket and parses every exposed family.
+//!
+//! Both tests mutate process-global ns-obs state (enabled flags, the
+//! registry), so they serialize on a shared lock; the trained model is a
+//! shared fixture because training dominates the runtime.
+
+use nodesentry::core::{
+    CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig, Variant,
+};
+use nodesentry::features::FeatureCatalog;
+use nodesentry::obs;
+use nodesentry::stream::{metrics as sm, Engine, EngineConfig, FaultCounters, Tick, Verdict};
+use nodesentry::telemetry::{Dataset, DatasetProfile};
+use std::collections::{BTreeMap, HashSet};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn quick_cfg() -> NodeSentryConfig {
+    NodeSentryConfig {
+        coarse: CoarseConfig {
+            catalog: FeatureCatalog::compact(),
+            k_max: 6,
+            ..Default::default()
+        },
+        sharing: SharingConfig {
+            window: 12,
+            stride: 6,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            hidden: 32,
+            n_experts: 2,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            k_nearest: 4,
+            ..Default::default()
+        },
+        match_period: 40,
+        min_segment_len: 8,
+        variant: Variant::Full,
+        ..Default::default()
+    }
+}
+
+struct Fixture {
+    model: Arc<NodeSentry>,
+    batches: Vec<Vec<Tick>>,
+    split: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        // Train with observability off so the fixture is the plain
+        // baseline; each test toggles the flags around its own runs.
+        obs::disable_all();
+        let ds: Dataset = DatasetProfile::tiny().generate();
+        let groups = ds.catalog.group_ids();
+        let inputs: Vec<NodeInput> = (0..ds.n_nodes())
+            .map(|n| NodeInput {
+                raw: ds.raw_node(n),
+                transitions: ds
+                    .schedule
+                    .node_timeline(n)
+                    .iter()
+                    .map(|s| s.start)
+                    .filter(|&s| s > 0)
+                    .collect(),
+            })
+            .collect();
+        let model = NodeSentry::fit(quick_cfg(), &inputs, &groups, ds.split);
+        let transition_sets: Vec<HashSet<usize>> = inputs
+            .iter()
+            .map(|i| i.transitions.iter().copied().collect())
+            .collect();
+        let batches = (0..ds.horizon())
+            .map(|step| {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(node, input)| Tick {
+                        node,
+                        step,
+                        values: input.raw.row(step).to_vec(),
+                        transition: transition_sets[node].contains(&step),
+                    })
+                    .collect()
+            })
+            .collect();
+        Fixture {
+            model: Arc::new(model),
+            batches,
+            split: ds.split,
+        }
+    })
+}
+
+fn run_stream(fx: &Fixture, n_shards: usize) -> Vec<Verdict> {
+    let mut cfg = EngineConfig::new(fx.split);
+    cfg.n_shards = n_shards;
+    let engine = Engine::new(Arc::clone(&fx.model), cfg);
+    for batch in &fx.batches {
+        engine.ingest(batch.clone()).expect("stream shard alive");
+    }
+    engine.finish().verdicts
+}
+
+#[test]
+fn verdicts_bit_identical_with_observability_on_and_off() {
+    let _l = test_lock();
+    let fx = fixture();
+    for n_shards in [1usize, 2, 4] {
+        obs::disable_all();
+        obs::trace::reset();
+        obs::metrics::global().reset();
+        let off = run_stream(fx, n_shards);
+
+        // Disabled means no-op: nothing may have landed in either store.
+        assert!(
+            obs::trace::all_stats().is_empty(),
+            "spans recorded while disabled"
+        );
+        assert!(
+            obs::metrics::global()
+                .histogram_quantile(sm::POINT_SECONDS, &[], 0.5)
+                .is_none(),
+            "histogram observed while disabled"
+        );
+
+        obs::enable_all();
+        let on = run_stream(fx, n_shards);
+        obs::disable_all();
+
+        assert!(!off.is_empty());
+        assert_eq!(off.len(), on.len(), "{n_shards} shards: verdict count");
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!((a.node, a.step), (b.node, b.step), "{n_shards} shards");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{n_shards} shards: node {} step {}: off {} vs on {}",
+                a.node,
+                a.step,
+                a.score,
+                b.score
+            );
+            assert_eq!(a.anomalous, b.anomalous);
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.kind, b.kind);
+        }
+
+        // ...and the enabled run actually measured something.
+        let reg = obs::metrics::global();
+        assert!(
+            reg.histogram_quantile(sm::POINT_SECONDS, &[], 0.5)
+                .is_some(),
+            "{n_shards} shards: point latency histogram stayed empty"
+        );
+        assert!(
+            reg.histogram_quantile(sm::INGEST_SECONDS, &[], 0.5)
+                .is_some(),
+            "{n_shards} shards: ingest histogram stayed empty"
+        );
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect to exporter");
+    write!(
+        s,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read response");
+    out
+}
+
+#[test]
+fn metrics_endpoint_serves_every_family_over_a_socket() {
+    let _l = test_lock();
+    let fx = fixture();
+    obs::metrics::global().reset();
+    obs::enable_all();
+    let verdicts = run_stream(fx, 2);
+    obs::disable_all();
+    assert!(!verdicts.is_empty());
+
+    let server = Engine::serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+    let resp = http_get(server.local_addr(), "/metrics");
+    server.shutdown();
+
+    assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+    assert!(resp.contains("text/plain; version=0.0.4"), "{resp}");
+    let body = resp.split_once("\r\n\r\n").expect("header/body split").1;
+
+    // Parse the exposition format: every family must announce # HELP and
+    // # TYPE, every sample must belong to the family announced above it
+    // and carry a parseable value.
+    let mut families: BTreeMap<String, usize> = BTreeMap::new();
+    let mut helped: HashSet<String> = HashSet::new();
+    let mut current: Option<String> = None;
+    for line in body.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP name");
+            helped.insert(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name");
+            let kind = it.next().expect("TYPE kind");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown type in {line:?}"
+            );
+            assert!(helped.contains(name), "# TYPE before # HELP for {name}");
+            families.insert(name.to_string(), 0);
+            current = Some(name.to_string());
+        } else {
+            let fam = current.as_ref().expect("sample line before any # TYPE");
+            let name_end = line.find(['{', ' ']).expect("sample name boundary");
+            assert!(
+                line[..name_end].starts_with(fam.as_str()),
+                "sample {line:?} outside family {fam}"
+            );
+            let value = line.rsplit(' ').next().expect("sample value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+            *families.get_mut(fam).expect("family registered") += 1;
+        }
+    }
+
+    for name in [
+        sm::QUEUE_DEPTH,
+        sm::REORDER_OCCUPANCY,
+        sm::INGEST_SECONDS,
+        sm::MATCH_SECONDS,
+        sm::SCORE_SECONDS,
+        sm::POINT_SECONDS,
+        sm::TICKS_TOTAL,
+        sm::VERDICTS_TOTAL,
+        sm::FAULTS_TOTAL,
+    ] {
+        let samples = families.get(name).copied();
+        assert!(
+            samples.is_some_and(|n| n > 0),
+            "family {name} missing or empty: {samples:?}\n{body}"
+        );
+    }
+
+    // Both shards of the run expose their queue-depth series, drained
+    // back to zero after finish().
+    for shard in 0..2 {
+        let series = format!("ns_stream_shard_queue_depth{{shard=\"{shard}\"}} 0");
+        assert!(body.contains(&series), "missing/nonzero {series}\n{body}");
+    }
+    // Every fault class is bridged as a labeled series — all zero on
+    // this clean feed.
+    for (class, _) in FaultCounters::default().as_pairs() {
+        let series = format!("ns_stream_faults_total{{class=\"{class}\"}} 0");
+        assert!(body.contains(&series), "missing/nonzero {series}\n{body}");
+    }
+}
