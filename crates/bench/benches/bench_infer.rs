@@ -1,0 +1,147 @@
+//! Taped vs tape-free forward-pass cost, cold vs warm scratch.
+//!
+//! Criterion covers the statistical comparison; a manual timing pass at
+//! the end writes `BENCH_infer.json` so CI and the README perf table can
+//! consume the medians without parsing criterion output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ns_bench::write_bench_json;
+use ns_linalg::matrix::Matrix;
+use ns_nn::{
+    sinusoidal_pe_at, BlockKind, Graph, InferenceSession, ParamStore, ReconstructionTransformer,
+    TransformerConfig,
+};
+use serde_json::json;
+use std::time::Instant;
+
+/// The shared-model shape of the paper's deployment config: window 20,
+/// d_model 36, 3 heads / 3 layers, MoE with 3 experts, top-1 gating.
+fn model() -> (ParamStore, ReconstructionTransformer) {
+    let mut params = ParamStore::new(11);
+    let model = ReconstructionTransformer::new(
+        &mut params,
+        TransformerConfig {
+            input_dim: 24,
+            d_model: 36,
+            n_heads: 3,
+            n_layers: 3,
+            hidden: 72,
+            block: BlockKind::Moe {
+                n_experts: 3,
+                top_k: 1,
+            },
+            aux_weight: 0.01,
+        },
+    );
+    (params, model)
+}
+
+fn window(t: usize, m: usize) -> (Matrix, Matrix) {
+    let x = Matrix::from_fn(t, m, |r, c| ((r as f64 * 0.4 + c as f64) * 0.7).sin());
+    let positions: Vec<f64> = (0..t).map(|r| r as f64 * 512.0 / t as f64).collect();
+    (x, sinusoidal_pe_at(&positions, 36))
+}
+
+fn taped_forward(params: &ParamStore, model: &ReconstructionTransformer, x: &Matrix, pe: &Matrix) {
+    let mut g = Graph::new(params);
+    let xn = g.input(x.clone());
+    let pn = g.input(pe.clone());
+    let (recon, _) = model.forward(&mut g, xn, pn);
+    std::hint::black_box(g.value(recon));
+}
+
+fn bench_infer(c: &mut Criterion) {
+    let (params, model) = model();
+    let (x, pe) = window(20, 24);
+
+    let mut group = c.benchmark_group("infer");
+    group.sample_size(40);
+    group.bench_function("taped_forward_20x24", |b| {
+        b.iter(|| taped_forward(&params, &model, &x, &pe))
+    });
+    group.bench_function("fast_forward_warm_20x24", |b| {
+        let mut sess = InferenceSession::new();
+        sess.forward(&params, &model, &x, &pe); // warm the scratch buffers
+        b.iter(|| {
+            std::hint::black_box(sess.forward(&params, &model, &x, &pe));
+        })
+    });
+    group.bench_function("fast_forward_cold_20x24", |b| {
+        b.iter(|| {
+            // Fresh session per call: pays scratch sizing.
+            let mut sess = InferenceSession::new();
+            std::hint::black_box(sess.forward(&params, &model, &x, &pe));
+        })
+    });
+    group.finish();
+}
+
+/// Median nanoseconds per call of `f` over `iters` calls, sampled thrice.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[1]
+}
+
+fn write_report() {
+    let (params, model) = model();
+    let (x, pe) = window(20, 24);
+
+    let taped = median_ns(200, || taped_forward(&params, &model, &x, &pe));
+    let mut sess = InferenceSession::new();
+    sess.forward(&params, &model, &x, &pe);
+    let fast_warm = median_ns(200, || {
+        std::hint::black_box(sess.forward(&params, &model, &x, &pe));
+    });
+    let fast_cold = median_ns(200, || {
+        let mut s = InferenceSession::new();
+        std::hint::black_box(s.forward(&params, &model, &x, &pe));
+    });
+
+    write_bench_json(
+        "infer",
+        &json!({
+            "config": json!({
+                "window": 20,
+                "input_dim": 24,
+                "d_model": 36,
+                "n_heads": 3,
+                "n_layers": 3,
+                "block": "moe_3x_top1",
+            }),
+            "forward_ns": json!({
+                "taped": taped,
+                "fast_warm": fast_warm,
+                "fast_cold": fast_cold,
+            }),
+            "speedup": json!({
+                "warm_vs_taped": taped / fast_warm,
+                "cold_vs_taped": taped / fast_cold,
+            }),
+        }),
+    );
+    println!(
+        "taped {:.1}µs | fast warm {:.1}µs ({:.2}x) | fast cold {:.1}µs ({:.2}x)",
+        taped / 1e3,
+        fast_warm / 1e3,
+        taped / fast_warm,
+        fast_cold / 1e3,
+        taped / fast_cold,
+    );
+}
+
+fn benches_then_report(c: &mut Criterion) {
+    bench_infer(c);
+    write_report();
+}
+
+criterion_group!(benches, benches_then_report);
+criterion_main!(benches);

@@ -41,34 +41,50 @@ fn main() {
     // workers, ticks arrive in hourly monitoring cycles, and bounded
     // queues apply backpressure when scoring falls behind ingestion.
     let n_shards = ds.n_nodes().clamp(2, 4);
-    let mut engine_cfg = EngineConfig::new(ds.split);
-    engine_cfg.n_shards = n_shards;
-    engine_cfg.smooth_window = 1; // raw k-sigma verdicts, as in the paper's loop
     let model = Arc::new(model);
-    let engine = Engine::new(Arc::clone(&model), engine_cfg);
-
-    let replay_span = ns_obs::trace::span("stream_replay");
-    for n in 0..ds.n_nodes() {
-        let raw = ds.raw_node(n);
-        let transitions: HashSet<usize> = transitions_of(&ds, n).into_iter().collect();
-        let mut cycle: Vec<Tick> = Vec::with_capacity(steps_per_hour);
-        for step in 0..raw.rows() {
-            cycle.push(Tick {
-                node: n,
-                step,
-                values: raw.row(step).to_vec(),
-                transition: transitions.contains(&step),
-            });
-            if cycle.len() == steps_per_hour {
-                engine
-                    .ingest(std::mem::take(&mut cycle))
-                    .expect("stream shard alive");
+    let replay = |span_name: &'static str| {
+        let mut engine_cfg = EngineConfig::new(ds.split);
+        engine_cfg.n_shards = n_shards;
+        engine_cfg.smooth_window = 1; // raw k-sigma verdicts, as in the paper's loop
+        let engine = Engine::new(Arc::clone(&model), engine_cfg);
+        let replay_span = ns_obs::trace::span(span_name);
+        for n in 0..ds.n_nodes() {
+            let raw = ds.raw_node(n);
+            let transitions: HashSet<usize> = transitions_of(&ds, n).into_iter().collect();
+            let mut cycle: Vec<Tick> = Vec::with_capacity(steps_per_hour);
+            for step in 0..raw.rows() {
+                cycle.push(Tick {
+                    node: n,
+                    step,
+                    values: raw.row(step).to_vec(),
+                    transition: transitions.contains(&step),
+                });
+                if cycle.len() == steps_per_hour {
+                    engine
+                        .ingest(std::mem::take(&mut cycle))
+                        .expect("stream shard alive");
+                }
             }
+            engine.ingest(cycle).expect("stream shard alive");
         }
-        engine.ingest(cycle).expect("stream shard alive");
-    }
-    let report = engine.finish();
-    let stream_wall = replay_span.finish_seconds();
+        let report = engine.finish();
+        (report, replay_span.finish_seconds())
+    };
+    let reg = ns_obs::metrics::global();
+    let q = |name: &str, q: f64| reg.histogram_quantile(name, &[], q).unwrap_or(0.0);
+
+    // Baseline replay through the taped autodiff forward (the engine's
+    // only scoring path before the inference fast path existed), so the
+    // benchmark record carries the before/after delta. Verdicts are
+    // bit-identical either way (tests/fastpath_equivalence.rs).
+    ns_nn::set_fast_path(false);
+    let (_taped_report, taped_wall) = replay("stream_replay_taped");
+    let taped_score_p50 = q(ns_stream::metrics::SCORE_SECONDS, 0.50) * 1e3;
+    let taped_match_p50 = q(ns_stream::metrics::MATCH_SECONDS, 0.50) * 1e3;
+    reg.reset();
+
+    ns_nn::set_fast_path(true);
+    let (report, stream_wall) = replay("stream_replay");
 
     // Evaluate the verdicts against the injected ground truth.
     let mut node_scores = Vec::new();
@@ -124,9 +140,8 @@ fn main() {
 
     // Machine-readable benchmark record: wall time, the per-point and
     // per-match latency distribution read back from the live ns-obs
-    // histograms, and every fault counter (all zero on this clean feed).
-    let reg = ns_obs::metrics::global();
-    let q = |name: &str, q: f64| reg.histogram_quantile(name, &[], q).unwrap_or(0.0);
+    // histograms (fast-path run), the taped-baseline deltas, and every
+    // fault counter (all zero on this clean feed).
     let latency = |name: &str| {
         json!({
             "p50_ms": q(name, 0.50) * 1e3,
@@ -134,6 +149,17 @@ fn main() {
             "p99_ms": q(name, 0.99) * 1e3,
         })
     };
+    let fast_score_p50 = q(ns_stream::metrics::SCORE_SECONDS, 0.50) * 1e3;
+    let fast_match_p50 = q(ns_stream::metrics::MATCH_SECONDS, 0.50) * 1e3;
+    println!(
+        "fast-path p50: score {:.2} ms (taped {:.2} ms, {:.2}x), match {:.2} ms (taped {:.2} ms, {:.2}x)",
+        fast_score_p50,
+        taped_score_p50,
+        taped_score_p50 / fast_score_p50.max(1e-12),
+        fast_match_p50,
+        taped_match_p50,
+        taped_match_p50 / fast_match_p50.max(1e-12),
+    );
     let faults = serde_json::Value::Object(
         report
             .faults
@@ -152,6 +178,15 @@ fn main() {
             "point_latency": latency(ns_stream::metrics::POINT_SECONDS),
             "score_latency": latency(ns_stream::metrics::SCORE_SECONDS),
             "match_latency": latency(ns_stream::metrics::MATCH_SECONDS),
+            "taped_baseline": json!({
+                "wall_s": taped_wall,
+                "score_p50_ms": taped_score_p50,
+                "match_p50_ms": taped_match_p50,
+                "score_speedup_p50":
+                    taped_score_p50 / fast_score_p50.max(1e-12),
+                "match_speedup_p50":
+                    taped_match_p50 / fast_match_p50.max(1e-12),
+            }),
             "precision": agg.precision,
             "recall": agg.recall,
             "faults": faults,

@@ -7,7 +7,7 @@ use crate::preprocess::Segment;
 use ns_linalg::matrix::Matrix;
 use ns_linalg::stats;
 use ns_nn::{
-    sinusoidal_pe_at, Adam, BlockKind, Graph, ParamStore, ReconstructionTransformer,
+    sinusoidal_pe_at, Adam, BlockKind, Graph, ParamStore, ReconstructionTransformer, SessionPool,
     TransformerConfig,
 };
 use rand::seq::SliceRandom;
@@ -110,6 +110,9 @@ pub struct SharedModel {
     /// clusters' models are directly comparable on one node's timeline.
     pub score_mean: f64,
     pub score_std: f64,
+    /// Pool of warm tape-free inference sessions for the scoring fast
+    /// path. Pure cache: serialized as null, cloned/deserialized empty.
+    pub infer: SessionPool,
 }
 
 /// Compute WMSE weights from Mean Absolute Change over the cluster's
@@ -215,6 +218,7 @@ impl SharedModel {
             loss_history: Vec::new(),
             score_mean: 0.0,
             score_std: 1.0,
+            infer: SessionPool::new(),
         };
         shared.fit_windows(segments, cfg.epochs);
         shared.calibrate(segments);
@@ -335,6 +339,38 @@ impl SharedModel {
         }
         if starts.last().map(|&s| s + w < t).unwrap_or(false) {
             starts.push(t - w);
+        }
+        if ns_nn::fast_path_enabled() {
+            // Tape-free fast path: each rayon worker pulls a warm
+            // `InferenceSession` from the pool and scores whole windows
+            // without allocating. Bit-identical to the taped branch below
+            // (see crates/nn/src/infer.rs); the max-merge runs under a
+            // lock in arbitrary order, which is safe because the errors
+            // are non-negative finite values and `f64::max` over those is
+            // order-independent.
+            let scores = std::sync::Mutex::new(vec![0.0f64; t]);
+            starts.par_iter().for_each(|&s| {
+                let e = (s + w).min(t);
+                let mut sess = self.infer.acquire();
+                let err = sess.score_window(
+                    &self.params,
+                    &self.model,
+                    data,
+                    s,
+                    e,
+                    |r| r as f64 * REL_PE_SCALE / t as f64,
+                    &self.weights,
+                );
+                {
+                    let mut sc = scores.lock().unwrap();
+                    for (k, &v) in err.iter().enumerate() {
+                        let slot = &mut sc[s + k];
+                        *slot = slot.max(v);
+                    }
+                }
+                self.infer.release(sess);
+            });
+            return scores.into_inner().unwrap();
         }
         let mut scores = vec![0.0f64; t];
         let partial: Vec<(usize, Vec<f64>)> = starts
@@ -538,6 +574,31 @@ mod tests {
         assert_ne!(aware[0].pe, aware[aware.len() / 2].pe);
         assert_eq!(plain[0].pe, plain[plain.len() / 2].pe);
         assert_eq!(aware.len(), plain.len());
+    }
+
+    #[test]
+    fn fast_path_scores_bit_identical_to_taped() {
+        let segs = [pattern_segment(48, 3, 0.3), pattern_segment(60, 3, 0.3)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        for dense in [false, true] {
+            cfg.dense_ffn = dense;
+            let shared = SharedModel::train(&cfg, &refs);
+            // Mix of exact-tile, ragged-tail and shorter-than-window series.
+            for t in [5usize, 12, 29, 40] {
+                let series = pattern_segment(t, 3, 0.45);
+                ns_nn::set_fast_path(true);
+                let fast = shared.score_series(&series);
+                let fast2 = shared.score_series(&series); // warm pool
+                ns_nn::set_fast_path(false);
+                let taped = shared.score_series(&series);
+                ns_nn::set_fast_path(true);
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&fast), bits(&taped), "dense={dense} t={t}");
+                assert_eq!(bits(&fast), bits(&fast2), "warm pool dense={dense} t={t}");
+            }
+        }
     }
 
     #[test]

@@ -38,30 +38,67 @@ pub fn haar_decompose(x: &[f64], levels: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
 /// zeros up to `levels`. Energies are normalised by total input energy, so
 /// they sum to ≤ 1 (the remainder sits in the approximation).
 pub fn wavelet_energies(x: &[f64], levels: usize) -> Vec<f64> {
-    let total: f64 = x.iter().map(|v| v * v).sum();
-    let (details, _) = haar_decompose(x, levels);
-    let mut out = vec![0.0; levels];
-    if total < 1e-24 {
-        return out;
-    }
-    for (l, d) in details.iter().enumerate() {
-        out[l] = d.iter().map(|v| v * v).sum::<f64>() / total;
-    }
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    wavelet_energies_into(x, levels, &mut out, &mut cur);
     out
+}
+
+/// Allocation-reusing form of [`wavelet_energies`]: `out` receives the
+/// per-level energies, `cur` is working storage for the cascading
+/// approximation. Each Haar level is computed in place — detail energy
+/// accumulated on the fly, approximation written back over the front of
+/// `cur` — so no per-level buffers are materialised. Bit-identical to the
+/// decompose-then-sum formulation: the per-level energy sums the squared
+/// details in the same left-to-right order.
+pub fn wavelet_energies_into(x: &[f64], levels: usize, out: &mut Vec<f64>, cur: &mut Vec<f64>) {
+    out.clear();
+    out.resize(levels, 0.0);
+    let total: f64 = x.iter().map(|v| v * v).sum();
+    if total < 1e-24 {
+        return;
+    }
+    cur.clear();
+    cur.extend_from_slice(x);
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    for slot in out.iter_mut() {
+        if cur.len() < 2 {
+            break;
+        }
+        let pairs = cur.len() / 2;
+        let mut energy = 0.0;
+        for k in 0..pairs {
+            // Reads (2k, 2k+1) stay ahead of the write at k.
+            let a = cur[2 * k];
+            let b = cur[2 * k + 1];
+            let d = (a - b) * s;
+            energy += d * d;
+            cur[k] = (a + b) * s;
+        }
+        cur.truncate(pairs);
+        *slot = energy / total;
+    }
 }
 
 /// Shannon entropy of the normalised per-level wavelet energy distribution
 /// (detail levels plus the approximation remainder).
 pub fn wavelet_entropy(x: &[f64], levels: usize) -> f64 {
-    let energies = wavelet_energies(x, levels);
+    wavelet_entropy_from_energies(&wavelet_energies(x, levels))
+}
+
+/// [`wavelet_entropy`] over already-computed [`wavelet_energies`] output,
+/// so callers holding the energies (e.g. the feature catalog, which needs
+/// both) skip a second full decomposition.
+pub fn wavelet_entropy_from_energies(energies: &[f64]) -> f64 {
     let detail_sum: f64 = energies.iter().sum();
-    let mut dist: Vec<f64> = energies;
-    dist.push((1.0 - detail_sum).max(0.0)); // approximation remainder
-    let s: f64 = dist.iter().sum();
+    let rem = (1.0 - detail_sum).max(0.0); // approximation remainder
+    let s = detail_sum + rem;
     if s < 1e-24 {
         return 0.0;
     }
-    dist.iter()
+    energies
+        .iter()
+        .chain(std::iter::once(&rem))
         .filter(|&&p| p > 1e-15)
         .map(|&p| {
             let q = p / s;
@@ -125,6 +162,34 @@ mod tests {
             .map(|i| (i as f64 * 0.9).sin() + (i as f64 * 0.1).sin())
             .collect();
         assert!(wavelet_entropy(&alt, 5) < wavelet_entropy(&mixed, 5));
+    }
+
+    #[test]
+    fn in_place_energies_bit_identical_to_decompose() {
+        let signals: Vec<Vec<f64>> = vec![
+            (0..64).map(|i| (i as f64 * 0.17).sin() + 0.3).collect(),
+            (0..37).map(|i| ((i * 7919 % 101) as f64) - 50.0).collect(),
+            vec![0.0; 16],
+            vec![2.0],
+        ];
+        for x in signals {
+            // Reference: the original decompose-then-sum formulation.
+            let total: f64 = x.iter().map(|v| v * v).sum();
+            let (details, _) = haar_decompose(&x, 5);
+            let mut reference = vec![0.0; 5];
+            if total >= 1e-24 {
+                for (l, d) in details.iter().enumerate() {
+                    reference[l] = d.iter().map(|v| v * v).sum::<f64>() / total;
+                }
+            }
+            let fast = wavelet_energies(&x, 5);
+            let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&fast), bits(&reference), "x={x:?}");
+            assert_eq!(
+                wavelet_entropy(&x, 5).to_bits(),
+                wavelet_entropy_from_energies(&fast).to_bits()
+            );
+        }
     }
 
     #[test]

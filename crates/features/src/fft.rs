@@ -5,7 +5,10 @@
 //! are zero-padded to the next power of two, which is the standard choice
 //! for feature extraction (it changes resolution, not the spectral shape).
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::rc::Rc;
 
 /// A complex number as a bare `(re, im)` pair — all we need for the FFT.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,18 +67,49 @@ pub fn next_pow2(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
 
-/// In-place iterative radix-2 FFT. `buf.len()` must be a power of two.
-/// `inverse` selects the inverse transform (including the 1/n scaling).
-pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
-    let n = buf.len();
-    assert!(
-        n.is_power_of_two(),
-        "fft length must be a power of two, got {n}"
-    );
-    if n <= 1 {
-        return;
+/// Forward-transform twiddle factors for a size-`n` FFT, stage-major:
+/// stage `len = 2, 4, …, n` contributes `len/2` entries. Generated with
+/// the **same** `w = w.mul(wlen)` recurrence the butterfly loop used to
+/// run inline, so cached and uncached transforms are bit-identical.
+fn forward_twiddles(n: usize) -> Vec<Complex> {
+    let mut t = Vec::with_capacity(n.saturating_sub(1));
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut w = Complex::new(1.0, 0.0);
+        for _ in 0..len / 2 {
+            t.push(w);
+            w = w.mul(wlen);
+        }
+        len <<= 1;
     }
-    // Bit-reversal permutation.
+    t
+}
+
+thread_local! {
+    /// Per-thread twiddle tables keyed by FFT size. The feature extractor
+    /// hits a handful of sizes (one per distinct segment length), so the
+    /// map stays tiny while every repeat transform skips the per-butterfly
+    /// `sin`/`cos` recurrence bookkeeping.
+    static TWIDDLES: RefCell<HashMap<usize, Rc<Vec<Complex>>>> = RefCell::new(HashMap::new());
+}
+
+/// Fetch (building on first use) the cached forward twiddle table for
+/// size `n`.
+fn cached_twiddles(n: usize) -> Rc<Vec<Complex>> {
+    TWIDDLES.with(|cell| {
+        Rc::clone(
+            cell.borrow_mut()
+                .entry(n)
+                .or_insert_with(|| Rc::new(forward_twiddles(n))),
+        )
+    })
+}
+
+/// Bit-reversal permutation shared by all transform variants.
+fn bit_reverse(buf: &mut [Complex]) {
+    let n = buf.len();
     let mut j = 0usize;
     for i in 1..n {
         let mut bit = n >> 1;
@@ -88,11 +122,48 @@ pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
             buf.swap(i, j);
         }
     }
-    // Butterfly passes.
-    let sign = if inverse { 1.0 } else { -1.0 };
+}
+
+/// In-place iterative radix-2 FFT. `buf.len()` must be a power of two.
+/// `inverse` selects the inverse transform (including the 1/n scaling).
+/// Forward transforms use the per-thread twiddle cache.
+pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(
+        n.is_power_of_two(),
+        "fft length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+    if !inverse {
+        let table = cached_twiddles(n);
+        bit_reverse(buf);
+        let mut off = 0usize;
+        let mut len = 2;
+        while len <= n {
+            let stage = &table[off..off + len / 2];
+            let mut i = 0;
+            while i < n {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = buf[i + k];
+                    let v = buf[i + k + len / 2].mul(w);
+                    buf[i + k] = u.add(v);
+                    buf[i + k + len / 2] = u.sub(v);
+                }
+                i += len;
+            }
+            off += len / 2;
+            len <<= 1;
+        }
+        return;
+    }
+    bit_reverse(buf);
+    // Butterfly passes with inline twiddle recurrence (inverse transforms
+    // are off the hot path — round-trip tests and nothing else).
     let mut len = 2;
     while len <= n {
-        let ang = sign * 2.0 * PI / len as f64;
+        let ang = 2.0 * PI / len as f64;
         let wlen = Complex::new(ang.cos(), ang.sin());
         let mut i = 0;
         while i < n {
@@ -108,24 +179,58 @@ pub fn fft_in_place(buf: &mut [Complex], inverse: bool) {
         }
         len <<= 1;
     }
-    if inverse {
-        let inv = 1.0 / n as f64;
-        for c in buf.iter_mut() {
-            c.re *= inv;
-            c.im *= inv;
-        }
+    let inv = 1.0 / n as f64;
+    for c in buf.iter_mut() {
+        c.re *= inv;
+        c.im *= inv;
     }
+}
+
+/// Forward FFT of a real signal into a caller-owned buffer (cleared and
+/// refilled), zero-padded to the next power of two. Reusing the buffer
+/// across calls keeps repeat extraction allocation-free.
+pub fn rfft_into(x: &[f64], buf: &mut Vec<Complex>) {
+    let n = next_pow2(x.len());
+    buf.clear();
+    buf.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
+    buf.resize(n, Complex::zero());
+    fft_in_place(buf, false);
 }
 
 /// Forward FFT of a real signal, zero-padded to the next power of two.
 /// Returns the full complex spectrum of length `next_pow2(x.len())`.
 pub fn rfft(x: &[f64]) -> Vec<Complex> {
-    let n = next_pow2(x.len());
-    let mut buf: Vec<Complex> = Vec::with_capacity(n);
-    buf.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
-    buf.resize(n, Complex::zero());
-    fft_in_place(&mut buf, false);
+    let mut buf = Vec::new();
+    rfft_into(x, &mut buf);
     buf
+}
+
+/// One FFT, every spectral view: fills `freqs`/`power` (one-sided power
+/// spectrum, as [`power_spectrum`]) and `mags` (one-sided magnitude
+/// spectrum, as [`magnitude_spectrum`]) from a single transform of `x`
+/// held in `buf`. Bit-identical to calling the two standalone functions —
+/// they each run the same deterministic FFT on the same input.
+pub fn spectra_into(
+    x: &[f64],
+    sample_rate: f64,
+    buf: &mut Vec<Complex>,
+    freqs: &mut Vec<f64>,
+    power: &mut Vec<f64>,
+    mags: &mut Vec<f64>,
+) {
+    rfft_into(x, buf);
+    let n = buf.len();
+    let half = n / 2;
+    let scale = 1.0 / (n as f64 * n as f64);
+    freqs.clear();
+    power.clear();
+    mags.clear();
+    for (i, c) in buf[..=half].iter().enumerate() {
+        freqs.push(i as f64 * sample_rate / n as f64);
+        let mult = if i == 0 || i == half { 1.0 } else { 2.0 };
+        power.push(mult * c.norm_sq() * scale);
+        mags.push(c.abs());
+    }
 }
 
 /// One-sided magnitude spectrum (bins `0..=n/2`) of a real signal.
@@ -155,6 +260,25 @@ pub fn power_spectrum(x: &[f64], sample_rate: f64) -> (Vec<f64>, Vec<f64>) {
     (freqs, power)
 }
 
+thread_local! {
+    /// Per-thread Hann windows keyed by segment length.
+    static HANN: RefCell<HashMap<usize, Rc<Vec<f64>>>> = RefCell::new(HashMap::new());
+}
+
+/// Fetch (building on first use) the cached Hann window of length
+/// `seg_len`: `w[i] = 0.5 − 0.5·cos(2πi / seg_len)`.
+fn cached_hann(seg_len: usize) -> Rc<Vec<f64>> {
+    HANN.with(|cell| {
+        Rc::clone(cell.borrow_mut().entry(seg_len).or_insert_with(|| {
+            Rc::new(
+                (0..seg_len)
+                    .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / seg_len as f64).cos())
+                    .collect(),
+            )
+        }))
+    })
+}
+
 /// Welch PSD estimate: Hann-windowed overlapping segments, averaged.
 ///
 /// `nperseg` is clamped to the signal length; 50% overlap. Returns
@@ -168,19 +292,18 @@ pub fn welch_psd(x: &[f64], sample_rate: f64, nperseg: usize) -> (Vec<f64>, Vec<
     let nfft = next_pow2(seg_len);
     let half = nfft / 2;
 
-    // Hann window and its power normalisation.
-    let window: Vec<f64> = (0..seg_len)
-        .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / seg_len as f64).cos())
-        .collect();
+    // Hann window (cached per thread by segment length) and its power
+    // normalisation.
+    let window = cached_hann(seg_len);
     let win_power: f64 = window.iter().map(|w| w * w).sum();
 
     let mut acc = vec![0.0f64; half + 1];
+    let mut buf: Vec<Complex> = Vec::with_capacity(nfft);
     let mut count = 0usize;
     let mut start = 0usize;
     while start + seg_len <= x.len() {
-        let mut buf: Vec<Complex> = (0..seg_len)
-            .map(|i| Complex::new(x[start + i] * window[i], 0.0))
-            .collect();
+        buf.clear();
+        buf.extend((0..seg_len).map(|i| Complex::new(x[start + i] * window[i], 0.0)));
         buf.resize(nfft, Complex::zero());
         fft_in_place(&mut buf, false);
         for (i, slot) in acc.iter_mut().enumerate() {
@@ -195,7 +318,8 @@ pub fn welch_psd(x: &[f64], sample_rate: f64, nperseg: usize) -> (Vec<f64>, Vec<
     }
     if count == 0 {
         // Signal shorter than one segment: single padded segment.
-        let mut buf: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        buf.clear();
+        buf.extend(x.iter().map(|&v| Complex::new(v, 0.0)));
         buf.resize(nfft, Complex::zero());
         fft_in_place(&mut buf, false);
         for (i, slot) in acc.iter_mut().enumerate() {

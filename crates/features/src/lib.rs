@@ -26,4 +26,4 @@ pub mod spectral;
 pub mod statistical;
 pub mod temporal;
 
-pub use catalog::{Domain, FeatureCatalog, FeatureKind};
+pub use catalog::{Domain, FeatureCatalog, FeatureKind, FeatureScratch};

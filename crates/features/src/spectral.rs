@@ -3,7 +3,11 @@
 
 /// Spectral centroid: power-weighted mean frequency (0 for empty spectra).
 pub fn centroid(freqs: &[f64], power: &[f64]) -> f64 {
-    let total: f64 = power.iter().sum();
+    centroid_with(freqs, power, power.iter().sum())
+}
+
+/// [`centroid`] with the total power precomputed (bit-identical).
+pub fn centroid_with(freqs: &[f64], power: &[f64], total: f64) -> f64 {
     if total < 1e-24 {
         return 0.0;
     }
@@ -16,7 +20,15 @@ pub fn spread(freqs: &[f64], power: &[f64]) -> f64 {
     if total < 1e-24 {
         return 0.0;
     }
-    let c = centroid(freqs, power);
+    spread_with(freqs, power, centroid(freqs, power), total)
+}
+
+/// [`spread`] with the centroid and total power precomputed
+/// (bit-identical).
+pub fn spread_with(freqs: &[f64], power: &[f64], c: f64, total: f64) -> f64 {
+    if total < 1e-24 {
+        return 0.0;
+    }
     (freqs
         .iter()
         .zip(power)
@@ -33,7 +45,15 @@ pub fn skewness(freqs: &[f64], power: &[f64]) -> f64 {
     if s < 1e-15 || total < 1e-24 {
         return 0.0;
     }
-    let c = centroid(freqs, power);
+    skewness_with(freqs, power, centroid(freqs, power), s, total)
+}
+
+/// [`skewness`] with the centroid, spread and total power precomputed
+/// (bit-identical).
+pub fn skewness_with(freqs: &[f64], power: &[f64], c: f64, s: f64, total: f64) -> f64 {
+    if s < 1e-15 || total < 1e-24 {
+        return 0.0;
+    }
     freqs
         .iter()
         .zip(power)
@@ -49,7 +69,15 @@ pub fn kurtosis(freqs: &[f64], power: &[f64]) -> f64 {
     if s < 1e-15 || total < 1e-24 {
         return 0.0;
     }
-    let c = centroid(freqs, power);
+    kurtosis_with(freqs, power, centroid(freqs, power), s, total)
+}
+
+/// [`kurtosis`] with the centroid, spread and total power precomputed
+/// (bit-identical).
+pub fn kurtosis_with(freqs: &[f64], power: &[f64], c: f64, s: f64, total: f64) -> f64 {
+    if s < 1e-15 || total < 1e-24 {
+        return 0.0;
+    }
     freqs
         .iter()
         .zip(power)
@@ -60,7 +88,11 @@ pub fn kurtosis(freqs: &[f64], power: &[f64]) -> f64 {
 
 /// Shannon entropy of the normalised power distribution.
 pub fn entropy(power: &[f64]) -> f64 {
-    let total: f64 = power.iter().sum();
+    entropy_with(power, power.iter().sum())
+}
+
+/// [`entropy`] with the total power precomputed (bit-identical).
+pub fn entropy_with(power: &[f64], total: f64) -> f64 {
     if total < 1e-24 {
         return 0.0;
     }
@@ -115,7 +147,11 @@ pub fn decrease(power: &[f64]) -> f64 {
 
 /// Frequency below which `fraction` of total power lies.
 pub fn rolloff(freqs: &[f64], power: &[f64], fraction: f64) -> f64 {
-    let total: f64 = power.iter().sum();
+    rolloff_with(freqs, power, fraction, power.iter().sum())
+}
+
+/// [`rolloff`] with the total power precomputed (bit-identical).
+pub fn rolloff_with(freqs: &[f64], power: &[f64], fraction: f64, total: f64) -> f64 {
     if total < 1e-24 || freqs.is_empty() {
         return 0.0;
     }
@@ -180,10 +216,14 @@ pub fn positive_turning_points(power: &[f64]) -> f64 {
 
 /// Fraction of total power falling in band `i` of `k` equal-width bands.
 pub fn band_energy(power: &[f64], i: usize, k: usize) -> f64 {
+    band_energy_with(power, i, k, power.iter().sum())
+}
+
+/// [`band_energy`] with the total power precomputed (bit-identical).
+pub fn band_energy_with(power: &[f64], i: usize, k: usize, total: f64) -> f64 {
     if power.is_empty() || k == 0 || i >= k {
         return 0.0;
     }
-    let total: f64 = power.iter().sum();
     if total < 1e-24 {
         return 0.0;
     }

@@ -5,28 +5,40 @@ use ns_linalg::stats;
 
 /// Fraction of samples strictly above the mean.
 pub fn count_above_mean(x: &[f64]) -> f64 {
+    count_above_mean_with(x, stats::mean(x))
+}
+
+/// [`count_above_mean`] with the mean precomputed (bit-identical).
+pub fn count_above_mean_with(x: &[f64], m: f64) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let m = stats::mean(x);
     x.iter().filter(|&&v| v > m).count() as f64 / x.len() as f64
 }
 
 /// Fraction of samples strictly below the mean.
 pub fn count_below_mean(x: &[f64]) -> f64 {
+    count_below_mean_with(x, stats::mean(x))
+}
+
+/// [`count_below_mean`] with the mean precomputed (bit-identical).
+pub fn count_below_mean_with(x: &[f64], m: f64) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let m = stats::mean(x);
     x.iter().filter(|&&v| v < m).count() as f64 / x.len() as f64
 }
 
 /// Mean absolute deviation from the mean.
 pub fn mean_abs_deviation(x: &[f64]) -> f64 {
+    mean_abs_deviation_with(x, stats::mean(x))
+}
+
+/// [`mean_abs_deviation`] with the mean precomputed (bit-identical).
+pub fn mean_abs_deviation_with(x: &[f64], m: f64) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let m = stats::mean(x);
     x.iter().map(|v| (v - m).abs()).sum::<f64>() / x.len() as f64
 }
 
@@ -37,11 +49,17 @@ pub fn abs_energy(x: &[f64]) -> f64 {
 
 /// Coefficient of variation `σ/μ`; 0 when the mean is (near) zero.
 pub fn coefficient_of_variation(x: &[f64]) -> f64 {
-    let m = stats::mean(x);
+    coefficient_of_variation_with(stats::mean(x), stats::std_dev(x))
+}
+
+/// [`coefficient_of_variation`] from precomputed moments (bit-identical:
+/// the standalone form only touches the std after the mean guard, so the
+/// value is a pure function of `(m, s)`).
+pub fn coefficient_of_variation_with(m: f64, s: f64) -> f64 {
     if m.abs() < 1e-15 {
         return 0.0;
     }
-    stats::std_dev(x) / m.abs()
+    s / m.abs()
 }
 
 /// Fraction of samples landing in histogram bin `i` of `k` equal-width
@@ -66,6 +84,17 @@ pub fn hist_bin_fraction(x: &[f64], i: usize, k: usize) -> f64 {
         }
     }
     count as f64 / x.len() as f64
+}
+
+/// The bin-`i` fraction of [`hist_bin_fraction`] from precomputed counts.
+/// Only valid when the standalone function would take the counting path
+/// (non-empty data, finite range ≥ 1e-24); callers keep the degenerate
+/// fallbacks.
+pub fn hist_bin_fraction_from_counts(counts: &[usize], i: usize, n: usize) -> f64 {
+    if n == 0 || i >= counts.len() {
+        return 0.0;
+    }
+    counts[i] as f64 / n as f64
 }
 
 #[cfg(test)]

@@ -5,10 +5,19 @@ use ns_linalg::stats;
 
 /// First differences `x[t+1] - x[t]` (empty for len < 2).
 pub fn diffs(x: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    diffs_into(x, &mut out);
+    out
+}
+
+/// [`diffs`] into a caller-owned buffer (cleared and refilled), for
+/// allocation-free reuse across series.
+pub fn diffs_into(x: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     if x.len() < 2 {
-        return Vec::new();
+        return;
     }
-    x.windows(2).map(|w| w[1] - w[0]).collect()
+    out.extend(x.windows(2).map(|w| w[1] - w[0]));
 }
 
 /// Rate of sign changes of the signal around zero, normalised by length.
@@ -25,12 +34,21 @@ pub fn zero_crossing_rate(x: &[f64]) -> f64 {
 
 /// Rate of crossings of the series mean.
 pub fn mean_crossing_rate(x: &[f64]) -> f64 {
+    mean_crossing_rate_with(x, stats::mean(x))
+}
+
+/// [`mean_crossing_rate`] with the mean precomputed and no shifted copy:
+/// each window tests `(x[t] − m) ≥ 0`, the exact values the materialised
+/// series would hold, so the count (and rate) is bit-identical.
+pub fn mean_crossing_rate_with(x: &[f64], m: f64) -> f64 {
     if x.len() < 2 {
         return 0.0;
     }
-    let m = stats::mean(x);
-    let shifted: Vec<f64> = x.iter().map(|v| v - m).collect();
-    zero_crossing_rate(&shifted)
+    let crossings = x
+        .windows(2)
+        .filter(|w| ((w[0] - m) >= 0.0) != ((w[1] - m) >= 0.0))
+        .count();
+    crossings as f64 / (x.len() - 1) as f64
 }
 
 /// Number of positive turning points (local maxima in the diff sign).
@@ -76,13 +94,28 @@ pub fn trapz(x: &[f64]) -> f64 {
     x.windows(2).map(|w| 0.5 * (w[0] + w[1])).sum()
 }
 
+/// [`trapz`] over `|x|` without materialising the rectified series:
+/// `Σ 0.5·(|x[t]| + |x[t+1]|)`, term-for-term what `trapz` sees on the
+/// copied `|x|` array, so bit-identical.
+pub fn trapz_abs(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    x.windows(2).map(|w| 0.5 * (w[0].abs() + w[1].abs())).sum()
+}
+
 /// Temporal centroid: energy-weighted mean sample index, normalised to
 /// `[0, 1]`. Returns 0.5 for zero-energy signals.
 pub fn temporal_centroid(x: &[f64]) -> f64 {
+    temporal_centroid_with(x, x.iter().map(|v| v * v).sum())
+}
+
+/// [`temporal_centroid`] with the total energy `Σx²` precomputed
+/// (bit-identical).
+pub fn temporal_centroid_with(x: &[f64], total: f64) -> f64 {
     if x.len() < 2 {
         return 0.5;
     }
-    let total: f64 = x.iter().map(|v| v * v).sum();
     if total < 1e-24 {
         return 0.5;
     }
@@ -93,19 +126,28 @@ pub fn temporal_centroid(x: &[f64]) -> f64 {
 /// Longest run of consecutive samples strictly above the mean, as a
 /// fraction of the series length.
 pub fn longest_strike_above_mean(x: &[f64]) -> f64 {
-    longest_strike(x, true)
+    longest_strike(x, stats::mean(x), true)
 }
 
 /// Longest run of consecutive samples strictly below the mean.
 pub fn longest_strike_below_mean(x: &[f64]) -> f64 {
-    longest_strike(x, false)
+    longest_strike(x, stats::mean(x), false)
 }
 
-fn longest_strike(x: &[f64], above: bool) -> f64 {
+/// [`longest_strike_above_mean`] with the mean precomputed (bit-identical).
+pub fn longest_strike_above_mean_with(x: &[f64], m: f64) -> f64 {
+    longest_strike(x, m, true)
+}
+
+/// [`longest_strike_below_mean`] with the mean precomputed (bit-identical).
+pub fn longest_strike_below_mean_with(x: &[f64], m: f64) -> f64 {
+    longest_strike(x, m, false)
+}
+
+fn longest_strike(x: &[f64], m: f64, above: bool) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let m = stats::mean(x);
     let mut best = 0usize;
     let mut run = 0usize;
     for &v in x {
@@ -149,17 +191,25 @@ fn relative_location(x: &[f64], maximum: bool, first: bool) -> f64 {
     } else {
         stats::min(x)
     };
-    let iter: Box<dyn Iterator<Item = (usize, &f64)>> = if first {
-        Box::new(x.iter().enumerate())
-    } else {
-        Box::new(x.iter().enumerate().rev())
-    };
-    for (i, &v) in iter {
-        if v == target {
-            return i as f64 / x.len() as f64;
-        }
+    relative_location_of(x, target, first)
+}
+
+/// Relative index (0..1) of the first/last sample equal to `target`, the
+/// fold-based extremum from [`stats::min`]/[`stats::max`] (which can
+/// surface a different ±0.0 than a sorted view would). 0 when absent.
+pub fn relative_location_of(x: &[f64], target: f64, first: bool) -> f64 {
+    if x.is_empty() {
+        return 0.0;
     }
-    0.0
+    let pos = if first {
+        x.iter().position(|&v| v == target)
+    } else {
+        x.iter().rposition(|&v| v == target)
+    };
+    match pos {
+        Some(i) => i as f64 / x.len() as f64,
+        None => 0.0,
+    }
 }
 
 /// Time-reversal asymmetry statistic at the given lag
@@ -190,17 +240,26 @@ pub fn c3(x: &[f64], lag: usize) -> f64 {
 /// CID complexity estimate: `sqrt(sum(diff²))`. Higher for more complex
 /// (wigglier) series.
 pub fn cid_ce(x: &[f64]) -> f64 {
-    diffs(x).iter().map(|d| d * d).sum::<f64>().sqrt()
+    cid_ce_from_diffs(&diffs(x))
+}
+
+/// [`cid_ce`] over already-materialised first differences (bit-identical
+/// given the [`diffs`] of the same series).
+pub fn cid_ce_from_diffs(d: &[f64]) -> f64 {
+    d.iter().map(|d| d * d).sum::<f64>().sqrt()
 }
 
 /// Fraction of samples farther than `r` population standard deviations
 /// from the mean.
 pub fn ratio_beyond_r_sigma(x: &[f64], r: f64) -> f64 {
+    ratio_beyond_r_sigma_with(x, r, stats::mean(x), stats::std_dev(x))
+}
+
+/// [`ratio_beyond_r_sigma`] with the moments precomputed (bit-identical).
+pub fn ratio_beyond_r_sigma_with(x: &[f64], r: f64, m: f64, s: f64) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let m = stats::mean(x);
-    let s = stats::std_dev(x);
     if s < 1e-15 {
         return 0.0;
     }
@@ -209,10 +268,15 @@ pub fn ratio_beyond_r_sigma(x: &[f64], r: f64) -> f64 {
 
 /// Energy of the `i`-th of `k` equal chunks as a fraction of total energy.
 pub fn energy_ratio_chunk(x: &[f64], i: usize, k: usize) -> f64 {
+    energy_ratio_chunk_with(x, i, k, x.iter().map(|v| v * v).sum())
+}
+
+/// [`energy_ratio_chunk`] with the total energy `Σx²` precomputed
+/// (bit-identical).
+pub fn energy_ratio_chunk_with(x: &[f64], i: usize, k: usize, total: f64) -> f64 {
     if x.is_empty() || k == 0 || i >= k {
         return 0.0;
     }
-    let total: f64 = x.iter().map(|v| v * v).sum();
     if total < 1e-24 {
         return 0.0;
     }

@@ -15,6 +15,18 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix — a placeholder for scratch buffers that
+    /// are reshaped in place (see [`Matrix::resize`]) before first use.
+    fn default() -> Self {
+        Matrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+        }
+    }
+}
+
 /// Block edge (in elements) for the cache-blocked matmul kernel. 64×64 f64
 /// tiles (32 KiB per operand tile) fit comfortably in L1/L2 on commodity
 /// hardware.
@@ -264,15 +276,43 @@ impl Matrix {
 
     /// Add a `1 × cols` row vector to every row (bias broadcast).
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_inplace(row);
+        out
+    }
+
+    /// In-place bias broadcast: `self[r] += row` for every row. The
+    /// allocation-free counterpart of [`Matrix::add_row_broadcast`].
+    pub fn add_row_broadcast_inplace(&mut self, row: &Matrix) {
         assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
         assert_eq!(row.cols, self.cols, "broadcast width mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            for (a, b) in out.row_mut(r).iter_mut().zip(&row.data) {
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(&row.data) {
                 *a += b;
             }
         }
-        out
+    }
+
+    /// Reshape in place to `rows × cols`, resetting every element to zero.
+    /// Reuses the existing allocation whenever the capacity suffices, so
+    /// scratch matrices cycled through shapes no larger than their first
+    /// use never touch the heap again.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Transpose into a caller-provided matrix (reshaped as needed). The
+    /// allocation-free counterpart of [`Matrix::transpose`].
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.resize(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
     }
 
     /// Matrix product `self × other`, cache-blocked, parallel over row bands.
@@ -280,15 +320,43 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_dispatch::<false>(other, &mut out);
+        out
+    }
+
+    /// Matrix product with an explicit sparsity skip on the left operand:
+    /// rows of `self` holding exact zeros (e.g. post-ReLU activations)
+    /// skip their axpy entirely. Bit-identical to [`Matrix::matmul`] for
+    /// finite inputs — the accumulator starts at `+0.0` and can never
+    /// become `-0.0`, so adding `aik * bv == ±0.0` is a no-op — but much
+    /// faster when A is genuinely sparse. Use only where that sparsity is
+    /// structural; on dense inputs the extra branch defeats
+    /// autovectorisation of the inner loop.
+    pub fn matmul_sparse_lhs(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_dispatch::<true>(other, &mut out);
+        out
+    }
+
+    /// `self × other` into a caller-provided matrix (reshaped + zeroed in
+    /// place). Bit-identical to [`Matrix::matmul`]; the allocation-free
+    /// variant for scratch-buffer reuse.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        out.resize(self.rows, other.cols);
+        self.matmul_dispatch::<false>(other, out);
+    }
+
+    fn matmul_dispatch<const SKIP_ZEROS: bool>(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul dimension mismatch: {}×{} by {}×{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
+        debug_assert_eq!(out.shape(), (m, n));
         if m == 0 || k == 0 || n == 0 {
-            return out;
+            return;
         }
         let a = &self.data;
         let b = &other.data;
@@ -296,19 +364,56 @@ impl Matrix {
         let kernel = |row_band: &mut [f64], r0: usize, rows_in_band: usize| {
             // i-k-j loop order with k-blocking: the inner j loop is a
             // contiguous axpy over the output row, which autovectorises.
+            // Per output element the k-sum always runs in plain ascending
+            // order, which the pre-transposed dot kernel below relies on
+            // for bit-identical results.
             for kb in (0..k).step_by(BLOCK) {
                 let kend = (kb + BLOCK).min(k);
                 for i in 0..rows_in_band {
                     let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
                     let crow = &mut row_band[i * n..(i + 1) * n];
-                    for kk in kb..kend {
-                        let aik = arow[kk];
-                        if aik == 0.0 {
-                            continue;
+                    if SKIP_ZEROS {
+                        for kk in kb..kend {
+                            let aik = arow[kk];
+                            if aik == 0.0 {
+                                continue;
+                            }
+                            let brow = &b[kk * n..kk * n + n];
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += aik * bv;
+                            }
                         }
-                        let brow = &b[kk * n..kk * n + n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += aik * bv;
+                    } else {
+                        // Dense: unroll k by 4 so each output element is
+                        // loaded/stored once per four multiply-adds. The
+                        // adds into `t` stay in ascending-k order, so the
+                        // result is bit-identical to the rolled loop.
+                        let mut kk = kb;
+                        while kk + 4 <= kend {
+                            let (a0, a1, a2, a3) =
+                                (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+                            let b0 = &b[kk * n..kk * n + n];
+                            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+                            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+                            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+                            for ((((cv, &v0), &v1), &v2), &v3) in
+                                crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
+                            {
+                                let mut t = *cv;
+                                t += a0 * v0;
+                                t += a1 * v1;
+                                t += a2 * v2;
+                                t += a3 * v3;
+                                *cv = t;
+                            }
+                            kk += 4;
+                        }
+                        for kk in kk..kend {
+                            let aik = arow[kk];
+                            let brow = &b[kk * n..kk * n + n];
+                            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                                *cv += aik * bv;
+                            }
                         }
                     }
                 }
@@ -328,7 +433,75 @@ impl Matrix {
         } else {
             kernel(&mut out.data, 0, m);
         }
-        out
+    }
+
+    /// `self × bt.transpose()` into a caller-provided matrix, with the
+    /// right operand supplied **already transposed** (`bt` is `n × k` for
+    /// an `m × k` left operand). Every output element is a contiguous dot
+    /// product of two rows, summed over ascending `k` — exactly the order
+    /// the blocked axpy kernel accumulates in — so the result is
+    /// bit-identical to `self.matmul(&bt.transpose())` while touching
+    /// only prepacked row-major data and performing zero allocations.
+    pub fn matmul_pre_t_into(&self, bt: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, bt.cols,
+            "matmul_pre_t dimension mismatch: {}×{} by ({}×{})ᵀ",
+            self.rows, self.cols, bt.rows, bt.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, bt.rows);
+        out.resize(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &bt.data;
+        // Each output element is a strict ascending-k dot product (the
+        // bit-exactness contract). A single dot is a serial FP-add
+        // dependency chain, so the kernel interleaves four *independent*
+        // output columns per pass — each element's own summation order is
+        // untouched, but the four chains hide the add latency.
+        let kernel = |row_band: &mut [f64], r0: usize| {
+            for (i, crow) in row_band.chunks_exact_mut(n).enumerate() {
+                let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+                let mut j = 0;
+                while j + 4 <= n {
+                    let b0 = &b[j * k..j * k + k];
+                    let b1 = &b[(j + 1) * k..(j + 1) * k + k];
+                    let b2 = &b[(j + 2) * k..(j + 2) * k + k];
+                    let b3 = &b[(j + 3) * k..(j + 3) * k + k];
+                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                    for kk in 0..k {
+                        let av = arow[kk];
+                        s0 += av * b0[kk];
+                        s1 += av * b1[kk];
+                        s2 += av * b2[kk];
+                        s3 += av * b3[kk];
+                    }
+                    crow[j] = s0;
+                    crow[j + 1] = s1;
+                    crow[j + 2] = s2;
+                    crow[j + 3] = s3;
+                    j += 4;
+                }
+                for (jj, cv) in crow.iter_mut().enumerate().skip(j) {
+                    let brow = &b[jj * k..jj * k + k];
+                    let mut s = 0.0;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        s += av * bv;
+                    }
+                    *cv = s;
+                }
+            }
+        };
+        if m >= PAR_MIN_ROWS {
+            let band = (m / rayon::current_num_threads().max(1)).max(8);
+            out.data
+                .par_chunks_mut(band * n)
+                .enumerate()
+                .for_each(|(bi, chunk)| kernel(chunk, bi * band));
+        } else {
+            kernel(&mut out.data, 0);
+        }
     }
 
     /// Frobenius inner product `⟨self, other⟩`.
@@ -648,6 +821,99 @@ mod tests {
     fn row_dist_sq_matches_manual() {
         let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
         assert_eq!(a.row_dist_sq(0, &a, 1), 25.0);
+    }
+
+    /// Shapes spanning the sequential and parallel-band paths, with
+    /// zero-laden left operands so the sparse skip actually fires.
+    fn kernel_cases() -> Vec<(Matrix, Matrix)> {
+        let zeroy = |r: usize, c: usize| {
+            let v = ((r * 31 + c * 17) % 13) as f64 - 6.0;
+            if (r + c).is_multiple_of(3) {
+                0.0
+            } else {
+                v * 0.37
+            }
+        };
+        vec![
+            (
+                Matrix::from_fn(7, 3, zeroy),
+                Matrix::from_fn(3, 9, |r, c| (c as f64) * 0.25 + r as f64),
+            ),
+            (
+                Matrix::from_fn(1, 1, |_, _| 0.0),
+                Matrix::from_fn(1, 1, |_, _| 3.5),
+            ),
+            (
+                Matrix::from_fn(97, 70, zeroy),
+                Matrix::from_fn(70, 83, |r, c| ((r * 7 + c * 3) % 11) as f64 * 0.5 - 2.0),
+            ),
+        ]
+    }
+
+    #[test]
+    fn sparse_lhs_bit_identical_to_dense_matmul() {
+        for (a, b) in kernel_cases() {
+            let dense = a.matmul(&b);
+            let sparse = a.matmul_sparse_lhs(&b);
+            for (x, y) in dense.as_slice().iter().zip(sparse.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_bit_identical_and_reuses_buffer() {
+        let mut out = Matrix::zeros(0, 0);
+        for (a, b) in kernel_cases() {
+            a.matmul_into(&b, &mut out);
+            let want = a.matmul(&b);
+            assert_eq!(out.shape(), want.shape());
+            for (x, y) in out.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_pre_t_into_bit_identical_to_transposed_matmul() {
+        let mut out = Matrix::zeros(0, 0);
+        for (a, b) in kernel_cases() {
+            let bt = b.transpose();
+            a.matmul_pre_t_into(&bt, &mut out);
+            let want = a.matmul(&b);
+            assert_eq!(out.shape(), want.shape());
+            for (x, y) in out.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r * 10 + c) as f64);
+        let mut out = Matrix::zeros(1, 1);
+        a.transpose_into(&mut out);
+        assert_eq!(out, a.transpose());
+    }
+
+    #[test]
+    fn add_row_broadcast_inplace_matches_cloning_variant() {
+        let a = Matrix::from_fn(5, 4, |r, c| (r as f64) - 0.3 * c as f64);
+        let row = Matrix::row_vector(&[0.5, -1.0, 2.0, 0.0]);
+        let want = a.add_row_broadcast(&row);
+        let mut got = a.clone();
+        got.add_row_broadcast_inplace(&row);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn resize_reuses_capacity_and_zeroes() {
+        let mut m = Matrix::filled(4, 4, 7.0);
+        let ptr = m.as_slice().as_ptr();
+        m.resize(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(m.as_slice().as_ptr(), ptr, "shrinking must not reallocate");
     }
 
     #[test]

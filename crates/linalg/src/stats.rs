@@ -90,21 +90,30 @@ pub fn iqr(x: &[f64]) -> f64 {
 
 /// Fisher skewness (0 when std ≈ 0).
 pub fn skewness(x: &[f64]) -> f64 {
-    let s = std_dev(x);
+    skewness_with(x, mean(x), std_dev(x))
+}
+
+/// [`skewness`] with the mean and population std precomputed. Guards and
+/// accumulation order match the standalone function, so given `m` and `s`
+/// from [`mean`]/[`std_dev`] the result is bit-identical.
+pub fn skewness_with(x: &[f64], m: f64, s: f64) -> f64 {
     if s < 1e-15 || x.is_empty() {
         return 0.0;
     }
-    let m = mean(x);
     x.iter().map(|v| ((v - m) / s).powi(3)).sum::<f64>() / x.len() as f64
 }
 
 /// Excess kurtosis (0 when std ≈ 0).
 pub fn kurtosis(x: &[f64]) -> f64 {
-    let s = std_dev(x);
+    kurtosis_with(x, mean(x), std_dev(x))
+}
+
+/// [`kurtosis`] with the mean and population std precomputed
+/// (bit-identical; see [`skewness_with`]).
+pub fn kurtosis_with(x: &[f64], m: f64, s: f64) -> f64 {
     if s < 1e-15 || x.is_empty() {
         return 0.0;
     }
-    let m = mean(x);
     x.iter().map(|v| ((v - m) / s).powi(4)).sum::<f64>() / x.len() as f64 - 3.0
 }
 
@@ -164,11 +173,21 @@ pub fn trimmed_mean_std(x: &[f64], trim: f64) -> (f64, f64) {
     }
     let mut v: Vec<f64> = x.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let k = ((v.len() as f64) * trim).floor() as usize;
-    let kept = if v.len() > 2 * k + 1 {
-        &v[k..v.len() - k]
+    trimmed_mean_std_sorted(&v, trim)
+}
+
+/// [`trimmed_mean_std`] over data already sorted ascending — exactly the
+/// array the standalone function's clone-and-sort produces, so the result
+/// is bit-identical while skipping that allocation.
+pub fn trimmed_mean_std_sorted(sorted: &[f64], trim: f64) -> (f64, f64) {
+    if sorted.is_empty() {
+        return (0.0, 0.0);
+    }
+    let k = ((sorted.len() as f64) * trim).floor() as usize;
+    let kept = if sorted.len() > 2 * k + 1 {
+        &sorted[k..sorted.len() - k]
     } else {
-        &v[..]
+        sorted
     };
     (mean(kept), std_dev(kept))
 }
@@ -189,13 +208,23 @@ pub fn autocorrelation(x: &[f64], lag: usize) -> f64 {
     }
     let m = mean(x);
     let var: f64 = x.iter().map(|v| (v - m) * (v - m)).sum();
-    if var < 1e-24 {
+    autocorrelation_with(x, lag, m, var)
+}
+
+/// [`autocorrelation`] with the mean and the raw centered square sum
+/// `Σ(x−m)²` precomputed (bit-identical given values from the same
+/// expressions).
+pub fn autocorrelation_with(x: &[f64], lag: usize, m: f64, centered_sq: f64) -> f64 {
+    if x.len() <= lag || x.len() < 2 {
+        return 0.0;
+    }
+    if centered_sq < 1e-24 {
         return 0.0;
     }
     let cov: f64 = (0..x.len() - lag)
         .map(|i| (x[i] - m) * (x[i + lag] - m))
         .sum();
-    cov / var
+    cov / centered_sq
 }
 
 /// Shannon entropy of a fixed-bin histogram of the data (natural log).
@@ -217,7 +246,14 @@ pub fn histogram_entropy(x: &[f64], bins: usize) -> f64 {
         }
         counts[b] += 1;
     }
-    let n = x.len() as f64;
+    histogram_entropy_from_counts(&counts, x.len())
+}
+
+/// The entropy accumulation of [`histogram_entropy`] over precomputed bin
+/// counts. Callers own the degenerate-range guards the standalone function
+/// applies before counting.
+pub fn histogram_entropy_from_counts(counts: &[usize], n: usize) -> f64 {
+    let n = n as f64;
     counts
         .iter()
         .filter(|&&c| c > 0)
@@ -230,12 +266,16 @@ pub fn histogram_entropy(x: &[f64], bins: usize) -> f64 {
 
 /// Simple linear regression slope of `x` against index 0..n.
 pub fn slope(x: &[f64]) -> f64 {
+    slope_with(x, mean(x))
+}
+
+/// [`slope`] with the series mean precomputed (bit-identical).
+pub fn slope_with(x: &[f64], xm: f64) -> f64 {
     let n = x.len();
     if n < 2 {
         return 0.0;
     }
     let tm = (n as f64 - 1.0) / 2.0;
-    let xm = mean(x);
     let mut num = 0.0;
     let mut den = 0.0;
     for (t, &v) in x.iter().enumerate() {
@@ -342,5 +382,40 @@ mod tests {
     fn mad_is_robust() {
         let x = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0];
         assert_eq!(mad(&x), 1.0);
+    }
+
+    #[test]
+    fn with_variants_are_bit_identical() {
+        // The `_with` forms exist so feature extraction can share scalar
+        // aggregates across kinds; their contract is exact equality.
+        let series: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![3.25],
+            vec![0.0, -0.0],
+            vec![7.0; 9],
+            (0..97)
+                .map(|i| ((i as f64) * 0.61).sin() * 3.0 + 0.02 * i as f64)
+                .collect(),
+        ];
+        for x in &series {
+            let m = mean(x);
+            let s = std_dev(x);
+            let csq: f64 = x.iter().map(|v| (v - m) * (v - m)).sum();
+            let b = |v: f64| v.to_bits();
+            assert_eq!(b(skewness(x)), b(skewness_with(x, m, s)));
+            assert_eq!(b(kurtosis(x)), b(kurtosis_with(x, m, s)));
+            assert_eq!(b(slope(x)), b(slope_with(x, m)));
+            for lag in [1usize, 2, 5] {
+                assert_eq!(
+                    b(autocorrelation(x, lag)),
+                    b(autocorrelation_with(x, lag, m, csq))
+                );
+            }
+            let mut sorted = x.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let (tm, ts) = trimmed_mean_std(x, 0.05);
+            let (um, us) = trimmed_mean_std_sorted(&sorted, 0.05);
+            assert_eq!((b(tm), b(ts)), (b(um), b(us)));
+        }
     }
 }

@@ -1,0 +1,589 @@
+//! Tape-free inference fast path.
+//!
+//! Training needs the autodiff tape; serving does not. An
+//! [`InferenceSession`] executes the [`ReconstructionTransformer`] forward
+//! pass with **no tape**: every intermediate lives in a preallocated
+//! scratch [`Matrix`] that is reshaped in place per call, so steady-state
+//! scoring performs **zero heap allocations** per window (proved by the
+//! counting-allocator test in `tests/infer_zero_alloc.rs`).
+//!
+//! Linear layers multiply the [`ParamStore`] weights *in their stored
+//! orientation* through the blocked-axpy [`Matrix::matmul_into`] kernel —
+//! the same kernel the tape uses, so bit-identity is by construction, and
+//! the axpy form vectorises across output columns. A prepacked-transpose
+//! design (row-dot over `Wᵀ`, [`Matrix::matmul_pre_t_into`]) was built and
+//! benchmarked first, but under the no-reassociation constraint each dot
+//! is a serial FP-add dependency chain and measured ~30% slower than the
+//! axpy kernel even with 4-way interleaving; the dot kernel is kept only
+//! where its operand is *naturally* pre-transposed — attention scores
+//! `qₕ·kₕᵀ` — where it replaces the tape's per-head `transpose(kₕ)`
+//! materialisation. Reading weights live also means a session can never
+//! be stale: `incremental_update` fine-tuning is visible on the very next
+//! forward, with no cache-invalidation protocol
+//! (cf. [`ParamStore::version`]).
+//!
+//! # Bit-exactness
+//!
+//! The fast path is bit-identical to the taped forward (verified by
+//! `tests/infer_equivalence.rs` over random shapes, seeds and block
+//! kinds). The argument:
+//!
+//! * Linears run the tape's own matmul-then-bias-broadcast kernels on the
+//!   same operands.
+//! * Attention scores `qₕ·kₕᵀ` use the row-dot kernel with `kₕ` as the
+//!   pre-transposed operand; it sums each output element over `k` in the
+//!   same ascending order as the axpy kernel, so it is bit-identical to
+//!   `matmul(qₕ, transpose(kₕ))` without materialising the transpose.
+//! * Elementwise ops (softmax, layer norm, ReLU, residual adds, scaling,
+//!   bias broadcast) reuse the tape's exact expressions and loop orders.
+//! * MoE routing replicates `top_k_indices` tie-breaking exactly
+//!   (descending value, ties to the lower index), runs experts on the
+//!   same gathered token subsets in the same ascending-expert order, and
+//!   accumulates through the same full-size scatter-then-add sequence.
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::transformer::{EncoderLayer, ReconstructionTransformer};
+use ns_linalg::matrix::Matrix;
+use std::cmp::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+/// Process-global switch for the inference fast path (default: on).
+/// Scoring call sites branch on this, so equivalence tests can run the
+/// same workload through both the taped and the tape-free forward.
+static FAST_PATH: AtomicBool = AtomicBool::new(true);
+
+/// Is the tape-free scoring path enabled?
+pub fn fast_path_enabled() -> bool {
+    FAST_PATH.load(AtomicOrdering::Relaxed)
+}
+
+/// Enable or disable the tape-free scoring path process-wide.
+pub fn set_fast_path(on: bool) {
+    FAST_PATH.store(on, AtomicOrdering::Relaxed);
+}
+
+/// Reusable tape-free forward-pass executor for one
+/// [`ReconstructionTransformer`].
+///
+/// A session is cheap to create but expensive to warm (first call per
+/// shape allocates its scratch); keep one per worker thread — e.g. via a
+/// [`SessionPool`] — and reuse it across windows.
+#[derive(Default)]
+pub struct InferenceSession {
+    // Scratch buffers, reshaped in place per call.
+    x: Matrix,
+    pe: Matrix,
+    h: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    qh: Matrix,
+    kh: Matrix,
+    vh: Matrix,
+    scores: Matrix,
+    head: Matrix,
+    cat: Matrix,
+    attn: Matrix,
+    res1: Matrix,
+    n1: Matrix,
+    gate: Matrix,
+    xe: Matrix,
+    hid: Matrix,
+    ye: Matrix,
+    full: Matrix,
+    block: Matrix,
+    res2: Matrix,
+    out: Matrix,
+    err: Vec<f64>,
+    assign: Vec<Vec<usize>>,
+    order: Vec<usize>,
+    /// Per-dimension divisors of the sinusoidal encoding — they depend
+    /// only on `(i, d_model)`, so the `powf` runs once per session, not
+    /// once per element.
+    pe_div: Vec<f64>,
+}
+
+impl InferenceSession {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tape-free forward of a `T × input_dim` window with a precomputed
+    /// positional-encoding table. Returns the reconstruction, borrowed
+    /// from the session's scratch (valid until the next call).
+    pub fn forward(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        x: &Matrix,
+        pe: &Matrix,
+    ) -> &Matrix {
+        self.x.resize(x.rows(), x.cols());
+        self.x.as_mut_slice().copy_from_slice(x.as_slice());
+        self.pe.resize(pe.rows(), pe.cols());
+        self.pe.as_mut_slice().copy_from_slice(pe.as_slice());
+        self.forward_scratch(params, model);
+        &self.out
+    }
+
+    /// Score one window of a longer series: fills the input scratch from
+    /// `data[start..end)`, builds the positional encoding from `pos_of`
+    /// (bit-identical to `sinusoidal_pe_at`), runs the forward, and
+    /// returns per-row weighted reconstruction errors — the exact
+    /// arithmetic of the taped `score_series_raw`. The slice is borrowed
+    /// from the session's scratch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_window(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        data: &Matrix,
+        start: usize,
+        end: usize,
+        pos_of: impl Fn(usize) -> f64,
+        weights: &[f64],
+    ) -> &[f64] {
+        let t = end - start;
+        let m = data.cols();
+        self.x.resize(t, m);
+        for r in 0..t {
+            self.x.row_mut(r).copy_from_slice(data.row(start + r));
+        }
+        let d_model = model.cfg.d_model;
+        if self.pe_div.len() != d_model {
+            self.pe_div.clear();
+            self.pe_div.extend(
+                (0..d_model).map(|i| (10000.0_f64).powf((2 * (i / 2)) as f64 / d_model as f64)),
+            );
+        }
+        self.pe.resize(t, d_model);
+        for r in 0..t {
+            let p = pos_of(start + r);
+            // Same expression as `sinusoidal_pe_value` with the divisor
+            // hoisted — bit-identical to `sinusoidal_pe_at`.
+            for (i, (slot, &div)) in self.pe.row_mut(r).iter_mut().zip(&self.pe_div).enumerate() {
+                *slot = if i % 2 == 0 {
+                    (p / div).sin()
+                } else {
+                    (p / div).cos()
+                };
+            }
+        }
+        self.forward_scratch(params, model);
+        self.err.clear();
+        for r in 0..t {
+            let e = self
+                .x
+                .row(r)
+                .iter()
+                .zip(self.out.row(r))
+                .zip(weights)
+                .map(|((a, b), w)| w * (a - b) * (a - b))
+                .sum::<f64>()
+                / m.max(1) as f64;
+            self.err.push(e);
+        }
+        &self.err
+    }
+
+    /// The forward pass proper, reading `self.x` / `self.pe`, leaving the
+    /// reconstruction in `self.out`.
+    fn forward_scratch(&mut self, params: &ParamStore, model: &ReconstructionTransformer) {
+        // h = embed(x) + pe
+        linear_into(&self.x, params, &model.embed, &mut self.h);
+        self.h.add_assign(&self.pe);
+        for layer in &model.layers {
+            self.encoder_layer(params, layer);
+        }
+        linear_into(&self.h, params, &model.decoder, &mut self.out);
+    }
+
+    /// One encoder layer over the `self.h` carrier (post-norm residual
+    /// blocks, exactly as `EncoderLayer::forward`).
+    fn encoder_layer(&mut self, params: &ParamStore, layer: &EncoderLayer) {
+        let t = self.h.rows();
+        let mha = &layer.attn;
+        let d_model = mha.d_model;
+        let dh = d_model / mha.n_heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        linear_into(&self.h, params, &mha.wq, &mut self.q);
+        linear_into(&self.h, params, &mha.wk, &mut self.k);
+        linear_into(&self.h, params, &mha.wv, &mut self.v);
+        self.cat.resize(t, d_model);
+        for hd in 0..mha.n_heads {
+            let lo = hd * dh;
+            let hi = lo + dh;
+            slice_cols_into(&self.q, lo, hi, &mut self.qh);
+            slice_cols_into(&self.k, lo, hi, &mut self.kh);
+            slice_cols_into(&self.v, lo, hi, &mut self.vh);
+            // scores = qh · khᵀ; kh is naturally the pre-transposed
+            // operand, so no transpose is materialised.
+            self.qh.matmul_pre_t_into(&self.kh, &mut self.scores);
+            self.scores.map_inplace(|x| x * scale);
+            softmax_rows_inplace(&mut self.scores);
+            self.scores.matmul_into(&self.vh, &mut self.head);
+            for r in 0..t {
+                self.cat.row_mut(r)[lo..hi].copy_from_slice(self.head.row(r));
+            }
+        }
+        linear_into(&self.cat, params, &mha.wo, &mut self.attn);
+        add_into(&self.h, &self.attn, &mut self.res1);
+        layer_norm_into(
+            &self.res1,
+            params.get(layer.norm1.gamma),
+            params.get(layer.norm1.beta),
+            &mut self.n1,
+        );
+        match (&layer.moe, &layer.ffn) {
+            (Some(moe), _) => self.moe_block(params, moe),
+            (None, Some(ffn)) => {
+                linear_into(&self.n1, params, &ffn.lin1, &mut self.hid);
+                self.hid.map_inplace(|x| x.max(0.0));
+                linear_into(&self.hid, params, &ffn.lin2, &mut self.block);
+            }
+            _ => unreachable!("layer has either moe or ffn"),
+        }
+        add_into(&self.n1, &self.block, &mut self.res2);
+        // h no longer read past res1 — overwrite it with this layer's output.
+        layer_norm_into(
+            &self.res2,
+            params.get(layer.norm2.gamma),
+            params.get(layer.norm2.beta),
+            &mut self.h,
+        );
+    }
+
+    /// Sparse-MoE block over `self.n1` into `self.block`, replicating
+    /// `MoeLayer::forward` (inference skips only the aux loss, which the
+    /// scoring path never reads).
+    fn moe_block(&mut self, params: &ParamStore, moe: &crate::moe::MoeLayer) {
+        let t = self.n1.rows();
+        let d = self.n1.cols();
+        let n_exp = moe.experts.len();
+        // Gate probabilities p = softmax(n1 · Wr).
+        self.n1.matmul_into(params.get(moe.gate), &mut self.gate);
+        softmax_rows_inplace(&mut self.gate);
+        // Top-k routing with top_k_indices' exact tie-breaking.
+        if self.assign.len() < n_exp {
+            self.assign.resize_with(n_exp, Vec::new);
+        }
+        for a in &mut self.assign[..n_exp] {
+            a.clear();
+        }
+        for tok in 0..t {
+            let row = self.gate.row(tok);
+            top_k_into(row, moe.top_k, &mut self.order);
+            for &e in &self.order {
+                self.assign[e].push(tok);
+            }
+        }
+        let mut init = false;
+        for (e, expert) in moe.experts.iter().enumerate() {
+            let idx = &self.assign[e];
+            if idx.is_empty() {
+                continue;
+            }
+            // xe = gather(n1, idx)
+            self.xe.resize(idx.len(), d);
+            for (r, &tok) in idx.iter().enumerate() {
+                self.xe.row_mut(r).copy_from_slice(self.n1.row(tok));
+            }
+            // ye = expert(xe) = lin2(relu(lin1(xe)))
+            linear_into(&self.xe, params, &expert.lin1, &mut self.hid);
+            self.hid.map_inplace(|x| x.max(0.0));
+            linear_into(&self.hid, params, &expert.lin2, &mut self.ye);
+            // Gate-weight each token's row, scatter to full size, and
+            // accumulate with a full-matrix add — the tape's exact
+            // sequence (including the adds over untouched zero rows).
+            for (r, &tok) in idx.iter().enumerate() {
+                let w = self.gate[(tok, e)];
+                for x in self.ye.row_mut(r).iter_mut() {
+                    *x *= w;
+                }
+            }
+            self.full.resize(t, d);
+            for (r, &tok) in idx.iter().enumerate() {
+                self.full.row_mut(tok).copy_from_slice(self.ye.row(r));
+            }
+            if init {
+                self.block.add_assign(&self.full);
+            } else {
+                self.block.resize(t, d);
+                self.block
+                    .as_mut_slice()
+                    .copy_from_slice(self.full.as_slice());
+                init = true;
+            }
+        }
+        if !init {
+            // No assignments (empty input): tape falls back to x · 0.0.
+            self.block.resize(t, d);
+            for (o, &v) in self.block.as_mut_slice().iter_mut().zip(self.n1.as_slice()) {
+                *o = v * 0.0;
+            }
+        }
+    }
+}
+
+/// `out = x · W + b`, reading the weight and bias live from the store.
+/// Matches the taped `Linear::forward` (matmul, then bias broadcast)
+/// bit-for-bit — it *is* the same matmul kernel on the same operands.
+fn linear_into(x: &Matrix, params: &ParamStore, lin: &Linear, out: &mut Matrix) {
+    x.matmul_into(params.get(lin.w), out);
+    out.add_row_broadcast_inplace(params.get(lin.b));
+}
+
+/// Copy columns `[lo, hi)` of `src` into `out` (reshaped in place).
+fn slice_cols_into(src: &Matrix, lo: usize, hi: usize, out: &mut Matrix) {
+    out.resize(src.rows(), hi - lo);
+    for r in 0..src.rows() {
+        out.row_mut(r).copy_from_slice(&src.row(r)[lo..hi]);
+    }
+}
+
+/// `out = a + b` elementwise (reshaped in place).
+fn add_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(a.shape(), b.shape());
+    out.resize(a.rows(), a.cols());
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x + y;
+    }
+}
+
+/// Numerically-stable row softmax in place — the tape's exact loops.
+fn softmax_rows_inplace(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let mx = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut s = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - mx).exp();
+            s += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= s;
+        }
+    }
+}
+
+/// Row-wise LayerNorm into `out` — the tape's exact arithmetic
+/// (`eps = 1e-5`, biased variance).
+fn layer_norm_into(src: &Matrix, gamma: &Matrix, beta: &Matrix, out: &mut Matrix) {
+    let eps = 1e-5;
+    out.resize(src.rows(), src.cols());
+    for r in 0..src.rows() {
+        let row = src.row(r);
+        let d = row.len() as f64;
+        let mean = row.iter().sum::<f64>() / d;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / d;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (i, (o, v)) in out.row_mut(r).iter_mut().zip(row).enumerate() {
+            *o = gamma.as_slice()[i] * (*v - mean) * inv + beta.as_slice()[i];
+        }
+    }
+}
+
+/// Allocation-free replica of `ns_linalg::vecops::top_k_indices`: fill
+/// `order` with the indices of `x` sorted descending by value, ties to
+/// the lower index, truncated to `k`. The comparator is total (NaN
+/// compares Equal, then falls to the index), so this insertion sort
+/// produces the same permutation as the library's stable sort.
+fn top_k_into(x: &[f64], k: usize, order: &mut Vec<usize>) {
+    order.clear();
+    order.extend(0..x.len());
+    let cmp = |a: usize, b: usize| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    };
+    for i in 1..order.len() {
+        let mut j = i;
+        while j > 0 && cmp(order[j - 1], order[j]) == Ordering::Greater {
+            order.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    order.truncate(k.min(x.len()));
+}
+
+/// Thread-safe pool of [`InferenceSession`]s, used by scoring call sites
+/// that fan windows out over rayon workers: each worker pops a warm
+/// session (or starts a cold one) and pushes it back when done.
+#[derive(Default)]
+pub struct SessionPool {
+    pool: Mutex<Vec<InferenceSession>>,
+}
+
+/// Upper bound on pooled sessions — more than any sane rayon pool width;
+/// beyond it released sessions are simply dropped.
+const POOL_CAP: usize = 64;
+
+impl SessionPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pop a warm session, or create a cold one if the pool is empty.
+    pub fn acquire(&self) -> InferenceSession {
+        self.pool
+            .lock()
+            .map(|mut p| p.pop())
+            .unwrap_or(None)
+            .unwrap_or_default()
+    }
+
+    /// Return a session for reuse.
+    pub fn release(&self, session: InferenceSession) {
+        if let Ok(mut p) = self.pool.lock() {
+            if p.len() < POOL_CAP {
+                p.push(session);
+            }
+        }
+    }
+}
+
+/// Serialized as `Null`: warm sessions are pure caches, rebuilt on demand.
+impl serde::Serialize for SessionPool {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+/// Deserializes from anything (including a missing field) to an empty
+/// pool — sessions re-warm their scratch lazily on first use.
+impl serde::Deserialize for SessionPool {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self::default())
+    }
+}
+
+/// Cloning a model must not share (or copy) live scratch: a clone starts
+/// with a cold, empty pool.
+impl Clone for SessionPool {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for SessionPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.pool.lock().map(|p| p.len()).unwrap_or(0);
+        write!(f, "SessionPool({n} warm)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::sinusoidal_pe;
+    use crate::tape::Graph;
+    use crate::transformer::{BlockKind, TransformerConfig};
+    use ns_linalg::vecops::top_k_indices;
+
+    fn cfg(block: BlockKind) -> TransformerConfig {
+        TransformerConfig {
+            input_dim: 4,
+            d_model: 8,
+            n_heads: 2,
+            n_layers: 2,
+            hidden: 16,
+            block,
+            aux_weight: 0.01,
+        }
+    }
+
+    fn window(t: usize, m: usize, phase: f64) -> Matrix {
+        Matrix::from_fn(t, m, |r, c| {
+            ((r as f64 * 0.4 + c as f64 + phase) * 0.7).sin()
+        })
+    }
+
+    #[test]
+    fn top_k_into_matches_library() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.2, 0.5, 0.3],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![-0.5, 0.0, 0.0, -0.5, 2.0],
+            vec![3.0],
+            vec![],
+        ];
+        let mut order = Vec::new();
+        for x in cases {
+            for k in 0..=x.len() + 1 {
+                top_k_into(&x, k, &mut order);
+                assert_eq!(order, top_k_indices(&x, k), "x={x:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_bit_identical_to_tape_dense_and_moe() {
+        for (seed, block) in [
+            (1u64, BlockKind::Dense),
+            (
+                2,
+                BlockKind::Moe {
+                    n_experts: 3,
+                    top_k: 1,
+                },
+            ),
+            (
+                3,
+                BlockKind::Moe {
+                    n_experts: 2,
+                    top_k: 2,
+                },
+            ),
+        ] {
+            let mut params = ParamStore::new(seed);
+            let model = ReconstructionTransformer::new(&mut params, cfg(block));
+            let x = window(10, 4, seed as f64);
+            let pe = sinusoidal_pe(10, 8, 0);
+            let taped = {
+                let mut g = Graph::new(&params);
+                let xn = g.input(x.clone());
+                let pn = g.input(pe.clone());
+                let (recon, _) = model.forward(&mut g, xn, pn);
+                g.value(recon).clone()
+            };
+            let mut sess = InferenceSession::new();
+            for _ in 0..2 {
+                // Twice: cold then warm scratch must agree.
+                let fast = sess.forward(&params, &model, &x, &pe);
+                assert_eq!(fast.shape(), taped.shape());
+                for (a, b) in fast.as_slice().iter().zip(taped.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn param_mutation_visible_on_next_forward() {
+        let mut params = ParamStore::new(9);
+        let model = ReconstructionTransformer::new(&mut params, cfg(BlockKind::Dense));
+        let x = window(6, 4, 0.0);
+        let pe = sinusoidal_pe(6, 8, 0);
+        let mut sess = InferenceSession::new();
+        let before = sess.forward(&params, &model, &x, &pe).clone();
+        // Nudge one weight through the only mutation path.
+        params.get_mut(model.decoder.w).map_inplace(|v| v + 0.25);
+        let after = sess.forward(&params, &model, &x, &pe).clone();
+        assert_ne!(before, after, "session ignored a param mutation");
+        let taped = {
+            let mut g = Graph::new(&params);
+            let xn = g.input(x.clone());
+            let pn = g.input(pe.clone());
+            let (recon, _) = model.forward(&mut g, xn, pn);
+            g.value(recon).clone()
+        };
+        assert_eq!(after, taped);
+    }
+}

@@ -36,6 +36,16 @@ impl Linear {
         let xw = g.matmul(x, w);
         g.add_row_broadcast(xw, b)
     }
+
+    /// Forward where `x` is structurally sparse (post-ReLU activations):
+    /// bit-identical to [`Linear::forward`] for finite inputs, but the
+    /// matmul skips the zero rows' work entirely.
+    pub fn forward_sparse_input(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
+        let w = g.param(self.w);
+        let b = g.param(self.b);
+        let xw = g.matmul_sparse_lhs(x, w);
+        g.add_row_broadcast(xw, b)
+    }
 }
 
 /// Layer normalisation with learnable gain and shift.
@@ -78,7 +88,9 @@ impl FeedForward {
     pub fn forward(&self, g: &mut Graph<'_>, x: NodeId) -> NodeId {
         let h = self.lin1.forward(g, x);
         let a = g.relu(h);
-        self.lin2.forward(g, a)
+        // ReLU output is ~half exact zeros, so lin2 takes the
+        // sparsity-skipping kernel (bit-identical on finite data).
+        self.lin2.forward_sparse_input(g, a)
     }
 }
 
@@ -151,14 +163,23 @@ pub fn sinusoidal_pe(len: usize, d_model: usize, offset: usize) -> Matrix {
 /// segment length rather than its absolute step.
 pub fn sinusoidal_pe_at(positions: &[f64], d_model: usize) -> Matrix {
     Matrix::from_fn(positions.len(), d_model, |row, i| {
-        let p = positions[row];
-        let div = (10000.0_f64).powf((2 * (i / 2)) as f64 / d_model as f64);
-        if i % 2 == 0 {
-            (p / div).sin()
-        } else {
-            (p / div).cos()
-        }
+        sinusoidal_pe_value(positions[row], i, d_model)
     })
+}
+
+/// One element of the sinusoidal encoding at (fractional) position `p`,
+/// dimension `i` of `d_model`. Single source of truth shared by
+/// [`sinusoidal_pe_at`] and the tape-free
+/// [`crate::infer::InferenceSession`], so both produce bit-identical
+/// tables.
+#[inline]
+pub fn sinusoidal_pe_value(p: f64, i: usize, d_model: usize) -> f64 {
+    let div = (10000.0_f64).powf((2 * (i / 2)) as f64 / d_model as f64);
+    if i.is_multiple_of(2) {
+        (p / div).sin()
+    } else {
+        (p / div).cos()
+    }
 }
 
 #[cfg(test)]

@@ -22,8 +22,13 @@
 //!   ablation C5.
 //! * [`lstm`] — LSTM cell and sequence autoencoder (RUAD baseline).
 //! * [`vae`] — variational autoencoder (Prodigy baseline).
+//! * [`infer`] — tape-free inference fast path: [`infer::InferenceSession`]
+//!   reuses preallocated scratch and prepacked (transposed) weights to run
+//!   the transformer forward with zero steady-state heap allocations,
+//!   bit-identical to the taped forward.
 
 pub mod gradcheck;
+pub mod infer;
 pub mod layers;
 pub mod lstm;
 pub mod moe;
@@ -33,6 +38,7 @@ pub mod tape;
 pub mod transformer;
 pub mod vae;
 
+pub use infer::{fast_path_enabled, set_fast_path, InferenceSession, SessionPool};
 pub use layers::{
     sinusoidal_pe, sinusoidal_pe_at, FeedForward, LayerNorm, Linear, MultiHeadAttention,
 };

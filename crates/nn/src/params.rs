@@ -20,6 +20,13 @@ pub struct ParamStore {
     values: Vec<Matrix>,
     names: Vec<String>,
     rng: u64,
+    /// Mutation stamp, bumped by every [`ParamStore::get_mut`] — i.e. on
+    /// every optimizer step. Lets callers that derive state from the
+    /// parameters (caches, checkpointers) detect updates cheaply. The
+    /// inference fast path ([`crate::infer::InferenceSession`]) does not
+    /// need it: it reads weights live from the store, so fine-tuning is
+    /// visible on the very next forward.
+    version: u64,
 }
 
 impl ParamStore {
@@ -29,6 +36,7 @@ impl ParamStore {
             values: Vec::new(),
             names: Vec::new(),
             rng: seed,
+            version: 0,
         }
     }
 
@@ -93,7 +101,14 @@ impl ParamStore {
     }
 
     pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.version = self.version.wrapping_add(1);
         &mut self.values[id]
+    }
+
+    /// Current mutation stamp (see the `version` field). Changes whenever
+    /// any parameter is borrowed mutably.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     pub fn name(&self, id: ParamId) -> &str {
@@ -172,6 +187,17 @@ impl GradStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn version_bumps_on_mutable_access_only() {
+        let mut p = ParamStore::new(1);
+        let w = p.xavier("w", 2, 2);
+        let v0 = p.version();
+        let _ = p.get(w);
+        assert_eq!(p.version(), v0, "read-only access must not bump");
+        p.get_mut(w).map_inplace(|x| x + 1.0);
+        assert_ne!(p.version(), v0, "get_mut must bump the stamp");
+    }
 
     #[test]
     fn registration_and_lookup() {

@@ -138,6 +138,15 @@ impl<'p> Graph<'p> {
         self.push(v, Op::MatMul(a, b))
     }
 
+    /// Matmul whose left operand is structurally sparse (e.g. post-ReLU
+    /// activations): the forward uses the zero-skipping kernel, which is
+    /// bit-identical to the dense one for finite inputs. The backward pass
+    /// is the ordinary matmul rule.
+    pub fn matmul_sparse_lhs(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.nodes[a].value.matmul_sparse_lhs(&self.nodes[b].value);
+        self.push(v, Op::MatMul(a, b))
+    }
+
     pub fn transpose(&mut self, a: NodeId) -> NodeId {
         let v = self.nodes[a].value.transpose();
         self.push(v, Op::Transpose(a))
@@ -363,6 +372,11 @@ impl<'p> Graph<'p> {
         );
         self.nodes[loss].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
         let mut grads = self.params.zero_grads();
+        // Transposes of node values, computed at most once per sweep. The
+        // matmul rule needs aᵀ and bᵀ, and values feeding several matmuls
+        // (e.g. the shared input of the q/k/v projections) would otherwise
+        // be re-transposed per consumer.
+        let mut tcache: rustc_hash::FxHashMap<NodeId, Matrix> = rustc_hash::FxHashMap::default();
 
         for id in (0..=loss).rev() {
             let Some(gout) = self.nodes[id].grad.take() else {
@@ -395,8 +409,14 @@ impl<'p> Graph<'p> {
                     self.accum(a, gout.scale(k));
                 }
                 Op::MatMul(a, b) => {
-                    let ga = gout.matmul(&self.nodes[b].value.transpose());
-                    let gb = self.nodes[a].value.transpose().matmul(&gout);
+                    tcache
+                        .entry(b)
+                        .or_insert_with(|| self.nodes[b].value.transpose());
+                    tcache
+                        .entry(a)
+                        .or_insert_with(|| self.nodes[a].value.transpose());
+                    let ga = gout.matmul(&tcache[&b]);
+                    let gb = tcache[&a].matmul(&gout);
                     self.accum(a, ga);
                     self.accum(b, gb);
                 }
@@ -438,35 +458,42 @@ impl<'p> Graph<'p> {
                     beta,
                     eps,
                 } => {
-                    let xv = self.nodes[x].value.clone();
-                    let gv = self.nodes[gamma].value.clone();
-                    let (rows, d) = xv.shape();
-                    let df = d as f64;
-                    let mut gx = Matrix::zeros(rows, d);
-                    let mut ggamma = Matrix::zeros(1, d);
-                    let mut gbeta = Matrix::zeros(1, d);
-                    for r in 0..rows {
-                        let row = xv.row(r);
-                        let mean = row.iter().sum::<f64>() / df;
-                        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / df;
-                        let inv = 1.0 / (var + eps).sqrt();
-                        let xhat: Vec<f64> = row.iter().map(|v| (v - mean) * inv).collect();
-                        let dy = gout.row(r);
-                        // Parameter grads.
-                        for i in 0..d {
-                            ggamma.row_mut(0)[i] += dy[i] * xhat[i];
-                            gbeta.row_mut(0)[i] += dy[i];
+                    // Scoped immutable borrows: no value clones needed, the
+                    // borrows end before the accum() calls below.
+                    let (gx, ggamma, gbeta) = {
+                        let xv = &self.nodes[x].value;
+                        let gv = &self.nodes[gamma].value;
+                        let (rows, d) = xv.shape();
+                        let df = d as f64;
+                        let mut gx = Matrix::zeros(rows, d);
+                        let mut ggamma = Matrix::zeros(1, d);
+                        let mut gbeta = Matrix::zeros(1, d);
+                        for r in 0..rows {
+                            let row = xv.row(r);
+                            let mean = row.iter().sum::<f64>() / df;
+                            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / df;
+                            let inv = 1.0 / (var + eps).sqrt();
+                            let xhat: Vec<f64> = row.iter().map(|v| (v - mean) * inv).collect();
+                            let dy = gout.row(r);
+                            // Parameter grads.
+                            for i in 0..d {
+                                ggamma.row_mut(0)[i] += dy[i] * xhat[i];
+                                gbeta.row_mut(0)[i] += dy[i];
+                            }
+                            // Input grad.
+                            let dxhat: Vec<f64> =
+                                (0..d).map(|i| dy[i] * gv.as_slice()[i]).collect();
+                            let sum_dxhat: f64 = dxhat.iter().sum();
+                            let sum_dxhat_xhat: f64 =
+                                dxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum();
+                            let out = gx.row_mut(r);
+                            for i in 0..d {
+                                out[i] = inv / df
+                                    * (df * dxhat[i] - sum_dxhat - xhat[i] * sum_dxhat_xhat);
+                            }
                         }
-                        // Input grad.
-                        let dxhat: Vec<f64> = (0..d).map(|i| dy[i] * gv.as_slice()[i]).collect();
-                        let sum_dxhat: f64 = dxhat.iter().sum();
-                        let sum_dxhat_xhat: f64 = dxhat.iter().zip(&xhat).map(|(a, b)| a * b).sum();
-                        let out = gx.row_mut(r);
-                        for i in 0..d {
-                            out[i] =
-                                inv / df * (df * dxhat[i] - sum_dxhat - xhat[i] * sum_dxhat_xhat);
-                        }
-                    }
+                        (gx, ggamma, gbeta)
+                    };
                     self.accum(x, gx);
                     self.accum(gamma, ggamma);
                     self.accum(beta, gbeta);
@@ -476,29 +503,31 @@ impl<'p> Graph<'p> {
                     self.accum(row, gout.col_sums());
                 }
                 Op::MulRowBroadcast(a, row) => {
-                    let rv = self.nodes[row].value.clone();
-                    let av = self.nodes[a].value.clone();
                     let mut ga = gout.clone();
-                    for r in 0..ga.rows() {
-                        for (x, w) in ga.row_mut(r).iter_mut().zip(rv.as_slice()) {
-                            *x *= w;
+                    {
+                        let rv = &self.nodes[row].value;
+                        for r in 0..ga.rows() {
+                            for (x, w) in ga.row_mut(r).iter_mut().zip(rv.as_slice()) {
+                                *x *= w;
+                            }
                         }
                     }
-                    let grow = gout.hadamard(&av).col_sums();
+                    let grow = gout.hadamard(&self.nodes[a].value).col_sums();
                     self.accum(a, ga);
                     self.accum(row, grow);
                 }
                 Op::MulColBroadcast(a, col) => {
-                    let cv = self.nodes[col].value.clone();
-                    let av = self.nodes[a].value.clone();
                     let mut ga = gout.clone();
-                    for r in 0..ga.rows() {
-                        let w = cv.as_slice()[r];
-                        for x in ga.row_mut(r).iter_mut() {
-                            *x *= w;
+                    {
+                        let cv = &self.nodes[col].value;
+                        for r in 0..ga.rows() {
+                            let w = cv.as_slice()[r];
+                            for x in ga.row_mut(r).iter_mut() {
+                                *x *= w;
+                            }
                         }
                     }
-                    let gcol = gout.hadamard(&av).row_sums();
+                    let gcol = gout.hadamard(&self.nodes[a].value).row_sums();
                     self.accum(a, ga);
                     self.accum(col, gcol);
                 }

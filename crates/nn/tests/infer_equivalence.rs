@@ -1,0 +1,86 @@
+//! Differential test: the tape-free [`InferenceSession`] forward must be
+//! bit-identical to the taped [`Graph`] forward for every reachable
+//! configuration — random shapes, seeds, window contents and block kinds,
+//! with scratch reused (warm) across randomly varying window sizes.
+
+use ns_linalg::matrix::Matrix;
+use ns_nn::{
+    sinusoidal_pe_at, BlockKind, Graph, InferenceSession, ParamStore, ReconstructionTransformer,
+    TransformerConfig,
+};
+use proptest::prelude::*;
+
+fn taped_forward(
+    params: &ParamStore,
+    model: &ReconstructionTransformer,
+    x: &Matrix,
+    pe: &Matrix,
+) -> Matrix {
+    let mut g = Graph::new(params);
+    let xn = g.input(x.clone());
+    let pn = g.input(pe.clone());
+    let (recon, _) = model.forward(&mut g, xn, pn);
+    g.value(recon).clone()
+}
+
+fn assert_bits_eq(fast: &Matrix, taped: &Matrix, label: &str) {
+    assert_eq!(fast.shape(), taped.shape(), "{label}: shape");
+    for (i, (a, b)) in fast.as_slice().iter().zip(taped.as_slice()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: element {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn session_forward_bit_identical_to_tape(
+        seed in 0u64..1_000_000,
+        input_dim in 1usize..6,
+        heads in 1usize..4,
+        n_layers in 1usize..3,
+        dense in any::<bool>(),
+        n_experts in 2usize..4,
+        top_k in 1usize..3,
+        t1 in 2usize..24,
+        t2 in 2usize..24,
+        phase in -3.0f64..3.0,
+    ) {
+        let d_model = heads * 4; // keep d_model divisible by n_heads
+        let block = if dense {
+            BlockKind::Dense
+        } else {
+            BlockKind::Moe { n_experts, top_k: top_k.min(n_experts) }
+        };
+        let mut params = ParamStore::new(seed);
+        let model = ReconstructionTransformer::new(
+            &mut params,
+            TransformerConfig {
+                input_dim,
+                d_model,
+                n_heads: heads,
+                n_layers,
+                hidden: d_model * 2,
+                block,
+                aux_weight: 0.01,
+            },
+        );
+        let mut sess = InferenceSession::new();
+        // Two windows of different lengths through ONE session: the second
+        // pass exercises warm-scratch reshaping, not just cold buffers.
+        for (round, t) in [t1, t2].into_iter().enumerate() {
+            let x = Matrix::from_fn(t, input_dim, |r, c| {
+                ((r as f64 * 0.37 + c as f64 * 1.3 + phase) * 0.9).sin()
+            });
+            let positions: Vec<f64> = (0..t).map(|r| r as f64 * 512.0 / t as f64).collect();
+            let pe = sinusoidal_pe_at(&positions, d_model);
+            let taped = taped_forward(&params, &model, &x, &pe);
+            let fast = sess.forward(&params, &model, &x, &pe);
+            assert_bits_eq(fast, &taped, &format!("round {round}, t={t}"));
+        }
+    }
+}

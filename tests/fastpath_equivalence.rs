@@ -1,0 +1,145 @@
+//! The inference fast path's contract: routing scoring through the
+//! tape-free [`InferenceSession`] changes *nothing* about what the engine
+//! computes. End-to-end verdicts with the fast path on are bit-identical
+//! (`f64::to_bits`) to verdicts with it off — taped autodiff forward —
+//! at 1, 2, and 4 shards.
+//!
+//! The fast-path switch is process-global, so the test serializes on a
+//! lock; the trained model is a shared fixture because training dominates
+//! the runtime.
+
+use nodesentry::core::{
+    CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig, Variant,
+};
+use nodesentry::features::FeatureCatalog;
+use nodesentry::nn;
+use nodesentry::stream::{Engine, EngineConfig, Tick, Verdict};
+use nodesentry::telemetry::{Dataset, DatasetProfile};
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn quick_cfg() -> NodeSentryConfig {
+    NodeSentryConfig {
+        coarse: CoarseConfig {
+            catalog: FeatureCatalog::compact(),
+            k_max: 6,
+            ..Default::default()
+        },
+        sharing: SharingConfig {
+            window: 12,
+            stride: 6,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            hidden: 32,
+            n_experts: 2,
+            epochs: 4,
+            lr: 3e-3,
+            batch: 16,
+            k_nearest: 4,
+            ..Default::default()
+        },
+        match_period: 40,
+        min_segment_len: 8,
+        variant: Variant::Full,
+        ..Default::default()
+    }
+}
+
+struct Fixture {
+    model: Arc<NodeSentry>,
+    batches: Vec<Vec<Tick>>,
+    split: usize,
+}
+
+fn fixture() -> &'static Fixture {
+    static CELL: OnceLock<Fixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds: Dataset = DatasetProfile::tiny().generate();
+        let groups = ds.catalog.group_ids();
+        let inputs: Vec<NodeInput> = (0..ds.n_nodes())
+            .map(|n| NodeInput {
+                raw: ds.raw_node(n),
+                transitions: ds
+                    .schedule
+                    .node_timeline(n)
+                    .iter()
+                    .map(|s| s.start)
+                    .filter(|&s| s > 0)
+                    .collect(),
+            })
+            .collect();
+        let model = NodeSentry::fit(quick_cfg(), &inputs, &groups, ds.split);
+        let transition_sets: Vec<HashSet<usize>> = inputs
+            .iter()
+            .map(|i| i.transitions.iter().copied().collect())
+            .collect();
+        let batches = (0..ds.horizon())
+            .map(|step| {
+                inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(node, input)| Tick {
+                        node,
+                        step,
+                        values: input.raw.row(step).to_vec(),
+                        transition: transition_sets[node].contains(&step),
+                    })
+                    .collect()
+            })
+            .collect();
+        Fixture {
+            model: Arc::new(model),
+            batches,
+            split: ds.split,
+        }
+    })
+}
+
+fn run_stream(fx: &Fixture, n_shards: usize) -> Vec<Verdict> {
+    let mut cfg = EngineConfig::new(fx.split);
+    cfg.n_shards = n_shards;
+    let engine = Engine::new(Arc::clone(&fx.model), cfg);
+    for batch in &fx.batches {
+        engine.ingest(batch.clone()).expect("stream shard alive");
+    }
+    engine.finish().verdicts
+}
+
+#[test]
+fn verdicts_bit_identical_with_fast_path_on_and_off() {
+    let _l = test_lock();
+    let fx = fixture();
+    for n_shards in [1usize, 2, 4] {
+        nn::set_fast_path(false);
+        let taped = run_stream(fx, n_shards);
+        nn::set_fast_path(true);
+        let fast = run_stream(fx, n_shards);
+
+        assert!(!taped.is_empty());
+        assert_eq!(taped.len(), fast.len(), "{n_shards} shards: verdict count");
+        for (a, b) in taped.iter().zip(&fast) {
+            assert_eq!((a.node, a.step), (b.node, b.step), "{n_shards} shards");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{n_shards} shards: node {} step {}: taped {} vs fast {}",
+                a.node,
+                a.step,
+                a.score,
+                b.score
+            );
+            assert_eq!(a.anomalous, b.anomalous);
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+    nn::set_fast_path(true);
+}
