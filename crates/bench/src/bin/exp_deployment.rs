@@ -38,35 +38,47 @@ fn main() {
     println!("offline phase done: {} clusters", model.n_clusters());
 
     // Online loop through the streaming engine: nodes are sharded across
-    // workers, ticks arrive in hourly monitoring cycles, and bounded
-    // queues apply backpressure when scoring falls behind ingestion.
-    let n_shards = ds.n_nodes().clamp(2, 4);
+    // workers, ticks arrive in step-major monitoring cycles (every
+    // node's sample for one step in one batch — the collector's real
+    // cadence), so job-transition bursts across nodes land in the same
+    // scoring phase and exercise the batched forward.
+    // Shards cap at the machine's actual parallelism: oversubscribed
+    // worker threads preempt each other mid-measurement and inflate the
+    // wall-clock latency histograms (worst for the batched mode, whose
+    // scoring phases align across shards at tick-batch boundaries).
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let n_shards = ds.n_nodes().clamp(2, 4).min(cores.max(1));
     let model = Arc::new(model);
-    let replay = |span_name: &'static str| {
+    let raws: Vec<_> = (0..ds.n_nodes()).map(|n| ds.raw_node(n)).collect();
+    let transition_sets: Vec<HashSet<usize>> = (0..ds.n_nodes())
+        .map(|n| transitions_of(&ds, n).into_iter().collect())
+        .collect();
+    let replay = |span_name: &'static str, batch_scoring: bool| {
         let mut engine_cfg = EngineConfig::new(ds.split);
         engine_cfg.n_shards = n_shards;
         engine_cfg.smooth_window = 1; // raw k-sigma verdicts, as in the paper's loop
+        engine_cfg.batch_scoring = batch_scoring;
         let engine = Engine::new(Arc::clone(&model), engine_cfg);
         let replay_span = ns_obs::trace::span(span_name);
-        for n in 0..ds.n_nodes() {
-            let raw = ds.raw_node(n);
-            let transitions: HashSet<usize> = transitions_of(&ds, n).into_iter().collect();
-            let mut cycle: Vec<Tick> = Vec::with_capacity(steps_per_hour);
-            for step in 0..raw.rows() {
+        let mut cycle: Vec<Tick> = Vec::with_capacity(ds.n_nodes() * steps_per_hour);
+        for step in 0..ds.horizon() {
+            for (n, raw) in raws.iter().enumerate() {
                 cycle.push(Tick {
                     node: n,
                     step,
                     values: raw.row(step).to_vec(),
-                    transition: transitions.contains(&step),
+                    transition: transition_sets[n].contains(&step),
                 });
-                if cycle.len() == steps_per_hour {
-                    engine
-                        .ingest(std::mem::take(&mut cycle))
-                        .expect("stream shard alive");
-                }
             }
-            engine.ingest(cycle).expect("stream shard alive");
+            if (step + 1) % steps_per_hour == 0 {
+                engine
+                    .ingest(std::mem::take(&mut cycle))
+                    .expect("stream shard alive");
+            }
         }
+        engine.ingest(cycle).expect("stream shard alive");
         let report = engine.finish();
         (report, replay_span.finish_seconds())
     };
@@ -78,13 +90,22 @@ fn main() {
     // benchmark record carries the before/after delta. Verdicts are
     // bit-identical either way (tests/fastpath_equivalence.rs).
     ns_nn::set_fast_path(false);
-    let (_taped_report, taped_wall) = replay("stream_replay_taped");
+    let (_taped_report, taped_wall) = replay("stream_replay_taped", true);
     let taped_score_p50 = q(ns_stream::metrics::SCORE_SECONDS, 0.50) * 1e3;
     let taped_match_p50 = q(ns_stream::metrics::MATCH_SECONDS, 0.50) * 1e3;
     reg.reset();
 
+    // Unbatched fast-path replay: eager per-segment scoring, so the
+    // record carries the batched-vs-unbatched delta on the same feed.
+    // Verdicts are bit-identical (tests/batch_equivalence.rs).
     ns_nn::set_fast_path(true);
-    let (report, stream_wall) = replay("stream_replay");
+    let (_unbatched_report, unbatched_wall) = replay("stream_replay_unbatched", false);
+    let unbatched = |name: &str| (q(name, 0.50) * 1e3, q(name, 0.99) * 1e3);
+    let (unbatched_score_p50, unbatched_score_p99) = unbatched(ns_stream::metrics::SCORE_SECONDS);
+    let (unbatched_match_p50, unbatched_match_p99) = unbatched(ns_stream::metrics::MATCH_SECONDS);
+    reg.reset();
+
+    let (report, stream_wall) = replay("stream_replay", true);
 
     // Evaluate the verdicts against the injected ground truth.
     let mut node_scores = Vec::new();
@@ -150,7 +171,9 @@ fn main() {
         })
     };
     let fast_score_p50 = q(ns_stream::metrics::SCORE_SECONDS, 0.50) * 1e3;
+    let fast_score_p99 = q(ns_stream::metrics::SCORE_SECONDS, 0.99) * 1e3;
     let fast_match_p50 = q(ns_stream::metrics::MATCH_SECONDS, 0.50) * 1e3;
+    let fast_match_p99 = q(ns_stream::metrics::MATCH_SECONDS, 0.99) * 1e3;
     println!(
         "fast-path p50: score {:.2} ms (taped {:.2} ms, {:.2}x), match {:.2} ms (taped {:.2} ms, {:.2}x)",
         fast_score_p50,
@@ -159,6 +182,27 @@ fn main() {
         fast_match_p50,
         taped_match_p50,
         taped_match_p50 / fast_match_p50.max(1e-12),
+    );
+    println!(
+        "batched vs eager: score p50 {:.2} ms vs {:.2} ms, p99 {:.2} ms vs {:.2} ms",
+        fast_score_p50, unbatched_score_p50, fast_score_p99, unbatched_score_p99,
+    );
+    println!(
+        "                  match p50 {:.3} ms vs {:.3} ms, p99 {:.3} ms vs {:.3} ms",
+        fast_match_p50, unbatched_match_p50, fast_match_p99, unbatched_match_p99,
+    );
+    let occupancy = |name: &str| {
+        json!({
+            "p50": q(name, 0.50),
+            "p90": q(name, 0.90),
+            "p99": q(name, 0.99),
+        })
+    };
+    println!(
+        "batch occupancy: p50 {:.1} / p90 {:.1} / p99 {:.1} segments per batched forward",
+        q(ns_stream::metrics::SCORE_BATCH_SEGMENTS, 0.50),
+        q(ns_stream::metrics::SCORE_BATCH_SEGMENTS, 0.90),
+        q(ns_stream::metrics::SCORE_BATCH_SEGMENTS, 0.99),
     );
     let faults = serde_json::Value::Object(
         report
@@ -178,6 +222,25 @@ fn main() {
             "point_latency": latency(ns_stream::metrics::POINT_SECONDS),
             "score_latency": latency(ns_stream::metrics::SCORE_SECONDS),
             "match_latency": latency(ns_stream::metrics::MATCH_SECONDS),
+            "batch_occupancy": json!({
+                "score_segments": occupancy(ns_stream::metrics::SCORE_BATCH_SEGMENTS),
+                "match_probes": occupancy(ns_stream::metrics::MATCH_BATCH_PROBES),
+            }),
+            "unbatched_baseline": json!({
+                "wall_s": unbatched_wall,
+                "score_p50_ms": unbatched_score_p50,
+                "score_p99_ms": unbatched_score_p99,
+                "match_p50_ms": unbatched_match_p50,
+                "match_p99_ms": unbatched_match_p99,
+                "score_speedup_p50":
+                    unbatched_score_p50 / fast_score_p50.max(1e-12),
+                "score_speedup_p99":
+                    unbatched_score_p99 / fast_score_p99.max(1e-12),
+                "match_speedup_p50":
+                    unbatched_match_p50 / fast_match_p50.max(1e-12),
+                "match_speedup_p99":
+                    unbatched_match_p99 / fast_match_p99.max(1e-12),
+            }),
             "taped_baseline": json!({
                 "wall_s": taped_wall,
                 "score_p50_ms": taped_score_p50,

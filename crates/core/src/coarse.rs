@@ -66,7 +66,10 @@ pub struct ClusterModel {
     /// that short post-transition probes are length-comparable (§3.5).
     pub probe_feat_mean: Vec<f64>,
     pub probe_feat_std: Vec<f64>,
-    pub probe_centroids: Vec<Vec<f64>>,
+    /// One contiguous `k × dim` row-major matrix (row `c` = centroid `c`)
+    /// so the online nearest-centroid scan walks a single allocation
+    /// instead of chasing per-row heap pointers.
+    pub probe_centroids: Matrix,
     /// Matching radius in probe space: beyond this is "unmatched pattern".
     pub match_radius: f64,
 }
@@ -86,23 +89,42 @@ impl ClusterModel {
 
     /// Standardize a raw probe feature vector.
     pub fn standardize_probe(&self, feat: &[f64]) -> Vec<f64> {
-        feat.iter()
-            .zip(self.probe_feat_mean.iter().zip(&self.probe_feat_std))
-            .map(|(&v, (&m, &s))| (v - m) / s)
-            .collect()
+        let mut out = Vec::new();
+        self.standardize_probe_into(feat, &mut out);
+        out
+    }
+
+    /// Allocation-free [`ClusterModel::standardize_probe`]: writes the
+    /// standardized vector into `out`, reusing its capacity. Steady-state
+    /// streaming callers pass the same scratch every call and never touch
+    /// the heap.
+    pub fn standardize_probe_into(&self, feat: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            feat.iter()
+                .zip(self.probe_feat_mean.iter().zip(&self.probe_feat_std))
+                .map(|(&v, (&m, &s))| (v - m) / s),
+        );
     }
 
     /// Nearest probe-space centroid and its distance (online matching).
     pub fn match_pattern(&self, raw_probe_feat: &[f64]) -> (usize, f64) {
-        let z = self.standardize_probe(raw_probe_feat);
-        let mut best = (0usize, f64::INFINITY);
-        for (c, cen) in self.probe_centroids.iter().enumerate() {
-            let d = vecops::euclidean(&z, cen);
-            if d < best.1 {
-                best = (c, d);
-            }
-        }
-        best
+        let mut scratch = Vec::new();
+        self.match_pattern_into(raw_probe_feat, &mut scratch)
+    }
+
+    /// Allocation-free [`ClusterModel::match_pattern`]: standardizes into
+    /// `scratch` and scans the contiguous centroid matrix with the
+    /// early-abandon [`ns_linalg::distance::nearest_row`] kernel, which is
+    /// bit-identical to the full per-centroid `euclidean` scan (argmin,
+    /// ties and returned distance included).
+    pub fn match_pattern_into(
+        &self,
+        raw_probe_feat: &[f64],
+        scratch: &mut Vec<f64>,
+    ) -> (usize, f64) {
+        self.standardize_probe_into(raw_probe_feat, scratch);
+        ns_linalg::distance::nearest_row(&self.probe_centroids, scratch)
     }
 
     /// Whether a distance constitutes a match (within the library radius).
@@ -151,7 +173,7 @@ impl ClusterModel {
     /// both libraries stay aligned.
     pub fn add_cluster(&mut self, raw_probe_feat: &[f64]) -> usize {
         let z = self.standardize_probe(raw_probe_feat);
-        self.probe_centroids.push(z.clone());
+        self.probe_centroids.push_row(&z);
         self.centroids.push(z);
         self.centroids.len() - 1
     }
@@ -161,7 +183,7 @@ impl ClusterModel {
     /// `alpha`).
     pub fn refine_centroid(&mut self, cluster: usize, raw_probe_feat: &[f64], alpha: f64) {
         let z = self.standardize_probe(raw_probe_feat);
-        let cen = &mut self.probe_centroids[cluster];
+        let cen = self.probe_centroids.row_mut(cluster);
         for (c, v) in cen.iter_mut().zip(z) {
             *c += alpha * (v - *c);
         }
@@ -294,12 +316,14 @@ pub fn fit(cfg: &CoarseConfig, segments: &[Segment]) -> (ClusterModel, Vec<Vec<f
             }
         }
     }
+    // Contiguous row-major centroid library for the online matcher.
+    let probe_centroids = Matrix::from_rows(&probe_centroids);
     // Matching radius: generous envelope of probe-space member distances.
     let radius = {
         let mut d: Vec<f64> = probe_z
             .iter()
             .zip(&labels)
-            .map(|(f, &l)| vecops::euclidean(f, &probe_centroids[l]))
+            .map(|(f, &l)| vecops::euclidean(f, probe_centroids.row(l)))
             .collect();
         d.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let p95 = stats::quantile_sorted(&d, 0.95);
@@ -446,10 +470,10 @@ mod tests {
         assert_eq!(c, new_id);
         assert!(d < 1e-9, "own centroid distance {d}");
         // Refining toward a different vector moves the probe centroid.
-        let before = model.probe_centroids[new_id].clone();
+        let before = model.probe_centroids.row(new_id).to_vec();
         let other = segment_features(&cfg, &segs[0].data);
         model.refine_centroid(new_id, &other, 0.5);
-        assert_ne!(before, model.probe_centroids[new_id]);
+        assert_ne!(&before[..], model.probe_centroids.row(new_id));
     }
 
     #[test]

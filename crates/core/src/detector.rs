@@ -465,7 +465,7 @@ fn randomize_groups(
             model.standardize_probe(&f)
         })
         .collect();
-    model.probe_centroids = centroid_of(&probe_z, &labels);
+    model.probe_centroids = Matrix::from_rows(&centroid_of(&probe_z, &labels));
     model.labels = labels;
     model.centroids = centroids;
 }

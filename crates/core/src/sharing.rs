@@ -409,6 +409,83 @@ impl SharedModel {
         scores
     }
 
+    /// Calibrated scores for many series through **one batched forward**:
+    /// every window of every series is stacked into a single
+    /// [`ns_nn::InferenceSession::score_windows_batch`] call (one matmul
+    /// per layer over the whole batch), then per-window errors are fanned
+    /// back out, max-merged and calibrated per series.
+    ///
+    /// Bit-identical per series to [`SharedModel::score_series`]: window
+    /// tiling is the same, per-window errors are `to_bits`-identical
+    /// (`crates/nn/tests/infer_batch_equivalence.rs`), and the max-merge
+    /// over non-negative finite errors is order-independent. When the
+    /// fast path is disabled this falls back to per-series scoring so the
+    /// taped reference stays reachable.
+    pub fn score_series_batch(&self, series: &[&Matrix]) -> Vec<Vec<f64>> {
+        if !ns_nn::fast_path_enabled() {
+            return series.iter().map(|d| self.score_series(d)).collect();
+        }
+        // The PE position scale depends on each series' own length, so
+        // every series gets its own closure (pre-dividing the scale would
+        // not be bit-identical to `r * SCALE / t`).
+        let pos_fns: Vec<_> = series
+            .iter()
+            .map(|d| {
+                let t = d.rows();
+                move |r: usize| r as f64 * REL_PE_SCALE / t as f64
+            })
+            .collect();
+        let mut specs: Vec<ns_nn::WindowSpec> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new();
+        for (si, data) in series.iter().enumerate() {
+            let t = data.rows();
+            if t == 0 {
+                continue;
+            }
+            let win = self.cfg.window.min(t).max(1);
+            // Same start tiling as `score_series_raw`.
+            let mut starts: Vec<usize> = (0..t.saturating_sub(win - 1)).step_by(win).collect();
+            if starts.is_empty() {
+                starts.push(0);
+            }
+            if starts.last().map(|&s| s + win < t).unwrap_or(false) {
+                starts.push(t - win);
+            }
+            for s in starts {
+                specs.push(ns_nn::WindowSpec {
+                    data,
+                    start: s,
+                    end: (s + win).min(t),
+                    pos_of: &pos_fns[si],
+                    weights: &self.weights,
+                });
+                owners.push(si);
+            }
+        }
+        let mut out: Vec<Vec<f64>> = series.iter().map(|d| vec![0.0f64; d.rows()]).collect();
+        if !specs.is_empty() {
+            let mut sess = self.infer.acquire();
+            let errs = sess.score_windows_batch(&self.params, &self.model, &specs);
+            let mut off = 0usize;
+            for (sp, &si) in specs.iter().zip(&owners) {
+                let n = sp.end - sp.start;
+                for (k, &v) in errs[off..off + n].iter().enumerate() {
+                    // Overlapping tail windows keep the max error.
+                    let slot = &mut out[si][sp.start + k];
+                    *slot = slot.max(v);
+                }
+                off += n;
+            }
+            self.infer.release(sess);
+        }
+        for sc in &mut out {
+            for v in sc.iter_mut() {
+                *v = ((*v - self.score_mean) / self.score_std).max(0.0);
+            }
+        }
+        out
+    }
+
     /// Final training loss (None before training).
     pub fn final_loss(&self) -> Option<f64> {
         self.loss_history.last().copied()
@@ -597,6 +674,45 @@ mod tests {
                 let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
                 assert_eq!(bits(&fast), bits(&taped), "dense={dense} t={t}");
                 assert_eq!(bits(&fast), bits(&fast2), "warm pool dense={dense} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_series_batch_bit_identical_per_series() {
+        let segs = [pattern_segment(48, 3, 0.3), pattern_segment(60, 3, 0.3)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        for dense in [false, true] {
+            cfg.dense_ffn = dense;
+            let shared = SharedModel::train(&cfg, &refs);
+            // Mixed burst: exact-tile, ragged-tail, shorter-than-window
+            // and empty series all stacked into one batched forward.
+            let series: Vec<Matrix> = [40usize, 5, 12, 29, 0, 17]
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| pattern_segment(t, 3, 0.45 + i as f64 * 0.07))
+                .collect();
+            let srefs: Vec<&Matrix> = series.iter().collect();
+            let batched = shared.score_series_batch(&srefs);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(batched.len(), series.len());
+            for (i, s) in series.iter().enumerate() {
+                let single = shared.score_series(s);
+                assert_eq!(
+                    bits(&batched[i]),
+                    bits(&single),
+                    "dense={dense} series {i} (t={})",
+                    s.rows()
+                );
+            }
+            // Taped fallback: per-series scoring, still identical.
+            ns_nn::set_fast_path(false);
+            let taped = shared.score_series_batch(&srefs);
+            ns_nn::set_fast_path(true);
+            for (i, sc) in taped.iter().enumerate() {
+                assert_eq!(bits(sc), bits(&batched[i]), "taped fallback series {i}");
             }
         }
     }

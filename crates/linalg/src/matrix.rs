@@ -106,6 +106,19 @@ impl Matrix {
         }
     }
 
+    /// Append one row at the bottom, growing the matrix in place.
+    ///
+    /// An empty (`0 × 0`) matrix adopts the row's length as its column
+    /// count; afterwards every pushed row must match `cols()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        if self.rows == 0 {
+            self.cols = row.len();
+        }
+        assert_eq!(row.len(), self.cols, "pushed row must match column count");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
     /// A `1 × n` row vector.
     pub fn row_vector(v: &[f64]) -> Self {
         Self {
@@ -420,8 +433,9 @@ impl Matrix {
             }
         };
 
-        if m >= PAR_MIN_ROWS {
-            let band = (m / rayon::current_num_threads().max(1)).max(8);
+        let threads = rayon::current_num_threads().max(1);
+        if m >= PAR_MIN_ROWS && threads > 1 {
+            let band = (m / threads).max(8);
             out.data
                 .par_chunks_mut(band * n)
                 .enumerate()
@@ -431,6 +445,8 @@ impl Matrix {
                     kernel(chunk, r0, rows_in_band);
                 });
         } else {
+            // One band is the whole matrix — identical arithmetic, none
+            // of the parallel dispatch overhead.
             kernel(&mut out.data, 0, m);
         }
     }
@@ -493,8 +509,9 @@ impl Matrix {
                 }
             }
         };
-        if m >= PAR_MIN_ROWS {
-            let band = (m / rayon::current_num_threads().max(1)).max(8);
+        let threads = rayon::current_num_threads().max(1);
+        if m >= PAR_MIN_ROWS && threads > 1 {
+            let band = (m / threads).max(8);
             out.data
                 .par_chunks_mut(band * n)
                 .enumerate()
@@ -712,6 +729,26 @@ mod tests {
         assert_eq!(m.shape(), (3, 4));
         assert_eq!(m.len(), 12);
         assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn push_row_grows_and_matches_from_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let mut m = Matrix::zeros(0, 0);
+        for r in &rows {
+            m.push_row(r);
+        }
+        assert_eq!(m, Matrix::from_rows(&rows));
+        m.push_row(&[7.0, 8.0]);
+        assert_eq!(m.shape(), (4, 2));
+        assert_eq!(m.row(3), &[7.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed row must match column count")]
+    fn push_row_rejects_width_mismatch() {
+        let mut m = Matrix::zeros(1, 3);
+        m.push_row(&[1.0, 2.0]);
     }
 
     #[test]

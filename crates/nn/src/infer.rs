@@ -49,6 +49,19 @@ use std::cmp::Ordering;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
+/// Upper bound on stacked rows per batched forward sub-batch
+/// ([`InferenceSession::score_windows_batch`]). At ~15 live scratch
+/// matrices of `rows × d_model` doubles, 512 rows keeps the working set
+/// around the L2 capacity of a current server core — and, more
+/// importantly, bounds the session scratch a worst-case burst can pin:
+/// pooled sessions never shrink, so one unbounded stack (e.g. a
+/// shutdown flush batching every node's tail segment) would otherwise
+/// leave tens of MB of scratch allocated for the pool's lifetime. One
+/// window always forms a sub-batch even if longer. Grouping is
+/// unobservable in the output (windows are arithmetically independent),
+/// so this is purely a locality/footprint knob.
+const BATCH_ROW_BUDGET: usize = 512;
+
 /// Process-global switch for the inference fast path (default: on).
 /// Scoring call sites branch on this, so equivalence tests can run the
 /// same workload through both the taped and the tape-free forward.
@@ -62,6 +75,19 @@ pub fn fast_path_enabled() -> bool {
 /// Enable or disable the tape-free scoring path process-wide.
 pub fn set_fast_path(on: bool) {
     FAST_PATH.store(on, AtomicOrdering::Relaxed);
+}
+
+/// One window of a batched scoring call
+/// ([`InferenceSession::score_windows_batch`]): rows `[start, end)` of
+/// `data`, positions from `pos_of` (a per-window closure, because the
+/// position scale depends on the owning series' length and pre-dividing
+/// it would not be bit-identical), and per-metric error weights.
+pub struct WindowSpec<'a> {
+    pub data: &'a Matrix,
+    pub start: usize,
+    pub end: usize,
+    pub pos_of: &'a (dyn Fn(usize) -> f64 + 'a),
+    pub weights: &'a [f64],
 }
 
 /// Reusable tape-free forward-pass executor for one
@@ -99,6 +125,11 @@ pub struct InferenceSession {
     err: Vec<f64>,
     assign: Vec<Vec<usize>>,
     order: Vec<usize>,
+    /// Row offsets of each window inside the stacked batch scratch
+    /// (`boffsets[b]..boffsets[b+1]` are window `b`'s rows).
+    boffsets: Vec<usize>,
+    /// Per-window MoE accumulator-initialised flags for the batched block.
+    binit: Vec<bool>,
     /// Per-dimension divisors of the sinusoidal encoding — they depend
     /// only on `(i, d_model)`, so the `powf` runs once per session, not
     /// once per element.
@@ -186,6 +217,173 @@ impl InferenceSession {
             self.err.push(e);
         }
         &self.err
+    }
+
+    /// Batched forward of `B` windows stacked row-major into one scratch
+    /// batch: every linear layer runs as **one** `matmul_into` over all
+    /// `Σ T_b` rows, while attention and the MoE scatter replicate the
+    /// single-window tape per window over its row range. Returns the
+    /// stacked reconstruction plus the `B + 1` row offsets delimiting each
+    /// window (both borrowed from the session's scratch).
+    ///
+    /// Output rows are `to_bits`-identical to `B` independent
+    /// [`InferenceSession::forward`] calls: the blocked-axpy kernel
+    /// accumulates each output row independently over ascending `k`, so
+    /// vstacking rows changes nothing per row; the remaining ops are
+    /// row-wise or explicitly per-window (see DESIGN §10).
+    ///
+    /// All windows must share the model's input width; `T_b` may differ
+    /// per window. An empty slice yields an empty reconstruction.
+    pub fn forward_batch(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        windows: &[(&Matrix, &Matrix)],
+    ) -> (&Matrix, &[usize]) {
+        let m = windows.first().map(|(x, _)| x.cols()).unwrap_or(0);
+        let d_model = model.cfg.d_model;
+        self.boffsets.clear();
+        self.boffsets.push(0);
+        let mut total = 0usize;
+        for (x, pe) in windows {
+            assert_eq!(x.cols(), m, "all windows must share input width");
+            assert_eq!(pe.rows(), x.rows(), "pe must have one row per input row");
+            assert_eq!(pe.cols(), d_model, "pe width must equal d_model");
+            total += x.rows();
+            self.boffsets.push(total);
+        }
+        if windows.is_empty() {
+            self.out.resize(0, 0);
+            return (&self.out, &self.boffsets);
+        }
+        self.x.resize(total, m);
+        self.pe.resize(total, d_model);
+        for (b, (x, pe)) in windows.iter().enumerate() {
+            let r0 = self.boffsets[b];
+            for r in 0..x.rows() {
+                self.x.row_mut(r0 + r).copy_from_slice(x.row(r));
+                self.pe.row_mut(r0 + r).copy_from_slice(pe.row(r));
+            }
+        }
+        self.forward_scratch_batch(params, model);
+        (&self.out, &self.boffsets)
+    }
+
+    /// Batched analogue of [`InferenceSession::score_window`]: stacks
+    /// `specs` into row-budgeted sub-batches, runs [`forward_batch`]'s
+    /// pipeline per sub-batch, and returns the concatenated per-row
+    /// weighted reconstruction errors (window `b`'s errors are the
+    /// `specs[b].end - specs[b].start` slots after those of windows
+    /// `0..b`). Each window's error slice is bit-identical to a
+    /// standalone `score_window` call — windows are arithmetically
+    /// independent, so the sub-batch grouping is unobservable in the
+    /// output.
+    ///
+    /// Sub-batches are capped at `BATCH_ROW_BUDGET` stacked rows so the
+    /// ~15 live scratch matrices stay cache-resident: one unbounded stack
+    /// measurably loses to the per-window loop on large bursts purely
+    /// through L2 eviction between the forward's passes.
+    ///
+    /// [`forward_batch`]: InferenceSession::forward_batch
+    pub fn score_windows_batch(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        specs: &[WindowSpec<'_>],
+    ) -> &[f64] {
+        self.err.clear();
+        if specs.is_empty() {
+            self.boffsets.clear();
+            self.boffsets.push(0);
+            return &self.err;
+        }
+        let d_model = model.cfg.d_model;
+        if self.pe_div.len() != d_model {
+            self.pe_div.clear();
+            self.pe_div.extend(
+                (0..d_model).map(|i| (10000.0_f64).powf((2 * (i / 2)) as f64 / d_model as f64)),
+            );
+        }
+        let m = specs[0].data.cols();
+        let mut i = 0;
+        while i < specs.len() {
+            let mut rows = specs[i].end - specs[i].start;
+            let mut j = i + 1;
+            while j < specs.len() {
+                let r = specs[j].end - specs[j].start;
+                if rows + r > BATCH_ROW_BUDGET {
+                    break;
+                }
+                rows += r;
+                j += 1;
+            }
+            self.score_windows_chunk(params, model, &specs[i..j], m);
+            i = j;
+        }
+        &self.err
+    }
+
+    /// One row-budgeted sub-batch of [`score_windows_batch`]: stack,
+    /// forward, append per-row errors to `self.err`.
+    ///
+    /// [`score_windows_batch`]: InferenceSession::score_windows_batch
+    fn score_windows_chunk(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        specs: &[WindowSpec<'_>],
+        m: usize,
+    ) {
+        let d_model = model.cfg.d_model;
+        self.boffsets.clear();
+        self.boffsets.push(0);
+        let mut total = 0usize;
+        for s in specs {
+            assert_eq!(s.data.cols(), m, "all windows must share input width");
+            total += s.end - s.start;
+            self.boffsets.push(total);
+        }
+        self.x.resize(total, m);
+        self.pe.resize(total, d_model);
+        for (b, s) in specs.iter().enumerate() {
+            let r0 = self.boffsets[b];
+            for r in 0..s.end - s.start {
+                self.x
+                    .row_mut(r0 + r)
+                    .copy_from_slice(s.data.row(s.start + r));
+                let p = (s.pos_of)(s.start + r);
+                // Same expression as `score_window`'s PE fill.
+                for (i, (slot, &div)) in self
+                    .pe
+                    .row_mut(r0 + r)
+                    .iter_mut()
+                    .zip(&self.pe_div)
+                    .enumerate()
+                {
+                    *slot = if i % 2 == 0 {
+                        (p / div).sin()
+                    } else {
+                        (p / div).cos()
+                    };
+                }
+            }
+        }
+        self.forward_scratch_batch(params, model);
+        for (b, s) in specs.iter().enumerate() {
+            let r0 = self.boffsets[b];
+            for r in 0..s.end - s.start {
+                let e = self
+                    .x
+                    .row(r0 + r)
+                    .iter()
+                    .zip(self.out.row(r0 + r))
+                    .zip(s.weights)
+                    .map(|((a, o), w)| w * (a - o) * (a - o))
+                    .sum::<f64>()
+                    / m.max(1) as f64;
+                self.err.push(e);
+            }
+        }
     }
 
     /// The forward pass proper, reading `self.x` / `self.pe`, leaving the
@@ -325,6 +523,179 @@ impl InferenceSession {
             }
         }
     }
+
+    /// Batched forward pass, reading the stacked `self.x` / `self.pe` and
+    /// `self.boffsets`, leaving the stacked reconstruction in `self.out`.
+    /// Every linear layer is one kernel call over all rows; only the
+    /// cross-row ops (attention, MoE accumulation) iterate windows.
+    fn forward_scratch_batch(&mut self, params: &ParamStore, model: &ReconstructionTransformer) {
+        linear_into(&self.x, params, &model.embed, &mut self.h);
+        self.h.add_assign(&self.pe);
+        for layer in &model.layers {
+            self.encoder_layer_batch(params, layer);
+        }
+        linear_into(&self.h, params, &model.decoder, &mut self.out);
+    }
+
+    /// One encoder layer over the stacked carrier. Identical arithmetic to
+    /// [`InferenceSession::encoder_layer`] per window: the q/k/v/wo/FFN
+    /// linears and the norm/residual ops are row-wise (batched whole), and
+    /// attention runs per `(window, head)` over that window's row range so
+    /// no window ever attends across another.
+    fn encoder_layer_batch(&mut self, params: &ParamStore, layer: &EncoderLayer) {
+        let total = self.h.rows();
+        let mha = &layer.attn;
+        let d_model = mha.d_model;
+        let dh = d_model / mha.n_heads;
+        let scale = 1.0 / (dh as f64).sqrt();
+        linear_into(&self.h, params, &mha.wq, &mut self.q);
+        linear_into(&self.h, params, &mha.wk, &mut self.k);
+        linear_into(&self.h, params, &mha.wv, &mut self.v);
+        self.cat.resize(total, d_model);
+        for b in 0..self.boffsets.len() - 1 {
+            let (r0, r1) = (self.boffsets[b], self.boffsets[b + 1]);
+            for hd in 0..mha.n_heads {
+                let lo = hd * dh;
+                let hi = lo + dh;
+                slice_block_into(&self.q, r0, r1, lo, hi, &mut self.qh);
+                slice_block_into(&self.k, r0, r1, lo, hi, &mut self.kh);
+                slice_block_into(&self.v, r0, r1, lo, hi, &mut self.vh);
+                self.qh.matmul_pre_t_into(&self.kh, &mut self.scores);
+                self.scores.map_inplace(|x| x * scale);
+                softmax_rows_inplace(&mut self.scores);
+                self.scores.matmul_into(&self.vh, &mut self.head);
+                for r in r0..r1 {
+                    self.cat.row_mut(r)[lo..hi].copy_from_slice(self.head.row(r - r0));
+                }
+            }
+        }
+        linear_into(&self.cat, params, &mha.wo, &mut self.attn);
+        add_into(&self.h, &self.attn, &mut self.res1);
+        layer_norm_into(
+            &self.res1,
+            params.get(layer.norm1.gamma),
+            params.get(layer.norm1.beta),
+            &mut self.n1,
+        );
+        match (&layer.moe, &layer.ffn) {
+            (Some(moe), _) => self.moe_block_batch(params, moe),
+            (None, Some(ffn)) => {
+                linear_into(&self.n1, params, &ffn.lin1, &mut self.hid);
+                self.hid.map_inplace(|x| x.max(0.0));
+                linear_into(&self.hid, params, &ffn.lin2, &mut self.block);
+            }
+            _ => unreachable!("layer has either moe or ffn"),
+        }
+        add_into(&self.n1, &self.block, &mut self.res2);
+        layer_norm_into(
+            &self.res2,
+            params.get(layer.norm2.gamma),
+            params.get(layer.norm2.beta),
+            &mut self.h,
+        );
+    }
+
+    /// Batched sparse-MoE block over the stacked `self.n1`.
+    ///
+    /// Gating and routing are per token (batched whole); each expert runs
+    /// **once** over its tokens gathered across every window (row-wise, so
+    /// per-token results match the per-window run); but the
+    /// scatter-then-accumulate into `self.block` replicates the tape **per
+    /// window**: within each window's row range, the first expert holding
+    /// any of its tokens *copies* its zero-padded scatter and later
+    /// experts *add* theirs (including the adds over untouched zero rows),
+    /// in ascending expert order. The distinction matters for signed
+    /// zeros: `-0.0` copied stays `-0.0`, while `0.0 + -0.0` is `+0.0` —
+    /// and which experts are nonempty differs per window, so a whole-batch
+    /// copy-then-add would not be bit-safe.
+    fn moe_block_batch(&mut self, params: &ParamStore, moe: &crate::moe::MoeLayer) {
+        let total = self.n1.rows();
+        let d = self.n1.cols();
+        let n_exp = moe.experts.len();
+        let nb = self.boffsets.len() - 1;
+        self.n1.matmul_into(params.get(moe.gate), &mut self.gate);
+        softmax_rows_inplace(&mut self.gate);
+        if self.assign.len() < n_exp {
+            self.assign.resize_with(n_exp, Vec::new);
+        }
+        for a in &mut self.assign[..n_exp] {
+            a.clear();
+        }
+        for tok in 0..total {
+            let row = self.gate.row(tok);
+            top_k_into(row, moe.top_k, &mut self.order);
+            for &e in &self.order {
+                self.assign[e].push(tok);
+            }
+        }
+        self.block.resize(total, d);
+        self.binit.clear();
+        self.binit.resize(nb, false);
+        for (e, expert) in moe.experts.iter().enumerate() {
+            if self.assign[e].is_empty() {
+                continue;
+            }
+            // xe = gather(n1, idx) across all windows, ascending rows.
+            let idx = &self.assign[e];
+            self.xe.resize(idx.len(), d);
+            for (r, &tok) in idx.iter().enumerate() {
+                self.xe.row_mut(r).copy_from_slice(self.n1.row(tok));
+            }
+            linear_into(&self.xe, params, &expert.lin1, &mut self.hid);
+            self.hid.map_inplace(|x| x.max(0.0));
+            linear_into(&self.hid, params, &expert.lin2, &mut self.ye);
+            let idx = &self.assign[e];
+            for (r, &tok) in idx.iter().enumerate() {
+                let w = self.gate[(tok, e)];
+                for x in self.ye.row_mut(r).iter_mut() {
+                    *x *= w;
+                }
+            }
+            // Walk the ascending token list grouped by window and apply
+            // the tape's scatter / copy-or-add within each row range.
+            let mut w = 0usize;
+            let mut r = 0usize;
+            while r < idx.len() {
+                while self.boffsets[w + 1] <= idx[r] {
+                    w += 1;
+                }
+                let (r0, r1) = (self.boffsets[w], self.boffsets[w + 1]);
+                self.full.resize(r1 - r0, d);
+                let mut rr = r;
+                while rr < idx.len() && idx[rr] < r1 {
+                    self.full
+                        .row_mut(idx[rr] - r0)
+                        .copy_from_slice(self.ye.row(rr));
+                    rr += 1;
+                }
+                if self.binit[w] {
+                    for i in 0..r1 - r0 {
+                        for (o, &v) in self.block.row_mut(r0 + i).iter_mut().zip(self.full.row(i)) {
+                            *o += v;
+                        }
+                    }
+                } else {
+                    for i in 0..r1 - r0 {
+                        self.block.row_mut(r0 + i).copy_from_slice(self.full.row(i));
+                    }
+                    self.binit[w] = true;
+                }
+                r = rr;
+            }
+        }
+        for (w, done) in self.binit.iter().enumerate() {
+            if *done {
+                continue;
+            }
+            // No expert holds any token of this window: tape falls back
+            // to x · 0.0 over its rows.
+            for i in self.boffsets[w]..self.boffsets[w + 1] {
+                for (o, &v) in self.block.row_mut(i).iter_mut().zip(self.n1.row(i)) {
+                    *o = v * 0.0;
+                }
+            }
+        }
+    }
 }
 
 /// `out = x · W + b`, reading the weight and bias live from the store.
@@ -333,6 +704,16 @@ impl InferenceSession {
 fn linear_into(x: &Matrix, params: &ParamStore, lin: &Linear, out: &mut Matrix) {
     x.matmul_into(params.get(lin.w), out);
     out.add_row_broadcast_inplace(params.get(lin.b));
+}
+
+/// Copy the `[r0, r1) × [lo, hi)` block of `src` into `out` (reshaped in
+/// place) — the batched analogue of [`slice_cols_into`] restricted to one
+/// window's row range.
+fn slice_block_into(src: &Matrix, r0: usize, r1: usize, lo: usize, hi: usize, out: &mut Matrix) {
+    out.resize(r1 - r0, hi - lo);
+    for r in r0..r1 {
+        out.row_mut(r - r0).copy_from_slice(&src.row(r)[lo..hi]);
+    }
 }
 
 /// Copy columns `[lo, hi)` of `src` into `out` (reshaped in place).

@@ -1,0 +1,216 @@
+//! Differential test: [`InferenceSession::forward_batch`] over B stacked
+//! windows must be bit-identical to B independent
+//! [`InferenceSession::forward`] calls, for random shapes, batch sizes and
+//! block kinds — and [`InferenceSession::score_windows_batch`] must
+//! reproduce a loop of `score_window` calls to the bit.
+
+use ns_linalg::matrix::Matrix;
+use ns_nn::{
+    sinusoidal_pe_at, BlockKind, InferenceSession, ParamStore, ReconstructionTransformer,
+    TransformerConfig, WindowSpec,
+};
+use proptest::prelude::*;
+
+fn build_model(
+    seed: u64,
+    input_dim: usize,
+    heads: usize,
+    n_layers: usize,
+    block: BlockKind,
+) -> (ParamStore, ReconstructionTransformer) {
+    let d_model = heads * 4;
+    let mut params = ParamStore::new(seed);
+    let model = ReconstructionTransformer::new(
+        &mut params,
+        TransformerConfig {
+            input_dim,
+            d_model,
+            n_heads: heads,
+            n_layers,
+            hidden: d_model * 2,
+            block,
+            aux_weight: 0.01,
+        },
+    );
+    (params, model)
+}
+
+fn window(t: usize, m: usize, phase: f64) -> Matrix {
+    Matrix::from_fn(t, m, |r, c| {
+        ((r as f64 * 0.37 + c as f64 * 1.3 + phase) * 0.9).sin()
+    })
+}
+
+fn pe_of(t: usize, d_model: usize) -> Matrix {
+    let positions: Vec<f64> = (0..t).map(|r| r as f64 * 512.0 / t as f64).collect();
+    sinusoidal_pe_at(&positions, d_model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn forward_batch_bit_identical_to_independent_forwards(
+        seed in 0u64..1_000_000,
+        input_dim in 1usize..6,
+        heads in 1usize..4,
+        n_layers in 1usize..3,
+        dense in any::<bool>(),
+        n_experts in 2usize..4,
+        top_k in 1usize..3,
+        lens in prop::collection::vec(1usize..20, 1..7),
+        phase in -3.0f64..3.0,
+    ) {
+        let block = if dense {
+            BlockKind::Dense
+        } else {
+            BlockKind::Moe { n_experts, top_k: top_k.min(n_experts) }
+        };
+        let (params, model) = build_model(seed, input_dim, heads, n_layers, block);
+        let d_model = heads * 4;
+
+        let inputs: Vec<(Matrix, Matrix)> = lens
+            .iter()
+            .enumerate()
+            .map(|(b, &t)| (window(t, input_dim, phase + b as f64 * 0.71), pe_of(t, d_model)))
+            .collect();
+
+        // Reference: B independent single-window forwards.
+        let mut single = InferenceSession::new();
+        let singles: Vec<Matrix> = inputs
+            .iter()
+            .map(|(x, pe)| single.forward(&params, &model, x, pe).clone())
+            .collect();
+
+        // Batched: run twice through one session so warm, previously
+        // batch-shaped scratch is exercised too.
+        let mut batched = InferenceSession::new();
+        let refs: Vec<(&Matrix, &Matrix)> = inputs.iter().map(|(x, pe)| (x, pe)).collect();
+        for round in 0..2 {
+            let (out, offsets) = batched.forward_batch(&params, &model, &refs);
+            prop_assert_eq!(offsets.len(), inputs.len() + 1);
+            prop_assert_eq!(out.rows(), *offsets.last().unwrap());
+            for (b, want) in singles.iter().enumerate() {
+                let (r0, r1) = (offsets[b], offsets[b + 1]);
+                prop_assert_eq!(r1 - r0, want.rows(), "round {} window {}", round, b);
+                for r in 0..want.rows() {
+                    for (i, (a, w)) in out.row(r0 + r).iter().zip(want.row(r)).enumerate() {
+                        prop_assert_eq!(
+                            a.to_bits(), w.to_bits(),
+                            "round {} window {} row {} col {}: {} vs {}",
+                            round, b, r, i, a, w
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_windows_batch_bit_identical_to_score_window_loop(
+        seed in 0u64..1_000_000,
+        input_dim in 1usize..5,
+        heads in 1usize..3,
+        dense in any::<bool>(),
+        series_lens in prop::collection::vec(2usize..30, 1..5),
+        win in 3usize..10,
+        phase in -2.0f64..2.0,
+    ) {
+        let block = if dense {
+            BlockKind::Dense
+        } else {
+            BlockKind::Moe { n_experts: 3, top_k: 1 }
+        };
+        let (params, model) = build_model(seed, input_dim, heads, 2, block);
+        let weights: Vec<f64> = (0..input_dim).map(|i| 1.0 / (1.0 + i as f64 * 0.3)).collect();
+
+        // One window tiling per series, exactly as score_series_raw does.
+        let series: Vec<Matrix> = series_lens
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| window(t, input_dim, phase + s as f64))
+            .collect();
+        let pos_fns: Vec<_> = series
+            .iter()
+            .map(|d| {
+                let t = d.rows();
+                move |r: usize| r as f64 * 512.0 / t as f64
+            })
+            .collect();
+        let mut specs: Vec<WindowSpec> = Vec::new();
+        for (si, data) in series.iter().enumerate() {
+            let t = data.rows();
+            let w = win.min(t).max(1);
+            let mut starts: Vec<usize> = (0..t.saturating_sub(w - 1)).step_by(w).collect();
+            if starts.is_empty() {
+                starts.push(0);
+            }
+            if let Some(&last) = starts.last() {
+                if last + w < t {
+                    starts.push(t - w);
+                }
+            }
+            for s in starts {
+                specs.push(WindowSpec {
+                    data,
+                    start: s,
+                    end: s + w,
+                    pos_of: &pos_fns[si],
+                    weights: &weights,
+                });
+            }
+        }
+
+        // Reference: a fresh session scoring each window alone.
+        let mut single = InferenceSession::new();
+        let mut want: Vec<f64> = Vec::new();
+        for sp in &specs {
+            want.extend_from_slice(single.score_window(
+                &params, &model, sp.data, sp.start, sp.end, sp.pos_of, sp.weights,
+            ));
+        }
+
+        let mut batched = InferenceSession::new();
+        let got = batched.score_windows_batch(&params, &model, &specs);
+        prop_assert_eq!(got.len(), want.len());
+        for (i, (a, w)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(a.to_bits(), w.to_bits(), "err {}: {} vs {}", i, a, w);
+        }
+    }
+}
+
+/// Degenerate shapes the proptest ranges skip.
+#[test]
+fn forward_batch_edge_cases() {
+    let (params, model) = build_model(
+        7,
+        3,
+        2,
+        1,
+        BlockKind::Moe {
+            n_experts: 2,
+            top_k: 1,
+        },
+    );
+    let mut sess = InferenceSession::new();
+
+    // Empty batch: empty output, offsets = [0].
+    let (out, offsets) = sess.forward_batch(&params, &model, &[]);
+    assert_eq!(out.rows(), 0);
+    assert_eq!(offsets, &[0]);
+
+    // Batch of one must equal the single forward bitwise.
+    let x = window(9, 3, 0.4);
+    let pe = pe_of(9, 8);
+    let mut single = InferenceSession::new();
+    let want = single.forward(&params, &model, &x, &pe).clone();
+    let (out, offsets) = sess.forward_batch(&params, &model, &[(&x, &pe)]);
+    assert_eq!(offsets, &[0, 9]);
+    for (a, b) in out.as_slice().iter().zip(want.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // Empty spec list scores to an empty slice.
+    let got = sess.score_windows_batch(&params, &model, &[]);
+    assert!(got.is_empty());
+}

@@ -542,6 +542,25 @@ struct PendingScore {
     degraded: bool,
 }
 
+/// A closed segment whose scoring is deferred to the shard's batched
+/// scoring phase. Rows, provenance and the degraded flag are frozen at
+/// close time, so scoring later cannot change any verdict bit relative
+/// to the eager path.
+struct SegmentJob {
+    /// Global step of the segment's first row.
+    start: usize,
+    /// The segment's preprocessed rows (ownership moved out of the open
+    /// segment — later retro-taints cannot reach them, matching the
+    /// eager path where these verdicts would already be emitted).
+    rows: Vec<Vec<f64>>,
+    /// Provenance per row, parallel to `rows`.
+    kinds: Vec<RowKind>,
+    /// Cluster from the eager probe match, if it ran before the cut.
+    matched: Option<usize>,
+    /// Degraded flag evaluated at close time (resync or tainted rows).
+    degraded: bool,
+}
+
 /// Incremental detection state for a single node.
 ///
 /// Drives the full online pipeline of [`NodeSentry::score_node`] +
@@ -575,6 +594,16 @@ pub struct NodeState {
     seg_start: usize,
     /// Eager probe match for the current segment, once available.
     matched: Option<usize>,
+    /// Defer scoring/matching to the shard's batched scoring phase.
+    batch_scoring: bool,
+    /// Closed segments awaiting the batched scoring phase (FIFO).
+    jobs: VecDeque<SegmentJob>,
+    /// The open segment reached `match_period` rows; its probe match is
+    /// deferred to the next scoring phase.
+    probe_pending: bool,
+    /// Scratch for `match_pattern_into` — the warm streaming match path
+    /// allocates nothing (`crates/core/tests/match_zero_alloc.rs`).
+    z_scratch: Vec<f64>,
     smoother: StreamingSmoother,
     detector: StreamingKSigma,
     /// Scores awaiting their (lagged) smoothed verdict.
@@ -627,6 +656,10 @@ impl NodeState {
             seg_row_kinds: Vec::new(),
             seg_start: 0,
             matched: None,
+            batch_scoring: cfg.batch_scoring,
+            jobs: VecDeque::new(),
+            probe_pending: false,
+            z_scratch: Vec::new(),
             smoother: StreamingSmoother::new(cfg.smooth_window),
             detector,
             pending: VecDeque::new(),
@@ -806,6 +839,8 @@ impl NodeState {
         self.row_kinds.clear();
         self.pending.clear();
         self.matched = None;
+        self.jobs.clear();
+        self.probe_pending = false;
         self.next_step = resync_at;
         self.next_row = resync_at;
         self.resync_degraded = true;
@@ -840,10 +875,29 @@ impl NodeState {
     /// (used mid-stream at blackout resets, where the tail clamp differs
     /// from what batch interpolation across the gap would produce).
     fn flush_tail(&mut self, degrade: bool) -> Vec<Verdict> {
+        // Jobs queued before this flush belong to segments the eager
+        // path had already scored and emitted pre-flush; drain them
+        // first so the degrade marking below cannot touch their
+        // verdicts. (Verdicts their scores release during the flush —
+        // the smoothing-lag tail — land in `out` below and are marked,
+        // exactly as the eager path marks them.)
+        let mut pre = if self.batch_scoring {
+            self.drain_jobs()
+        } else {
+            Vec::new()
+        };
         let rows = self.pre.flush();
         let mut out = self.absorb_rows(rows);
         if !self.seg_rows.is_empty() {
-            out.extend(self.close_segment());
+            if self.batch_scoring {
+                let job = self.take_open_segment();
+                self.jobs.push_back(job);
+            } else {
+                out.extend(self.close_segment());
+            }
+        }
+        if self.batch_scoring {
+            out.extend(self.drain_jobs());
         }
         let t0 = Instant::now();
         for sv in self.smoother.flush() {
@@ -862,7 +916,8 @@ impl NodeState {
                 }
             }
         }
-        out
+        pre.extend(out);
+        pre
     }
 
     fn absorb_rows(&mut self, rows: Vec<PreRow>) -> Vec<Verdict> {
@@ -889,7 +944,15 @@ impl NodeState {
             if self.cuts.front() == Some(&r) {
                 self.cuts.pop_front();
                 if !self.seg_rows.is_empty() {
-                    out.extend(self.close_segment());
+                    if self.batch_scoring {
+                        // Deferred: freeze the segment now (rows, kinds,
+                        // degraded flag) and score it in the shard's next
+                        // batched scoring phase.
+                        let job = self.take_open_segment();
+                        self.jobs.push_back(job);
+                    } else {
+                        out.extend(self.close_segment());
+                    }
                 }
             }
             if self.seg_rows.is_empty() {
@@ -900,65 +963,104 @@ impl NodeState {
             // Eager pattern matching: the probe is the segment's first
             // `match_period` rows, available long before the segment
             // closes. This is the deployment's per-transition match cycle.
+            // In batched mode the match itself is deferred to the scoring
+            // phase; the probe rows are frozen either way, so the result
+            // is identical.
             if self.matched.is_none() && self.seg_rows.len() == self.model.cfg.match_period {
-                self.matched = Some(self.match_probe(self.seg_rows.len()));
+                if self.batch_scoring {
+                    self.probe_pending = true;
+                } else {
+                    self.matched = Some(self.match_probe(self.seg_rows.len()));
+                }
             }
         }
         out
     }
 
     fn match_probe(&mut self, probe_len: usize) -> usize {
-        let t0 = Instant::now();
-        let probe = Matrix::from_rows(&self.seg_rows[..probe_len.min(self.seg_rows.len())]);
-        let feat = coarse::segment_features(&self.model.cfg.coarse, &probe);
-        let (cluster, _dist) = self.model.cluster_model.match_pattern(&feat);
-        let elapsed = t0.elapsed().as_secs_f64();
-        self.stats.match_seconds += elapsed;
-        self.stats.n_matches += 1;
-        node_metrics().match_seconds.observe(elapsed);
-        cluster
+        match_probe_rows(
+            &self.model,
+            &mut self.z_scratch,
+            &mut self.stats,
+            &self.seg_rows,
+            probe_len,
+        )
+    }
+
+    /// Freeze the open segment into a [`SegmentJob`]. Rows, provenance
+    /// and the degraded flag are evaluated exactly where the eager
+    /// [`close_segment`](NodeState::close_segment) evaluates them, so a
+    /// job scored later yields the same verdict bits.
+    fn take_open_segment(&mut self) -> SegmentJob {
+        let rows = std::mem::take(&mut self.seg_rows);
+        let kinds = std::mem::take(&mut self.seg_row_kinds);
+        // Any tainted row poisons the whole segment: scoring is
+        // segment-local (positional encoding + baseline), so no verdict
+        // in it can claim batch equivalence.
+        let degraded = self.resync_degraded || kinds.iter().any(|&k| k != RowKind::Clean);
+        self.resync_degraded = false;
+        self.probe_pending = false;
+        SegmentJob {
+            start: self.seg_start,
+            rows,
+            kinds,
+            matched: self.matched.take(),
+            degraded,
+        }
     }
 
     /// Score the finished segment through its matched shared model and
     /// feed the smoothing → k-sigma chain; returns finalized verdicts.
+    /// (Eager path — with `batch_scoring` the same three stages run
+    /// split across the queue and the shard's scoring phase.)
     fn close_segment(&mut self) -> Vec<Verdict> {
-        let probe_len = self.model.cfg.match_period.clamp(1, self.seg_rows.len());
-        let cluster = match self.matched.take() {
+        let mut job = self.take_open_segment();
+        let probe_len = self.model.cfg.match_period.clamp(1, job.rows.len());
+        let cluster = match job.matched.take() {
             Some(c) => c,
             // Segment shorter than the match period: probe is the whole
             // segment, matched at close like the batch code.
-            None => self.match_probe(probe_len),
+            None => match_probe_rows(
+                &self.model,
+                &mut self.z_scratch,
+                &mut self.stats,
+                &job.rows,
+                probe_len,
+            ),
         };
         let t0 = Instant::now();
-        let data = Matrix::from_rows(&self.seg_rows);
+        let data = Matrix::from_rows(&job.rows);
         // Invariant: `Engine::try_new` rejects models without shared
         // experts, so the clamped index is always in range.
         let model = &self.model.shared_models[cluster.min(self.model.shared_models.len() - 1)];
         let mut seg_scores = model.score_series(&data);
-        // Per-segment baseline normalization (batch `score_node`).
-        let baseline = {
-            let mut head: Vec<f64> = seg_scores[..probe_len].to_vec();
-            head.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            ns_linalg::stats::quantile_sorted(&head, 0.5).max(1.0)
-        };
-        for v in seg_scores.iter_mut() {
-            *v /= baseline;
-        }
-        // Any tainted row poisons the whole segment: scoring is
-        // segment-local (positional encoding + baseline), so no verdict
-        // in it can claim batch equivalence.
-        let degraded =
-            self.resync_degraded || self.seg_row_kinds.iter().any(|&k| k != RowKind::Clean);
-        self.resync_degraded = false;
+        normalize_segment_scores(&mut seg_scores, probe_len);
+        let elapsed = t0.elapsed().as_secs_f64();
+        self.apply_scored(job, cluster, seg_scores, elapsed)
+    }
+
+    /// Push one scored segment through the smoothing → k-sigma chain;
+    /// returns finalized verdicts. `cost_share` is this segment's share
+    /// of scoring wall time (its own elapsed when eager, the batch's
+    /// elapsed divided by occupancy when batched), attributed to the
+    /// same stats and histograms either way so the per-segment latency
+    /// distributions stay comparable.
+    fn apply_scored(
+        &mut self,
+        job: SegmentJob,
+        cluster: usize,
+        scores: Vec<f64>,
+        cost_share: f64,
+    ) -> Vec<Verdict> {
         let mut out = Vec::new();
-        for (k, score) in seg_scores.into_iter().enumerate() {
-            let suppress = self.seg_row_kinds[k] == RowKind::Synthesized;
+        for (k, score) in scores.into_iter().enumerate() {
+            let suppress = job.kinds[k] == RowKind::Synthesized;
             self.pending.push_back(PendingScore {
-                step: self.seg_start + k,
+                step: job.start + k,
                 score,
                 cluster,
                 suppress,
-                degraded,
+                degraded: job.degraded,
             });
             for sv in self.smoother.push(score) {
                 let flagged = self.detector.push(sv);
@@ -967,16 +1069,73 @@ impl NodeState {
                 }
             }
         }
-        let n_rows = self.seg_rows.len();
-        self.seg_rows.clear();
-        self.seg_row_kinds.clear();
-        let elapsed = t0.elapsed().as_secs_f64();
-        self.stats.score_seconds += elapsed;
+        let n_rows = job.rows.len();
+        self.stats.score_seconds += cost_share;
         let nm = node_metrics();
-        nm.score_seconds.observe(elapsed);
+        nm.score_seconds.observe(cost_share);
         if n_rows > 0 {
             nm.point_seconds
-                .observe_n(elapsed / n_rows as f64, n_rows as u64);
+                .observe_n(cost_share / n_rows as f64, n_rows as u64);
+        }
+        out
+    }
+
+    /// Any probe matching deferred by `batch_scoring`? (Queued jobs that
+    /// closed before reaching `match_period` rows, plus the open
+    /// segment's pending probe.)
+    fn pending_probe_count(&self) -> u64 {
+        self.probe_pending as u64 + self.jobs.iter().filter(|j| j.matched.is_none()).count() as u64
+    }
+
+    /// Deferred work for the shard's scoring phase to pick up?
+    fn has_deferred_work(&self) -> bool {
+        !self.jobs.is_empty() || self.probe_pending
+    }
+
+    /// Resolve every deferred probe match: the open segment's pending
+    /// probe and any queued job that closed unmatched. Matching reads
+    /// only frozen row values, so resolving here instead of at the
+    /// eager trigger point returns the identical cluster.
+    fn resolve_probes(&mut self) {
+        if self.probe_pending {
+            self.probe_pending = false;
+            if !self.seg_rows.is_empty() {
+                let plen = self.model.cfg.match_period.clamp(1, self.seg_rows.len());
+                self.matched = Some(match_probe_rows(
+                    &self.model,
+                    &mut self.z_scratch,
+                    &mut self.stats,
+                    &self.seg_rows,
+                    plen,
+                ));
+            }
+        }
+        let period = self.model.cfg.match_period;
+        for job in self.jobs.iter_mut() {
+            if job.matched.is_none() && !job.rows.is_empty() {
+                job.matched = Some(match_probe_rows(
+                    &self.model,
+                    &mut self.z_scratch,
+                    &mut self.stats,
+                    &job.rows,
+                    period.clamp(1, job.rows.len()),
+                ));
+            }
+        }
+    }
+
+    /// Single-node drain (flush/blackout/quarantine paths): resolve
+    /// probes, score every queued job — still batched per shared model —
+    /// and apply in FIFO order.
+    fn drain_jobs(&mut self) -> Vec<Verdict> {
+        if self.jobs.is_empty() && !self.probe_pending {
+            return Vec::new();
+        }
+        self.resolve_probes();
+        let jobs: Vec<SegmentJob> = std::mem::take(&mut self.jobs).into();
+        let mut out = Vec::new();
+        for (job, cluster, scores, share) in score_resolved_jobs(&self.model, jobs) {
+            out.extend(self.apply_scored(job, cluster, scores, share));
         }
         out
     }
@@ -1037,6 +1196,12 @@ pub struct EngineConfig {
     pub blackout_gap: usize,
     /// Exact-repeat run length that confirms a stuck sensor.
     pub stuck_run: usize,
+    /// Defer segment scoring and probe matching to a per-batch scoring
+    /// phase that stacks all ready work across the shard's nodes into
+    /// batched forwards (`SharedModel::score_series_batch`). Verdicts
+    /// are bit-identical to the eager per-segment path
+    /// (`tests/batch_equivalence.rs`); only the work schedule changes.
+    pub batch_scoring: bool,
     /// Chaos hook: the worker panics while ingesting this `(node, step)`
     /// tick, exercising the catch_unwind + quarantine path. Testing only.
     pub panic_at: Option<(usize, usize)>,
@@ -1052,6 +1217,7 @@ impl EngineConfig {
             reorder_bound: 32,
             blackout_gap: 240,
             stuck_run: 8,
+            batch_scoring: true,
             panic_at: None,
         }
     }
@@ -1208,6 +1374,147 @@ impl Engine {
     }
 }
 
+/// One probe feature-extraction + library-match cycle over `rows`'
+/// leading `probe_len` rows. Free function over disjoint [`NodeState`]
+/// fields so it can run against the open segment or a queued job's rows
+/// without aliasing `self`. Uses the scratch-based matcher: warm calls
+/// allocate nothing past feature extraction.
+fn match_probe_rows(
+    model: &NodeSentry,
+    z_scratch: &mut Vec<f64>,
+    stats: &mut StreamStats,
+    rows: &[Vec<f64>],
+    probe_len: usize,
+) -> usize {
+    let t0 = Instant::now();
+    let probe = Matrix::from_rows(&rows[..probe_len.min(rows.len())]);
+    let feat = coarse::segment_features(&model.cfg.coarse, &probe);
+    let (cluster, _dist) = model.cluster_model.match_pattern_into(&feat, z_scratch);
+    let elapsed = t0.elapsed().as_secs_f64();
+    stats.match_seconds += elapsed;
+    stats.n_matches += 1;
+    node_metrics().match_seconds.observe(elapsed);
+    cluster
+}
+
+/// Per-segment baseline normalization (batch `score_node`): divide by
+/// the probe head's median, clamped to at least 1.
+fn normalize_segment_scores(scores: &mut [f64], probe_len: usize) {
+    let baseline = {
+        let mut head: Vec<f64> = scores[..probe_len].to_vec();
+        head.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ns_linalg::stats::quantile_sorted(&head, 0.5).max(1.0)
+    };
+    for v in scores.iter_mut() {
+        *v /= baseline;
+    }
+}
+
+/// Score a FIFO run of probe-resolved jobs: group them by (clamped)
+/// matched cluster, run one batched forward per shared model
+/// (`score_series_batch` — bit-identical per series to `score_series`),
+/// normalize each job against its own probe baseline, and return
+/// `(job, cluster, scores, cost share)` in the original order. The
+/// cost share is the group's scoring wall time divided by its
+/// occupancy, so per-segment latency histograms stay comparable with
+/// the eager path.
+fn score_resolved_jobs(
+    model: &NodeSentry,
+    jobs: Vec<SegmentJob>,
+) -> Vec<(SegmentJob, usize, Vec<f64>, f64)> {
+    let n_models = model.shared_models.len();
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for (i, job) in jobs.iter().enumerate() {
+        // Invariant: `resolve_probes` ran first, so `matched` is set for
+        // every non-empty job (and empty jobs are never queued).
+        let clamped = job.matched.unwrap_or(0).min(n_models.saturating_sub(1));
+        groups.entry(clamped).or_default().push(i);
+    }
+    let mut scored: Vec<Option<(Vec<f64>, f64)>> = (0..jobs.len()).map(|_| None).collect();
+    let mut group_ids: Vec<usize> = groups.keys().copied().collect();
+    group_ids.sort_unstable();
+    let nm = node_metrics();
+    for g in group_ids {
+        let idxs = &groups[&g];
+        let t0 = Instant::now();
+        let mats: Vec<Matrix> = idxs
+            .iter()
+            .map(|&i| Matrix::from_rows(&jobs[i].rows))
+            .collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let many = model.shared_models[g].score_series_batch(&refs);
+        let share = t0.elapsed().as_secs_f64() / idxs.len() as f64;
+        nm.batch_segments.observe(idxs.len() as f64);
+        for (&i, mut scores) in idxs.iter().zip(many) {
+            let probe_len = model.cfg.match_period.clamp(1, jobs[i].rows.len());
+            normalize_segment_scores(&mut scores, probe_len);
+            scored[i] = Some((scores, share));
+        }
+    }
+    jobs.into_iter()
+        .zip(scored)
+        .map(|(job, s)| {
+            let cluster = job.matched.unwrap_or(0);
+            let (scores, share) = s.unwrap_or_default();
+            (job, cluster, scores, share)
+        })
+        .collect()
+}
+
+/// Cross-node batched scoring phase: after a tick batch lands, collect
+/// every deferred probe and queued segment across the shard's nodes,
+/// resolve the probes, score all segments through per-cluster batched
+/// forwards, and fan the verdicts back out per node. Nodes are visited
+/// in ascending id and each node's jobs in FIFO order, so every node's
+/// smoother/detector chain sees exactly the eager sequence.
+fn scoring_phase(states: &mut FxHashMap<usize, NodeState>, verdicts: &mut Vec<Verdict>) {
+    let mut nodes: Vec<usize> = states
+        .iter()
+        .filter(|(_, s)| s.has_deferred_work())
+        .map(|(&n, _)| n)
+        .collect();
+    if nodes.is_empty() {
+        return;
+    }
+    nodes.sort_unstable();
+    let mut owners: Vec<usize> = Vec::new();
+    let mut jobs: Vec<SegmentJob> = Vec::new();
+    let mut n_probes = 0u64;
+    let mut model = None;
+    for &n in &nodes {
+        // Invariant: ids came out of the map above.
+        let Some(state) = states.get_mut(&n) else {
+            continue;
+        };
+        n_probes += state.pending_probe_count();
+        state.resolve_probes();
+        for job in std::mem::take(&mut state.jobs) {
+            owners.push(n);
+            jobs.push(job);
+        }
+        model.get_or_insert_with(|| Arc::clone(&state.model));
+    }
+    if n_probes > 0 {
+        node_metrics().batch_probes.observe(n_probes as f64);
+    }
+    let Some(model) = model else {
+        return;
+    };
+    if jobs.is_empty() {
+        return;
+    }
+    for (owner, (job, cluster, scores, share)) in
+        owners.into_iter().zip(score_resolved_jobs(&model, jobs))
+    {
+        let Some(state) = states.get_mut(&owner) else {
+            continue;
+        };
+        let vs = state.apply_scored(job, cluster, scores, share);
+        meter_verdicts(&vs);
+        verdicts.extend(vs);
+    }
+}
+
 /// Count newly emitted verdicts into the live by-kind counters.
 fn meter_verdicts(vs: &[Verdict]) {
     if vs.is_empty() || !ns_obs::metrics::is_enabled() {
@@ -1267,7 +1574,18 @@ fn worker_loop(
                     verdicts.extend(vs);
                 }
                 Err(_) => {
-                    if let Some(dead) = states.remove(&tick.node) {
+                    if let Some(mut dead) = states.remove(&tick.node) {
+                        // Jobs queued before the panic tick are complete
+                        // segments the eager path had already scored;
+                        // emit them so quarantine timing doesn't change
+                        // the surviving verdict set. (Guarded: the state
+                        // crossed a panic.)
+                        if cfg.batch_scoring {
+                            if let Ok(vs) = catch_unwind(AssertUnwindSafe(|| dead.drain_jobs())) {
+                                meter_verdicts(&vs);
+                                verdicts.extend(vs);
+                            }
+                        }
                         stats.merge(&dead.stats);
                         faults.merge(&dead.faults);
                     }
@@ -1275,6 +1593,9 @@ fn worker_loop(
                     faults.quarantined_nodes += 1;
                 }
             }
+        }
+        if cfg.batch_scoring {
+            scoring_phase(&mut states, &mut verdicts);
         }
         publish_shard_metrics(&m, &states, &faults, &mut published);
     }

@@ -15,6 +15,8 @@
 //! | [`MATCH_SECONDS`] | histogram | — | one probe feature-extraction + library-match cycle |
 //! | [`SCORE_SECONDS`] | histogram | — | one segment scored through its shared model |
 //! | [`POINT_SECONDS`] | histogram | — | scoring compute attributed per emitted point |
+//! | [`SCORE_BATCH_SEGMENTS`] | histogram | — | segments scored together in one batched forward (batch occupancy) |
+//! | [`MATCH_BATCH_PROBES`] | histogram | — | probes resolved together in one scoring phase (burst size) |
 //! | [`TICKS_TOTAL`] | counter | `shard` | ticks accepted off the queue |
 //! | [`VERDICTS_TOTAL`] | counter | `kind` (`ok`/`degraded`) | verdicts emitted |
 //! | [`FAULTS_TOTAL`] | counter | `class` | live view of every [`FaultCounters`] field |
@@ -40,6 +42,10 @@ pub const MATCH_SECONDS: &str = "ns_stream_match_seconds";
 pub const SCORE_SECONDS: &str = "ns_stream_score_seconds";
 /// Histogram: scoring seconds attributed to each emitted point.
 pub const POINT_SECONDS: &str = "ns_stream_point_seconds";
+/// Histogram: segments stacked into one batched scoring forward.
+pub const SCORE_BATCH_SEGMENTS: &str = "ns_stream_score_batch_segments";
+/// Histogram: probes resolved together in one cross-node scoring phase.
+pub const MATCH_BATCH_PROBES: &str = "ns_stream_match_batch_probes";
 /// Counter: ticks accepted by shard workers (`shard` label).
 pub const TICKS_TOTAL: &str = "ns_stream_ticks_total";
 /// Counter: verdicts emitted, labeled `kind="ok"|"degraded"`.
@@ -53,8 +59,16 @@ pub(crate) struct NodeMetrics {
     pub match_seconds: Histogram,
     pub score_seconds: Histogram,
     pub point_seconds: Histogram,
+    pub batch_segments: Histogram,
+    pub batch_probes: Histogram,
     pub verdicts_ok: Counter,
     pub verdicts_degraded: Counter,
+}
+
+/// Power-of-two count buckets (1, 2, 4, …, 1024) for batch-occupancy
+/// and burst-size distributions.
+fn count_buckets() -> Vec<f64> {
+    (0..11).map(|i| (1u64 << i) as f64).collect()
 }
 
 pub(crate) fn node_metrics() -> &'static NodeMetrics {
@@ -62,6 +76,7 @@ pub(crate) fn node_metrics() -> &'static NodeMetrics {
     CELL.get_or_init(|| {
         let reg = global();
         let buckets = latency_buckets();
+        let counts = count_buckets();
         NodeMetrics {
             match_seconds: reg.histogram(
                 MATCH_SECONDS,
@@ -80,6 +95,18 @@ pub(crate) fn node_metrics() -> &'static NodeMetrics {
                 "Scoring seconds attributed per emitted detection point.",
                 &[],
                 &buckets,
+            ),
+            batch_segments: reg.histogram(
+                SCORE_BATCH_SEGMENTS,
+                "Segments stacked into one batched scoring forward.",
+                &[],
+                &counts,
+            ),
+            batch_probes: reg.histogram(
+                MATCH_BATCH_PROBES,
+                "Probes resolved together in one cross-node scoring phase.",
+                &[],
+                &counts,
             ),
             verdicts_ok: reg.counter(
                 VERDICTS_TOTAL,

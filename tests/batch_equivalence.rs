@@ -1,0 +1,288 @@
+//! The batched scoring phase must be invisible in the output: with
+//! `EngineConfig::batch_scoring` on, the engine stacks every segment
+//! and probe that becomes ready in a tick batch across the shard's
+//! nodes into batched forwards — and the resulting verdict stream must
+//! be **bit-identical** (`f64::to_bits` on scores; equality on node,
+//! step, flag, cluster and kind) to the eager per-segment path, at 1,
+//! 2 and 4 shards, on clean feeds and under fault-injection plans
+//! (drops, reorders, NaN bursts, blackouts, chaos panics).
+
+use nodesentry::core::{CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig};
+use nodesentry::features::FeatureCatalog;
+use nodesentry::stream::{Engine, EngineConfig, EngineReport, Tick, Verdict};
+use nodesentry::telemetry::{
+    Dataset, DatasetProfile, FaultEvent, FaultInjector, FaultKind, FaultPlan,
+};
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+fn quick_cfg() -> NodeSentryConfig {
+    NodeSentryConfig {
+        coarse: CoarseConfig {
+            catalog: FeatureCatalog::compact(),
+            k_max: 6,
+            ..Default::default()
+        },
+        sharing: SharingConfig {
+            window: 12,
+            stride: 6,
+            d_model: 16,
+            n_heads: 2,
+            n_layers: 1,
+            hidden: 32,
+            n_experts: 2,
+            epochs: 6,
+            lr: 3e-3,
+            batch: 16,
+            k_nearest: 4,
+            ..Default::default()
+        },
+        match_period: 40,
+        min_segment_len: 8,
+        ..Default::default()
+    }
+}
+
+struct Setup {
+    ds: Dataset,
+    model: Arc<NodeSentry>,
+    /// Clean step-major tick stream (every node's sample per step).
+    clean: Vec<Tick>,
+}
+
+static SETUP: OnceLock<Setup> = OnceLock::new();
+
+fn setup() -> &'static Setup {
+    SETUP.get_or_init(|| {
+        let ds = DatasetProfile::tiny().generate();
+        let groups = ds.catalog.group_ids();
+        let inputs: Vec<NodeInput> = (0..ds.n_nodes())
+            .map(|n| NodeInput {
+                raw: ds.raw_node(n),
+                transitions: ds
+                    .schedule
+                    .node_timeline(n)
+                    .iter()
+                    .map(|s| s.start)
+                    .filter(|&s| s > 0)
+                    .collect(),
+            })
+            .collect();
+        let model = NodeSentry::fit(quick_cfg(), &inputs, &groups, ds.split);
+        let transition_sets: Vec<HashSet<usize>> = inputs
+            .iter()
+            .map(|i| i.transitions.iter().copied().collect())
+            .collect();
+        let mut clean = Vec::new();
+        for step in 0..ds.horizon() {
+            for (node, input) in inputs.iter().enumerate() {
+                clean.push(Tick {
+                    node,
+                    step,
+                    values: input.raw.row(step).to_vec(),
+                    transition: transition_sets[node].contains(&step),
+                });
+            }
+        }
+        Setup {
+            ds,
+            model: Arc::new(model),
+            clean,
+        }
+    })
+}
+
+fn cfg_of(setup: &Setup, shards: usize, batched: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::new(setup.ds.split);
+    cfg.n_shards = shards;
+    cfg.reorder_bound = 16;
+    cfg.blackout_gap = 48;
+    cfg.batch_scoring = batched;
+    cfg
+}
+
+fn run(setup: &Setup, stream: &[Tick], cfg: EngineConfig, chunk: usize) -> EngineReport {
+    let engine = Engine::new(Arc::clone(&setup.model), cfg);
+    for batch in stream.chunks(chunk) {
+        engine.ingest(batch.to_vec()).expect("stream shard alive");
+    }
+    engine.finish()
+}
+
+/// Bitwise comparison of two sorted verdict streams.
+fn assert_same_verdicts(batched: &[Verdict], eager: &[Verdict], tag: &str) {
+    assert_eq!(
+        batched.len(),
+        eager.len(),
+        "{tag}: verdict counts diverged ({} batched vs {} eager)",
+        batched.len(),
+        eager.len()
+    );
+    for (b, e) in batched.iter().zip(eager) {
+        assert_eq!((b.node, b.step), (e.node, e.step), "{tag}: stream order");
+        assert_eq!(
+            b.score.to_bits(),
+            e.score.to_bits(),
+            "{tag}: node {} step {}: batched {} vs eager {}",
+            b.node,
+            b.step,
+            b.score,
+            e.score
+        );
+        assert_eq!(
+            b.anomalous, e.anomalous,
+            "{tag}: flag diverged at node {} step {}",
+            b.node, b.step
+        );
+        assert_eq!(
+            b.cluster, e.cluster,
+            "{tag}: cluster diverged at node {} step {}",
+            b.node, b.step
+        );
+        assert_eq!(
+            b.kind, e.kind,
+            "{tag}: kind diverged at node {} step {}",
+            b.node, b.step
+        );
+    }
+}
+
+/// Run both modes over the same stream and hold them bit-identical.
+fn check_stream(stream: &[Tick], chunk: usize, panic_at: Option<(usize, usize)>, tag: &str) {
+    let setup = setup();
+    for shards in SHARDS {
+        let mut bc = cfg_of(setup, shards, true);
+        let mut ec = cfg_of(setup, shards, false);
+        bc.panic_at = panic_at;
+        ec.panic_at = panic_at;
+        let batched = run(setup, stream, bc, chunk);
+        let eager = run(setup, stream, ec, chunk);
+        assert_same_verdicts(
+            &batched.verdicts,
+            &eager.verdicts,
+            &format!("{tag}/s{shards}"),
+        );
+        assert_eq!(
+            batched.stats.n_points, eager.stats.n_points,
+            "{tag}/s{shards}: point counts"
+        );
+        assert_eq!(
+            batched.stats.n_matches, eager.stats.n_matches,
+            "{tag}/s{shards}: match cycle counts"
+        );
+    }
+}
+
+#[test]
+fn clean_feed_step_major_batches() {
+    let setup = setup();
+    let per_step = setup.ds.n_nodes();
+    // One batch per step: the cross-node burst case the batcher targets.
+    check_stream(&setup.clean, per_step, None, "clean/step-major");
+}
+
+#[test]
+fn clean_feed_arbitrary_chunking() {
+    // Chunk sizes that split steps across batches and bundle several
+    // steps per batch: batching must be a pure scheduling change
+    // regardless of arrival framing.
+    let setup = setup();
+    for chunk in [1, 7, 256] {
+        check_stream(&setup.clean, chunk, None, &format!("clean/chunk{chunk}"));
+    }
+}
+
+#[test]
+fn fault_plans_stay_bit_identical() {
+    let setup = setup();
+    let cases: Vec<(&str, FaultEvent)> = vec![
+        (
+            "drop",
+            FaultEvent {
+                node: 0,
+                kind: FaultKind::Drop,
+                start: 420,
+                end: 450,
+                magnitude: 0.6,
+                cols: Vec::new(),
+            },
+        ),
+        (
+            "reorder",
+            FaultEvent {
+                node: 2,
+                kind: FaultKind::Reorder,
+                start: 380,
+                end: 560,
+                magnitude: 4.0,
+                cols: Vec::new(),
+            },
+        ),
+        (
+            "nan-burst",
+            FaultEvent {
+                node: 3,
+                kind: FaultKind::NanBurst,
+                start: 430,
+                end: 445,
+                magnitude: 1.0,
+                cols: Vec::new(),
+            },
+        ),
+        (
+            "blackout",
+            FaultEvent {
+                node: 1,
+                kind: FaultKind::Blackout,
+                start: 420,
+                end: 500,
+                magnitude: 1.0,
+                cols: Vec::new(),
+            },
+        ),
+    ];
+    for (tag, event) in cases {
+        let outcome = FaultInjector::new(FaultPlan::single(event, 0xD1FF)).apply(&setup.clean);
+        check_stream(&outcome.stream, 256, None, &format!("fault/{tag}"));
+    }
+}
+
+#[test]
+fn multi_event_plan_stays_bit_identical() {
+    // Several fault classes live in one plan, hitting different nodes:
+    // the scoring phase sees degraded, suppressed and clean segments in
+    // the same sweep.
+    let setup = setup();
+    let mk = |node, kind, start, end, magnitude| FaultEvent {
+        node,
+        kind,
+        start,
+        end,
+        magnitude,
+        cols: Vec::new(),
+    };
+    let plan = FaultPlan {
+        events: vec![
+            mk(0, FaultKind::Drop, 410, 435, 0.5),
+            mk(2, FaultKind::Reorder, 390, 520, 3.0),
+            mk(3, FaultKind::NanBurst, 460, 475, 1.0),
+        ],
+        seed: 0xBEEF,
+    };
+    let outcome = FaultInjector::new(plan).apply(&setup.clean);
+    check_stream(&outcome.stream, 256, None, "fault/multi");
+}
+
+#[test]
+fn chaos_panic_quarantine_preserves_equivalence() {
+    // A worker panic quarantines the node mid-stream; the surviving
+    // verdict set (including segments queued before the panic tick)
+    // must still match the eager engine's.
+    let setup = setup();
+    let step = setup.ds.split + (setup.ds.horizon() - setup.ds.split) / 2;
+    let per_step = setup.ds.n_nodes();
+    check_stream(&setup.clean, per_step, Some((1, step)), "chaos/step-major");
+    check_stream(&setup.clean, 256, Some((1, step)), "chaos/chunk256");
+}

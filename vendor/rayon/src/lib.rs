@@ -19,6 +19,11 @@
 //!    tests can flip between serial and parallel execution in-process.
 
 /// Number of worker threads a parallel call will use.
+///
+/// The env override is re-read every call (see above), but the
+/// `available_parallelism` fallback is cached: on Linux it walks the
+/// cgroup filesystem, which costs ~15 µs per call — enough to dominate a
+/// small matmul when every kernel dispatch asks for the thread count.
 pub fn current_num_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
@@ -27,9 +32,12 @@ pub fn current_num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Map `f` over `items` on a scoped thread pool, preserving input order.
