@@ -394,6 +394,26 @@ impl NodeSentry {
         }
     }
 
+    /// A stable 64-bit digest of the deployed model: preprocessing
+    /// statistics, cluster library, and every shared model's weights
+    /// (training segments excluded — deployment state does not depend on
+    /// them). Engine snapshots embed this so a restore against a
+    /// different model is rejected instead of silently producing
+    /// non-equivalent verdicts. FNV-1a over the canonical slim JSON
+    /// serialization, which is deterministic (insertion-ordered objects,
+    /// exact float formatting).
+    pub fn fingerprint(&self) -> u64 {
+        let json = self
+            .to_json(false)
+            .unwrap_or_else(|e| format!("unserializable:{e}"));
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in json.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
     /// Restore a detector saved by [`NodeSentry::to_json`].
     pub fn from_json(json: &str) -> serde_json::Result<NodeSentry> {
         // Try the slim envelope first, then the full layout.

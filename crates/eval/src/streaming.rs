@@ -11,6 +11,7 @@
 //! at the workspace root) hold them to `f64::to_bits` equality.
 
 use crate::threshold::KSigmaConfig;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Streaming centered moving-average smoother.
@@ -106,6 +107,37 @@ impl StreamingSmoother {
             base += 1;
         }
     }
+
+    /// Capture the mutable smoothing state for a checkpoint. The window
+    /// size is configuration, not state — [`restore`](Self::restore)
+    /// takes it separately so the caller's config remains the single
+    /// source of truth.
+    pub fn snapshot(&self) -> SmootherState {
+        SmootherState {
+            buf: self.buf.iter().copied().collect(),
+            n_pushed: self.n_pushed,
+            next_out: self.next_out,
+        }
+    }
+
+    /// Rebuild a smoother mid-stream from a [`SmootherState`]. With the
+    /// same `window` as at snapshot time, the restored smoother's future
+    /// outputs are bit-identical to the uninterrupted one's.
+    pub fn restore(window: usize, state: &SmootherState) -> Self {
+        let mut sm = StreamingSmoother::new(window);
+        sm.buf = state.buf.iter().copied().collect();
+        sm.n_pushed = state.n_pushed;
+        sm.next_out = state.next_out;
+        sm
+    }
+}
+
+/// Serializable mid-stream state of a [`StreamingSmoother`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SmootherState {
+    pub buf: Vec<f64>,
+    pub n_pushed: usize,
+    pub next_out: usize,
 }
 
 /// Streaming robust k-sigma detector: a one-point-at-a-time replay of
@@ -169,6 +201,32 @@ impl StreamingKSigma {
         }
         flagged
     }
+
+    /// Capture the mutable detector state for a checkpoint (the
+    /// [`KSigmaConfig`] is configuration and travels separately).
+    pub fn snapshot(&self) -> KSigmaState {
+        KSigmaState {
+            window: self.window.iter().copied().collect(),
+            flagged_run: self.flagged_run,
+        }
+    }
+
+    /// Rebuild a detector mid-stream from a [`KSigmaState`]. With the
+    /// same `cfg` as at snapshot time, future decisions are identical to
+    /// the uninterrupted detector's.
+    pub fn restore(cfg: KSigmaConfig, state: &KSigmaState) -> Self {
+        let mut det = StreamingKSigma::new(cfg);
+        det.window = state.window.iter().copied().collect();
+        det.flagged_run = state.flagged_run;
+        det
+    }
+}
+
+/// Serializable mid-stream state of a [`StreamingKSigma`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KSigmaState {
+    pub window: Vec<f64>,
+    pub flagged_run: usize,
 }
 
 // Duplicated from `threshold` (private there); identical arithmetic.
@@ -246,6 +304,57 @@ mod tests {
                 let mut det = StreamingKSigma::new(cfg);
                 let streamed: Vec<bool> = scores.iter().map(|&s| det.push(s)).collect();
                 assert_eq!(batch, streamed, "w={window} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn smoother_snapshot_restore_continues_bit_identically() {
+        for window in [1usize, 2, 5, 8] {
+            let scores = series(window as u64 + 3, 120);
+            for cut in [0usize, 1, 7, 60, 119] {
+                let mut a = StreamingSmoother::new(window);
+                let mut b = StreamingSmoother::new(window);
+                let mut out_a = Vec::new();
+                let mut out_b = Vec::new();
+                for &s in &scores[..cut] {
+                    out_a.extend(a.push(s));
+                    out_b.extend(b.push(s));
+                }
+                // Restore from the snapshot; the original keeps going.
+                let mut b = StreamingSmoother::restore(window, &b.snapshot());
+                for &s in &scores[cut..] {
+                    out_a.extend(a.push(s));
+                    out_b.extend(b.push(s));
+                }
+                out_a.extend(a.flush());
+                out_b.extend(b.flush());
+                assert_eq!(out_a.len(), out_b.len(), "w={window} cut={cut}");
+                for (x, y) in out_a.iter().zip(&out_b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "w={window} cut={cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ksigma_snapshot_restore_continues_identically() {
+        for window in [3usize, 10, 40] {
+            let cfg = KSigmaConfig {
+                window,
+                ..Default::default()
+            };
+            let scores = series(window as u64 * 13, 300);
+            for cut in [0usize, 5, 150, 299] {
+                let mut a = StreamingKSigma::new(cfg);
+                let mut b = StreamingKSigma::new(cfg);
+                for &s in &scores[..cut] {
+                    assert_eq!(a.push(s), b.push(s));
+                }
+                let mut b = StreamingKSigma::restore(cfg, &b.snapshot());
+                for &s in &scores[cut..] {
+                    assert_eq!(a.push(s), b.push(s), "w={window} cut={cut}");
+                }
             }
         }
     }

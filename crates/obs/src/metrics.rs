@@ -209,6 +209,12 @@ pub fn latency_buckets() -> Vec<f64> {
     exponential_buckets(1e-6, 2.0, 27)
 }
 
+/// Default byte-size ladder: 64 B → 4 GiB in ×4 steps (14 buckets) —
+/// for payload/snapshot size histograms.
+pub fn size_buckets() -> Vec<f64> {
+    exponential_buckets(64.0, 4.0, 14)
+}
+
 // ---------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------

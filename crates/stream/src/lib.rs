@@ -79,13 +79,16 @@
 //! cannot change a verdict bit (`tests/obs_equivalence.rs`).
 
 pub mod metrics;
+pub mod snapshot;
 
-use crate::metrics::{ingest_seconds, node_metrics, ShardMetrics};
+use crate::metrics::{ingest_seconds, node_metrics, snapshot_metrics, ShardMetrics};
+use crate::snapshot::{EngineSnapshot, JobSnap, NodeSnap, PendingSnap, PreSnap, SnapshotError};
 use nodesentry_core::coarse;
 use nodesentry_core::{NodeSentry, Preprocessor};
 use ns_eval::streaming::{StreamingKSigma, StreamingSmoother};
 use ns_linalg::matrix::Matrix;
 use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -135,6 +138,12 @@ pub enum EngineError {
     NoSharedModels,
     /// The OS refused to spawn a worker thread.
     SpawnFailed(String),
+    /// Snapshot bytes were unusable at restore (or incompatible with the
+    /// model/config they were restored against).
+    Snapshot(SnapshotError),
+    /// A shard died between acknowledging a checkpoint request and
+    /// replying with its state.
+    CheckpointIncomplete { got: usize, want: usize },
 }
 
 impl std::fmt::Display for EngineError {
@@ -147,15 +156,25 @@ impl std::fmt::Display for EngineError {
                 write!(f, "model has no shared experts; nothing can score segments")
             }
             EngineError::SpawnFailed(e) => write!(f, "failed to spawn stream worker: {e}"),
+            EngineError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            EngineError::CheckpointIncomplete { got, want } => {
+                write!(f, "checkpoint incomplete: {got} of {want} shards replied")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
+    }
+}
+
 /// Counters for every fault class the engine absorbed, surfaced in
 /// [`EngineReport`]. All zeros on a clean feed.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultCounters {
     /// Ticks rejected because their step was already consumed
     /// (duplicates delivered after their original, or stragglers that
@@ -400,6 +419,51 @@ impl StreamingPreprocessor {
         out
     }
 
+    /// Capture the mutable replay state (the fitted configuration lives
+    /// in the model and is not duplicated here).
+    pub fn state(&self) -> PreSnap {
+        PreSnap {
+            buf: self.buf.iter().cloned().collect(),
+            nan_flags: self.nan_flags.iter().copied().collect(),
+            base: self.base,
+            n_pushed: self.n_pushed,
+            resolved: self.resolved,
+            last_obs: self.last_obs.clone(),
+            last_val: self.last_val.clone(),
+            rate_prev: self.rate_prev.clone(),
+            any_row: self.any_row,
+        }
+    }
+
+    /// Rebuild from a fitted [`Preprocessor`] plus captured state;
+    /// continues bit-identically to the original instance. Refuses
+    /// state whose shape disagrees with the preprocessor (a snapshot
+    /// from a different model).
+    pub fn restore(pre: &Preprocessor, s: &PreSnap) -> Result<Self, SnapshotError> {
+        let mut sp = StreamingPreprocessor::new(pre);
+        let width = sp.groups.len();
+        if s.last_obs.len() != width
+            || s.last_val.len() != width
+            || s.rate_prev.len() != sp.group_counts.len()
+            || s.buf.len() != s.nan_flags.len()
+            || s.buf.iter().any(|row| row.len() != width)
+        {
+            return Err(SnapshotError::Decode(
+                "preprocessor state shape mismatch".into(),
+            ));
+        }
+        sp.buf = s.buf.iter().cloned().collect();
+        sp.nan_flags = s.nan_flags.iter().copied().collect();
+        sp.base = s.base;
+        sp.n_pushed = s.n_pushed;
+        sp.resolved = s.resolved;
+        sp.last_obs = s.last_obs.clone();
+        sp.last_val = s.last_val.clone();
+        sp.rate_prev = s.rate_prev.clone();
+        sp.any_row = s.any_row;
+        Ok(sp)
+    }
+
     /// Emit rows up to the minimum per-column resolution point.
     fn drain_watermark(&mut self) -> Vec<PreRow> {
         let watermark = self
@@ -486,7 +550,7 @@ impl StreamingPreprocessor {
 // ---------------------------------------------------------------------
 
 /// Deployment-cost counters accumulated by one node (merged per shard).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct StreamStats {
     /// Raw ticks ingested.
     pub n_ticks: u64,
@@ -530,6 +594,34 @@ enum RowKind {
     Synthesized,
     /// Delivered but fault-tainted (all-NaN, counter reset, stuck run).
     Faulty,
+}
+
+impl RowKind {
+    /// Snapshot ordinal (pinned: part of the on-disk format).
+    fn to_ordinal(self) -> u8 {
+        match self {
+            RowKind::Clean => 0,
+            RowKind::Synthesized => 1,
+            RowKind::Faulty => 2,
+        }
+    }
+
+    fn from_ordinal(b: u8) -> Result<Self, SnapshotError> {
+        match b {
+            0 => Ok(RowKind::Clean),
+            1 => Ok(RowKind::Synthesized),
+            2 => Ok(RowKind::Faulty),
+            other => Err(SnapshotError::Decode(format!("bad row kind {other}"))),
+        }
+    }
+}
+
+fn kinds_to_ordinals(kinds: &[RowKind]) -> Vec<u8> {
+    kinds.iter().map(|k| k.to_ordinal()).collect()
+}
+
+fn kinds_from_ordinals(bytes: &[u8]) -> Result<Vec<RowKind>, SnapshotError> {
+    bytes.iter().map(|&b| RowKind::from_ordinal(b)).collect()
 }
 
 /// A score waiting for its (lagged) smoothed threshold decision.
@@ -1164,6 +1256,125 @@ impl NodeState {
             kind,
         })
     }
+
+    /// Capture every field that can influence a future verdict bit.
+    /// Configuration-derived fields (widths, watch masks, bounds) are
+    /// rebuilt from the model and [`EngineConfig`] at restore.
+    fn snapshot(&self) -> NodeSnap {
+        NodeSnap {
+            node: self.node,
+            next_step: self.next_step,
+            next_row: self.next_row,
+            pre: self.pre.state(),
+            cuts: self.cuts.iter().copied().collect(),
+            seg_start: self.seg_start,
+            seg_rows: self.seg_rows.clone(),
+            seg_row_kinds: kinds_to_ordinals(&self.seg_row_kinds),
+            matched: self.matched,
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| JobSnap {
+                    start: j.start,
+                    rows: j.rows.clone(),
+                    kinds: kinds_to_ordinals(&j.kinds),
+                    matched: j.matched,
+                    degraded: j.degraded,
+                })
+                .collect(),
+            probe_pending: self.probe_pending,
+            smoother: self.smoother.snapshot(),
+            detector: self.detector.snapshot(),
+            pending: self
+                .pending
+                .iter()
+                .map(|p| PendingSnap {
+                    step: p.step,
+                    score: p.score,
+                    cluster: p.cluster,
+                    suppress: p.suppress,
+                    degraded: p.degraded,
+                })
+                .collect(),
+            ahead: self.ahead.values().cloned().collect(),
+            row_kinds: self.row_kinds.iter().map(|k| k.to_ordinal()).collect(),
+            resync_degraded: self.resync_degraded,
+            prev_raw: self.prev_raw.clone(),
+            runs: self.runs.clone(),
+            stats: self.stats,
+            faults: self.faults,
+        }
+    }
+
+    /// Rebuild a node from its snapshot; the restored state continues
+    /// bit-identically to the original. Shape-validated against the
+    /// model so a mismatched snapshot errors instead of panicking later.
+    fn restore(
+        model: Arc<NodeSentry>,
+        cfg: &EngineConfig,
+        s: &NodeSnap,
+    ) -> Result<Self, SnapshotError> {
+        let mut st = NodeState::new(model, s.node, cfg);
+        if s.prev_raw.len() != st.width || s.runs.len() != st.width {
+            return Err(SnapshotError::Decode(
+                "stuck-watch state width mismatch".into(),
+            ));
+        }
+        if s.seg_row_kinds.len() != s.seg_rows.len() || s.row_kinds.len() < s.pre.buf.len() {
+            return Err(SnapshotError::Decode(
+                "row provenance out of sync with rows".into(),
+            ));
+        }
+        st.next_step = s.next_step;
+        st.next_row = s.next_row;
+        st.pre = StreamingPreprocessor::restore(&st.model.preprocessor, &s.pre)?;
+        st.cuts = s.cuts.iter().copied().collect();
+        st.seg_start = s.seg_start;
+        st.seg_rows = s.seg_rows.clone();
+        st.seg_row_kinds = kinds_from_ordinals(&s.seg_row_kinds)?;
+        st.matched = s.matched;
+        st.jobs = s
+            .jobs
+            .iter()
+            .map(|j| -> Result<SegmentJob, SnapshotError> {
+                let kinds = kinds_from_ordinals(&j.kinds)?;
+                if kinds.len() != j.rows.len() {
+                    return Err(SnapshotError::Decode(
+                        "job provenance out of sync with rows".into(),
+                    ));
+                }
+                Ok(SegmentJob {
+                    start: j.start,
+                    rows: j.rows.clone(),
+                    kinds,
+                    matched: j.matched,
+                    degraded: j.degraded,
+                })
+            })
+            .collect::<Result<VecDeque<_>, _>>()?;
+        st.probe_pending = s.probe_pending;
+        st.smoother = StreamingSmoother::restore(cfg.smooth_window, &s.smoother);
+        st.detector = StreamingKSigma::restore(st.model.cfg.threshold, &s.detector);
+        st.pending = s
+            .pending
+            .iter()
+            .map(|p| PendingScore {
+                step: p.step,
+                score: p.score,
+                cluster: p.cluster,
+                suppress: p.suppress,
+                degraded: p.degraded,
+            })
+            .collect();
+        st.ahead = s.ahead.iter().map(|t| (t.step, t.clone())).collect();
+        st.row_kinds = kinds_from_ordinals(&s.row_kinds)?.into();
+        st.resync_degraded = s.resync_degraded;
+        st.prev_raw = s.prev_raw.clone();
+        st.runs = s.runs.clone();
+        st.stats = s.stats;
+        st.faults = s.faults;
+        Ok(st)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1227,12 +1438,55 @@ impl EngineConfig {
 pub struct EngineReport {
     /// All verdicts, sorted by `(node, step)`.
     pub verdicts: Vec<Verdict>,
-    /// Merged deployment-cost counters across shards.
+    /// Merged deployment-cost counters across shards (carried residuals
+    /// from restored snapshots included).
     pub stats: StreamStats,
     /// Merged fault counters across shards (all zeros on a clean feed).
     pub faults: FaultCounters,
     /// Wall-clock seconds from engine start to finish.
     pub wall_seconds: f64,
+    /// Effective worker shard count the engine actually ran with (after
+    /// the `max(1)` clamp) — report this, not the requested config.
+    pub n_shards: usize,
+    /// Per-shard cost counters in shard order — the load-balance view
+    /// (`per_shard[i].n_ticks` is shard `i`'s tick share).
+    pub per_shard: Vec<StreamStats>,
+}
+
+/// Everything one shard hands back for a checkpoint.
+struct ShardCheckpoint {
+    nodes: Vec<NodeSnap>,
+    quarantined: Vec<usize>,
+    /// Verdicts finalized before the cut, drained from the worker.
+    verdicts: Vec<Verdict>,
+    /// Residual counters of states no longer in the map (quarantined).
+    stats: StreamStats,
+    faults: FaultCounters,
+}
+
+/// What flows down a shard's queue: tick batches, interleaved with
+/// checkpoint barriers. The channel is FIFO, so a checkpoint cuts at a
+/// well-defined batch boundary — every batch ingested before
+/// [`Engine::checkpoint`] is reflected in the snapshot, everything after
+/// belongs to the tail.
+enum ShardMsg {
+    Batch(Vec<Tick>),
+    Checkpoint(mpsc::Sender<ShardCheckpoint>),
+}
+
+/// One engine checkpoint: the serialized state plus the verdicts the cut
+/// finalized.
+pub struct EngineCheckpoint {
+    /// Decoded snapshot (already validated — it was just built).
+    pub snapshot: EngineSnapshot,
+    /// The snapshot's wire encoding ([`EngineSnapshot::to_bytes`]),
+    /// produced here so callers persist exactly what was measured.
+    pub bytes: Vec<u8>,
+    /// Verdicts finalized before the cut, sorted by `(node, step)`.
+    /// They are *drained*: a later [`Engine::finish`] returns only
+    /// post-checkpoint verdicts, so prefix + tail is exactly the
+    /// uninterrupted verdict set.
+    pub verdicts: Vec<Verdict>,
 }
 
 /// Sharded concurrent streaming engine over a trained [`NodeSentry`].
@@ -1245,10 +1499,18 @@ pub struct EngineReport {
 /// let report = engine.finish();
 /// ```
 pub struct Engine {
-    senders: Vec<mpsc::SyncSender<Vec<Tick>>>,
+    senders: Vec<mpsc::SyncSender<ShardMsg>>,
     #[allow(clippy::type_complexity)]
     workers: Vec<std::thread::JoinHandle<(Vec<Verdict>, StreamStats, FaultCounters)>>,
     n_shards: usize,
+    cfg: EngineConfig,
+    model_fingerprint: u64,
+    /// Residuals inherited from a restored snapshot: counters of nodes
+    /// that were already dead (quarantined/flushed) at checkpoint time.
+    /// Merged into [`Engine::finish`] and re-carried by later
+    /// checkpoints.
+    carried_stats: StreamStats,
+    carried_faults: FaultCounters,
     started: Instant,
     /// Per-shard in-flight batch gauges (incremented on send, decremented
     /// by the worker on receive); no-ops while ns-obs is disabled.
@@ -1264,15 +1526,35 @@ impl Engine {
     }
 
     pub fn try_new(model: Arc<NodeSentry>, cfg: EngineConfig) -> Result<Self, EngineError> {
+        Self::spawn(
+            model,
+            cfg,
+            Vec::new(),
+            StreamStats::default(),
+            FaultCounters::default(),
+        )
+    }
+
+    /// Spawn the worker pool, seeding shard `i` with `init[i]` (restored
+    /// node states + quarantined ids) when provided.
+    fn spawn(
+        model: Arc<NodeSentry>,
+        cfg: EngineConfig,
+        mut init: Vec<(FxHashMap<usize, NodeState>, FxHashSet<usize>)>,
+        carried_stats: StreamStats,
+        carried_faults: FaultCounters,
+    ) -> Result<Self, EngineError> {
         if model.shared_models.is_empty() {
             return Err(EngineError::NoSharedModels);
         }
         let n_shards = cfg.n_shards.max(1);
+        init.resize_with(n_shards, Default::default);
+        let model_fingerprint = model.fingerprint();
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         let mut queue_gauges = Vec::with_capacity(n_shards);
-        for shard in 0..n_shards {
-            let (tx, rx) = mpsc::sync_channel::<Vec<Tick>>(cfg.queue_depth.max(1));
+        for (shard, (states, quarantined)) in init.drain(..).enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<ShardMsg>(cfg.queue_depth.max(1));
             let model = Arc::clone(&model);
             // Registration is idempotent: this resolves to the same
             // underlying gauge the worker's `ShardMetrics` decrements.
@@ -1283,7 +1565,7 @@ impl Engine {
             ));
             let handle = std::thread::Builder::new()
                 .name(format!("ns-stream-{shard}"))
-                .spawn(move || worker_loop(shard, rx, model, cfg))
+                .spawn(move || worker_loop(shard, rx, model, cfg, states, quarantined))
                 .map_err(|e| EngineError::SpawnFailed(e.to_string()))?;
             senders.push(tx);
             workers.push(handle);
@@ -1292,9 +1574,138 @@ impl Engine {
             senders,
             workers,
             n_shards,
+            cfg,
+            model_fingerprint,
+            carried_stats,
+            carried_faults,
             started: Instant::now(),
             queue_gauges,
             ingest_hist: ingest_seconds(),
+        })
+    }
+
+    /// Rebuild an engine from a snapshot; replaying the remaining ticks
+    /// produces verdicts bit-identical to the uninterrupted run. The
+    /// snapshot must come from the same trained model (fingerprint) and
+    /// agree on the bit-critical config fields (`split`,
+    /// `smooth_window`); `cfg.n_shards` is free — node states are
+    /// re-routed by `node % n_shards`, which is how live resharding and
+    /// shard rebalancing work.
+    pub fn restore(
+        model: Arc<NodeSentry>,
+        cfg: EngineConfig,
+        snap: &EngineSnapshot,
+    ) -> Result<Self, EngineError> {
+        let t0 = Instant::now();
+        let fp = model.fingerprint();
+        if snap.model_fingerprint != fp {
+            return Err(SnapshotError::ModelMismatch {
+                snapshot: snap.model_fingerprint,
+                model: fp,
+            }
+            .into());
+        }
+        if snap.split != cfg.split {
+            return Err(SnapshotError::ConfigMismatch {
+                field: "split",
+                snapshot: snap.split as u64,
+                config: cfg.split as u64,
+            }
+            .into());
+        }
+        if snap.smooth_window != cfg.smooth_window {
+            return Err(SnapshotError::ConfigMismatch {
+                field: "smooth_window",
+                snapshot: snap.smooth_window as u64,
+                config: cfg.smooth_window as u64,
+            }
+            .into());
+        }
+        let n_shards = cfg.n_shards.max(1);
+        let mut init: Vec<(FxHashMap<usize, NodeState>, FxHashSet<usize>)> = Vec::new();
+        init.resize_with(n_shards, Default::default);
+        for ns in &snap.nodes {
+            let state = NodeState::restore(Arc::clone(&model), &cfg, ns)?;
+            init[ns.node % n_shards].0.insert(ns.node, state);
+        }
+        for &q in &snap.quarantined {
+            init[q % n_shards].1.insert(q);
+        }
+        let engine = Self::spawn(model, cfg, init, snap.carried_stats, snap.carried_faults)?;
+        snapshot_metrics()
+            .restore_seconds
+            .observe(t0.elapsed().as_secs_f64());
+        Ok(engine)
+    }
+
+    /// [`Engine::restore`] straight from wire bytes.
+    pub fn restore_bytes(
+        model: Arc<NodeSentry>,
+        cfg: EngineConfig,
+        bytes: &[u8],
+    ) -> Result<Self, EngineError> {
+        let snap = EngineSnapshot::from_bytes(bytes)?;
+        Self::restore(model, cfg, &snap)
+    }
+
+    /// Consistent checkpoint at the current batch boundary.
+    ///
+    /// A barrier message rides each shard's FIFO queue behind every
+    /// batch ingested so far, so the snapshot reflects exactly those
+    /// batches. Verdicts finalized before the cut are drained into the
+    /// returned [`EngineCheckpoint`] — the engine keeps running, and a
+    /// later [`finish`](Engine::finish) (or next checkpoint) yields only
+    /// what came after, making prefix + tail equal the uninterrupted
+    /// verdict set.
+    pub fn checkpoint(&self) -> Result<EngineCheckpoint, EngineError> {
+        let t0 = Instant::now();
+        let (tx, rx) = mpsc::channel::<ShardCheckpoint>();
+        for (shard, sender) in self.senders.iter().enumerate() {
+            sender
+                .send(ShardMsg::Checkpoint(tx.clone()))
+                .map_err(|_| EngineError::ShardClosed { shard })?;
+        }
+        drop(tx);
+        let parts: Vec<ShardCheckpoint> = rx.iter().collect();
+        if parts.len() != self.n_shards {
+            return Err(EngineError::CheckpointIncomplete {
+                got: parts.len(),
+                want: self.n_shards,
+            });
+        }
+        let mut nodes = Vec::new();
+        let mut quarantined = Vec::new();
+        let mut verdicts = Vec::new();
+        let mut carried_stats = self.carried_stats;
+        let mut carried_faults = self.carried_faults;
+        for part in parts {
+            nodes.extend(part.nodes);
+            quarantined.extend(part.quarantined);
+            verdicts.extend(part.verdicts);
+            carried_stats.merge(&part.stats);
+            carried_faults.merge(&part.faults);
+        }
+        nodes.sort_by_key(|n| n.node);
+        quarantined.sort_unstable();
+        verdicts.sort_by_key(|v| (v.node, v.step));
+        let snapshot = EngineSnapshot {
+            model_fingerprint: self.model_fingerprint,
+            split: self.cfg.split,
+            smooth_window: self.cfg.smooth_window,
+            n_shards: self.n_shards,
+            nodes,
+            quarantined,
+            carried_stats,
+            carried_faults,
+        };
+        let bytes = snapshot.to_bytes();
+        let sm = snapshot_metrics();
+        sm.snapshot_bytes.observe(bytes.len() as f64);
+        sm.checkpoint_seconds.observe(t0.elapsed().as_secs_f64());
+        Ok(EngineCheckpoint {
+            snapshot,
+            bytes,
+            verdicts,
         })
     }
 
@@ -1329,10 +1740,12 @@ impl Engine {
     /// in-flight batches and never goes negative, rolled back on failure.
     fn send_to(&self, shard: usize, ticks: Vec<Tick>) -> Result<(), EngineError> {
         self.queue_gauges[shard].add(1);
-        self.senders[shard].send(ticks).map_err(|_| {
-            self.queue_gauges[shard].sub(1);
-            EngineError::ShardClosed { shard }
-        })
+        self.senders[shard]
+            .send(ShardMsg::Batch(ticks))
+            .map_err(|_| {
+                self.queue_gauges[shard].sub(1);
+                EngineError::ShardClosed { shard }
+            })
     }
 
     /// Serve the process-global ns-obs registry — every live engine
@@ -1352,16 +1765,21 @@ impl Engine {
     pub fn finish(self) -> EngineReport {
         drop(self.senders);
         let mut verdicts = Vec::new();
-        let mut stats = StreamStats::default();
-        let mut faults = FaultCounters::default();
+        let mut stats = self.carried_stats;
+        let mut faults = self.carried_faults;
+        let mut per_shard = Vec::with_capacity(self.workers.len());
         for handle in self.workers {
             match handle.join() {
                 Ok((v, s, f)) => {
                     verdicts.extend(v);
                     stats.merge(&s);
                     faults.merge(&f);
+                    per_shard.push(s);
                 }
-                Err(_) => faults.worker_crashes += 1,
+                Err(_) => {
+                    faults.worker_crashes += 1;
+                    per_shard.push(StreamStats::default());
+                }
             }
         }
         verdicts.sort_by_key(|v| (v.node, v.step));
@@ -1370,6 +1788,8 @@ impl Engine {
             stats,
             faults,
             wall_seconds: self.started.elapsed().as_secs_f64(),
+            n_shards: self.n_shards,
+            per_shard,
         }
     }
 }
@@ -1528,20 +1948,48 @@ fn meter_verdicts(vs: &[Verdict]) {
 
 fn worker_loop(
     shard: usize,
-    rx: mpsc::Receiver<Vec<Tick>>,
+    rx: mpsc::Receiver<ShardMsg>,
     model: Arc<NodeSentry>,
     cfg: EngineConfig,
+    mut states: FxHashMap<usize, NodeState>,
+    mut quarantined: FxHashSet<usize>,
 ) -> (Vec<Verdict>, StreamStats, FaultCounters) {
     let width = model.preprocessor.groups.len();
     let m = ShardMetrics::new(shard);
-    let mut states: FxHashMap<usize, NodeState> = FxHashMap::default();
-    let mut quarantined: FxHashSet<usize> = FxHashSet::default();
     let mut verdicts = Vec::new();
     let mut stats = StreamStats::default();
     let mut faults = FaultCounters::default();
     // Cumulative fault snapshot already bridged into the live counters.
+    // Restored states start with their historical faults already counted
+    // (bridged before the checkpoint), so baseline on them instead of
+    // re-announcing old faults to the live registry.
     let mut published = FaultCounters::default();
-    while let Ok(batch) = rx.recv() {
+    for state in states.values() {
+        published.merge(&state.faults);
+    }
+    while let Ok(msg) = rx.recv() {
+        let batch = match msg {
+            ShardMsg::Batch(batch) => batch,
+            ShardMsg::Checkpoint(reply) => {
+                let mut node_ids: Vec<usize> = states.keys().copied().collect();
+                node_ids.sort_unstable();
+                let part = ShardCheckpoint {
+                    nodes: node_ids
+                        .iter()
+                        .filter_map(|n| states.get(n))
+                        .map(NodeState::snapshot)
+                        .collect(),
+                    quarantined: quarantined.iter().copied().collect(),
+                    verdicts: std::mem::take(&mut verdicts),
+                    stats,
+                    faults,
+                };
+                // A vanished checkpoint caller is its problem, not the
+                // stream's: keep serving ticks.
+                let _ = reply.send(part);
+                continue;
+            }
+        };
         m.queue_depth.sub(1);
         m.ticks_total.add(batch.len() as u64);
         for tick in batch {

@@ -20,6 +20,9 @@
 //! | [`TICKS_TOTAL`] | counter | `shard` | ticks accepted off the queue |
 //! | [`VERDICTS_TOTAL`] | counter | `kind` (`ok`/`degraded`) | verdicts emitted |
 //! | [`FAULTS_TOTAL`] | counter | `class` | live view of every [`FaultCounters`] field |
+//! | [`SNAPSHOT_BYTES`] | histogram | — | encoded engine snapshot size |
+//! | [`CHECKPOINT_SECONDS`] | histogram | — | one checkpoint barrier, end to end |
+//! | [`RESTORE_SECONDS`] | histogram | — | one restore from snapshot bytes |
 //!
 //! All updates are no-ops while `ns_obs` metrics are disabled; nothing
 //! here reads or writes pipeline data, which is how the engine keeps its
@@ -27,7 +30,7 @@
 //! (`tests/obs_equivalence.rs`).
 
 use crate::FaultCounters;
-use ns_obs::metrics::{global, latency_buckets, Counter, Gauge, Histogram};
+use ns_obs::metrics::{global, latency_buckets, size_buckets, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// Gauge: tick batches currently queued for a shard (`shard` label).
@@ -52,6 +55,13 @@ pub const TICKS_TOTAL: &str = "ns_stream_ticks_total";
 pub const VERDICTS_TOTAL: &str = "ns_stream_verdicts_total";
 /// Counter: absorbed stream faults, labeled `class=<FaultCounters field>`.
 pub const FAULTS_TOTAL: &str = "ns_stream_faults_total";
+/// Histogram: encoded size of one engine snapshot, bytes.
+pub const SNAPSHOT_BYTES: &str = "ns_stream_snapshot_bytes";
+/// Histogram: seconds one `Engine::checkpoint` barrier took end to end.
+pub const CHECKPOINT_SECONDS: &str = "ns_stream_checkpoint_seconds";
+/// Histogram: seconds one `Engine::restore` took (decode + state rebuild
+/// + worker spawn).
+pub const RESTORE_SECONDS: &str = "ns_stream_restore_seconds";
 
 /// Handles used from per-node pipeline code (match/score/verdict path).
 /// One set per process — every engine and shard shares them.
@@ -117,6 +127,41 @@ pub(crate) fn node_metrics() -> &'static NodeMetrics {
                 VERDICTS_TOTAL,
                 "Verdicts emitted by kind.",
                 &[("kind", "degraded")],
+            ),
+        }
+    })
+}
+
+/// Handles for the checkpoint/restore lifecycle path.
+pub(crate) struct SnapshotMetrics {
+    pub snapshot_bytes: Histogram,
+    pub checkpoint_seconds: Histogram,
+    pub restore_seconds: Histogram,
+}
+
+pub(crate) fn snapshot_metrics() -> &'static SnapshotMetrics {
+    static CELL: OnceLock<SnapshotMetrics> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = global();
+        let lat = latency_buckets();
+        SnapshotMetrics {
+            snapshot_bytes: reg.histogram(
+                SNAPSHOT_BYTES,
+                "Encoded engine snapshot size in bytes.",
+                &[],
+                &size_buckets(),
+            ),
+            checkpoint_seconds: reg.histogram(
+                CHECKPOINT_SECONDS,
+                "Seconds per engine checkpoint barrier, end to end.",
+                &[],
+                &lat,
+            ),
+            restore_seconds: reg.histogram(
+                RESTORE_SECONDS,
+                "Seconds per engine restore from a snapshot.",
+                &[],
+                &lat,
             ),
         }
     })

@@ -488,9 +488,30 @@ impl MetricCatalog {
     /// matrix. Deterministic in `(node_seed, metric, t)`. Parallel over
     /// metrics.
     pub fn expand(&self, latent: &[SignalFrame], node_seed: u64) -> Matrix {
-        let t_len = latent.len();
+        self.expand_range(latent, node_seed, 0, latent.len())
+    }
+
+    /// Expand only rows `[start, end)` of the raw matrix, bit-identical
+    /// to the same rows of [`expand`](Self::expand) over the full
+    /// timeline. Cumulative counter metrics replay their prefix sum over
+    /// `[0, start)` in the same order as the full expansion, so chunked
+    /// generation (the streaming tick replay, checkpoint-tail resume)
+    /// reproduces the exact batch values without ever materialising the
+    /// whole `T × M` matrix.
+    pub fn expand_range(
+        &self,
+        latent: &[SignalFrame],
+        node_seed: u64,
+        start: usize,
+        end: usize,
+    ) -> Matrix {
+        assert!(start <= end && end <= latent.len(), "row range in bounds");
+        let t_len = end - start;
         let m = self.metrics.len();
         let mut out = Matrix::zeros(t_len, m);
+        if t_len == 0 || m == 0 {
+            return out;
+        }
         // Column-parallel fill into a transposed scratch, then transpose:
         // each metric owns a contiguous row there.
         let mut scratch = vec![0.0f64; m * t_len];
@@ -507,8 +528,16 @@ impl MetricCatalog {
                     }
                     None => 1.0,
                 };
+                // Counters accumulate from t = 0; replay the prefix with
+                // the identical addition order so the range is bit-exact.
                 let mut counter_acc = 0.0f64;
-                for (t, frame) in latent.iter().enumerate() {
+                if matches!(def.transform, Transform::Counter) {
+                    for frame in &latent[..start] {
+                        let base = def.scale * frame[def.signal] * share_w + def.offset;
+                        counter_acc += base.max(0.0);
+                    }
+                }
+                for (t, frame) in latent.iter().enumerate().take(end).skip(start) {
                     let sig_t = match def.transform {
                         Transform::Lagged(lag) => {
                             let idx = t.saturating_sub(lag);
@@ -526,7 +555,7 @@ impl MetricCatalog {
                         Transform::Saturated => (base + n).min(def.scale * 0.7 + def.offset),
                         _ => base + n,
                     };
-                    col[t] = v;
+                    col[t - start] = v;
                 }
             });
         for t in 0..t_len {
@@ -615,6 +644,26 @@ mod tests {
         assert_eq!(a, b);
         let c = cat.expand(&latent, 43);
         assert_ne!(a, c, "different node seeds must differ");
+    }
+
+    #[test]
+    fn expand_range_is_bit_identical_to_full_expansion() {
+        let cat = MetricCatalog::build(CatalogSpec::small());
+        let latent = ramp_latent(90);
+        let full = cat.expand(&latent, 42);
+        for (start, end) in [(0, 90), (0, 17), (17, 40), (40, 90), (89, 90), (30, 30)] {
+            let part = cat.expand_range(&latent, 42, start, end);
+            assert_eq!(part.shape(), (end - start, cat.len()));
+            for t in start..end {
+                for j in 0..cat.len() {
+                    assert_eq!(
+                        part[(t - start, j)].to_bits(),
+                        full[(t, j)].to_bits(),
+                        "cell ({t},{j}) of range {start}..{end}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -184,9 +184,21 @@ impl Dataset {
     /// Raw `T × M` metric matrix for a node, with collection losses
     /// punched in as NaN at `missing_rate` (cleaned by preprocessing).
     pub fn raw_node(&self, node: usize) -> Matrix {
-        let mut m = self.catalog.expand(
+        self.raw_rows(node, 0, self.horizon())
+    }
+
+    /// Rows `[start, end)` of [`raw_node`](Self::raw_node), bit-identical
+    /// to the corresponding slice of the full matrix. The NaN punch is a
+    /// pure per-cell hash of the *global* step index, so chunked
+    /// generation reproduces the exact collection losses. This is what
+    /// lets the streaming replay drive thousand-node deployments without
+    /// ever holding a full raw matrix per node.
+    pub fn raw_rows(&self, node: usize, start: usize, end: usize) -> Matrix {
+        let mut m = self.catalog.expand_range(
             &self.latent[node],
             self.profile.seed ^ ((node as u64) << 16),
+            start,
+            end,
         );
         if self.profile.missing_rate > 0.0 {
             let threshold = (self.profile.missing_rate * u32::MAX as f64) as u32;
@@ -197,7 +209,7 @@ impl Dataset {
                         self.profile.seed
                             ^ 0xBAD
                             ^ ((node as u64) << 48)
-                            ^ ((t as u64) << 20)
+                            ^ (((start + t) as u64) << 20)
                             ^ j as u64,
                     );
                     if (h as u32) < threshold {
@@ -281,6 +293,26 @@ mod tests {
         for n in 0..ds.n_nodes() {
             let labels = ds.labels(n);
             assert!(labels[..ds.split].iter().all(|&b| !b));
+        }
+    }
+
+    #[test]
+    fn raw_rows_match_full_matrix_slices_bit_for_bit() {
+        let ds = DatasetProfile::tiny().generate();
+        let h = ds.horizon();
+        let full = ds.raw_node(1);
+        for (start, end) in [(0, h), (0, 64), (64, 200), (h - 1, h), (300, 300)] {
+            let part = ds.raw_rows(1, start, end);
+            assert_eq!(part.shape(), (end - start, full.cols()));
+            for t in start..end {
+                for j in 0..full.cols() {
+                    assert_eq!(
+                        part[(t - start, j)].to_bits(),
+                        full[(t, j)].to_bits(),
+                        "cell ({t},{j}) of range {start}..{end} (NaN punch included)"
+                    );
+                }
+            }
         }
     }
 

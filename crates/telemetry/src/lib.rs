@@ -24,6 +24,7 @@ pub mod archetype;
 pub mod catalog;
 pub mod dataset;
 pub mod faults;
+pub mod replay;
 pub mod schedule;
 pub mod signals;
 pub mod simulator;
@@ -35,5 +36,6 @@ pub use dataset::{Dataset, DatasetProfile, DatasetStats};
 pub use faults::{
     FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultPlanSpec, ALL_FAULTS,
 };
+pub use replay::TickReplay;
 pub use schedule::{JobRecord, NodeSegment, Schedule, ScheduleConfig};
 pub use signals::{Signal, SignalFrame, NUM_SIGNALS};

@@ -1,0 +1,128 @@
+//! Property-based elastic lifecycle: for *arbitrary* seeded fault
+//! plans, an arbitrary checkpoint cut, and arbitrary pre/post shard
+//! counts, checkpoint → kill → restore-from-bytes → replay-tail must be
+//! indistinguishable — bit for bit — from the engine that never
+//! stopped, and the snapshot itself must survive a restore→checkpoint
+//! round trip byte-identically.
+
+#[path = "snapshot_common/mod.rs"]
+mod common;
+
+use common::{assert_verdicts_identical, engine_cfg, run_uninterrupted, setup, CHUNK};
+use nodesentry::stream::snapshot::EngineSnapshot;
+use nodesentry::stream::Engine;
+use nodesentry::telemetry::{FaultInjector, FaultPlan, FaultPlanSpec, ALL_FAULTS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_cut_and_reshard_replay_bit_identically(
+        seed in any::<u64>(),
+        rate_pct in 2usize..12,
+        pre_shards in 1usize..5,
+        post_shards in 1usize..5,
+        cut_pct in 5usize..95,
+        chunk in 32usize..400,
+    ) {
+        let s = setup();
+        let spec = FaultPlanSpec {
+            seed,
+            window: (1, s.ds.horizon()),
+            kinds: ALL_FAULTS.to_vec(),
+            rate: rate_pct as f64 / 100.0,
+            event_len: (2, 30),
+            n_cols: s.n_cols,
+            counter_cols: s.counter_cols.clone(),
+        };
+        let plan = FaultPlan::random(&spec, s.ds.n_nodes());
+        let outcome = FaultInjector::new(plan).apply(&s.clean);
+
+        let reference = run_uninterrupted(s, &outcome.stream, engine_cfg(s, pre_shards));
+
+        let cut = outcome.stream.len() * cut_pct / 100;
+        let engine = Engine::new(Arc::clone(&s.model), engine_cfg(s, pre_shards));
+        for batch in outcome.stream[..cut].chunks(chunk) {
+            engine.ingest(batch.to_vec()).expect("prefix shard alive");
+        }
+        let ckpt = engine.checkpoint().expect("checkpoint");
+        drop(engine);
+
+        // Encode → decode → encode is byte-stable.
+        let decoded = EngineSnapshot::from_bytes(&ckpt.bytes).expect("decode");
+        prop_assert_eq!(decoded.to_bytes(), ckpt.bytes.clone(), "re-encode changed bytes");
+
+        let restored = Engine::restore_bytes(
+            Arc::clone(&s.model),
+            engine_cfg(s, post_shards),
+            &ckpt.bytes,
+        )
+        .expect("restore");
+        // A freshly restored engine checkpoints back to the identical
+        // state. The only field allowed to move is `n_shards`, which
+        // records the layout of the engine that *took* the checkpoint;
+        // with an unchanged layout the bytes themselves must match.
+        let echo = restored.checkpoint().expect("echo checkpoint");
+        prop_assert!(echo.verdicts.is_empty(), "restored engine invented verdicts");
+        if pre_shards == post_shards {
+            prop_assert_eq!(&echo.bytes, &ckpt.bytes, "restore→checkpoint not byte-stable");
+        } else {
+            let mut echo_snap = EngineSnapshot::from_bytes(&echo.bytes).expect("echo decode");
+            prop_assert_eq!(echo_snap.n_shards, post_shards);
+            echo_snap.n_shards = decoded.n_shards;
+            // Byte-level comparison: derived equality is NaN-hostile.
+            prop_assert_eq!(echo_snap.to_bytes(), ckpt.bytes.clone(), "restored state drifted");
+        }
+
+        for batch in outcome.stream[cut..].chunks(chunk) {
+            restored.ingest(batch.to_vec()).expect("tail shard alive");
+        }
+        let tail = restored.finish();
+        prop_assert_eq!(tail.n_shards, post_shards, "effective shard count misreported");
+
+        let mut verdicts = ckpt.verdicts;
+        verdicts.extend(tail.verdicts.iter().cloned());
+        verdicts.sort_by_key(|v| (v.node, v.step));
+        assert_verdicts_identical(
+            &verdicts,
+            &reference.verdicts,
+            &format!(
+                "seed={seed:#x} rate={rate_pct}% cut={cut_pct}% {pre_shards}->{post_shards}"
+            ),
+        );
+    }
+
+    #[test]
+    fn clean_feed_random_cut_keeps_every_chunk_size_honest(
+        cut_pct in 5usize..95,
+        shards in 1usize..5,
+    ) {
+        let s = setup();
+        let reference = run_uninterrupted(s, &s.clean, engine_cfg(s, shards));
+        let cut = s.clean.len() * cut_pct / 100;
+        let engine = Engine::new(Arc::clone(&s.model), engine_cfg(s, shards));
+        for batch in s.clean[..cut].chunks(CHUNK) {
+            engine.ingest(batch.to_vec()).expect("prefix shard alive");
+        }
+        let ckpt = engine.checkpoint().expect("checkpoint");
+        drop(engine);
+        let restored =
+            Engine::restore_bytes(Arc::clone(&s.model), engine_cfg(s, shards), &ckpt.bytes)
+                .expect("restore");
+        for batch in s.clean[cut..].chunks(CHUNK) {
+            restored.ingest(batch.to_vec()).expect("tail shard alive");
+        }
+        let tail = restored.finish();
+        prop_assert!(tail.faults.is_clean(), "clean tail tripped counters: {:?}", tail.faults);
+        let mut verdicts = ckpt.verdicts;
+        verdicts.extend(tail.verdicts.iter().cloned());
+        verdicts.sort_by_key(|v| (v.node, v.step));
+        assert_verdicts_identical(
+            &verdicts,
+            &reference.verdicts,
+            &format!("clean cut={cut_pct}% s={shards}"),
+        );
+    }
+}

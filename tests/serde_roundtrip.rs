@@ -82,3 +82,176 @@ fn fit_serialize_deserialize_scores_identically() {
         assert_eq!(json, json2, "serialization not stable across a round-trip");
     }
 }
+
+// ---------------------------------------------------------------------
+// Snapshot wire format: value round trips and the pinned v1 golden file
+// ---------------------------------------------------------------------
+
+mod snapshot_format {
+    use nodesentry::eval::streaming::{KSigmaState, SmootherState};
+    use nodesentry::stream::snapshot::{
+        EngineSnapshot, JobSnap, NodeSnap, PendingSnap, PreSnap, SNAPSHOT_VERSION,
+    };
+    use nodesentry::stream::{FaultCounters, StreamStats, Tick};
+
+    /// The golden snapshot: deterministic, hand-built, touching every
+    /// field the format carries — including float bit patterns (negative
+    /// zero, infinities, a subnormal) that a text codec would mangle.
+    /// Regenerating the fixture (`NS_REGEN_FIXTURES=1`) is a conscious
+    /// format change and must come with a `SNAPSHOT_VERSION` bump.
+    fn golden() -> EngineSnapshot {
+        let pre = PreSnap {
+            buf: vec![vec![1.5, -0.0, 0.25], vec![f64::INFINITY, -2.0, 5e-324]],
+            nan_flags: vec![true, false],
+            base: 41,
+            n_pushed: 43,
+            resolved: 41,
+            last_obs: vec![Some(42), None, Some(40)],
+            last_val: vec![0.125, -1.0, f64::NEG_INFINITY],
+            rate_prev: vec![3.5, 0.0],
+            any_row: true,
+        };
+        let full = NodeSnap {
+            node: 5,
+            next_step: 43,
+            next_row: 19,
+            pre,
+            cuts: vec![12, 24, 36],
+            seg_start: 36,
+            seg_rows: vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]],
+            seg_row_kinds: vec![0, 1],
+            matched: Some(2),
+            jobs: vec![JobSnap {
+                start: 24,
+                rows: vec![vec![-0.5, 0.5, 1.5]],
+                kinds: vec![2],
+                matched: None,
+                degraded: true,
+            }],
+            probe_pending: true,
+            smoother: SmootherState {
+                buf: vec![0.75, -0.25],
+                n_pushed: 40,
+                next_out: 38,
+            },
+            detector: KSigmaState {
+                window: vec![0.1, 0.2, 0.9, 0.15],
+                flagged_run: 2,
+            },
+            pending: vec![PendingSnap {
+                step: 42,
+                score: 0.875,
+                cluster: 1,
+                suppress: false,
+                degraded: true,
+            }],
+            ahead: vec![Tick {
+                node: 5,
+                step: 45,
+                values: vec![1.0, -0.0, 2.5],
+                transition: true,
+            }],
+            row_kinds: vec![0, 1, 2, 0],
+            resync_degraded: true,
+            prev_raw: vec![9.75, -3.5, 0.0],
+            runs: vec![0, 4, 1],
+            stats: StreamStats {
+                n_ticks: 43,
+                ..Default::default()
+            },
+            faults: FaultCounters {
+                synthesized_rows: 2,
+                late_ticks: 1,
+                ..Default::default()
+            },
+        };
+        let mut minimal = full.clone();
+        minimal.node = 0;
+        minimal.pre.buf.clear();
+        minimal.pre.nan_flags.clear();
+        minimal.jobs.clear();
+        minimal.pending.clear();
+        minimal.ahead.clear();
+        minimal.matched = None;
+        EngineSnapshot {
+            model_fingerprint: 0x0123_4567_89AB_CDEF,
+            split: 360,
+            smooth_window: 1,
+            n_shards: 4,
+            nodes: vec![minimal, full],
+            quarantined: vec![2, 9],
+            carried_stats: StreamStats {
+                n_ticks: 17,
+                ..Default::default()
+            },
+            carried_faults: FaultCounters {
+                quarantine_dropped: 4,
+                ..Default::default()
+            },
+        }
+    }
+
+    const FIXTURE: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/engine_snapshot_v1.bin"
+    );
+
+    /// Every snapshot type survives the self-describing `Value` layer —
+    /// the same layer the binary codec serializes — losslessly.
+    #[test]
+    fn snapshot_types_roundtrip_through_serde_values() {
+        use serde::{Deserialize, Serialize};
+
+        let snap = golden();
+        let v = snap.to_value();
+        let back = EngineSnapshot::from_value(&v).expect("EngineSnapshot");
+        assert_eq!(back, snap);
+
+        let node = &snap.nodes[1];
+        assert_eq!(
+            &NodeSnap::from_value(&node.to_value()).expect("NodeSnap"),
+            node
+        );
+        assert_eq!(
+            PreSnap::from_value(&node.pre.to_value()).expect("PreSnap"),
+            node.pre
+        );
+        assert_eq!(
+            JobSnap::from_value(&node.jobs[0].to_value()).expect("JobSnap"),
+            node.jobs[0]
+        );
+        assert_eq!(
+            PendingSnap::from_value(&node.pending[0].to_value()).expect("PendingSnap"),
+            node.pending[0]
+        );
+        // Type confusion fails typed, not silently.
+        assert!(PreSnap::from_value(&node.jobs[0].to_value()).is_err());
+    }
+
+    /// The checked-in fixture pins the on-disk format: if this test
+    /// fails, the wire encoding changed, which breaks every snapshot
+    /// already persisted by a deployment. Bump `SNAPSHOT_VERSION`, keep
+    /// a decoder for v1, and only then regenerate with
+    /// `NS_REGEN_FIXTURES=1 cargo test --test serde_roundtrip`.
+    #[test]
+    fn golden_fixture_pins_the_v1_wire_format() {
+        let bytes = golden().to_bytes();
+        if std::env::var_os("NS_REGEN_FIXTURES").is_some() {
+            std::fs::write(FIXTURE, &bytes).expect("write fixture");
+            eprintln!("regenerated {FIXTURE} ({} bytes)", bytes.len());
+        }
+        let pinned = std::fs::read(FIXTURE)
+            .expect("fixture missing — run with NS_REGEN_FIXTURES=1 once to create it");
+        assert_eq!(
+            SNAPSHOT_VERSION, 1,
+            "version bumped: add a migration path and a new fixture instead of editing v1's"
+        );
+        assert_eq!(
+            bytes, pinned,
+            "snapshot wire encoding drifted from the checked-in v1 fixture"
+        );
+        // And the pinned bytes still decode to the golden value.
+        let decoded = EngineSnapshot::from_bytes(&pinned).expect("decode fixture");
+        assert_eq!(decoded, golden());
+    }
+}
