@@ -9,8 +9,8 @@
 use nodesentry_core::{NodeInput, NodeSentry};
 use ns_bench::{default_ns_config, transitions_of, write_bench_json, write_json, DatasetSource};
 use ns_eval::metrics::{adjusted_confusion, aggregate, NodeScores};
-use ns_stream::{Engine, EngineConfig, Tick};
-use ns_telemetry::{DatasetProfile, TickReplay};
+use ns_stream::{Engine, EngineConfig, EngineReport, Tick};
+use ns_telemetry::{DatasetProfile, IngestClient, TickReplay};
 use serde_json::json;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -159,6 +159,120 @@ fn elastic_lifecycle() -> serde_json::Value {
         "shard_imbalance_max_over_mean": imbalance,
         "vm_hwm_mib": hwm,
         "verdicts": expected,
+    })
+}
+
+/// Percentile of an unsorted sample, in place.
+fn pctl(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// The same D2′ replay, but over TCP: the engine sits behind
+/// [`Engine::serve_ingest`], every tick crosses the `ns-wire` framed
+/// protocol through the blocking [`IngestClient`], and one ping per
+/// monitoring cycle measures end-to-end ingestion RTT (a pong proves
+/// every frame sent before it was consumed by the engine, so the RTT
+/// covers framing, TCP, reassembly, and the sharded ingest — not just
+/// the socket). Asserts the verdict stream is bit-identical to the
+/// in-process baseline before reporting any numbers.
+#[allow(clippy::too_many_arguments)]
+fn over_the_wire(
+    model: &Arc<NodeSentry>,
+    baseline: &EngineReport,
+    baseline_ticks_per_s: f64,
+    engine_cfg: EngineConfig,
+    raws: &[ns_linalg::Matrix],
+    transition_sets: &[HashSet<usize>],
+    horizon: usize,
+    steps_per_hour: usize,
+) -> serde_json::Value {
+    let engine = Engine::new(Arc::clone(model), engine_cfg);
+    let server = engine
+        .serve_ingest("127.0.0.1:0")
+        .expect("bind ingest server");
+    let mut client = IngestClient::connect(server.local_addr()).expect("connect ingest client");
+
+    let t0 = Instant::now();
+    let mut rtts_ms: Vec<f64> = Vec::new();
+    let mut cycle: Vec<Tick> = Vec::with_capacity(raws.len() * steps_per_hour);
+    for step in 0..horizon {
+        for (n, raw) in raws.iter().enumerate() {
+            cycle.push(Tick {
+                node: n,
+                step,
+                values: raw.row(step).to_vec(),
+                transition: transition_sets[n].contains(&step),
+            });
+        }
+        if (step + 1) % steps_per_hour == 0 {
+            client
+                .send_cycle(&std::mem::take(&mut cycle))
+                .expect("send cycle over the wire");
+            let rtt = client.ping().expect("ping");
+            rtts_ms.push(rtt.as_secs_f64() * 1e3);
+        }
+    }
+    client.send_cycle(&cycle).expect("send tail cycle");
+    let (verdicts, wire_report) = client.finish().expect("finish over the wire");
+    let wall_s = t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    // Hard bit-identity gate: the transport must be invisible.
+    assert_eq!(
+        verdicts.len(),
+        baseline.verdicts.len(),
+        "over-the-wire verdict count diverged"
+    );
+    for (w, b) in verdicts.iter().zip(&baseline.verdicts) {
+        assert_eq!(w.node, b.node as u64, "wire verdict node diverged");
+        assert_eq!(w.step, b.step as u64, "wire verdict step diverged");
+        assert_eq!(
+            w.score_bits,
+            b.score.to_bits(),
+            "wire verdict score bits diverged at node {} step {}",
+            b.node,
+            b.step
+        );
+        assert_eq!(w.anomalous, b.anomalous, "wire verdict flag diverged");
+    }
+
+    let ticks_per_s = wire_report.n_ticks as f64 / wall_s.max(1e-9);
+    let (p50, p90, p99) = (
+        pctl(&mut rtts_ms, 0.50),
+        pctl(&mut rtts_ms, 0.90),
+        pctl(&mut rtts_ms, 0.99),
+    );
+    println!(
+        "over the wire: {} ticks in {:.1} s ({:.0} ticks/s, {:.2}x in-process), \
+         e2e ingest RTT p50 {:.2} ms / p90 {:.2} ms / p99 {:.2} ms",
+        wire_report.n_ticks,
+        wall_s,
+        ticks_per_s,
+        baseline_ticks_per_s / ticks_per_s.max(1e-9),
+        p50,
+        p90,
+        p99,
+    );
+    println!(
+        "over the wire: verdict stream bit-identical to in-process ({} verdicts)",
+        verdicts.len()
+    );
+
+    json!({
+        "wall_s": wall_s,
+        "ticks_per_s": ticks_per_s,
+        "n_ticks": wire_report.n_ticks,
+        "n_verdicts": wire_report.n_verdicts,
+        "n_shards": wire_report.n_shards,
+        "in_process_over_wire_speedup": baseline_ticks_per_s / ticks_per_s.max(1e-9),
+        "e2e_rtt_ms": json!({ "p50_ms": p50, "p90_ms": p90, "p99_ms": p99 }),
+        "rtt_samples": rtts_ms.len(),
+        "bit_identical": true,
     })
 }
 
@@ -362,6 +476,24 @@ fn main() {
             .map(|&(class, v)| (class.to_string(), serde_json::to_value(&v)))
             .collect(),
     );
+
+    // The same feed once more, over TCP through the ns-wire protocol —
+    // bit-identity against the in-process report is asserted inside.
+    let mut wire_cfg = EngineConfig::new(ds.split);
+    wire_cfg.n_shards = n_shards;
+    wire_cfg.smooth_window = 1;
+    wire_cfg.batch_scoring = true;
+    let wire = over_the_wire(
+        &model,
+        &report,
+        throughput,
+        wire_cfg,
+        &raws,
+        &transition_sets,
+        ds.horizon(),
+        steps_per_hour,
+    );
+
     let elastic = elastic_lifecycle();
     write_bench_json(
         "stream",
@@ -406,6 +538,7 @@ fn main() {
             "precision": agg.precision,
             "recall": agg.recall,
             "faults": faults,
+            "over_the_wire": wire,
             "elastic": elastic,
         }),
     );

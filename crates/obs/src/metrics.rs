@@ -87,6 +87,39 @@ impl Gauge {
     pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// Increment now, decrement when the returned guard drops — RAII for
+    /// "currently active" gauges (open connections, in-flight requests)
+    /// that must stay balanced across every early-return and panic path.
+    pub fn hold(&self) -> GaugeGuard {
+        let held = is_enabled();
+        if held {
+            self.value.fetch_add(1, Ordering::Relaxed);
+        }
+        GaugeGuard {
+            gauge: self.clone(),
+            held,
+        }
+    }
+}
+
+/// RAII handle from [`Gauge::hold`]: decrements its gauge on drop.
+///
+/// Balance is decided at `hold()` time, not drop time: a guard taken
+/// while metrics were enabled decrements even if they were disabled in
+/// between (no phantom occupants), and a guard taken while disabled
+/// never decrements (no negative drift).
+pub struct GaugeGuard {
+    gauge: Gauge,
+    held: bool,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        if self.held {
+            self.gauge.value.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
 }
 
 struct HistogramInner {
@@ -484,6 +517,28 @@ mod tests {
         reg.counter("t_total", "help", &[("shard", "0")]).inc();
         assert_eq!(c.get(), 4);
         set_enabled(false);
+    }
+
+    #[test]
+    fn gauge_guard_balances_across_enable_flips() {
+        let _l = crate::test_lock();
+        let reg = Registry::default();
+        set_enabled(true);
+        let g = reg.gauge("t_active", "help", &[]);
+        {
+            let _a = g.hold();
+            let _b = g.hold();
+            assert_eq!(g.get(), 2);
+            // Disabled mid-hold: drops must still rebalance.
+            set_enabled(false);
+        }
+        assert_eq!(g.get(), 0, "guards decrement even after disable");
+        // Held while disabled: no increment, and no negative drift.
+        {
+            let _c = g.hold();
+            assert_eq!(g.get(), 0);
+        }
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

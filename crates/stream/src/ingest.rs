@@ -1,0 +1,457 @@
+//! Network-facing ingestion: a std-only TCP server that feeds a running
+//! [`Engine`] with [`ns_wire`] frames.
+//!
+//! # Shape
+//!
+//! [`Engine::serve_ingest`] consumes the engine and binds a listener.
+//! Each accepted connection gets its own thread reading frames through a
+//! [`FrameAssembler`]:
+//!
+//! * **Ingest connections** (the default) send [`Frame::Tick`]s,
+//!   optionally probe liveness with [`Frame::Ping`], and may finalize the
+//!   run with [`Frame::Finish`] — the server then flushes every node and
+//!   streams the full verdict set plus a [`Frame::Report`] back on the
+//!   same connection.
+//! * **Verdict connections** (opened with `Hello { role: Verdicts }`)
+//!   block until some ingest connection finalizes, then receive the same
+//!   verdict stream. Late subscribers get it too: the finished run is
+//!   retained until [`IngestServer::shutdown`].
+//!
+//! # Backpressure
+//!
+//! Deliberately socket-level and free: a connection thread does not read
+//! its next chunk until [`Engine::ingest`] has accepted the previous one,
+//! and `ingest` blocks when a shard's bounded queue is full. The kernel
+//! socket buffer then fills and the *client's* `write` blocks — the
+//! engine's queue bound propagates to the sender with no extra protocol.
+//!
+//! # Failure semantics
+//!
+//! Hostile or damaged bytes never panic and never take the server down:
+//! a frame that fails to decode closes *that connection* (best-effort
+//! [`Frame::Error`] first), EOF mid-frame is counted as a torn frame,
+//! and the engine's own fault hardening (duplicate/late rejection,
+//! bounded reorder, blackout resync) absorbs whatever a reconnecting or
+//! duplicated client re-sends — `tests/wire_equivalence.rs` proves
+//! verdicts stay bit-identical to in-process scoring through all of it.
+
+use crate::metrics::wire_metrics;
+use crate::{Engine, EngineReport, Verdict, VerdictKind};
+use nodesentry_core::Tick;
+use ns_wire::{error_code, Frame, FrameAssembler, ReportMsg, Role, VerdictMsg, WireError};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// Poll granularity for blocking socket reads and the verdict-subscriber
+/// wait: how quickly a connection thread notices a server shutdown.
+const POLL: Duration = Duration::from_millis(100);
+
+/// A finalized over-the-wire run: the in-process report plus its wire
+/// rendering, retained so late verdict subscribers (and
+/// [`IngestServer::shutdown`]) can still read it.
+pub struct FinishedRun {
+    /// Exactly what [`Engine::finish`] returned.
+    pub report: EngineReport,
+    /// `report.verdicts` rendered as wire messages (same order).
+    pub verdict_msgs: Vec<VerdictMsg>,
+    /// The closing summary frame's payload.
+    pub report_msg: ReportMsg,
+}
+
+fn verdict_msg(v: &Verdict) -> VerdictMsg {
+    VerdictMsg {
+        node: v.node as u64,
+        step: v.step as u64,
+        score_bits: v.score.to_bits(),
+        anomalous: v.anomalous,
+        cluster: v.cluster as u64,
+        degraded: matches!(v.kind, VerdictKind::Degraded),
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    /// `Some` while the run is live; taken by the first `Finish`.
+    engine: RwLock<Option<Engine>>,
+    /// Set once the run finalizes; guarded by `done_cond`.
+    done: Mutex<Option<Arc<FinishedRun>>>,
+    done_cond: Condvar,
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Finalize the run (idempotent). The caller that actually takes the
+    /// engine pays for `finish`; everyone else waits on the condvar.
+    fn finalize(&self) -> Option<Arc<FinishedRun>> {
+        let taken = {
+            let mut guard = self.engine.write().expect("engine lock");
+            guard.take()
+        };
+        if let Some(engine) = taken {
+            let report = engine.finish();
+            let verdict_msgs: Vec<VerdictMsg> = report.verdicts.iter().map(verdict_msg).collect();
+            let n_degraded = verdict_msgs.iter().filter(|m| m.degraded).count() as u64;
+            let report_msg = ReportMsg {
+                n_verdicts: verdict_msgs.len() as u64,
+                n_degraded,
+                n_ticks: report.stats.n_ticks,
+                n_shards: report.n_shards as u64,
+            };
+            let run = Arc::new(FinishedRun {
+                report,
+                verdict_msgs,
+                report_msg,
+            });
+            let mut done = self.done.lock().expect("done lock");
+            *done = Some(Arc::clone(&run));
+            self.done_cond.notify_all();
+            Some(run)
+        } else {
+            self.wait_finished()
+        }
+    }
+
+    /// Block until the run finalizes or the server stops.
+    fn wait_finished(&self) -> Option<Arc<FinishedRun>> {
+        let mut done = self.done.lock().expect("done lock");
+        loop {
+            if let Some(run) = done.as_ref() {
+                return Some(Arc::clone(run));
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (next, _timeout) = self
+                .done_cond
+                .wait_timeout(done, POLL)
+                .expect("done cond wait");
+            done = next;
+        }
+    }
+}
+
+/// Handle to a running ingest server. Keeps the listener thread and
+/// every live connection thread; [`shutdown`](IngestServer::shutdown)
+/// (or drop) stops and joins them all.
+pub struct IngestServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl IngestServer {
+    /// The bound address — with port 0 requested, the ephemeral port the
+    /// OS picked.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once some client's `Finish` has finalized the run.
+    pub fn is_finished(&self) -> bool {
+        self.shared.done.lock().expect("done lock").is_some()
+    }
+
+    /// Stop accepting, join every connection thread, and return the
+    /// finished run if any client finalized it. An engine still live at
+    /// shutdown is dropped without scoring its open segments (the caller
+    /// chose not to finish).
+    pub fn shutdown(mut self) -> Option<Arc<FinishedRun>> {
+        self.stop_and_join();
+        self.shared.done.lock().expect("done lock").clone()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .conns
+            .lock()
+            .expect("conn registry")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Tear down a never-finished engine so its workers exit.
+        self.shared.engine.write().expect("engine lock").take();
+    }
+}
+
+impl Drop for IngestServer {
+    fn drop(&mut self) {
+        if self.accept_handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+impl Engine {
+    /// Consume the engine and serve it over TCP on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port). See the [module
+    /// docs](crate::ingest) for the connection protocol, backpressure
+    /// and failure semantics.
+    pub fn serve_ingest(self, addr: &str) -> std::io::Result<IngestServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: RwLock::new(Some(self)),
+            done: Mutex::new(None),
+            done_cond: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conns);
+        let accept_handle = std::thread::Builder::new()
+            .name("ns-wire-ingest".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match conn {
+                        Ok(stream) => {
+                            let conn_shared = Arc::clone(&accept_shared);
+                            let spawned = std::thread::Builder::new()
+                                .name("ns-wire-conn".into())
+                                .spawn(move || handle_conn(stream, conn_shared));
+                            match spawned {
+                                Ok(h) => accept_conns.lock().expect("conn registry").push(h),
+                                Err(_) => continue,
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(IngestServer {
+            addr: local,
+            shared,
+            accept_handle: Some(accept_handle),
+            conns,
+        })
+    }
+}
+
+/// Why a connection loop ended — drives the close-out action.
+enum ConnExit {
+    /// Peer closed (EOF) or the server is stopping; nothing to send.
+    Closed,
+    /// This connection asked to finalize; stream verdicts back to it.
+    Finished,
+    /// This connection subscribed to the verdict stream.
+    Subscribed,
+    /// Protocol violation or engine failure: best-effort error frame,
+    /// then close. The server itself keeps running.
+    Fail { code: u8, msg: String },
+}
+
+fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
+    let wm = wire_metrics();
+    wm.connections_ingest.inc();
+    let _active = wm.active_connections.hold();
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
+
+    let exit = conn_loop(&mut stream, &shared);
+    match exit {
+        ConnExit::Closed => {}
+        ConnExit::Finished | ConnExit::Subscribed => {
+            if matches!(exit, ConnExit::Subscribed) {
+                // Counted as ingest on accept; reclassify.
+                wm.connections_verdicts.inc();
+            }
+            if let Some(run) = match exit {
+                ConnExit::Finished => shared.finalize(),
+                _ => shared.wait_finished(),
+            } {
+                let _ = stream_verdicts(&mut stream, &run);
+            }
+        }
+        ConnExit::Fail { code, msg } => {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&ns_wire::encode_frame(&Frame::Error { code, msg }));
+            wm.tx_bytes.add(bytes.len() as u64);
+            let _ = stream.write_all(&bytes);
+        }
+    }
+    let _ = stream.flush();
+}
+
+/// Read frames until the connection resolves into a [`ConnExit`].
+fn conn_loop(stream: &mut TcpStream, shared: &Shared) -> ConnExit {
+    let wm = wire_metrics();
+    let mut asm = FrameAssembler::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut batch: Vec<Tick> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return ConnExit::Closed;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                if asm.pending_bytes() > 0 {
+                    // Peer died mid-frame; the partial frame is dropped.
+                    wm.torn_frames.inc();
+                }
+                if let Err(e) = flush_batch(shared, &mut batch) {
+                    return e;
+                }
+                return ConnExit::Closed;
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue
+            }
+            Err(_) => return ConnExit::Closed,
+        };
+        wm.rx_bytes.add(n as u64);
+        let frames = match asm.push(&buf[..n]) {
+            Ok(frames) => frames,
+            Err(err) => {
+                wm.errors(err.class()).inc();
+                return ConnExit::Fail {
+                    code: error_code::PROTOCOL,
+                    msg: err.to_string(),
+                };
+            }
+        };
+        for frame in frames {
+            match frame {
+                Frame::Tick(t) => {
+                    wm.frames_tick.inc();
+                    batch.push(t);
+                }
+                Frame::Hello { role, .. } => {
+                    wm.frames("hello").inc();
+                    if matches!(role, Role::Verdicts) {
+                        if let Err(e) = flush_batch(shared, &mut batch) {
+                            return e;
+                        }
+                        return ConnExit::Subscribed;
+                    }
+                }
+                Frame::Ping { token } => {
+                    wm.frames("ping").inc();
+                    // Flush first: a Pong promises every frame received
+                    // before the Ping has reached the engine, which is
+                    // what makes it both an end-to-end latency probe and
+                    // a safe pre-disconnect sync point.
+                    if let Err(e) = flush_batch(shared, &mut batch) {
+                        return e;
+                    }
+                    let bytes = ns_wire::encode_frame(&Frame::Pong { token });
+                    wm.tx_bytes.add(bytes.len() as u64);
+                    if stream.write_all(&bytes).is_err() {
+                        return ConnExit::Closed;
+                    }
+                }
+                Frame::Finish => {
+                    wm.frames("finish").inc();
+                    if let Err(e) = flush_batch(shared, &mut batch) {
+                        return e;
+                    }
+                    return ConnExit::Finished;
+                }
+                other => {
+                    // Server-to-client frames arriving at the server are
+                    // a protocol violation, not a transport fault.
+                    wm.frames(other.kind_label()).inc();
+                    wm.errors("decode").inc();
+                    return ConnExit::Fail {
+                        code: error_code::REJECTED,
+                        msg: format!("unexpected {} frame from client", other.kind_label()),
+                    };
+                }
+            }
+        }
+        // One `ingest` per socket read keeps the engine's bounded queues
+        // as the only backpressure mechanism: no read happens while the
+        // previous chunk is still waiting for queue space.
+        if let Err(e) = flush_batch(shared, &mut batch) {
+            return e;
+        }
+    }
+}
+
+/// Hand the accumulated ticks to the engine (blocking on backpressure).
+fn flush_batch(shared: &Shared, batch: &mut Vec<Tick>) -> Result<(), ConnExit> {
+    if batch.is_empty() {
+        return Ok(());
+    }
+    let wm = wire_metrics();
+    wm.batch_ticks.observe(batch.len() as f64);
+    let ticks = std::mem::take(batch);
+    let guard = shared.engine.read().expect("engine lock");
+    match guard.as_ref() {
+        Some(engine) => engine.ingest(ticks).map_err(|e| {
+            wm.errors("io").inc();
+            ConnExit::Fail {
+                code: error_code::ENGINE,
+                msg: e.to_string(),
+            }
+        }),
+        None => Err(ConnExit::Fail {
+            code: error_code::REJECTED,
+            msg: "run already finalized; ticks rejected".into(),
+        }),
+    }
+}
+
+/// Write the whole verdict stream plus the closing report, coalesced
+/// into bounded chunks so one syscall carries many small frames.
+fn stream_verdicts(stream: &mut TcpStream, run: &FinishedRun) -> Result<(), WireError> {
+    let wm = wire_metrics();
+    let verdict_counter = wm.frames("verdict");
+    let mut chunk: Vec<u8> = Vec::with_capacity(64 * 1024);
+    for msg in &run.verdict_msgs {
+        chunk.extend_from_slice(&ns_wire::encode_frame(&Frame::Verdict(*msg)));
+        verdict_counter.inc();
+        if chunk.len() >= 48 * 1024 {
+            wm.tx_bytes.add(chunk.len() as u64);
+            stream.write_all(&chunk)?;
+            chunk.clear();
+        }
+    }
+    chunk.extend_from_slice(&ns_wire::encode_frame(&Frame::Report(run.report_msg)));
+    wm.frames("report").inc();
+    wm.tx_bytes.add(chunk.len() as u64);
+    stream.write_all(&chunk)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Protocol-level behavior that needs no trained model: the server
+    // side of `Shared` without an engine is exercised in the integration
+    // suites (`tests/wire_equivalence.rs`, `crates/stream/tests/
+    // wire_corruption.rs`); here we only pin the pure helpers.
+
+    #[test]
+    fn verdict_msg_preserves_score_bits() {
+        let v = Verdict {
+            node: 3,
+            step: 97,
+            score: f64::from_bits(0x7ff8_0000_dead_beef), // NaN payload
+            anomalous: true,
+            cluster: 2,
+            kind: VerdictKind::Degraded,
+        };
+        let m = verdict_msg(&v);
+        assert_eq!(m.score_bits, 0x7ff8_0000_dead_beef);
+        assert!(m.degraded && m.anomalous);
+        assert_eq!((m.node, m.step, m.cluster), (3, 97, 2));
+    }
+}

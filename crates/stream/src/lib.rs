@@ -78,6 +78,7 @@
 //! observes only timings and counts, never pipeline data, so enabling it
 //! cannot change a verdict bit (`tests/obs_equivalence.rs`).
 
+pub mod ingest;
 pub mod metrics;
 pub mod snapshot;
 

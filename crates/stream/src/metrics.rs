@@ -23,6 +23,14 @@
 //! | [`SNAPSHOT_BYTES`] | histogram | — | encoded engine snapshot size |
 //! | [`CHECKPOINT_SECONDS`] | histogram | — | one checkpoint barrier, end to end |
 //! | [`RESTORE_SECONDS`] | histogram | — | one restore from snapshot bytes |
+//! | [`WIRE_CONNECTIONS_TOTAL`] | counter | `role` (`ingest`/`verdicts`) | connections accepted by the ingest server |
+//! | [`WIRE_ACTIVE_CONNECTIONS`] | gauge | — | connections currently open (RAII-balanced) |
+//! | [`WIRE_RX_BYTES_TOTAL`] | counter | — | bytes read off ingest sockets |
+//! | [`WIRE_TX_BYTES_TOTAL`] | counter | — | bytes written to clients (verdicts, pongs, errors) |
+//! | [`WIRE_FRAMES_TOTAL`] | counter | `kind` | frames decoded, by frame kind |
+//! | [`WIRE_ERRORS_TOTAL`] | counter | `class` | wire protocol errors, by [`WireError::class`](ns_wire::WireError::class) |
+//! | [`WIRE_TORN_FRAMES_TOTAL`] | counter | — | connections that hit EOF mid-frame |
+//! | [`WIRE_INGEST_BATCH_TICKS`] | histogram | — | ticks per socket-read batch handed to `Engine::ingest` |
 //!
 //! All updates are no-ops while `ns_obs` metrics are disabled; nothing
 //! here reads or writes pipeline data, which is how the engine keeps its
@@ -62,6 +70,23 @@ pub const CHECKPOINT_SECONDS: &str = "ns_stream_checkpoint_seconds";
 /// Histogram: seconds one `Engine::restore` took (decode + state rebuild
 /// + worker spawn).
 pub const RESTORE_SECONDS: &str = "ns_stream_restore_seconds";
+/// Counter: connections the ingest server accepted, labeled
+/// `role="ingest"|"verdicts"`.
+pub const WIRE_CONNECTIONS_TOTAL: &str = "ns_wire_connections_total";
+/// Gauge: connections currently open on the ingest server.
+pub const WIRE_ACTIVE_CONNECTIONS: &str = "ns_wire_active_connections";
+/// Counter: bytes read off ingest sockets.
+pub const WIRE_RX_BYTES_TOTAL: &str = "ns_wire_rx_bytes_total";
+/// Counter: bytes written back to clients.
+pub const WIRE_TX_BYTES_TOTAL: &str = "ns_wire_tx_bytes_total";
+/// Counter: frames decoded, labeled `kind=<frame kind>`.
+pub const WIRE_FRAMES_TOTAL: &str = "ns_wire_frames_total";
+/// Counter: wire protocol errors, labeled `class=<WireError class>`.
+pub const WIRE_ERRORS_TOTAL: &str = "ns_wire_errors_total";
+/// Counter: connections that ended mid-frame (peer died while writing).
+pub const WIRE_TORN_FRAMES_TOTAL: &str = "ns_wire_torn_frames_total";
+/// Histogram: ticks per socket-read batch handed to `Engine::ingest`.
+pub const WIRE_INGEST_BATCH_TICKS: &str = "ns_wire_ingest_batch_ticks";
 
 /// Handles used from per-node pipeline code (match/score/verdict path).
 /// One set per process — every engine and shard shares them.
@@ -239,6 +264,85 @@ impl ShardMetrics {
             faults: FaultMeters::new(),
         }
     }
+}
+
+/// Handles for the socket ingest path. One set per process; the
+/// per-kind/per-class counters for rare frames are fetched on demand
+/// (registration is idempotent), only the per-tick-hot handles live here.
+pub(crate) struct WireMetrics {
+    pub connections_ingest: Counter,
+    pub connections_verdicts: Counter,
+    pub active_connections: Gauge,
+    pub rx_bytes: Counter,
+    pub tx_bytes: Counter,
+    pub frames_tick: Counter,
+    pub torn_frames: Counter,
+    pub batch_ticks: Histogram,
+}
+
+impl WireMetrics {
+    /// Counter for a non-tick frame kind (control frames — cold path).
+    pub fn frames(&self, kind: &'static str) -> Counter {
+        if kind == "tick" {
+            return self.frames_tick.clone();
+        }
+        global().counter(
+            WIRE_FRAMES_TOTAL,
+            "Wire frames decoded, by kind.",
+            &[("kind", kind)],
+        )
+    }
+
+    /// Counter for one wire error class.
+    pub fn errors(&self, class: &'static str) -> Counter {
+        global().counter(
+            WIRE_ERRORS_TOTAL,
+            "Wire protocol errors, by class.",
+            &[("class", class)],
+        )
+    }
+}
+
+pub(crate) fn wire_metrics() -> &'static WireMetrics {
+    static CELL: OnceLock<WireMetrics> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let reg = global();
+        WireMetrics {
+            connections_ingest: reg.counter(
+                WIRE_CONNECTIONS_TOTAL,
+                "Connections accepted by the ingest server, by role.",
+                &[("role", "ingest")],
+            ),
+            connections_verdicts: reg.counter(
+                WIRE_CONNECTIONS_TOTAL,
+                "Connections accepted by the ingest server, by role.",
+                &[("role", "verdicts")],
+            ),
+            active_connections: reg.gauge(
+                WIRE_ACTIVE_CONNECTIONS,
+                "Connections currently open on the ingest server.",
+                &[],
+            ),
+            rx_bytes: reg.counter(WIRE_RX_BYTES_TOTAL, "Bytes read off ingest sockets.", &[]),
+            tx_bytes: reg.counter(WIRE_TX_BYTES_TOTAL, "Bytes written back to clients.", &[]),
+            frames_tick: reg.counter(
+                WIRE_FRAMES_TOTAL,
+                "Wire frames decoded, by kind.",
+                &[("kind", "tick")],
+            ),
+            torn_frames: reg.counter(
+                WIRE_TORN_FRAMES_TOTAL,
+                "Connections that ended mid-frame.",
+                &[],
+            ),
+            batch_ticks: reg.histogram(
+                WIRE_INGEST_BATCH_TICKS,
+                "Ticks per socket-read batch handed to Engine::ingest.",
+                &[],
+                &count_buckets(),
+            ),
+        }
+    })
 }
 
 /// The ingest-side histogram (created once per process).

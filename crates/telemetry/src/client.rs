@@ -1,0 +1,328 @@
+//! Thin blocking wire client: drives a remote `Engine::serve_ingest`
+//! endpoint with [`ns_wire`] frames.
+//!
+//! This is the collector side of the deployment story — what runs on (or
+//! next to) each monitored node, feeding samples to the central
+//! detector. It stays deliberately dumb: one blocking TCP stream, one
+//! frame at a time, no retry queue. Backpressure is the kernel's — when
+//! the server stops reading (its engine queues are full), `send_tick`
+//! blocks in `write`.
+//!
+//! The client doubles as the socket-fault rig: constructed
+//! [`with_faults`](IngestClient::with_faults), it perturbs its own
+//! transport per a seeded [`SocketFaultPlan`] — partial writes, stalls,
+//! clean disconnect/reconnect cycles, torn frames with resend, duplicate
+//! connections — while keeping the delivered tick sequence equivalent,
+//! so the differential suite can prove the server+engine absorb all of
+//! it without changing a verdict bit.
+
+use crate::faults::{SocketFaultAction, SocketFaultCounters, SocketFaultInjector, SocketFaultPlan};
+use nodesentry_core::Tick;
+use ns_wire::{
+    encode_frame, error_code, Frame, FrameAssembler, ReportMsg, Role, VerdictMsg, WireError,
+};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// How long [`IngestClient::finish`] and verdict subscriptions wait for
+/// the server before giving up. Finalizing scores every open segment, so
+/// this is generous; it exists to fail tests instead of hanging them.
+const RESPONSE_DEADLINE: Duration = Duration::from_secs(600);
+
+/// Blocking wire client for one ingest connection.
+pub struct IngestClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    asm: FrameAssembler,
+    /// Frames decoded but not yet consumed (e.g. a current pong arriving
+    /// in the same read chunk as a stale one).
+    pending: VecDeque<Frame>,
+    faults: Option<SocketFaultInjector>,
+    /// Which socket faults this session actually exercised.
+    pub fault_counters: SocketFaultCounters,
+    /// Last tick frame confirmed ingested (via ping) — the bytes a
+    /// duplicate connection re-sends.
+    last_synced_tick: Option<Vec<u8>>,
+    /// Most recent tick frame sent but not yet covered by a ping.
+    last_sent_tick: Option<Vec<u8>>,
+    next_token: u64,
+}
+
+fn connect(addr: &SocketAddr) -> Result<TcpStream, WireError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    Ok(stream)
+}
+
+impl IngestClient {
+    /// Connect to a serving engine, e.g. `"127.0.0.1:9500"`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        Self::with_faults(addr, SocketFaultPlan::none())
+    }
+
+    /// Connect with a seeded socket-fault schedule perturbing every
+    /// outgoing frame (see [`SocketFaultPlan`]).
+    pub fn with_faults(addr: impl ToSocketAddrs, plan: SocketFaultPlan) -> Result<Self, WireError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| WireError::Io("address resolved to nothing".into()))?;
+        let stream = connect(&addr)?;
+        let faults = if plan.is_none() {
+            None
+        } else {
+            Some(SocketFaultInjector::new(plan))
+        };
+        Ok(IngestClient {
+            addr,
+            stream,
+            asm: FrameAssembler::new(),
+            pending: VecDeque::new(),
+            faults,
+            fault_counters: SocketFaultCounters::default(),
+            last_synced_tick: None,
+            last_sent_tick: None,
+            next_token: 1,
+        })
+    }
+
+    /// The server address this client is (re)connecting to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sync in-flight frames, close cleanly, and open a fresh
+    /// connection. Safe mid-stream: the ping guarantees everything sent
+    /// so far is already in the engine before the socket drops.
+    pub fn reconnect(&mut self) -> Result<(), WireError> {
+        self.ping()?;
+        self.stream = connect(&self.addr)?;
+        self.asm = FrameAssembler::new();
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Send one tick, applying the next scheduled socket fault (if any).
+    pub fn send_tick(&mut self, tick: &Tick) -> Result<(), WireError> {
+        let bytes = encode_frame(&Frame::Tick(tick.clone()));
+        let action = match self.faults.as_mut() {
+            Some(inj) => inj.next_action(),
+            None => SocketFaultAction::Clean,
+        };
+        match action {
+            SocketFaultAction::Clean => self.stream.write_all(&bytes)?,
+            SocketFaultAction::PartialWrite { chunks } => {
+                self.fault_counters.partial_writes += 1;
+                let step = bytes.len().div_ceil(chunks.max(1));
+                for chunk in bytes.chunks(step.max(1)) {
+                    self.stream.write_all(chunk)?;
+                    self.stream.flush()?;
+                    // A beat between chunks so the server's read sees a
+                    // genuinely split frame, not one coalesced buffer.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            SocketFaultAction::Stall { ms } => {
+                self.fault_counters.stalls += 1;
+                std::thread::sleep(Duration::from_millis(ms));
+                self.stream.write_all(&bytes)?;
+            }
+            SocketFaultAction::Disconnect => {
+                self.fault_counters.disconnects += 1;
+                self.reconnect()?;
+                self.stream.write_all(&bytes)?;
+            }
+            SocketFaultAction::TornResend => {
+                self.fault_counters.torn_resends += 1;
+                // Sync so the abort can't take committed frames with it,
+                // tear this frame mid-write, then resend it whole on a
+                // fresh connection — at-least-once, server-side the torn
+                // prefix is dropped and counted.
+                self.ping()?;
+                let cut = (bytes.len() / 2).max(1);
+                self.stream.write_all(&bytes[..cut])?;
+                self.stream.flush()?;
+                self.stream = connect(&self.addr)?;
+                self.asm = FrameAssembler::new();
+                self.pending.clear();
+                self.stream.write_all(&bytes)?;
+            }
+            SocketFaultAction::DuplicateConn => {
+                self.fault_counters.duplicate_conns += 1;
+                self.stream.write_all(&bytes)?;
+                // Redeliver an already-consumed tick on a second
+                // connection: the ping proves the engine consumed it, so
+                // the copy must be rejected as a duplicate.
+                self.ping()?;
+                if let Some(dup) = self.last_synced_tick.clone() {
+                    let mut second = connect(&self.addr)?;
+                    second.write_all(&dup)?;
+                    second.flush()?;
+                }
+            }
+        }
+        self.last_sent_tick = Some(bytes);
+        Ok(())
+    }
+
+    /// Send one replay cycle (or any batch) tick by tick.
+    pub fn send_cycle(&mut self, ticks: &[Tick]) -> Result<(), WireError> {
+        for t in ticks {
+            self.send_tick(t)?;
+        }
+        Ok(())
+    }
+
+    /// Round-trip a ping. The pong confirms every frame sent before it
+    /// has been ingested, so the returned duration is a true end-to-end
+    /// (client → engine → client) latency sample.
+    pub fn ping(&mut self) -> Result<Duration, WireError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        let t0 = Instant::now();
+        self.stream
+            .write_all(&encode_frame(&Frame::Ping { token }))?;
+        self.stream.flush()?;
+        loop {
+            match self.read_frame_deadline(t0)? {
+                Frame::Pong { token: got } if got == token => break,
+                Frame::Pong { .. } => continue, // stale token from a prior ping
+                Frame::Error { code, msg } => {
+                    return Err(server_error(code, msg));
+                }
+                other => {
+                    return Err(WireError::Decode(format!(
+                        "unexpected {} frame while waiting for pong",
+                        other.kind_label()
+                    )))
+                }
+            }
+        }
+        let rtt = t0.elapsed();
+        self.last_synced_tick = self.last_sent_tick.take().or(self.last_synced_tick.take());
+        Ok(rtt)
+    }
+
+    /// Finalize the run: the server flushes every node, then streams the
+    /// complete verdict set and a closing report back on this connection.
+    pub fn finish(mut self) -> Result<(Vec<VerdictMsg>, ReportMsg), WireError> {
+        self.stream.write_all(&encode_frame(&Frame::Finish))?;
+        self.stream.flush()?;
+        let initial: Vec<Frame> = self.pending.drain(..).collect();
+        collect_verdicts(&mut self.stream, &mut self.asm, initial)
+    }
+
+    /// Pop the next whole frame, polling until [`RESPONSE_DEADLINE`].
+    fn read_frame_deadline(&mut self, t0: Instant) -> Result<Frame, WireError> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(f) = self.pending.pop_front() {
+                return Ok(f);
+            }
+            if t0.elapsed() > RESPONSE_DEADLINE {
+                return Err(WireError::Io("server response deadline exceeded".into()));
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(WireError::Io("server closed the connection".into()));
+                }
+                Ok(n) => self.pending.extend(self.asm.push(&buf[..n])?),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+fn server_error(code: u8, msg: String) -> WireError {
+    let label = match code {
+        error_code::REJECTED => "rejected",
+        error_code::PROTOCOL => "protocol",
+        error_code::ENGINE => "engine",
+        _ => "unknown",
+    };
+    WireError::Io(format!("server error ({label}): {msg}"))
+}
+
+/// Subscribe to the verdict stream on its own connection: blocks until
+/// some ingest client finalizes the run, then returns the whole verdict
+/// set plus the closing report. Late subscribers (after the run already
+/// finished) get the same retained stream.
+pub fn subscribe_verdicts(
+    addr: impl ToSocketAddrs,
+) -> Result<(Vec<VerdictMsg>, ReportMsg), WireError> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| WireError::Io("address resolved to nothing".into()))?;
+    let mut stream = connect(&addr)?;
+    stream.write_all(&encode_frame(&Frame::Hello {
+        role: Role::Verdicts,
+        client_id: 0,
+    }))?;
+    stream.flush()?;
+    let mut asm = FrameAssembler::new();
+    collect_verdicts(&mut stream, &mut asm, Vec::new())
+}
+
+/// Drain a verdict stream until its closing [`Frame::Report`],
+/// processing any already-decoded `initial` frames first.
+fn collect_verdicts(
+    stream: &mut TcpStream,
+    asm: &mut FrameAssembler,
+    initial: Vec<Frame>,
+) -> Result<(Vec<VerdictMsg>, ReportMsg), WireError> {
+    let t0 = Instant::now();
+    let mut verdicts = Vec::new();
+    for frame in initial {
+        match frame {
+            Frame::Verdict(v) => verdicts.push(v),
+            Frame::Report(r) => return Ok((verdicts, r)),
+            Frame::Pong { .. } => continue,
+            Frame::Error { code, msg } => return Err(server_error(code, msg)),
+            other => {
+                return Err(WireError::Decode(format!(
+                    "unexpected {} frame in verdict stream",
+                    other.kind_label()
+                )))
+            }
+        }
+    }
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(WireError::Io(
+                    "connection closed before the report frame".into(),
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if t0.elapsed() > RESPONSE_DEADLINE {
+                    return Err(WireError::Io("server response deadline exceeded".into()));
+                }
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        for frame in asm.push(&buf[..n])? {
+            match frame {
+                Frame::Verdict(v) => verdicts.push(v),
+                Frame::Report(r) => return Ok((verdicts, r)),
+                Frame::Pong { .. } => continue, // stale ping crossing finish
+                Frame::Error { code, msg } => return Err(server_error(code, msg)),
+                other => {
+                    return Err(WireError::Decode(format!(
+                        "unexpected {} frame in verdict stream",
+                        other.kind_label()
+                    )))
+                }
+            }
+        }
+    }
+}

@@ -418,6 +418,167 @@ impl FaultInjector {
     }
 }
 
+// ---------------------------------------------------------------------
+// Socket-level faults
+// ---------------------------------------------------------------------
+
+/// A seeded schedule of *transport* faults for the wire client
+/// ([`crate::client::IngestClient`]): where [`FaultPlan`] corrupts tick
+/// content and delivery order, this layer corrupts the TCP session
+/// carrying the frames — partial writes, stalls, torn frames,
+/// disconnect/reconnect cycles, duplicate connections.
+///
+/// All of these are *verdict-neutral* by construction: partial writes and
+/// stalls only stress the server's frame reassembly; torn frames and
+/// duplicate connections re-send data the engine already consumed (it
+/// rejects the copy as a duplicate); disconnects sync with a ping before
+/// closing so nothing in flight is lost. `tests/wire_equivalence.rs`
+/// holds the engine to bit-identical verdicts under the full plan.
+#[derive(Clone, Debug)]
+pub struct SocketFaultPlan {
+    pub seed: u64,
+    /// Probability a frame's bytes are written in several small chunks.
+    pub partial_write_rate: f64,
+    /// Probability the client stalls before writing a frame.
+    pub stall_rate: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Sync and cleanly reconnect every N frames (0 = never).
+    pub disconnect_every: usize,
+    /// Probability a frame is torn: after a sync, write a strict prefix,
+    /// drop the connection, reconnect, and re-send the whole frame.
+    pub torn_frame_rate: f64,
+    /// Probability an already-ingested tick frame is re-sent on a
+    /// short-lived second connection (at-least-once redelivery).
+    pub duplicate_conn_rate: f64,
+}
+
+impl SocketFaultPlan {
+    /// No socket faults at all.
+    pub fn none() -> Self {
+        SocketFaultPlan {
+            seed: 0,
+            partial_write_rate: 0.0,
+            stall_rate: 0.0,
+            stall_ms: 0,
+            disconnect_every: 0,
+            torn_frame_rate: 0.0,
+            duplicate_conn_rate: 0.0,
+        }
+    }
+
+    /// Every fault class at once, rates tuned so a few-hundred-frame
+    /// session hits each one several times without dominating wall time.
+    pub fn chaos(seed: u64) -> Self {
+        SocketFaultPlan {
+            seed,
+            partial_write_rate: 0.05,
+            stall_rate: 0.01,
+            stall_ms: 2,
+            disconnect_every: 97,
+            torn_frame_rate: 0.01,
+            duplicate_conn_rate: 0.01,
+        }
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.partial_write_rate == 0.0
+            && self.stall_rate == 0.0
+            && self.disconnect_every == 0
+            && self.torn_frame_rate == 0.0
+            && self.duplicate_conn_rate == 0.0
+    }
+}
+
+/// What the client should do to the frame it is about to send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketFaultAction {
+    /// Write the frame normally.
+    Clean,
+    /// Write the frame in this many separate chunks.
+    PartialWrite { chunks: usize },
+    /// Sleep this long, then write normally.
+    Stall { ms: u64 },
+    /// Sync, close cleanly, reconnect, then write.
+    Disconnect,
+    /// Sync, write a strict prefix, drop the connection, reconnect, and
+    /// re-send the whole frame.
+    TornResend,
+    /// Write normally, sync, then re-send the same frame on a fresh
+    /// second connection.
+    DuplicateConn,
+}
+
+/// Counts of each socket fault actually exercised, for reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SocketFaultCounters {
+    pub partial_writes: u64,
+    pub stalls: u64,
+    pub disconnects: u64,
+    pub torn_resends: u64,
+    pub duplicate_conns: u64,
+}
+
+impl SocketFaultCounters {
+    pub fn total(&self) -> u64 {
+        self.partial_writes
+            + self.stalls
+            + self.disconnects
+            + self.torn_resends
+            + self.duplicate_conns
+    }
+}
+
+/// Draws one [`SocketFaultAction`] per outgoing frame, deterministically
+/// from the plan's seed.
+pub struct SocketFaultInjector {
+    plan: SocketFaultPlan,
+    rng: ChaCha8Rng,
+    frames: usize,
+}
+
+impl SocketFaultInjector {
+    pub fn new(plan: SocketFaultPlan) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(plan.seed ^ 0x0050_CCE7);
+        SocketFaultInjector {
+            plan,
+            rng,
+            frames: 0,
+        }
+    }
+
+    /// Decide the fate of the next outgoing frame. At most one fault per
+    /// frame; the scheduled disconnect takes priority so its cadence
+    /// stays exact.
+    pub fn next_action(&mut self) -> SocketFaultAction {
+        self.frames += 1;
+        let p = &self.plan;
+        if p.disconnect_every > 0 && self.frames.is_multiple_of(p.disconnect_every) {
+            return SocketFaultAction::Disconnect;
+        }
+        let roll: f64 = self.rng.gen();
+        let mut edge = p.torn_frame_rate;
+        if roll < edge {
+            return SocketFaultAction::TornResend;
+        }
+        edge += p.duplicate_conn_rate;
+        if roll < edge {
+            return SocketFaultAction::DuplicateConn;
+        }
+        edge += p.partial_write_rate;
+        if roll < edge {
+            return SocketFaultAction::PartialWrite {
+                chunks: self.rng.gen_range(2usize..5),
+            };
+        }
+        edge += p.stall_rate;
+        if roll < edge {
+            return SocketFaultAction::Stall { ms: p.stall_ms };
+        }
+        SocketFaultAction::Clean
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,5 +752,31 @@ mod tests {
         };
         assert_eq!(plan.dirty_windows(0), vec![(10, 25), (50, 60)]);
         assert!(plan.dirty_windows(1).is_empty());
+    }
+
+    #[test]
+    fn socket_fault_schedule_is_deterministic_and_hits_every_class() {
+        let draw = |seed| {
+            let mut inj = SocketFaultInjector::new(SocketFaultPlan::chaos(seed));
+            (0..2000).map(|_| inj.next_action()).collect::<Vec<_>>()
+        };
+        let a = draw(11);
+        assert_eq!(a, draw(11), "same seed, same schedule");
+        assert_ne!(a, draw(12), "different seed diverges");
+        // The chaos plan exercises every class within a few thousand frames.
+        assert!(a.contains(&SocketFaultAction::Disconnect));
+        assert!(a.contains(&SocketFaultAction::TornResend));
+        assert!(a.contains(&SocketFaultAction::DuplicateConn));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, SocketFaultAction::PartialWrite { .. })));
+        assert!(a
+            .iter()
+            .any(|x| matches!(x, SocketFaultAction::Stall { .. })));
+        // Scheduled disconnect cadence is exact.
+        assert_eq!(a[96], SocketFaultAction::Disconnect);
+        // No-fault plan is all-clean.
+        let mut none = SocketFaultInjector::new(SocketFaultPlan::none());
+        assert!((0..100).all(|_| none.next_action() == SocketFaultAction::Clean));
     }
 }

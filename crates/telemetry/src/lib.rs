@@ -22,6 +22,7 @@
 pub mod anomaly;
 pub mod archetype;
 pub mod catalog;
+pub mod client;
 pub mod dataset;
 pub mod faults;
 pub mod replay;
@@ -32,9 +33,11 @@ pub mod simulator;
 pub use anomaly::{AnomalyEvent, AnomalyKind, InjectionConfig, ALL_ANOMALIES};
 pub use archetype::JobArchetype;
 pub use catalog::{CatalogSpec, Category, MetricCatalog};
+pub use client::{subscribe_verdicts, IngestClient};
 pub use dataset::{Dataset, DatasetProfile, DatasetStats};
 pub use faults::{
-    FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultPlanSpec, ALL_FAULTS,
+    FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultPlanSpec,
+    SocketFaultAction, SocketFaultCounters, SocketFaultInjector, SocketFaultPlan, ALL_FAULTS,
 };
 pub use replay::TickReplay;
 pub use schedule::{JobRecord, NodeSegment, Schedule, ScheduleConfig};

@@ -29,6 +29,8 @@
 //! * [`obs`] — zero-dependency observability: tracing spans over the
 //!   training stages, live metrics from the streaming engine, and a
 //!   Prometheus `/metrics` exporter.
+//! * [`wire`] — length-prefixed, versioned, checksummed binary tick/verdict
+//!   protocol for feeding the engine over a socket.
 //! * [`linalg`] — the dense matrix substrate underneath everything.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and
@@ -45,6 +47,7 @@ pub use ns_nn as nn;
 pub use ns_obs as obs;
 pub use ns_stream as stream;
 pub use ns_telemetry as telemetry;
+pub use ns_wire as wire;
 
 /// Workspace version, for examples that print provenance headers.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

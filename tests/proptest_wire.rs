@@ -1,0 +1,179 @@
+//! Property-based wire conformance: for *arbitrary* inputs —
+//! exotic float bit patterns (NaN payloads, infinities, signed zeros,
+//! subnormals), arbitrary scalar fields, and arbitrary TCP segmentation
+//! of the byte stream — the frame codec must
+//!
+//! * round-trip every frame byte-stably (`encode ∘ decode ∘ encode` is
+//!   the identity on bytes, and every float survives by bits);
+//! * reassemble the exact frame sequence no matter where the stream is
+//!   split; and
+//! * never panic on random garbage: every outcome of [`decode_frame`]
+//!   on hostile bytes is `Ok` or a typed [`WireError`].
+
+use nodesentry::stream::Tick;
+use nodesentry::wire::{
+    decode_frame, encode_frame, error_code, Frame, FrameAssembler, ReportMsg, Role, VerdictMsg,
+    HEADER_LEN, TRAILER_LEN,
+};
+use proptest::prelude::*;
+
+/// Re-encode must reproduce the input bytes exactly, and the decoded
+/// frame must re-encode to the same bytes (byte stability).
+fn assert_roundtrip(frame: &Frame) -> Frame {
+    let bytes = encode_frame(frame);
+    assert!(bytes.len() >= HEADER_LEN + TRAILER_LEN);
+    let (decoded, consumed) = decode_frame(&bytes)
+        .unwrap_or_else(|e| panic!("own encoding must decode ({}): {e}", frame.kind_label()));
+    prop_assert_eq!(consumed, bytes.len());
+    prop_assert_eq!(&encode_frame(&decoded), &bytes, "byte-unstable re-encode");
+    decoded
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Ticks with fully arbitrary f64 bit patterns — every NaN payload,
+    // ±inf, -0.0, subnormals — survive the wire by bits.
+    #[test]
+    fn tick_frames_round_trip_by_bits(
+        node in any::<u64>(),
+        step in any::<u64>(),
+        bits in prop::collection::vec(any::<u64>(), 0..24),
+        transition in any::<bool>(),
+    ) {
+        let tick = Tick {
+            node: node as usize,
+            step: step as usize,
+            values: bits.iter().copied().map(f64::from_bits).collect(),
+            transition,
+        };
+        match assert_roundtrip(&Frame::Tick(tick.clone())) {
+            Frame::Tick(got) => {
+                prop_assert_eq!(got.node, tick.node);
+                prop_assert_eq!(got.step, tick.step);
+                prop_assert_eq!(got.transition, tick.transition);
+                let got_bits: Vec<u64> = got.values.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&got_bits, &bits, "float bits changed in flight");
+            }
+            other => panic!("kind changed in flight: {other:?}"),
+        }
+    }
+
+    // Every other frame kind round-trips with arbitrary field values.
+    #[test]
+    fn all_frame_kinds_round_trip(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        score_bits in any::<u64>(),
+        flag in any::<bool>(),
+        ingest in any::<bool>(),
+    ) {
+        let role = if ingest { Role::Ingest } else { Role::Verdicts };
+        let frames = [
+            Frame::Hello { role, client_id: a },
+            Frame::Finish,
+            Frame::Verdict(VerdictMsg {
+                node: a,
+                step: b,
+                score_bits,
+                anomalous: flag,
+                cluster: a ^ b,
+                degraded: !flag,
+            }),
+            Frame::Report(ReportMsg {
+                n_verdicts: a,
+                n_degraded: b,
+                n_ticks: a.wrapping_add(b),
+                n_shards: b % 64,
+            }),
+            Frame::Error { code: error_code::PROTOCOL, msg: format!("e{a:x}") },
+            Frame::Ping { token: a },
+            Frame::Pong { token: b },
+        ];
+        for frame in &frames {
+            let decoded = assert_roundtrip(frame);
+            if let (Frame::Verdict(v), Frame::Verdict(got)) = (frame, &decoded) {
+                prop_assert_eq!(got.score_bits, v.score_bits, "score bits changed");
+            }
+        }
+    }
+
+    // Arbitrary TCP segmentation: a multi-frame byte stream split at
+    // random points reassembles to exactly the original frame sequence.
+    #[test]
+    fn random_split_points_reassemble(
+        node in any::<u64>(),
+        bits in prop::collection::vec(any::<u64>(), 1..12),
+        tokens in prop::collection::vec(any::<u64>(), 1..5),
+        cut_fracs in prop::collection::vec(0.0f64..1.0, 0..16),
+    ) {
+        // A realistic little conversation: hello, ticks, pings, finish.
+        let mut frames = vec![Frame::Hello { role: Role::Ingest, client_id: node }];
+        for (i, &token) in tokens.iter().enumerate() {
+            frames.push(Frame::Tick(Tick {
+                node: node as usize,
+                step: i,
+                values: bits.iter().copied().map(f64::from_bits).collect(),
+                transition: i == 0,
+            }));
+            frames.push(Frame::Ping { token });
+        }
+        frames.push(Frame::Finish);
+
+        let stream: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let mut cuts: Vec<usize> = cut_fracs
+            .iter()
+            .map(|f| (f * stream.len() as f64) as usize)
+            .collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for pair in cuts.windows(2) {
+            got.extend(asm.push(&stream[pair[0]..pair[1]]).expect("valid stream"));
+        }
+        prop_assert_eq!(asm.pending_bytes(), 0, "bytes left over after full stream");
+        prop_assert_eq!(got.len(), frames.len());
+        for (want, have) in frames.iter().zip(&got) {
+            prop_assert_eq!(&encode_frame(want), &encode_frame(have), "frame changed");
+        }
+    }
+
+    // Total garbage never panics: decode yields a typed result, and the
+    // assembler either waits for more bytes or reports a typed error.
+    #[test]
+    fn garbage_bytes_never_panic(
+        bytes in prop::collection::vec(0u8..=255u8, 0..96),
+    ) {
+        // Either outcome is fine — the property is "no panic, and a
+        // decoded frame re-encodes consistently".
+        if let Ok((frame, consumed)) = decode_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert_eq!(&encode_frame(&frame)[..], &bytes[..consumed]);
+        }
+        let mut asm = FrameAssembler::new();
+        let _ = asm.push(&bytes);
+        // After a hard error the assembler must be reusable.
+        let ping = encode_frame(&Frame::Ping { token: 3 });
+        if let Ok(frames) = asm.push(&ping) {
+            prop_assert!(!frames.is_empty() || asm.pending_bytes() > 0);
+        }
+    }
+
+    // Garbage *appended to* a valid frame never corrupts that frame.
+    #[test]
+    fn valid_prefix_survives_trailing_garbage(
+        token in any::<u64>(),
+        junk in prop::collection::vec(0u8..=255u8, 0..40),
+    ) {
+        let good = encode_frame(&Frame::Ping { token });
+        let mut stream = good.clone();
+        stream.extend_from_slice(&junk);
+        let (frame, consumed) = decode_frame(&stream).expect("prefix is valid");
+        prop_assert_eq!(consumed, good.len());
+        prop_assert_eq!(&encode_frame(&frame), &good);
+    }
+}

@@ -255,3 +255,145 @@ mod snapshot_format {
         assert_eq!(decoded, golden());
     }
 }
+
+// ---------------------------------------------------------------------
+// Network wire format: the pinned v1 golden frame stream
+// ---------------------------------------------------------------------
+
+mod wire_format {
+    use nodesentry::stream::Tick;
+    use nodesentry::wire::{
+        decode_frame, encode_frame, error_code, FrameAssembler, ReportMsg, Role, VerdictMsg,
+        WIRE_VERSION,
+    };
+    use nodesentry::wire::{Frame, HEADER_LEN, WIRE_MAGIC};
+
+    /// The golden conversation: one frame of every kind, with field
+    /// values chosen to cover the encoding's corners — float bit
+    /// patterns a text codec would mangle (NaN payload, ±inf, -0.0, a
+    /// subnormal), an empty tick, max-u64 scalars, and a non-ASCII
+    /// error message. Regenerating the fixture (`NS_REGEN_FIXTURES=1`)
+    /// is a conscious protocol change and must come with a
+    /// `WIRE_VERSION` bump plus a decoder for v1.
+    fn golden() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                role: Role::Ingest,
+                client_id: 7,
+            },
+            Frame::Hello {
+                role: Role::Verdicts,
+                client_id: u64::MAX,
+            },
+            Frame::Tick(Tick {
+                node: 3,
+                step: 411,
+                values: vec![
+                    1.5,
+                    f64::NAN,
+                    f64::from_bits(0x7FF8_0000_DEAD_BEEF), // NaN payload
+                    -0.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    5e-324, // smallest subnormal
+                    -273.15,
+                ],
+                transition: true,
+            }),
+            Frame::Tick(Tick {
+                node: 0,
+                step: 0,
+                values: vec![],
+                transition: false,
+            }),
+            Frame::Ping { token: 0xC0FF_EE00 },
+            Frame::Pong { token: 0xC0FF_EE00 },
+            Frame::Verdict(VerdictMsg {
+                node: 3,
+                step: 411,
+                score_bits: (-0.0f64).to_bits(),
+                anomalous: true,
+                cluster: 2,
+                degraded: false,
+            }),
+            Frame::Finish,
+            Frame::Report(ReportMsg {
+                n_verdicts: 96,
+                n_degraded: 4,
+                n_ticks: 1_152,
+                n_shards: 4,
+            }),
+            Frame::Error {
+                code: error_code::REJECTED,
+                msg: "run déjà finalized".to_string(),
+            },
+        ]
+    }
+
+    const FIXTURE: &str = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/wire_frame_v1.bin"
+    );
+
+    /// The checked-in fixture pins the network frame encoding: if this
+    /// test fails, a new server can no longer speak to an old client
+    /// (or vice versa). Bump `WIRE_VERSION`, keep the v1 decoder, and
+    /// only then regenerate with
+    /// `NS_REGEN_FIXTURES=1 cargo test --test serde_roundtrip`.
+    #[test]
+    fn golden_fixture_pins_the_v1_frame_encoding() {
+        let stream: Vec<u8> = golden().iter().flat_map(encode_frame).collect();
+        if std::env::var_os("NS_REGEN_FIXTURES").is_some() {
+            std::fs::write(FIXTURE, &stream).expect("write fixture");
+            eprintln!("regenerated {FIXTURE} ({} bytes)", stream.len());
+        }
+        let pinned = std::fs::read(FIXTURE)
+            .expect("fixture missing — run with NS_REGEN_FIXTURES=1 once to create it");
+        assert_eq!(
+            WIRE_VERSION, 1,
+            "version bumped: add a migration path and a new fixture instead of editing v1's"
+        );
+        assert_eq!(
+            stream, pinned,
+            "network frame encoding drifted from the checked-in v1 fixture"
+        );
+
+        // The pinned bytes still decode to the golden conversation.
+        // NaN fields make `Frame: PartialEq` useless here, so compare
+        // the canonical re-encoding (byte equality implies bit-level
+        // field equality — the codec is injective on bits).
+        let decoded = FrameAssembler::new()
+            .push(&pinned)
+            .expect("decode fixture stream");
+        let want = golden();
+        assert_eq!(decoded.len(), want.len());
+        for (have, want) in decoded.iter().zip(&want) {
+            assert_eq!(
+                encode_frame(have),
+                encode_frame(want),
+                "frame {} decoded differently",
+                want.kind_label()
+            );
+        }
+        // Spot-check the exotic float bits survive by value too.
+        match &decoded[2] {
+            Frame::Tick(t) => {
+                assert_eq!(t.values[2].to_bits(), 0x7FF8_0000_DEAD_BEEF);
+                assert_eq!(t.values[3].to_bits(), (-0.0f64).to_bits());
+            }
+            other => panic!("fixture frame 2 should be the exotic tick, got {other:?}"),
+        }
+
+        // Structural invariants of the pinned bytes themselves: every
+        // frame leads with the magic and the pinned version.
+        let (first, consumed) = decode_frame(&pinned).expect("first frame");
+        assert!(matches!(first, Frame::Hello { .. }));
+        assert_eq!(&pinned[..4], WIRE_MAGIC);
+        assert_eq!(
+            u16::from_le_bytes([pinned[4], pinned[5]]),
+            WIRE_VERSION,
+            "pinned version bytes"
+        );
+        assert!(consumed >= HEADER_LEN);
+    }
+}
