@@ -281,6 +281,10 @@ fn main() {
     // histograms + fault bridging for the online loop. Equivalence with
     // the disabled path is pinned by tests/obs_equivalence.rs.
     ns_obs::enable_all();
+    // `enable_all` now brings the event journal along; keep it off for
+    // the baseline replays so they measure the recorder-off path. A
+    // dedicated recorder-on replay below measures the journal's cost.
+    ns_obs::events::set_enabled(false);
     // D2-like cluster (the deployment monitored a D2-sized system).
     let mut profile = DatasetProfile::d2_prime();
     profile.name = "deployment".into();
@@ -494,6 +498,35 @@ fn main() {
         steps_per_hour,
     );
 
+    // Flight-recorder overhead: the same feed twice more, back to back —
+    // once recorder-off, once with the event journal on and incident
+    // triggers armed (the full operational posture). The pairing matters:
+    // the replay window is sub-second, so comparing against the headline
+    // replay from minutes earlier would measure machine drift, not the
+    // journal. Verdict bit-identity under the recorder is pinned by
+    // tests/obs_equivalence.rs; here we measure what it costs.
+    let (off_report, off_wall) = replay("stream_replay_recorder_off", true);
+    let recorder_off_throughput = off_report.stats.n_ticks as f64 / off_wall.max(1e-9);
+    ns_obs::events::set_enabled(true);
+    ns_obs::incident::set_armed(true);
+    let (recorder_report, recorder_wall) = replay("stream_replay_recorder", true);
+    ns_obs::incident::set_armed(false);
+    ns_obs::events::set_enabled(false);
+    let recorder_throughput = recorder_report.stats.n_ticks as f64 / recorder_wall.max(1e-9);
+    let recorder_overhead_pct =
+        (recorder_off_throughput / recorder_throughput.max(1e-9) - 1.0) * 100.0;
+    let journal = ns_obs::events::stats();
+    let recorder = ns_obs::incident::stats();
+    println!(
+        "flight recorder on: {:.0} ticks/s vs {:.0} off ({:+.1}% overhead), {} events journaled ({} dropped), {} incidents",
+        recorder_throughput,
+        recorder_off_throughput,
+        recorder_overhead_pct,
+        journal.recorded,
+        journal.dropped,
+        recorder.captured,
+    );
+
     let elastic = elastic_lifecycle();
     write_bench_json(
         "stream",
@@ -539,6 +572,14 @@ fn main() {
             "recall": agg.recall,
             "faults": faults,
             "over_the_wire": wire,
+            "observability": json!({
+                "recorder_off_ticks_per_s": recorder_off_throughput,
+                "recorder_on_ticks_per_s": recorder_throughput,
+                "overhead_pct": recorder_overhead_pct,
+                "events_recorded": journal.recorded,
+                "events_dropped": journal.dropped,
+                "incidents_captured": recorder.captured,
+            }),
             "elastic": elastic,
         }),
     );

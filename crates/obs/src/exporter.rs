@@ -1,25 +1,52 @@
-//! Minimal HTTP `/metrics` endpoint over `std::net::TcpListener`.
+//! Operational HTTP surface over `std::net::TcpListener`.
 //!
-//! One accept-loop thread serves the [global metrics
-//! registry](crate::metrics::global) in Prometheus text exposition
-//! format. No HTTP library: the request line is parsed just far enough
-//! to route `/metrics` (or `/`) vs everything else, which is exactly
-//! what a Prometheus scraper needs.
+//! One accept-loop thread hands each connection to a short-lived worker
+//! thread with a hard per-connection deadline, so a stalled (slow-loris)
+//! client can never delay other scrapes. No HTTP library: the request
+//! line is parsed just far enough to route.
+//!
+//! | Route               | Serves                                              |
+//! |---------------------|-----------------------------------------------------|
+//! | `/metrics` (or `/`) | Prometheus text exposition of the global registry   |
+//! | `/healthz`          | liveness — `200 ok` while the process runs          |
+//! | `/readyz`           | readiness — `503` until [`status::set_ready`]       |
+//! | `/statusz`          | [`status::render`] JSON (uptime, shards, sections)  |
+//! | `/debug/events?n=`  | newest `n` journal records as JSON (default 256)    |
+//! | `/debug/incidents`  | flight-recorder dumps as JSONL                      |
+//!
+//! Unknown paths get 404, non-GET methods 405, and an unparseable
+//! request line 400 — all exercised by `tests/obs_equivalence.rs`.
 
-use crate::metrics;
+use crate::{events, incident, metrics, status};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard wall-clock budget for one connection (read + respond). A client
+/// that has not produced a full request head by then gets 400 and the
+/// socket back.
+const CONN_DEADLINE: Duration = Duration::from_secs(2);
+/// Read timeout per slice — the deadline is enforced across slices.
+const READ_SLICE: Duration = Duration::from_millis(100);
+/// Default and maximum event counts for `/debug/events`.
+const EVENTS_DEFAULT_N: usize = 256;
+const EVENTS_MAX_N: usize = 65_536;
+
+const CT_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+const CT_TEXT: &str = "text/plain; charset=utf-8";
+const CT_JSON: &str = "application/json";
+const CT_JSONL: &str = "application/x-ndjson";
 
 /// Handle to a running exporter. Dropping it (or calling
 /// [`shutdown`](MetricsServer::shutdown)) stops the accept loop and
-/// joins the serving thread.
+/// joins the serving threads.
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
 impl MetricsServer {
@@ -29,7 +56,7 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stop accepting connections and join the server thread.
+    /// Stop accepting connections and join the server threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -39,6 +66,14 @@ impl MetricsServer {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        // In-flight connections finish within their deadline.
+        let drained: Vec<_> = {
+            let mut w = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            w.drain(..).collect()
+        };
+        for h in drained {
             let _ = h.join();
         }
     }
@@ -53,15 +88,19 @@ impl Drop for MetricsServer {
 }
 
 /// Bind `addr` (e.g. `"127.0.0.1:9464"`, or port `0` for an ephemeral
-/// port in tests) and serve the global registry at `/metrics` on a
-/// background thread.
+/// port in tests) and serve the operational surface on background
+/// threads. Also pins the [`status::process_epoch`] so `/statusz`
+/// uptime counts from first serve at the latest.
 pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    status::process_epoch();
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let pool = Arc::clone(&workers);
     let handle = std::thread::Builder::new()
-        .name("ns-obs-metrics".into())
+        .name("ns-obs-http".into())
         .spawn(move || {
             for conn in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
@@ -69,8 +108,19 @@ pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
                 }
                 match conn {
                     Ok(stream) => {
-                        // Serve inline: scrapes are tiny and sequential.
-                        let _ = handle_conn(stream);
+                        // One short-lived thread per connection: a
+                        // stalled client burns its own deadline, not the
+                        // accept loop.
+                        let spawned = std::thread::Builder::new()
+                            .name("ns-obs-http-conn".into())
+                            .spawn(move || {
+                                let _ = handle_conn(stream);
+                            });
+                        let mut w = pool.lock().unwrap_or_else(|e| e.into_inner());
+                        w.retain(|h| !h.is_finished());
+                        if let Ok(h) = spawned {
+                            w.push(h);
+                        }
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
                     Err(_) => break,
@@ -81,45 +131,117 @@ pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
         addr: local,
         stop,
         handle: Some(handle),
+        workers,
     })
 }
 
+/// Route a request line's target to `(status, content-type, body)`.
+/// Factored out of the socket handling so tests can hit it directly.
+pub(crate) fn route(target: &str) -> (u16, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" | "/" => (200, CT_PROM, metrics::global().render()),
+        "/healthz" => (200, CT_TEXT, "ok\n".to_string()),
+        "/readyz" => {
+            if status::is_ready() {
+                (200, CT_TEXT, "ready\n".to_string())
+            } else {
+                (503, CT_TEXT, "not ready\n".to_string())
+            }
+        }
+        "/statusz" => (200, CT_JSON, status::render()),
+        "/debug/events" => match parse_events_n(query) {
+            Some(n) => (200, CT_JSON, events::render_json(n)),
+            None => (
+                400,
+                CT_TEXT,
+                "bad query: expected n=<positive integer>\n".to_string(),
+            ),
+        },
+        "/debug/incidents" => (200, CT_JSONL, incident::render_jsonl()),
+        _ => (
+            404,
+            CT_TEXT,
+            "not found; try /metrics /healthz /readyz /statusz /debug/events /debug/incidents\n"
+                .to_string(),
+        ),
+    }
+}
+
+fn parse_events_n(query: Option<&str>) -> Option<usize> {
+    let Some(query) = query else {
+        return Some(EVENTS_DEFAULT_N);
+    };
+    let mut n = EVENTS_DEFAULT_N;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("n", v)) => n = v.parse::<usize>().ok().filter(|&n| n > 0)?,
+            // Unknown parameters are rejected rather than ignored: a
+            // typoed `m=10` silently serving 256 events is a debugging
+            // trap.
+            _ => return None,
+        }
+    }
+    Some(n.min(EVENTS_MAX_N))
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        503 => "503 Service Unavailable",
+        _ => "500 Internal Server Error",
+    }
+}
+
 fn handle_conn(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let deadline = Instant::now() + CONN_DEADLINE;
+    stream.set_read_timeout(Some(READ_SLICE))?;
+    stream.set_write_timeout(Some(READ_SLICE))?;
     // Read at most one request head; anything beyond 4 KiB is not a
     // scrape we care about.
     let mut buf = [0u8; 4096];
     let mut used = 0usize;
-    loop {
-        if used == buf.len() {
-            break;
-        }
+    let mut complete = false;
+    while used < buf.len() && Instant::now() < deadline {
         match stream.read(&mut buf[used..]) {
             Ok(0) => break,
             Ok(n) => {
                 used += n;
                 if buf[..used].windows(4).any(|w| w == b"\r\n\r\n") {
+                    complete = true;
                     break;
                 }
             }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
             Err(e) => return Err(e),
         }
     }
+    if used == 0 {
+        // Connected and closed without a byte (the shutdown knock).
+        return Ok(());
+    }
     let head = String::from_utf8_lossy(&buf[..used]);
-    let path = head
-        .lines()
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .unwrap_or("/");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", metrics::global().render())
-    } else {
-        ("404 Not Found", "not found; scrape /metrics\n".to_string())
+    let mut tokens = head.lines().next().unwrap_or("").split_whitespace();
+    let (code, ctype, body) = match (tokens.next(), tokens.next(), complete) {
+        (Some("GET"), Some(target), true) => route(target),
+        (Some("GET") | None, _, _) | (_, None, _) => (
+            400,
+            CT_TEXT,
+            "malformed request: expected `GET <path> HTTP/1.1`\n".to_string(),
+        ),
+        (Some(_), Some(_), _) => (405, CT_TEXT, "method not allowed; use GET\n".to_string()),
     };
     let resp = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(code),
         body.len(),
     );
     stream.write_all(resp.as_bytes())?;
@@ -157,5 +279,81 @@ mod tests {
         server.shutdown();
         // Port released: connecting now fails or yields no response.
         assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(100)).is_err());
+    }
+
+    #[test]
+    fn operational_routes_respond() {
+        let _l = crate::test_lock();
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+        assert!(get(addr, "/healthz").contains("ok"));
+        status::set_ready(false);
+        assert!(get(addr, "/readyz").starts_with("HTTP/1.1 503"));
+        status::set_ready(true);
+        assert!(get(addr, "/readyz").starts_with("HTTP/1.1 200"));
+        let statusz = get(addr, "/statusz");
+        assert!(statusz.contains("application/json"), "{statusz}");
+        assert!(statusz.contains("\"uptime_s\":"), "{statusz}");
+        let events = get(addr, "/debug/events?n=3");
+        assert!(events.starts_with("HTTP/1.1 200"), "{events}");
+        assert!(events.contains("\"events\":["), "{events}");
+        assert!(get(addr, "/debug/events?n=zero").starts_with("HTTP/1.1 400"));
+        assert!(get(addr, "/debug/events?n=0").starts_with("HTTP/1.1 400"));
+        assert!(get(addr, "/debug/events?bogus=1").starts_with("HTTP/1.1 400"));
+        let incidents = get(addr, "/debug/incidents");
+        assert!(incidents.contains("x-ndjson"), "{incidents}");
+        assert!(
+            incidents.contains("\"meta\":\"ns-obs-incidents\""),
+            "{incidents}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_malformed_and_non_get() {
+        let _l = crate::test_lock();
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GARBAGE\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        server.shutdown();
+    }
+
+    /// Regression: a slow-loris client (connects, trickles a partial
+    /// request, never finishes) must not delay other scrapes. The old
+    /// inline accept loop serialized behind it; now it burns its own
+    /// worker thread's deadline.
+    #[test]
+    fn stalled_client_does_not_block_scrapes() {
+        let _l = crate::test_lock();
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+        let mut loris = TcpStream::connect(addr).unwrap();
+        write!(loris, "GET /met").unwrap(); // incomplete head, held open
+        let t0 = Instant::now();
+        let ok = get(addr, "/metrics");
+        let elapsed = t0.elapsed();
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "scrape stalled behind slow-loris: {elapsed:?}"
+        );
+        // The loris eventually gets a 400 once its deadline expires —
+        // the worker thread is reclaimed, not leaked.
+        loris
+            .set_read_timeout(Some(CONN_DEADLINE + Duration::from_secs(2)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = loris.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 400"), "loris response: {out:?}");
+        server.shutdown();
     }
 }

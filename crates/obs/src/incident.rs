@@ -1,0 +1,381 @@
+//! Flight-recorder incident capture.
+//!
+//! When something operationally interesting fires — a quarantine, a wire
+//! error burst, a Degraded-rate spike, a checkpoint failure — the owner
+//! of that signal calls [`capture`]. If the recorder is **armed** and the
+//! trigger is not inside its debounce window, the capture snapshots:
+//!
+//! * the recent [`events`](crate::events) ring contents (bounded to
+//!   [`MAX_EVENTS_PER_INCIDENT`] records),
+//! * deltas of every registered metric since the previous capture
+//!   (absolute values on the first capture),
+//! * the current [`trace::report`](crate::trace::report),
+//! * the process context string installed via [`set_context`] (the
+//!   streaming engine stores its config + model fingerprint there).
+//!
+//! Storage is bounded: the newest [`MAX_INCIDENTS`] incidents are kept,
+//! rendered on demand as JSONL by [`render_jsonl`] and served at
+//! `/debug/incidents`. Like the rest of the crate everything defaults
+//! off — a disarmed [`capture`] is one relaxed atomic load — and capture
+//! only ever *reads* pipeline-adjacent state, so arming it cannot change
+//! a verdict bit.
+
+use crate::events::{self, EventRecord};
+use crate::metrics::{self, MetricValue};
+use crate::trace;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Newest incidents retained in memory.
+pub const MAX_INCIDENTS: usize = 8;
+/// Journal records snapshotted into one incident.
+pub const MAX_EVENTS_PER_INCIDENT: usize = 512;
+/// Default per-trigger debounce window.
+pub const DEFAULT_MIN_INTERVAL: Duration = Duration::from_secs(30);
+
+/// Arm or disarm incident capture process-wide.
+pub fn set_armed(on: bool) {
+    ARMED.store(on, Ordering::Relaxed);
+}
+
+/// Whether triggers currently capture incidents.
+pub fn is_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// One captured incident: the flight-recorder dump unit.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Process-monotonic capture id (0, 1, …).
+    pub id: u64,
+    /// Which predicate fired (`"quarantine"`, `"wire_error_burst"`, …).
+    pub trigger: &'static str,
+    /// Human-oriented one-liner from the trigger site.
+    pub reason: String,
+    /// Monotonic nanoseconds since the event-journal epoch.
+    pub t_ns: u64,
+    /// Wall-clock capture time (milliseconds since the Unix epoch).
+    pub unix_ms: u64,
+    /// Recent journal records, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Per-series metric movement since the previous capture (`value` is
+    /// the delta; series that did not move are omitted).
+    pub metrics_delta: Vec<MetricValue>,
+    /// `trace::report()` at capture time.
+    pub span_report: String,
+    /// Raw JSON context installed via [`set_context`] (`{}` if unset).
+    pub context: String,
+}
+
+impl Incident {
+    /// Render as one JSON object (no trailing newline) — the JSONL unit
+    /// served by `/debug/incidents`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!(
+            "{{\"id\":{},\"trigger\":\"{}\",\"reason\":\"{}\",\"t_ns\":{},\"unix_ms\":{}",
+            self.id,
+            self.trigger,
+            trace::escape_json(&self.reason),
+            self.t_ns,
+            self.unix_ms,
+        ));
+        out.push_str(",\"context\":");
+        if self.context.trim().is_empty() {
+            out.push_str("{}");
+        } else {
+            out.push_str(&self.context);
+        }
+        out.push_str(",\"metrics_delta\":[");
+        for (i, m) in self.metrics_delta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":\"{}\",\"delta\":{}}}",
+                trace::escape_json(&m.name),
+                trace::escape_json(&m.labels),
+                m.value,
+            ));
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str(&format!(
+            "],\"span_report\":\"{}\"}}",
+            trace::escape_json(&self.span_report)
+        ));
+        out
+    }
+}
+
+struct Recorder {
+    incidents: Vec<Incident>,
+    next_id: u64,
+    suppressed: u64,
+    min_interval: Duration,
+    last_fire: BTreeMap<&'static str, Instant>,
+    /// `(name, labels) → value` at the previous capture; deltas diff
+    /// against this.
+    baseline: BTreeMap<(String, String), f64>,
+    context: String,
+}
+
+fn recorder() -> &'static Mutex<Recorder> {
+    static RECORDER: OnceLock<Mutex<Recorder>> = OnceLock::new();
+    RECORDER.get_or_init(|| {
+        Mutex::new(Recorder {
+            incidents: Vec::new(),
+            next_id: 0,
+            suppressed: 0,
+            min_interval: DEFAULT_MIN_INTERVAL,
+            last_fire: BTreeMap::new(),
+            baseline: BTreeMap::new(),
+            context: String::new(),
+        })
+    })
+}
+
+fn lock_recorder() -> MutexGuard<'static, Recorder> {
+    recorder().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Install the process context embedded verbatim in every dump. Must be
+/// a valid JSON value (the engine stores its config + model fingerprint
+/// as an object).
+pub fn set_context(json: String) {
+    lock_recorder().context = json;
+}
+
+/// Override the per-trigger debounce window (tests use `ZERO`).
+pub fn set_min_interval(d: Duration) {
+    lock_recorder().min_interval = d;
+}
+
+/// Fire `trigger`. Returns `true` if an incident was captured, `false`
+/// when disarmed or debounced. Disarmed cost: one relaxed atomic load.
+pub fn capture(trigger: &'static str, reason: &str) -> bool {
+    if !is_armed() {
+        return false;
+    }
+    // Debounce bookkeeping first, holding only the recorder lock.
+    {
+        let mut rec = lock_recorder();
+        let now = Instant::now();
+        if let Some(&prev) = rec.last_fire.get(trigger) {
+            if now.duration_since(prev) < rec.min_interval {
+                rec.suppressed += 1;
+                return false;
+            }
+        }
+        rec.last_fire.insert(trigger, now);
+    }
+    // Snapshot the other subsystems without holding our lock: each takes
+    // (and releases) its own, so there is no lock-order coupling.
+    let events = events::recent(MAX_EVENTS_PER_INCIDENT);
+    let t_ns = events.last().map(|e| e.t_ns).unwrap_or(0);
+    let values = metrics::global().values();
+    let span_report = trace::report();
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+
+    let mut rec = lock_recorder();
+    let mut metrics_delta = Vec::new();
+    for v in &values {
+        let key = (v.name.clone(), v.labels.clone());
+        let prev = rec.baseline.get(&key).copied().unwrap_or(0.0);
+        let delta = v.value - prev;
+        if delta != 0.0 {
+            metrics_delta.push(MetricValue {
+                name: v.name.clone(),
+                labels: v.labels.clone(),
+                value: delta,
+            });
+        }
+        rec.baseline.insert(key, v.value);
+    }
+    let id = rec.next_id;
+    rec.next_id += 1;
+    let incident = Incident {
+        id,
+        trigger,
+        reason: reason.to_string(),
+        t_ns,
+        unix_ms,
+        events,
+        metrics_delta,
+        span_report,
+        context: rec.context.clone(),
+    };
+    if rec.incidents.len() == MAX_INCIDENTS {
+        rec.incidents.remove(0);
+    }
+    rec.incidents.push(incident);
+    drop(rec);
+    // The capture itself goes on the tape, so later incidents show it.
+    events::record(events::EventKind::Incident, trigger, -1, -1, id, 0);
+    true
+}
+
+/// Clone of the retained incidents, oldest first.
+pub fn incidents() -> Vec<Incident> {
+    lock_recorder().incidents.clone()
+}
+
+/// Capture bookkeeping for `/statusz`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Incidents ever captured (== the next id).
+    pub captured: u64,
+    /// Incidents currently retained.
+    pub retained: usize,
+    /// Trigger firings swallowed by the debounce window.
+    pub suppressed: u64,
+    pub armed: bool,
+}
+
+/// Snapshot the recorder bookkeeping.
+pub fn stats() -> RecorderStats {
+    let rec = lock_recorder();
+    RecorderStats {
+        captured: rec.next_id,
+        retained: rec.incidents.len(),
+        suppressed: rec.suppressed,
+        armed: is_armed(),
+    }
+}
+
+/// Render every retained incident as JSON Lines, oldest first, followed
+/// by one meta line with the capture totals.
+pub fn render_jsonl() -> String {
+    let rec = lock_recorder();
+    let mut out = String::new();
+    for i in &rec.incidents {
+        out.push_str(&i.to_json());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{{\"meta\":\"ns-obs-incidents\",\"captured\":{},\"retained\":{},\"suppressed\":{}}}\n",
+        rec.next_id,
+        rec.incidents.len(),
+        rec.suppressed,
+    ));
+    out
+}
+
+/// Discard incidents, debounce history, the metrics baseline, and the
+/// context (armed flag and interval untouched).
+pub fn reset() {
+    let mut rec = lock_recorder();
+    rec.incidents.clear();
+    rec.next_id = 0;
+    rec.suppressed = 0;
+    rec.last_fire.clear();
+    rec.baseline.clear();
+    rec.context.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_capture_is_a_noop() {
+        let _l = crate::test_lock();
+        set_armed(false);
+        reset();
+        assert!(!capture("quarantine", "node 3 panicked"));
+        assert_eq!(stats().captured, 0);
+    }
+
+    #[test]
+    fn capture_snapshots_events_metrics_and_context() {
+        let _l = crate::test_lock();
+        reset();
+        events::set_enabled(true);
+        events::reset();
+        metrics::set_enabled(true);
+        metrics::global()
+            .counter("incident_test_total", "Incident smoke counter.", &[])
+            .add(3);
+        events::record(events::EventKind::Quarantine, "", 1, 9, 40, 0);
+        set_armed(true);
+        set_min_interval(Duration::ZERO);
+        set_context("{\"fingerprint\":\"abc\"}".to_string());
+        assert!(capture("quarantine", "node 9 panicked at step 40"));
+        metrics::set_enabled(false);
+        events::set_enabled(false);
+        set_armed(false);
+
+        let all = incidents();
+        assert_eq!(all.len(), 1);
+        let inc = &all[0];
+        assert_eq!(inc.id, 0);
+        assert_eq!(inc.trigger, "quarantine");
+        assert!(inc.reason.contains("node 9"));
+        assert!(inc
+            .events
+            .iter()
+            .any(|e| e.kind == events::EventKind::Quarantine && e.node == 9));
+        assert!(inc
+            .metrics_delta
+            .iter()
+            .any(|m| m.name == "incident_test_total" && m.value == 3.0));
+        assert!(inc.context.contains("fingerprint"));
+        let line = inc.to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"context\":{\"fingerprint\":\"abc\"}"));
+        let dump = render_jsonl();
+        assert!(dump.lines().count() >= 2, "{dump}");
+        assert!(dump.contains("\"meta\":\"ns-obs-incidents\""));
+        reset();
+        events::reset();
+    }
+
+    #[test]
+    fn debounce_suppresses_repeat_triggers_and_deltas_reset() {
+        let _l = crate::test_lock();
+        reset();
+        set_armed(true);
+        set_min_interval(Duration::from_secs(3600));
+        assert!(capture("wire_error_burst", "first"));
+        assert!(!capture("wire_error_burst", "second"), "debounced");
+        // A different trigger is independent.
+        assert!(capture("checkpoint_failure", "other"));
+        let s = stats();
+        assert_eq!(s.captured, 2);
+        assert_eq!(s.suppressed, 1);
+        // Second capture saw no metric movement → empty delta.
+        assert!(incidents()[1].metrics_delta.is_empty());
+        set_armed(false);
+        set_min_interval(DEFAULT_MIN_INTERVAL);
+        reset();
+    }
+
+    #[test]
+    fn storage_is_bounded_to_newest() {
+        let _l = crate::test_lock();
+        reset();
+        set_armed(true);
+        set_min_interval(Duration::ZERO);
+        for _ in 0..(MAX_INCIDENTS + 3) {
+            assert!(capture("quarantine", "again"));
+        }
+        let all = incidents();
+        assert_eq!(all.len(), MAX_INCIDENTS);
+        assert_eq!(all.last().unwrap().id, (MAX_INCIDENTS + 2) as u64);
+        set_armed(false);
+        set_min_interval(DEFAULT_MIN_INTERVAL);
+        reset();
+    }
+}

@@ -12,14 +12,25 @@
 //!   enabled-flag load, cheap enough for per-tick hot paths.
 //!   [`metrics::Registry::render`] emits Prometheus text exposition
 //!   format (0.0.4).
-//! * [`exporter`] — a `std::net::TcpListener` HTTP endpoint serving the
-//!   global registry at `/metrics`, spawnable from the streaming engine.
+//! * [`events`] — a bounded structured event journal (fixed-size
+//!   records, monotonic sequence numbers, typed kinds) — the flight
+//!   recorder's tape.
+//! * [`incident`] — flight-recorder capture: armed trigger predicates
+//!   snapshot recent events, metric deltas, the span report, and engine
+//!   context into bounded JSONL incident dumps.
+//! * [`status`] — `/statusz` composition: process uptime/readiness plus
+//!   pluggable JSON sections registered by other crates.
+//! * [`exporter`] — a `std::net::TcpListener` HTTP surface serving the
+//!   global registry at `/metrics` plus the operational routes
+//!   (`/healthz`, `/readyz`, `/statusz`, `/debug/events`,
+//!   `/debug/incidents`), spawnable from the streaming engine.
 //!
 //! # The no-op-when-disabled guarantee
 //!
-//! Both subsystems start **disabled**. While disabled, a span guard is
-//! two `Instant::now` calls and a metric update is one relaxed atomic
-//! load; neither takes a lock, allocates, or touches shared state.
+//! Every subsystem starts **disabled**. While disabled, a span guard is
+//! two `Instant::now` calls and a metric update or event append is one
+//! relaxed atomic load; none takes a lock, allocates, or touches shared
+//! state.
 //! Observability never reads or writes pipeline data in either state, so
 //! enabling it cannot change a single verdict bit —
 //! `tests/obs_equivalence.rs` holds the streaming engine to that
@@ -39,25 +50,40 @@
 //! ns_obs::disable_all();
 //! ```
 
+pub mod events;
 pub mod exporter;
+pub mod incident;
 pub mod metrics;
+pub mod status;
 pub mod trace;
 
+pub use events::{EventKind, EventRecord};
+pub use incident::Incident;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use trace::SpanGuard;
 
-/// Switch tracing and metrics on together (the usual deployment mode).
+/// Switch tracing, metrics, and the event journal on together (the
+/// usual deployment mode). Incident capture stays disarmed — arming the
+/// flight recorder ([`incident::set_armed`]) is a separate decision.
+/// Also pins the [`status::process_epoch`] so `/statusz` uptime counts
+/// from enablement at the latest.
 pub fn enable_all() {
+    status::process_epoch();
     trace::set_enabled(true);
     metrics::set_enabled(true);
+    events::set_enabled(true);
 }
 
-/// Switch tracing and metrics off together. Already-recorded spans and
-/// metric values are retained (use [`trace::reset`] /
-/// [`metrics::Registry::reset`] to clear them).
+/// Switch tracing, metrics, and the event journal off together (and
+/// disarm incident capture). Already-recorded spans, metric values,
+/// events, and incidents are retained (use [`trace::reset`] /
+/// [`metrics::Registry::reset`] / [`events::reset`] /
+/// [`incident::reset`] to clear them).
 pub fn disable_all() {
     trace::set_enabled(false);
     metrics::set_enabled(false);
+    events::set_enabled(false);
+    incident::set_armed(false);
 }
 
 /// Open a named [`trace::SpanGuard`] covering the rest of the enclosing
@@ -97,8 +123,14 @@ mod tests {
         crate::enable_all();
         assert!(crate::trace::is_enabled());
         assert!(crate::metrics::is_enabled());
+        assert!(crate::events::is_enabled());
+        assert!(
+            !crate::incident::is_armed(),
+            "arming the recorder is a separate decision"
+        );
         crate::disable_all();
         assert!(!crate::trace::is_enabled());
         assert!(!crate::metrics::is_enabled());
+        assert!(!crate::events::is_enabled());
     }
 }

@@ -278,6 +278,16 @@ pub struct Registry {
     families: Mutex<BTreeMap<String, Family>>,
 }
 
+/// One flattened series value from [`Registry::values`]: histograms
+/// contribute a `<name>_count` and `<name>_sum` entry each.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricValue {
+    pub name: String,
+    /// Rendered label set (`{k="v",...}` or empty).
+    pub labels: String,
+    pub value: f64,
+}
+
 /// The process-wide registry served by the exporter.
 pub fn global() -> &'static Registry {
     static GLOBAL: OnceLock<Registry> = OnceLock::new();
@@ -422,6 +432,45 @@ impl Registry {
                 }
             }
         }
+    }
+
+    /// Flatten every registered series to `(name, labels, value)`
+    /// triples in deterministic sorted order — the diffable snapshot the
+    /// flight recorder uses for incident metric deltas. Histograms are
+    /// summarized as `_count` and `_sum` (bucket detail stays in
+    /// [`render`](Registry::render)).
+    pub fn values(&self) -> Vec<MetricValue> {
+        let fams = self.lock();
+        let mut out = Vec::new();
+        for (name, fam) in fams.iter() {
+            for (labels, series) in &fam.series {
+                match series {
+                    Series::Counter(c) => out.push(MetricValue {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value: c.get() as f64,
+                    }),
+                    Series::Gauge(g) => out.push(MetricValue {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value: g.get() as f64,
+                    }),
+                    Series::Histogram(h) => {
+                        out.push(MetricValue {
+                            name: format!("{name}_count"),
+                            labels: labels.clone(),
+                            value: h.count() as f64,
+                        });
+                        out.push(MetricValue {
+                            name: format!("{name}_sum"),
+                            labels: labels.clone(),
+                            value: h.sum(),
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Render the whole registry in Prometheus text exposition format

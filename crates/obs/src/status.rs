@@ -1,0 +1,123 @@
+//! `/statusz` composition: process-wide status plus pluggable sections.
+//!
+//! `ns-obs` knows nothing about the streaming engine, so the status page
+//! is open for extension: any crate can [`register_section`] a named
+//! closure returning a JSON *value*, and [`render`] splices every
+//! section into one status object next to the built-in fields (uptime,
+//! readiness, journal and recorder bookkeeping). The streaming engine
+//! registers a `"stream"` section with its shard queue depths, live
+//! connections, fault counters, model fingerprint, and last checkpoint.
+//!
+//! Readiness ([`set_ready`]) is a plain process flag: `/readyz` reports
+//! 503 until the owner flips it (the engine does so once spawned).
+
+use crate::{events, incident};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+static READY: AtomicBool = AtomicBool::new(true);
+
+type Section = Box<dyn Fn() -> String + Send + Sync>;
+
+fn sections() -> &'static Mutex<BTreeMap<String, Section>> {
+    static SECTIONS: OnceLock<Mutex<BTreeMap<String, Section>>> = OnceLock::new();
+    SECTIONS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock_sections() -> MutexGuard<'static, BTreeMap<String, Section>> {
+    sections().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The process epoch used for the `uptime_s` field — pinned on first
+/// access, so call early (the exporter and `enable_all` both do).
+pub fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Seconds since [`process_epoch`] was first touched.
+pub fn uptime_seconds() -> f64 {
+    process_epoch().elapsed().as_secs_f64()
+}
+
+/// Flip the `/readyz` flag. Defaults to ready so a bare exporter (no
+/// engine) still answers 200.
+pub fn set_ready(on: bool) {
+    READY.store(on, Ordering::Relaxed);
+}
+
+/// Whether `/readyz` currently answers 200.
+pub fn is_ready() -> bool {
+    READY.load(Ordering::Relaxed)
+}
+
+/// Install (or replace) a named status section. `f` must return a valid
+/// JSON value; it is called on every `/statusz` render, so keep it to
+/// atomic reads and registry lookups.
+pub fn register_section(name: &str, f: impl Fn() -> String + Send + Sync + 'static) {
+    lock_sections().insert(name.to_string(), Box::new(f));
+}
+
+/// Drop a section (tests; engines that shut down).
+pub fn unregister_section(name: &str) {
+    lock_sections().remove(name);
+}
+
+/// Render the full `/statusz` JSON object.
+pub fn render() -> String {
+    let ev = events::stats();
+    let inc = incident::stats();
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"uptime_s\":{:.3},\"ready\":{},\"trace_enabled\":{},\"metrics_enabled\":{}",
+        uptime_seconds(),
+        is_ready(),
+        crate::trace::is_enabled(),
+        crate::metrics::is_enabled(),
+    ));
+    out.push_str(&format!(
+        ",\"events\":{{\"enabled\":{},\"recorded\":{},\"buffered\":{},\"dropped\":{},\"capacity\":{}}}",
+        ev.enabled, ev.recorded, ev.len, ev.dropped, ev.capacity,
+    ));
+    out.push_str(&format!(
+        ",\"incidents\":{{\"armed\":{},\"captured\":{},\"retained\":{},\"suppressed\":{}}}",
+        inc.armed, inc.captured, inc.retained, inc.suppressed,
+    ));
+    for (name, f) in lock_sections().iter() {
+        out.push_str(&format!(",\"{}\":{}", crate::trace::escape_json(name), f()));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_builtins_and_sections() {
+        let _l = crate::test_lock();
+        register_section("unit_test", || "{\"answer\":42}".to_string());
+        let doc = render();
+        unregister_section("unit_test");
+        assert!(doc.starts_with('{') && doc.ends_with("}\n"), "{doc}");
+        assert!(doc.contains("\"uptime_s\":"), "{doc}");
+        assert!(doc.contains("\"ready\":"), "{doc}");
+        assert!(doc.contains("\"events\":{"), "{doc}");
+        assert!(doc.contains("\"incidents\":{"), "{doc}");
+        assert!(doc.contains("\"unit_test\":{\"answer\":42}"), "{doc}");
+        assert!(uptime_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn ready_flag_roundtrips() {
+        let _l = crate::test_lock();
+        assert!(is_ready(), "default ready");
+        set_ready(false);
+        assert!(!is_ready());
+        assert!(render().contains("\"ready\":false"));
+        set_ready(true);
+    }
+}

@@ -301,6 +301,57 @@ pub fn export_jsonl() -> String {
     out
 }
 
+/// Export the raw span events as a Chrome-trace / Perfetto JSON array,
+/// directly loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// Each completed span becomes one complete (`"ph":"X"`) event with
+/// `ts`/`dur` in microseconds relative to the tracer epoch. Threads are
+/// mapped to stable integer `tid`s in order of first appearance and
+/// named via `thread_name` metadata (`"ph":"M"`) events, so shard
+/// workers show up as labeled rows in the viewer.
+pub fn export_chrome() -> String {
+    let st = lock_store();
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut next_tid = 1u64;
+    let mut body = String::new();
+    for e in &st.events {
+        let tid = *tids.entry(e.thread.as_str()).or_insert_with(|| {
+            let t = next_tid;
+            next_tid += 1;
+            t
+        });
+        if !body.is_empty() {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"path\":\"{}\"}}}}",
+            escape_json(e.path.rsplit('/').next().unwrap_or(&e.path)),
+            e.start_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+            escape_json(&e.path),
+        ));
+    }
+    let mut meta = String::new();
+    for (thread, tid) in &tids {
+        if !meta.is_empty() {
+            meta.push_str(",\n");
+        }
+        meta.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(thread),
+        ));
+    }
+    let mut out = String::with_capacity(body.len() + meta.len() + 16);
+    out.push_str("[\n");
+    out.push_str(&meta);
+    if !meta.is_empty() && !body.is_empty() {
+        out.push_str(",\n");
+    }
+    out.push_str(&body);
+    out.push_str("\n]\n");
+    out
+}
+
 fn format_seconds(s: f64) -> String {
     if s >= 1.0 {
         format!("{s:.3} s")
@@ -311,7 +362,10 @@ fn format_seconds(s: f64) -> String {
     }
 }
 
-fn escape_json(s: &str) -> String {
+/// Escape a string for embedding inside a JSON string literal — shared
+/// by the trace, event, and incident exporters (the crate hand-rolls
+/// its JSON to stay dependency-free).
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -396,6 +450,47 @@ mod tests {
         assert!(lines[1].contains("\"dropped\":0"));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_a_viewer_loadable_array() {
+        let _l = crate::test_lock();
+        set_enabled(true);
+        reset();
+        let t = std::thread::Builder::new()
+            .name("chrome-test-worker".into())
+            .spawn(|| {
+                let _g = span("worker_stage");
+            })
+            .unwrap();
+        {
+            let _outer = span("replay");
+            let _inner = span("score");
+        }
+        t.join().unwrap();
+        set_enabled(false);
+        let out = export_chrome();
+        assert!(out.starts_with("[\n") && out.ends_with("\n]\n"), "{out}");
+        assert!(out.contains("\"ph\":\"X\""), "{out}");
+        assert!(out.contains("\"ph\":\"M\""), "thread metadata: {out}");
+        assert!(out.contains("\"name\":\"chrome-test-worker\""), "{out}");
+        // The span path rides in args; the display name is the leaf.
+        assert!(out.contains("\"name\":\"score\""), "{out}");
+        assert!(out.contains("\"path\":\"replay/score\""), "{out}");
+        // Same thread → same tid for nested spans.
+        let tid_of = |needle: &str| -> String {
+            let line = out.lines().find(|l| l.contains(needle)).unwrap();
+            let at = line.find("\"tid\":").unwrap() + 6;
+            line[at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect()
+        };
+        assert_eq!(tid_of("\"name\":\"replay\""), tid_of("\"name\":\"score\""));
+        // Every line inside the array is an object (valid JSON shape).
+        for l in out.lines().filter(|l| l.starts_with('{')) {
+            assert!(l.ends_with('}') || l.ends_with("},"), "{l}");
         }
     }
 

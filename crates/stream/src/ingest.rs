@@ -36,14 +36,19 @@
 //! verdicts stay bit-identical to in-process scoring through all of it.
 
 use crate::metrics::wire_metrics;
-use crate::{Engine, EngineReport, Verdict, VerdictKind};
+use crate::{status, Engine, EngineReport, Verdict, VerdictKind};
 use nodesentry_core::Tick;
+use ns_obs::events::{self, EventKind};
 use ns_wire::{error_code, Frame, FrameAssembler, ReportMsg, Role, VerdictMsg, WireError};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
+
+/// Monotonic connection ids for journal attribution (the `node` slot of
+/// wire events carries the connection id).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Poll granularity for blocking socket reads and the verdict-subscriber
 /// wait: how quickly a connection thread notices a server shutdown.
@@ -259,11 +264,19 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
     let wm = wire_metrics();
     wm.connections_ingest.inc();
     let _active = wm.active_connections.hold();
+    let conn_id = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed) as i64;
+    events::record(EventKind::ConnOpen, "", -1, conn_id, 0, 0);
     let _ = stream.set_read_timeout(Some(POLL));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_nodelay(true);
 
-    let exit = conn_loop(&mut stream, &shared);
+    let exit = conn_loop(&mut stream, &shared, conn_id);
+    let exit_label = match &exit {
+        ConnExit::Closed => "closed",
+        ConnExit::Finished => "finished",
+        ConnExit::Subscribed => "subscribed",
+        ConnExit::Fail { .. } => "fail",
+    };
     match exit {
         ConnExit::Closed => {}
         ConnExit::Finished | ConnExit::Subscribed => {
@@ -286,10 +299,11 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<Shared>) {
         }
     }
     let _ = stream.flush();
+    events::record(EventKind::ConnClose, exit_label, -1, conn_id, 0, 0);
 }
 
 /// Read frames until the connection resolves into a [`ConnExit`].
-fn conn_loop(stream: &mut TcpStream, shared: &Shared) -> ConnExit {
+fn conn_loop(stream: &mut TcpStream, shared: &Shared, conn_id: i64) -> ConnExit {
     let wm = wire_metrics();
     let mut asm = FrameAssembler::new();
     let mut buf = vec![0u8; 64 * 1024];
@@ -320,6 +334,8 @@ fn conn_loop(stream: &mut TcpStream, shared: &Shared) -> ConnExit {
             Ok(frames) => frames,
             Err(err) => {
                 wm.errors(err.class()).inc();
+                events::record(EventKind::ProtocolError, err.class(), -1, conn_id, 0, 0);
+                status::note_wire_error();
                 return ConnExit::Fail {
                     code: error_code::PROTOCOL,
                     msg: err.to_string(),
@@ -338,6 +354,7 @@ fn conn_loop(stream: &mut TcpStream, shared: &Shared) -> ConnExit {
                         if let Err(e) = flush_batch(shared, &mut batch) {
                             return e;
                         }
+                        events::record(EventKind::SubscriberJoin, "", -1, conn_id, 0, 0);
                         return ConnExit::Subscribed;
                     }
                 }
@@ -368,6 +385,15 @@ fn conn_loop(stream: &mut TcpStream, shared: &Shared) -> ConnExit {
                     // a protocol violation, not a transport fault.
                     wm.frames(other.kind_label()).inc();
                     wm.errors("decode").inc();
+                    events::record(
+                        EventKind::ProtocolError,
+                        other.kind_label(),
+                        -1,
+                        conn_id,
+                        0,
+                        0,
+                    );
+                    status::note_wire_error();
                     return ConnExit::Fail {
                         code: error_code::REJECTED,
                         msg: format!("unexpected {} frame from client", other.kind_label()),

@@ -81,6 +81,7 @@
 pub mod ingest;
 pub mod metrics;
 pub mod snapshot;
+pub mod status;
 
 use crate::metrics::{ingest_seconds, node_metrics, snapshot_metrics, ShardMetrics};
 use crate::snapshot::{EngineSnapshot, JobSnap, NodeSnap, PendingSnap, PreSnap, SnapshotError};
@@ -88,6 +89,7 @@ use nodesentry_core::coarse;
 use nodesentry_core::{NodeSentry, Preprocessor};
 use ns_eval::streaming::{StreamingKSigma, StreamingSmoother};
 use ns_linalg::matrix::Matrix;
+use ns_obs::events::{self, EventKind};
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -922,6 +924,14 @@ impl NodeState {
     /// the next segment is scored from scratch.
     fn blackout_reset(&mut self, resync_at: usize) -> Vec<Verdict> {
         self.faults.blackouts += 1;
+        events::record(
+            EventKind::Blackout,
+            "",
+            -1,
+            self.node as i64,
+            resync_at.saturating_sub(self.next_step) as u64,
+            self.next_step as u64,
+        );
         let out = self.flush_tail(true);
         self.pre = StreamingPreprocessor::new(&self.model.preprocessor);
         self.smoother = StreamingSmoother::new(self.smooth_window);
@@ -939,6 +949,14 @@ impl NodeState {
         self.resync_degraded = true;
         self.runs.iter_mut().for_each(|r| *r = 0);
         self.prev_raw.iter_mut().for_each(|p| *p = f64::NAN);
+        events::record(
+            EventKind::Resync,
+            "",
+            -1,
+            self.node as i64,
+            resync_at as u64,
+            self.faults.blackouts,
+        );
         out
     }
 
@@ -1551,6 +1569,7 @@ impl Engine {
         let n_shards = cfg.n_shards.max(1);
         init.resize_with(n_shards, Default::default);
         let model_fingerprint = model.fingerprint();
+        status::on_engine_spawn(model_fingerprint, n_shards, &cfg);
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         let mut queue_gauges = Vec::with_capacity(n_shards);
@@ -1636,6 +1655,27 @@ impl Engine {
         snapshot_metrics()
             .restore_seconds
             .observe(t0.elapsed().as_secs_f64());
+        status::engine_status()
+            .restores
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        events::record(
+            EventKind::Restore,
+            "",
+            -1,
+            -1,
+            snap.nodes.len() as u64,
+            n_shards as u64,
+        );
+        if snap.n_shards != n_shards {
+            events::record(
+                EventKind::Reshard,
+                "",
+                -1,
+                -1,
+                snap.n_shards as u64,
+                n_shards as u64,
+            );
+        }
         Ok(engine)
     }
 
@@ -1659,6 +1699,34 @@ impl Engine {
     /// what came after, making prefix + tail equal the uninterrupted
     /// verdict set.
     pub fn checkpoint(&self) -> Result<EngineCheckpoint, EngineError> {
+        let res = self.checkpoint_inner();
+        match &res {
+            Ok(ck) => {
+                status::note_checkpoint(true, ck.bytes.len());
+                events::record(
+                    EventKind::Checkpoint,
+                    "ok",
+                    -1,
+                    -1,
+                    ck.bytes.len() as u64,
+                    ck.snapshot.nodes.len() as u64,
+                );
+            }
+            Err(e) => {
+                status::note_checkpoint(false, 0);
+                events::record(EventKind::Checkpoint, "failed", -1, -1, 0, 0);
+                if ns_obs::incident::is_armed() {
+                    ns_obs::incident::capture(
+                        "checkpoint_failure",
+                        &format!("engine checkpoint failed: {e}"),
+                    );
+                }
+            }
+        }
+        res
+    }
+
+    fn checkpoint_inner(&self) -> Result<EngineCheckpoint, EngineError> {
         let t0 = Instant::now();
         let (tx, rx) = mpsc::channel::<ShardCheckpoint>();
         for (shard, sender) in self.senders.iter().enumerate() {
@@ -1936,15 +2004,45 @@ fn scoring_phase(states: &mut FxHashMap<usize, NodeState>, verdicts: &mut Vec<Ve
     }
 }
 
-/// Count newly emitted verdicts into the live by-kind counters.
+/// Count newly emitted verdicts into the live by-kind counters, append
+/// them to the event journal, and feed the Degraded-spike trigger. Each
+/// concern is gated on its own flag, so e.g. the journal works with
+/// metrics off; with everything off this is three relaxed loads.
 fn meter_verdicts(vs: &[Verdict]) {
-    if vs.is_empty() || !ns_obs::metrics::is_enabled() {
+    if vs.is_empty() {
+        return;
+    }
+    let metrics_on = ns_obs::metrics::is_enabled();
+    let events_on = events::is_enabled();
+    let armed = ns_obs::incident::is_armed();
+    if !metrics_on && !events_on && !armed {
         return;
     }
     let ok = vs.iter().filter(|v| v.kind == VerdictKind::Ok).count() as u64;
-    let nm = node_metrics();
-    nm.verdicts_ok.add(ok);
-    nm.verdicts_degraded.add(vs.len() as u64 - ok);
+    if metrics_on {
+        let nm = node_metrics();
+        nm.verdicts_ok.add(ok);
+        nm.verdicts_degraded.add(vs.len() as u64 - ok);
+    }
+    if events_on {
+        for v in vs {
+            let label = match v.kind {
+                VerdictKind::Ok => "ok",
+                _ => "degraded",
+            };
+            events::record(
+                EventKind::Verdict,
+                label,
+                -1,
+                v.node as i64,
+                v.step as u64,
+                v.score.to_bits(),
+            );
+        }
+    }
+    if armed {
+        status::note_verdicts(ok, vs.len() as u64 - ok);
+    }
 }
 
 fn worker_loop(
@@ -2040,6 +2138,23 @@ fn worker_loop(
                     }
                     quarantined.insert(tick.node);
                     faults.quarantined_nodes += 1;
+                    events::record(
+                        EventKind::Quarantine,
+                        "",
+                        shard as i64,
+                        tick.node as i64,
+                        tick.step as u64,
+                        quarantined.len() as u64,
+                    );
+                    if ns_obs::incident::is_armed() {
+                        ns_obs::incident::capture(
+                            "quarantine",
+                            &format!(
+                                "node {} quarantined after a panic at step {} (shard {shard})",
+                                tick.node, tick.step
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -2075,15 +2190,16 @@ fn worker_loop(
 }
 
 /// Refresh the shard's live gauges and bridge fault-counter deltas into
-/// the `ns_stream_faults_total` counters. A no-op (without touching any
-/// node state) while metrics are disabled.
+/// the `ns_stream_faults_total` counters (and, per advancing class, the
+/// event journal). A no-op (without touching any node state) while both
+/// metrics and events are disabled.
 fn publish_shard_metrics(
     m: &ShardMetrics,
     states: &FxHashMap<usize, NodeState>,
     shard_faults: &FaultCounters,
     published: &mut FaultCounters,
 ) {
-    if !ns_obs::metrics::is_enabled() {
+    if !ns_obs::metrics::is_enabled() && !events::is_enabled() {
         return;
     }
     let mut occupancy = 0i64;

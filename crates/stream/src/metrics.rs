@@ -198,10 +198,12 @@ pub(crate) fn snapshot_metrics() -> &'static SnapshotMetrics {
 pub(crate) struct FaultMeters {
     /// Index-aligned with [`FaultCounters::as_pairs`].
     counters: Vec<Counter>,
+    /// Shard attribution for journal events.
+    shard: i64,
 }
 
 impl FaultMeters {
-    pub fn new() -> Self {
+    pub fn new(shard: i64) -> Self {
         let reg = global();
         let counters = FaultCounters::default()
             .as_pairs()
@@ -214,12 +216,16 @@ impl FaultMeters {
                 )
             })
             .collect();
-        FaultMeters { counters }
+        FaultMeters { counters, shard }
     }
 
-    /// Add the per-class deltas between two cumulative snapshots.
+    /// Add the per-class deltas between two cumulative snapshots, and
+    /// append one `fault_detected` journal event per advancing class
+    /// (counter adds and event appends are each self-gated on their own
+    /// enabled flag).
     pub fn publish(&self, prev: &FaultCounters, cur: &FaultCounters) {
-        for ((_, p), ((_, c), counter)) in prev
+        let events_on = ns_obs::events::is_enabled();
+        for ((_, p), ((class, c), counter)) in prev
             .as_pairs()
             .iter()
             .zip(cur.as_pairs().iter().zip(&self.counters))
@@ -228,6 +234,16 @@ impl FaultMeters {
             let d = c.saturating_sub(*p);
             if d > 0 {
                 counter.add(d);
+                if events_on {
+                    ns_obs::events::record(
+                        ns_obs::events::EventKind::FaultDetected,
+                        class,
+                        self.shard,
+                        -1,
+                        d,
+                        *c,
+                    );
+                }
             }
         }
     }
@@ -261,7 +277,7 @@ impl ShardMetrics {
                 "Ticks accepted by shard workers.",
                 &[("shard", &label)],
             ),
-            faults: FaultMeters::new(),
+            faults: FaultMeters::new(shard as i64),
         }
     }
 }

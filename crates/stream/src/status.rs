@@ -1,0 +1,349 @@
+//! Engine-side operational status and flight-recorder trigger
+//! predicates.
+//!
+//! Two jobs live here:
+//!
+//! * **`/statusz` section** — [`register_statusz`] installs a `"stream"`
+//!   section into [`ns_obs::status`] exposing the live shard /
+//!   connection view: model fingerprint, shard count, per-shard queue
+//!   depths and reorder occupancy, active wire connections, verdict and
+//!   fault counters, and the last checkpoint. Everything is read from
+//!   atomics and the idempotent metrics registry — rendering the page
+//!   never touches engine state.
+//! * **Trigger predicates** — the two flight-recorder triggers that need
+//!   windowed state: a Degraded-rate spike ([`note_verdicts`]: ≥ 50%
+//!   degraded over a ≥ [`SPIKE_WINDOW`]-verdict window) and a wire-error
+//!   burst ([`note_wire_error`]: ≥ [`BURST_THRESHOLD`] protocol errors
+//!   inside [`BURST_WINDOW`]). Quarantine and checkpoint-failure fire
+//!   unconditionally at their sites in `lib.rs`. All predicates are
+//!   no-ops while the recorder is disarmed — one relaxed atomic load.
+
+use crate::metrics::{
+    FAULTS_TOTAL, QUEUE_DEPTH, REORDER_OCCUPANCY, TICKS_TOTAL, VERDICTS_TOTAL,
+    WIRE_ACTIVE_CONNECTIONS,
+};
+use crate::{EngineConfig, FaultCounters};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Verdict window the Degraded-spike predicate evaluates over.
+pub const SPIKE_WINDOW: u64 = 64;
+/// Wire protocol errors within [`BURST_WINDOW`] that constitute a burst.
+pub const BURST_THRESHOLD: usize = 8;
+/// Sliding time window for the wire-error burst predicate.
+pub const BURST_WINDOW: Duration = Duration::from_secs(10);
+
+/// Live engine facts mirrored into atomics at spawn / checkpoint /
+/// restore time so `/statusz` renders without touching engine state.
+pub(crate) struct EngineStatus {
+    pub model_fingerprint: AtomicU64,
+    pub n_shards: AtomicUsize,
+    pub spawns: AtomicU64,
+    pub checkpoints: AtomicU64,
+    pub restores: AtomicU64,
+    /// 0 = never checkpointed, 1 = last succeeded, 2 = last failed.
+    pub last_ckpt_state: AtomicU64,
+    pub last_ckpt_unix_ms: AtomicU64,
+    pub last_ckpt_bytes: AtomicU64,
+}
+
+pub(crate) fn engine_status() -> &'static EngineStatus {
+    static CELL: OnceLock<EngineStatus> = OnceLock::new();
+    CELL.get_or_init(|| EngineStatus {
+        model_fingerprint: AtomicU64::new(0),
+        n_shards: AtomicUsize::new(0),
+        spawns: AtomicU64::new(0),
+        checkpoints: AtomicU64::new(0),
+        restores: AtomicU64::new(0),
+        last_ckpt_state: AtomicU64::new(0),
+        last_ckpt_unix_ms: AtomicU64::new(0),
+        last_ckpt_bytes: AtomicU64::new(0),
+    })
+}
+
+/// Record a spawned engine: update the status atomics, install the
+/// `/statusz` section (once per process), flip readiness, and hand the
+/// flight recorder its context (config + fingerprint) for incident
+/// dumps.
+pub(crate) fn on_engine_spawn(fingerprint: u64, n_shards: usize, cfg: &EngineConfig) {
+    let st = engine_status();
+    st.model_fingerprint.store(fingerprint, Ordering::Relaxed);
+    st.n_shards.store(n_shards, Ordering::Relaxed);
+    st.spawns.fetch_add(1, Ordering::Relaxed);
+    register_statusz();
+    ns_obs::status::set_ready(true);
+    ns_obs::incident::set_context(format!(
+        "{{\"model_fingerprint\":\"{fingerprint:016x}\",\"n_shards\":{n_shards},\
+         \"split\":{},\"smooth_window\":{},\"reorder_bound\":{},\"blackout_gap\":{},\
+         \"stuck_run\":{},\"batch_scoring\":{}}}",
+        cfg.split,
+        cfg.smooth_window,
+        cfg.reorder_bound,
+        cfg.blackout_gap,
+        cfg.stuck_run,
+        cfg.batch_scoring,
+    ));
+}
+
+/// Record a checkpoint outcome for the `/statusz` `last_checkpoint`
+/// block.
+pub(crate) fn note_checkpoint(ok: bool, bytes: usize) {
+    let st = engine_status();
+    st.checkpoints.fetch_add(1, Ordering::Relaxed);
+    st.last_ckpt_state
+        .store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+    st.last_ckpt_bytes.store(bytes as u64, Ordering::Relaxed);
+    let ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0);
+    st.last_ckpt_unix_ms.store(ms, Ordering::Relaxed);
+}
+
+/// Render the `"stream"` `/statusz` section. Counter and gauge reads go
+/// through idempotent registration, so series the engine has not touched
+/// yet simply read zero.
+fn render_section() -> String {
+    let st = engine_status();
+    let reg = ns_obs::metrics::global();
+    let n_shards = st.n_shards.load(Ordering::Relaxed);
+    let mut queue = String::from("[");
+    let mut reorder = String::from("[");
+    let mut ticks = String::from("[");
+    for shard in 0..n_shards {
+        let label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &label)];
+        if shard > 0 {
+            queue.push(',');
+            reorder.push(',');
+            ticks.push(',');
+        }
+        queue.push_str(&reg.gauge(QUEUE_DEPTH, "", labels).get().to_string());
+        reorder.push_str(&reg.gauge(REORDER_OCCUPANCY, "", labels).get().to_string());
+        ticks.push_str(&reg.counter(TICKS_TOTAL, "", labels).get().to_string());
+    }
+    queue.push(']');
+    reorder.push(']');
+    ticks.push(']');
+    let mut faults = String::from("{");
+    for (i, (class, _)) in FaultCounters::default().as_pairs().iter().enumerate() {
+        if i > 0 {
+            faults.push(',');
+        }
+        let v = reg.counter(FAULTS_TOTAL, "", &[("class", class)]).get();
+        faults.push_str(&format!("\"{class}\":{v}"));
+    }
+    faults.push('}');
+    let ok = reg.counter(VERDICTS_TOTAL, "", &[("kind", "ok")]).get();
+    let degraded = reg
+        .counter(VERDICTS_TOTAL, "", &[("kind", "degraded")])
+        .get();
+    let conns = reg.gauge(WIRE_ACTIVE_CONNECTIONS, "", &[]).get();
+    let ckpt_state = match st.last_ckpt_state.load(Ordering::Relaxed) {
+        0 => "never",
+        1 => "ok",
+        _ => "failed",
+    };
+    format!(
+        "{{\"model_fingerprint\":\"{:016x}\",\"n_shards\":{n_shards},\"engines_spawned\":{},\
+         \"shard_queue_depths\":{queue},\"shard_reorder_occupancy\":{reorder},\
+         \"shard_ticks_total\":{ticks},\"active_connections\":{conns},\
+         \"verdicts\":{{\"ok\":{ok},\"degraded\":{degraded}}},\"faults\":{faults},\
+         \"last_checkpoint\":{{\"state\":\"{ckpt_state}\",\"unix_ms\":{},\"bytes\":{},\
+         \"checkpoints\":{},\"restores\":{}}}}}",
+        st.model_fingerprint.load(Ordering::Relaxed),
+        st.spawns.load(Ordering::Relaxed),
+        st.last_ckpt_unix_ms.load(Ordering::Relaxed),
+        st.last_ckpt_bytes.load(Ordering::Relaxed),
+        st.checkpoints.load(Ordering::Relaxed),
+        st.restores.load(Ordering::Relaxed),
+    )
+}
+
+/// Install the `"stream"` section into the process `/statusz` (idempotent).
+pub(crate) fn register_statusz() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        ns_obs::status::register_section("stream", render_section);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Trigger predicates
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct SpikeWindow {
+    ok: u64,
+    degraded: u64,
+}
+
+fn spike_window() -> &'static Mutex<SpikeWindow> {
+    static CELL: OnceLock<Mutex<SpikeWindow>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(SpikeWindow::default()))
+}
+
+/// Feed the Degraded-spike predicate. Once the accumulated window holds
+/// at least [`SPIKE_WINDOW`] verdicts it is evaluated and drained:
+/// ≥ 50% degraded captures a `degraded_spike` incident. Disarmed cost:
+/// one relaxed atomic load.
+pub(crate) fn note_verdicts(ok: u64, degraded: u64) {
+    if !ns_obs::incident::is_armed() {
+        return;
+    }
+    let mut w = spike_window().lock().unwrap_or_else(|e| e.into_inner());
+    w.ok += ok;
+    w.degraded += degraded;
+    let total = w.ok + w.degraded;
+    if total < SPIKE_WINDOW {
+        return;
+    }
+    let fired = w.degraded * 2 >= total;
+    let (wok, wdeg) = (w.ok, w.degraded);
+    w.ok = 0;
+    w.degraded = 0;
+    drop(w);
+    if fired {
+        ns_obs::incident::capture(
+            "degraded_spike",
+            &format!(
+                "{wdeg} of {} verdicts degraded in the last window",
+                wok + wdeg
+            ),
+        );
+    }
+}
+
+fn burst_window() -> &'static Mutex<VecDeque<Instant>> {
+    static CELL: OnceLock<Mutex<VecDeque<Instant>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+/// Feed the wire-error burst predicate: [`BURST_THRESHOLD`] protocol
+/// errors inside [`BURST_WINDOW`] capture a `wire_error_burst` incident
+/// and drain the window. Disarmed cost: one relaxed atomic load.
+pub(crate) fn note_wire_error() {
+    if !ns_obs::incident::is_armed() {
+        return;
+    }
+    let now = Instant::now();
+    let mut w = burst_window().lock().unwrap_or_else(|e| e.into_inner());
+    w.push_back(now);
+    while let Some(&front) = w.front() {
+        if now.duration_since(front) > BURST_WINDOW {
+            w.pop_front();
+        } else {
+            break;
+        }
+    }
+    let fired = w.len() >= BURST_THRESHOLD;
+    let count = w.len();
+    if fired {
+        w.clear();
+    }
+    drop(w);
+    if fired {
+        ns_obs::incident::capture(
+            "wire_error_burst",
+            &format!("{count} wire protocol errors within {BURST_WINDOW:?}"),
+        );
+    }
+}
+
+/// Drain both predicate windows (tests).
+#[cfg(test)]
+pub(crate) fn reset_triggers() {
+    let mut w = spike_window().lock().unwrap_or_else(|e| e.into_inner());
+    w.ok = 0;
+    w.degraded = 0;
+    drop(w);
+    burst_window()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These tests flip process-global recorder state; serialize them.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn statusz_section_renders_valid_shape() {
+        let _l = test_lock();
+        let st = engine_status();
+        st.model_fingerprint.store(0xabcd, Ordering::Relaxed);
+        st.n_shards.store(2, Ordering::Relaxed);
+        let doc = render_section();
+        assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
+        assert!(
+            doc.contains("\"model_fingerprint\":\"000000000000abcd\""),
+            "{doc}"
+        );
+        assert!(doc.contains("\"shard_queue_depths\":["), "{doc}");
+        assert!(doc.contains("\"faults\":{"), "{doc}");
+        assert!(doc.contains("\"quarantined_nodes\":"), "{doc}");
+        assert!(doc.contains("\"last_checkpoint\":{"), "{doc}");
+        // Balanced braces — a cheap well-formedness check for the
+        // hand-rolled JSON.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes, "{doc}");
+    }
+
+    #[test]
+    fn spike_predicate_needs_arming_and_majority() {
+        let _l = test_lock();
+        ns_obs::incident::set_armed(false);
+        reset_triggers();
+        note_verdicts(0, SPIKE_WINDOW * 2);
+        {
+            let w = spike_window().lock().unwrap();
+            assert_eq!(w.degraded, 0, "disarmed predicate records nothing");
+        }
+        ns_obs::incident::set_armed(true);
+        ns_obs::incident::set_min_interval(std::time::Duration::ZERO);
+        let before = ns_obs::incident::stats().captured;
+        // Healthy window: no fire, window drained.
+        note_verdicts(SPIKE_WINDOW, 0);
+        assert_eq!(ns_obs::incident::stats().captured, before);
+        // Majority-degraded window: fires.
+        note_verdicts(0, SPIKE_WINDOW);
+        assert_eq!(ns_obs::incident::stats().captured, before + 1);
+        ns_obs::incident::set_armed(false);
+        reset_triggers();
+    }
+
+    #[test]
+    fn burst_predicate_counts_within_window() {
+        let _l = test_lock();
+        ns_obs::incident::set_armed(true);
+        ns_obs::incident::set_min_interval(std::time::Duration::ZERO);
+        reset_triggers();
+        let before = ns_obs::incident::stats().captured;
+        for _ in 0..BURST_THRESHOLD - 1 {
+            note_wire_error();
+        }
+        assert_eq!(
+            ns_obs::incident::stats().captured,
+            before,
+            "below threshold"
+        );
+        note_wire_error();
+        assert_eq!(
+            ns_obs::incident::stats().captured,
+            before + 1,
+            "burst fires"
+        );
+        assert!(burst_window().lock().unwrap().is_empty(), "window drained");
+        ns_obs::incident::set_armed(false);
+        reset_triggers();
+    }
+}

@@ -249,6 +249,34 @@ fn server_error(code: u8, msg: String) -> WireError {
     WireError::Io(format!("server error ({label}): {msg}"))
 }
 
+/// Minimal blocking HTTP/1.1 GET against the ns-obs exporter — enough
+/// for ops tooling and examples to poll `/statusz`, `/metrics`, or the
+/// debug routes without an HTTP client dependency. Returns the response
+/// **body**; any non-2xx status is an error carrying the status line.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<String> {
+    use std::io::{Error, ErrorKind::InvalidData};
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: ns\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| Error::new(InvalidData, "response without header/body split"))?;
+    let status = head.lines().next().unwrap_or_default();
+    let code: u16 = status
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    if !(200..300).contains(&code) {
+        return Err(Error::new(InvalidData, format!("GET {path}: {status}")));
+    }
+    Ok(body.to_string())
+}
+
 /// Subscribe to the verdict stream on its own connection: blocks until
 /// some ingest client finalizes the run, then returns the whole verdict
 /// set plus the closing report. Late subscribers (after the run already

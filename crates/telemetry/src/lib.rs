@@ -33,7 +33,7 @@ pub mod simulator;
 pub use anomaly::{AnomalyEvent, AnomalyKind, InjectionConfig, ALL_ANOMALIES};
 pub use archetype::JobArchetype;
 pub use catalog::{CatalogSpec, Category, MetricCatalog};
-pub use client::{subscribe_verdicts, IngestClient};
+pub use client::{http_get, subscribe_verdicts, IngestClient};
 pub use dataset::{Dataset, DatasetProfile, DatasetStats};
 pub use faults::{
     FaultEvent, FaultInjector, FaultKind, FaultOutcome, FaultPlan, FaultPlanSpec,

@@ -13,19 +13,40 @@
 //! (`tests/stream_equivalence.rs` proves it).
 //!
 //! Observability is switched on for the whole run: training stages land
-//! in the span report printed at the end, and the engine's live metrics
+//! in the span report printed at the end, the engine's live metrics
 //! (queue depths, latency histograms, fault counters) are served on a
-//! local Prometheus `/metrics` endpoint while the stream runs.
+//! local HTTP endpoint while the stream runs, and the example polls its
+//! own `/statusz` mid-replay to print the live shard view — exactly what
+//! an operator's `watch curl :port/statusz` would see. The flight
+//! recorder is armed; the event-journal tail and incident count are
+//! printed at the end.
 
 use nodesentry::core::{NodeSentry, NodeSentryConfig};
 use nodesentry::obs;
 use nodesentry::stream::{Engine, EngineConfig, Tick};
-use nodesentry::telemetry::DatasetProfile;
+use nodesentry::telemetry::{http_get, DatasetProfile};
 use std::collections::HashSet;
 use std::sync::Arc;
 
+/// Pull the raw value of a top-level-ish `"key":` out of a JSON string —
+/// enough to summarize `/statusz` without a JSON parser dependency.
+fn pull<'a>(json: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let Some(start) = json.find(&pat).map(|i| i + pat.len()) else {
+        return "?";
+    };
+    let rest = &json[start..];
+    let end = match rest.as_bytes().first() {
+        Some(b'[') => rest.find(']').map(|i| i + 1),
+        Some(b'{') => rest.find('}').map(|i| i + 1),
+        _ => rest.find([',', '}']),
+    };
+    &rest[..end.unwrap_or(rest.len())]
+}
+
 fn main() {
     obs::enable_all();
+    obs::incident::set_armed(true);
     // 1. A small simulated cluster with injected anomalies.
     let mut profile = DatasetProfile::tiny();
     profile.name = "stream_monitor".into();
@@ -64,14 +85,17 @@ fn main() {
     cfg.n_shards = 3;
     cfg.smooth_window = model.cfg.smooth_window; // flag on smoothed scores, as detect_node does
     let engine = Engine::new(Arc::new(model), cfg);
-    // Live metrics: scrape `curl localhost:<port>/metrics` while the
+    // Live operational surface: scrape `curl localhost:<port>/statusz`
+    // (or /metrics, /healthz, /debug/events, /debug/incidents) while the
     // replay below runs (ephemeral port so repeated runs never collide).
     let metrics_server = Engine::serve_metrics("127.0.0.1:0").expect("bind metrics endpoint");
-    println!("metrics: http://{}/metrics", metrics_server.local_addr());
+    let addr = metrics_server.local_addr();
+    println!("operational surface: http://{addr}/statusz  (also /metrics /healthz /debug/events /debug/incidents)");
     let transitions: Vec<HashSet<usize>> = inputs
         .iter()
         .map(|i| i.transitions.iter().copied().collect())
         .collect();
+    let poll_every = dataset.horizon() / 4;
     for step in 0..dataset.horizon() {
         let batch: Vec<Tick> = (0..dataset.n_nodes())
             .map(|node| Tick {
@@ -82,6 +106,23 @@ fn main() {
             })
             .collect();
         engine.ingest(batch).expect("stream shard alive");
+        // Poll our own /statusz a few times mid-replay: the live shard
+        // view an operator would watch.
+        if step > 0 && step % poll_every == 0 {
+            match http_get(addr, "/statusz") {
+                Ok(body) => {
+                    let stream = pull(&body, "stream");
+                    println!(
+                        "statusz @ step {step}: uptime {} s, queues {}, ticks {}, verdicts {}",
+                        pull(&body, "uptime_s"),
+                        pull(stream, "shard_queue_depths"),
+                        pull(stream, "shard_ticks_total"),
+                        pull(stream, "verdicts"),
+                    );
+                }
+                Err(e) => println!("statusz @ step {step}: poll failed: {e}"),
+            }
+        }
     }
     let report = engine.finish();
     assert!(
@@ -128,6 +169,23 @@ fn main() {
         q(0.99) * 1e3
     );
     metrics_server.shutdown();
+
+    // 6. The flight recorder's view of the run: journal tail + incidents
+    //    (a clean feed arms the triggers but should fire none).
+    let js = obs::events::stats();
+    println!(
+        "\nevent journal: {} recorded ({} dropped); tail:",
+        js.recorded, js.dropped
+    );
+    for e in obs::events::recent(5) {
+        println!("  {}", e.to_json());
+    }
+    let inc = obs::incident::stats();
+    println!(
+        "incidents: {} captured, {} suppressed (armed, clean feed)",
+        inc.captured, inc.suppressed
+    );
+
     println!("\n--- span report ---");
     print!("{}", obs::trace::report());
 }

@@ -27,8 +27,11 @@
 //! * [`label`] — the headless labeling / cluster-adjustment toolkit
 //!   (artifact A2).
 //! * [`obs`] — zero-dependency observability: tracing spans over the
-//!   training stages, live metrics from the streaming engine, and a
-//!   Prometheus `/metrics` exporter.
+//!   training stages, live metrics from the streaming engine, a bounded
+//!   structured event journal with flight-recorder incident capture,
+//!   and an HTTP exporter serving `/metrics` plus the operational
+//!   routes (`/healthz`, `/readyz`, `/statusz`, `/debug/events`,
+//!   `/debug/incidents`).
 //! * [`wire`] — length-prefixed, versioned, checksummed binary tick/verdict
 //!   protocol for feeding the engine over a socket.
 //! * [`linalg`] — the dense matrix substrate underneath everything.

@@ -110,8 +110,17 @@ fn fixture() -> &'static Fixture {
 }
 
 fn run_stream(fx: &Fixture, n_shards: usize) -> Vec<Verdict> {
+    run_stream_with(fx, n_shards, None)
+}
+
+fn run_stream_with(
+    fx: &Fixture,
+    n_shards: usize,
+    panic_at: Option<(usize, usize)>,
+) -> Vec<Verdict> {
     let mut cfg = EngineConfig::new(fx.split);
     cfg.n_shards = n_shards;
+    cfg.panic_at = panic_at;
     let engine = Engine::new(Arc::clone(&fx.model), cfg);
     for batch in &fx.batches {
         engine.ingest(batch.clone()).expect("stream shard alive");
@@ -274,4 +283,235 @@ fn metrics_endpoint_serves_every_family_over_a_socket() {
         let series = format!("ns_stream_faults_total{{class=\"{class}\"}} 0");
         assert!(body.contains(&series), "missing/nonzero {series}\n{body}");
     }
+}
+
+/// The flight recorder's contract, held on a feed that actually goes
+/// wrong: with the event journal on and incident triggers armed, a
+/// `panic_at` chaos run (worker panic → node quarantine → incident
+/// capture) still produces verdicts bit-identical to the fully-disabled
+/// run at 1, 2, and 4 shards — and the quarantine incident it fires is
+/// complete, field by field.
+#[test]
+fn recorder_and_triggers_hold_bit_identity_on_a_faulted_feed() {
+    let _l = test_lock();
+    let fx = fixture();
+    let panic_node = 1usize;
+    let panic_step = fx.split + 3;
+    let fingerprint = format!("{:016x}", fx.model.fingerprint());
+
+    for n_shards in [1usize, 2, 4] {
+        obs::disable_all();
+        obs::trace::reset();
+        obs::metrics::global().reset();
+        obs::events::reset();
+        obs::incident::reset();
+
+        let off = run_stream_with(fx, n_shards, Some((panic_node, panic_step)));
+        assert_eq!(
+            obs::events::stats().recorded,
+            0,
+            "journal appended while disabled"
+        );
+        assert_eq!(
+            obs::incident::stats().captured,
+            0,
+            "incident captured while disarmed"
+        );
+
+        obs::enable_all();
+        obs::incident::set_armed(true);
+        obs::incident::set_min_interval(std::time::Duration::ZERO);
+        // One completed span so the incident's span_report has a real row.
+        drop(obs::trace::span("equivalence_probe"));
+        let on = run_stream_with(fx, n_shards, Some((panic_node, panic_step)));
+        obs::disable_all();
+        obs::incident::set_min_interval(obs::incident::DEFAULT_MIN_INTERVAL);
+
+        assert!(!off.is_empty());
+        assert_eq!(off.len(), on.len(), "{n_shards} shards: verdict count");
+        for (a, b) in off.iter().zip(&on) {
+            assert_eq!((a.node, a.step), (b.node, b.step), "{n_shards} shards");
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "{n_shards} shards: node {} step {} diverged with recorder on",
+                a.node,
+                a.step
+            );
+            assert_eq!(a.anomalous, b.anomalous);
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.kind, b.kind);
+        }
+        // The quarantined node stops producing verdicts at the panic
+        // step in *both* runs — the fault actually happened.
+        assert!(
+            !off.iter()
+                .any(|v| v.node == panic_node && v.step > panic_step),
+            "{n_shards} shards: quarantine never took effect"
+        );
+
+        // The enabled run journaled the whole story...
+        let js = obs::events::stats();
+        assert!(js.recorded > 0, "{n_shards} shards: journal stayed empty");
+        let recent = obs::events::recent(js.len);
+        assert!(
+            recent
+                .iter()
+                .any(|e| e.kind == obs::EventKind::Quarantine && e.node == panic_node as i64),
+            "{n_shards} shards: no quarantine event in the journal"
+        );
+        assert!(
+            recent.iter().any(|e| e.kind == obs::EventKind::Verdict),
+            "{n_shards} shards: no verdict events in the journal"
+        );
+
+        // ...and captured exactly the incident the satellite demands,
+        // validated field by field.
+        let incidents = obs::incident::incidents();
+        let inc = incidents
+            .iter()
+            .find(|i| i.trigger == "quarantine")
+            .unwrap_or_else(|| {
+                panic!("{n_shards} shards: no quarantine incident in {incidents:?}")
+            });
+        assert!(
+            inc.reason.contains(&format!("node {panic_node}")),
+            "reason omits the node: {:?}",
+            inc.reason
+        );
+        assert!(
+            inc.reason.contains(&format!("step {panic_step}")),
+            "reason omits the step: {:?}",
+            inc.reason
+        );
+        assert!(inc.t_ns > 0, "monotonic timestamp missing");
+        assert!(inc.unix_ms > 0, "wall-clock timestamp missing");
+        assert!(
+            !inc.events.is_empty() && inc.events.len() <= obs::incident::MAX_EVENTS_PER_INCIDENT,
+            "snapshot holds {} events",
+            inc.events.len()
+        );
+        assert!(
+            inc.events
+                .iter()
+                .any(|e| e.kind == obs::EventKind::Quarantine),
+            "snapshot misses the quarantine event itself"
+        );
+        assert!(
+            inc.metrics_delta
+                .iter()
+                .any(|m| m.name.starts_with("ns_stream_")),
+            "no engine metric moved in the delta: {:?}",
+            inc.metrics_delta
+        );
+        assert!(
+            inc.span_report.contains("equivalence_probe"),
+            "span report misses the completed span: {:?}",
+            inc.span_report
+        );
+        assert!(
+            inc.context.contains(&fingerprint),
+            "context misses the model fingerprint {fingerprint}: {:?}",
+            inc.context
+        );
+        let line = inc.to_json();
+        assert!(
+            line.contains("\"trigger\":\"quarantine\"") && line.contains("\"events\":["),
+            "JSONL dump incomplete: {line}"
+        );
+    }
+}
+
+/// Scrape every operational route over a real socket against live
+/// engine state: health/readiness, the composed `/statusz` (including
+/// the engine's own section), the journal tail, the incident dump, and
+/// the failure paths (404, bad query, malformed request, wrong method).
+#[test]
+fn operational_routes_serve_live_state_over_a_socket() {
+    let _l = test_lock();
+    let fx = fixture();
+    obs::metrics::global().reset();
+    obs::events::reset();
+    obs::incident::reset();
+    obs::enable_all();
+    obs::incident::set_armed(true);
+    obs::incident::set_min_interval(std::time::Duration::ZERO);
+    let verdicts = run_stream_with(fx, 2, Some((0, fx.split + 2)));
+    obs::disable_all();
+    obs::incident::set_min_interval(obs::incident::DEFAULT_MIN_INTERVAL);
+    assert!(!verdicts.is_empty());
+
+    let server = Engine::serve_metrics("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let healthz = http_get(addr, "/healthz");
+    assert!(healthz.starts_with("HTTP/1.1 200 OK"), "{healthz}");
+    assert!(healthz.ends_with("ok\n"), "{healthz}");
+
+    let readyz = http_get(addr, "/readyz");
+    assert!(readyz.starts_with("HTTP/1.1 200 OK"), "{readyz}");
+    assert!(readyz.ends_with("ready\n"), "{readyz}");
+
+    let statusz = http_get(addr, "/statusz");
+    assert!(statusz.starts_with("HTTP/1.1 200 OK"), "{statusz}");
+    assert!(statusz.contains("application/json"), "{statusz}");
+    let fingerprint = format!("{:016x}", fx.model.fingerprint());
+    let fp_needle = format!("\"model_fingerprint\":\"{fingerprint}\"");
+    for needle in [
+        "\"uptime_s\":",
+        "\"ready\":true",
+        "\"events\":",
+        "\"incidents\":",
+        "\"stream\":{",
+        "\"shard_queue_depths\":[",
+        "\"verdicts\":{",
+        fp_needle.as_str(),
+    ] {
+        assert!(
+            statusz.contains(needle),
+            "statusz misses {needle}: {statusz}"
+        );
+    }
+
+    let events = http_get(addr, "/debug/events?n=5");
+    assert!(events.starts_with("HTTP/1.1 200 OK"), "{events}");
+    assert!(
+        events.contains("\"events\":[") && events.contains("\"kind\":"),
+        "{events}"
+    );
+
+    let bad_n = http_get(addr, "/debug/events?n=bogus");
+    assert!(bad_n.starts_with("HTTP/1.1 400"), "{bad_n}");
+    let bad_param = http_get(addr, "/debug/events?m=10");
+    assert!(bad_param.starts_with("HTTP/1.1 400"), "{bad_param}");
+
+    let incidents = http_get(addr, "/debug/incidents");
+    assert!(incidents.starts_with("HTTP/1.1 200 OK"), "{incidents}");
+    assert!(incidents.contains("application/x-ndjson"), "{incidents}");
+    assert!(
+        incidents.contains("\"trigger\":\"quarantine\""),
+        "captured incident missing from dump: {incidents}"
+    );
+    assert!(
+        incidents.contains("\"meta\":\"ns-obs-incidents\""),
+        "dump meta line missing: {incidents}"
+    );
+
+    let missing = http_get(addr, "/nope");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+    // Wrong method and an outright malformed request line.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read");
+    assert!(resp.starts_with("HTTP/1.1 405"), "{resp}");
+
+    let mut s = TcpStream::connect(addr).expect("connect");
+    write!(s, "garbage\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).expect("read");
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    server.shutdown();
 }
