@@ -276,6 +276,121 @@ fn over_the_wire(
     })
 }
 
+/// Shard scaling sweep: the same monitoring feed replayed through a
+/// fresh engine at every shard count from 1 to the machine's effective
+/// parallelism (at least 2, so the multi-shard machinery is exercised
+/// even on one core — the speedup there is just ~1x). Each point
+/// records throughput, the score/match p50 read back from the ns-obs
+/// histograms, and the thread-pool counter deltas (jobs, tasks, steals,
+/// queue depth) from the `ns-obs` pool provider the engine installs.
+/// `NS_SCALING_MAX_SHARDS` caps the sweep for CI smoke runs.
+fn shard_scaling(
+    model: &Arc<NodeSentry>,
+    split: usize,
+    raws: &[ns_linalg::Matrix],
+    transition_sets: &[HashSet<usize>],
+    horizon: usize,
+    steps_per_hour: usize,
+) -> serde_json::Value {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let max_shards: usize = std::env::var("NS_SCALING_MAX_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| cores.max(2));
+    let reg = ns_obs::metrics::global();
+    let q = |name: &str, q: f64| reg.histogram_quantile(name, &[], q).unwrap_or(0.0);
+
+    println!("\n=== shard scaling sweep (1..={max_shards} shards, {cores} cores) ===");
+    let mut points = Vec::new();
+    let mut speedups: Vec<(usize, f64)> = Vec::new();
+    let mut base_ticks_per_s = 0.0f64;
+    for n_shards in 1..=max_shards {
+        reg.reset();
+        let pool_before = ns_obs::poolstats::snapshot().unwrap_or_default();
+        let mut engine_cfg = EngineConfig::new(split);
+        engine_cfg.n_shards = n_shards;
+        engine_cfg.smooth_window = 1;
+        engine_cfg.batch_scoring = true;
+        let engine = Engine::new(Arc::clone(model), engine_cfg);
+        let t0 = Instant::now();
+        let mut cycle: Vec<Tick> = Vec::with_capacity(raws.len() * steps_per_hour);
+        for step in 0..horizon {
+            for (n, raw) in raws.iter().enumerate() {
+                cycle.push(Tick {
+                    node: n,
+                    step,
+                    values: raw.row(step).to_vec(),
+                    transition: transition_sets[n].contains(&step),
+                });
+            }
+            if (step + 1) % steps_per_hour == 0 {
+                engine
+                    .ingest(std::mem::take(&mut cycle))
+                    .expect("stream shard alive");
+            }
+        }
+        engine.ingest(cycle).expect("stream shard alive");
+        let report = engine.finish();
+        let wall_s = t0.elapsed().as_secs_f64();
+        let pool_after = ns_obs::poolstats::snapshot().unwrap_or_default();
+
+        let ticks_per_s = report.stats.n_ticks as f64 / wall_s.max(1e-9);
+        if n_shards == 1 {
+            base_ticks_per_s = ticks_per_s;
+        }
+        let score_p50 = q(ns_stream::metrics::SCORE_SECONDS, 0.50) * 1e3;
+        let match_p50 = q(ns_stream::metrics::MATCH_SECONDS, 0.50) * 1e3;
+        let steals = pool_after.steals.saturating_sub(pool_before.steals);
+        let jobs = pool_after
+            .jobs_submitted
+            .saturating_sub(pool_before.jobs_submitted);
+        let tasks = pool_after
+            .tasks_executed
+            .saturating_sub(pool_before.tasks_executed);
+        println!(
+            "  {n_shards} shard{}: {:.0} ticks/s ({:.2}x vs 1), score p50 {score_p50:.2} ms, \
+             match p50 {match_p50:.3} ms, pool jobs {jobs} tasks {tasks} steals {steals}",
+            if n_shards == 1 { "" } else { "s" },
+            ticks_per_s,
+            ticks_per_s / base_ticks_per_s.max(1e-9),
+        );
+        speedups.push((report.n_shards, ticks_per_s / base_ticks_per_s.max(1e-9)));
+        points.push(json!({
+            "n_shards": report.n_shards,
+            "wall_s": wall_s,
+            "ticks_per_s": ticks_per_s,
+            "speedup_vs_1": ticks_per_s / base_ticks_per_s.max(1e-9),
+            "score_p50_ms": score_p50,
+            "match_p50_ms": match_p50,
+            "pool": json!({
+                "jobs": jobs,
+                "tasks": tasks,
+                "steals": steals,
+                "queued_jobs": pool_after.queued_jobs,
+                "workers": pool_after.workers,
+            }),
+        }));
+    }
+    reg.reset();
+
+    let (best_shards, best_speedup) = speedups
+        .iter()
+        .skip(1)
+        .copied()
+        .fold((1, 1.0), |acc, (s, v)| if v > acc.1 { (s, v) } else { acc });
+    println!("  best multi-shard point: {best_shards} shards at {best_speedup:.2}x");
+
+    json!({
+        "available_parallelism": cores,
+        "max_shards_swept": max_shards,
+        "points": points,
+        "best_shards": best_shards,
+        "best_speedup_vs_1": best_speedup,
+    })
+}
+
 fn main() {
     // Full observability: stage spans for the offline fit, live latency
     // histograms + fault bridging for the online loop. Equivalence with
@@ -527,6 +642,23 @@ fn main() {
         recorder.captured,
     );
 
+    // Freeze the latency blocks before the scaling sweep: the sweep
+    // resets the registry per point, which would empty these histograms.
+    let point_latency = latency(ns_stream::metrics::POINT_SECONDS);
+    let score_latency = latency(ns_stream::metrics::SCORE_SECONDS);
+    let match_latency = latency(ns_stream::metrics::MATCH_SECONDS);
+    let batch_occupancy = json!({
+        "score_segments": occupancy(ns_stream::metrics::SCORE_BATCH_SEGMENTS),
+        "match_probes": occupancy(ns_stream::metrics::MATCH_BATCH_PROBES),
+    });
+    let scaling = shard_scaling(
+        &model,
+        ds.split,
+        &raws,
+        &transition_sets,
+        ds.horizon(),
+        steps_per_hour,
+    );
     let elastic = elastic_lifecycle();
     write_bench_json(
         "stream",
@@ -537,13 +669,10 @@ fn main() {
             "per_shard_ticks":
                 report.per_shard.iter().map(|s| s.n_ticks).collect::<Vec<_>>(),
             "n_ticks": report.stats.n_ticks,
-            "point_latency": latency(ns_stream::metrics::POINT_SECONDS),
-            "score_latency": latency(ns_stream::metrics::SCORE_SECONDS),
-            "match_latency": latency(ns_stream::metrics::MATCH_SECONDS),
-            "batch_occupancy": json!({
-                "score_segments": occupancy(ns_stream::metrics::SCORE_BATCH_SEGMENTS),
-                "match_probes": occupancy(ns_stream::metrics::MATCH_BATCH_PROBES),
-            }),
+            "point_latency": point_latency,
+            "score_latency": score_latency,
+            "match_latency": match_latency,
+            "batch_occupancy": batch_occupancy,
             "unbatched_baseline": json!({
                 "wall_s": unbatched_wall,
                 "score_p50_ms": unbatched_score_p50,
@@ -572,6 +701,7 @@ fn main() {
             "recall": agg.recall,
             "faults": faults,
             "over_the_wire": wire,
+            "shard_scaling": scaling,
             "observability": json!({
                 "recorder_off_ticks_per_s": recorder_off_throughput,
                 "recorder_on_ticks_per_s": recorder_throughput,

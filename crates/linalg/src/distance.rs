@@ -46,26 +46,12 @@ pub fn nearest_row(rows: &Matrix, query: &[f64]) -> (usize, f64) {
             "query length must match row width"
         );
     }
-    'rows: for c in 0..rows.rows() {
-        let row = rows.row(c);
-        let mut s = 0.0f64;
-        // Chunked so the prune check costs one branch per 8 elements; the
-        // accumulator itself stays a single sequential scalar sum.
-        let mut chunks = row.chunks_exact(8);
-        let mut qchunks = query.chunks_exact(8);
-        for (rc, qc) in (&mut chunks).zip(&mut qchunks) {
-            for (x, y) in qc.iter().zip(rc) {
-                let d = x - y;
-                s += d * d;
-            }
-            if s >= best_sq {
-                continue 'rows;
-            }
-        }
-        for (x, y) in qchunks.remainder().iter().zip(chunks.remainder()) {
-            let d = x - y;
-            s += d * d;
-        }
+    for c in 0..rows.rows() {
+        // The bounded kernel checks the running sum against the current
+        // best once per 8 elements and abandons once it can no longer
+        // win; a surviving row's sum is bit-identical to the full scan
+        // (see `kernels::squared_distance_bounded`).
+        let s = crate::kernels::squared_distance_bounded(query, rows.row(c), best_sq);
         if s < best_sq {
             best_idx = c;
             best_sq = s;

@@ -23,6 +23,7 @@
 
 pub mod decomp;
 pub mod distance;
+pub mod kernels;
 pub mod matrix;
 pub mod stats;
 pub mod vecops;

@@ -391,42 +391,28 @@ impl Matrix {
                             if aik == 0.0 {
                                 continue;
                             }
-                            let brow = &b[kk * n..kk * n + n];
-                            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                                *cv += aik * bv;
-                            }
+                            crate::kernels::axpy(crow, aik, &b[kk * n..kk * n + n]);
                         }
                     } else {
-                        // Dense: unroll k by 4 so each output element is
-                        // loaded/stored once per four multiply-adds. The
-                        // adds into `t` stay in ascending-k order, so the
-                        // result is bit-identical to the rolled loop.
+                        // Dense: the fused 4-k axpy kernel loads/stores
+                        // each output element once per four multiply-adds
+                        // while keeping the per-element adds in
+                        // ascending-k order — bit-identical to the
+                        // rolled loop (see `kernels::axpy4`).
                         let mut kk = kb;
                         while kk + 4 <= kend {
-                            let (a0, a1, a2, a3) =
-                                (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
-                            let b0 = &b[kk * n..kk * n + n];
-                            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
-                            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
-                            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
-                            for ((((cv, &v0), &v1), &v2), &v3) in
-                                crow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3)
-                            {
-                                let mut t = *cv;
-                                t += a0 * v0;
-                                t += a1 * v1;
-                                t += a2 * v2;
-                                t += a3 * v3;
-                                *cv = t;
-                            }
+                            crate::kernels::axpy4(
+                                crow,
+                                [arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]],
+                                &b[kk * n..kk * n + n],
+                                &b[(kk + 1) * n..(kk + 1) * n + n],
+                                &b[(kk + 2) * n..(kk + 2) * n + n],
+                                &b[(kk + 3) * n..(kk + 3) * n + n],
+                            );
                             kk += 4;
                         }
                         for kk in kk..kend {
-                            let aik = arow[kk];
-                            let brow = &b[kk * n..kk * n + n];
-                            for (cv, &bv) in crow.iter_mut().zip(brow) {
-                                *cv += aik * bv;
-                            }
+                            crate::kernels::axpy(crow, arow[kk], &b[kk * n..kk * n + n]);
                         }
                     }
                 }
@@ -474,25 +460,21 @@ impl Matrix {
         // Each output element is a strict ascending-k dot product (the
         // bit-exactness contract). A single dot is a serial FP-add
         // dependency chain, so the kernel interleaves four *independent*
-        // output columns per pass — each element's own summation order is
-        // untouched, but the four chains hide the add latency.
+        // output columns per pass (`kernels::dot4`) — each element's own
+        // summation order is untouched, but the four chains hide the add
+        // latency.
         let kernel = |row_band: &mut [f64], r0: usize| {
             for (i, crow) in row_band.chunks_exact_mut(n).enumerate() {
                 let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
                 let mut j = 0;
                 while j + 4 <= n {
-                    let b0 = &b[j * k..j * k + k];
-                    let b1 = &b[(j + 1) * k..(j + 1) * k + k];
-                    let b2 = &b[(j + 2) * k..(j + 2) * k + k];
-                    let b3 = &b[(j + 3) * k..(j + 3) * k + k];
-                    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-                    for kk in 0..k {
-                        let av = arow[kk];
-                        s0 += av * b0[kk];
-                        s1 += av * b1[kk];
-                        s2 += av * b2[kk];
-                        s3 += av * b3[kk];
-                    }
+                    let (s0, s1, s2, s3) = crate::kernels::dot4(
+                        arow,
+                        &b[j * k..j * k + k],
+                        &b[(j + 1) * k..(j + 1) * k + k],
+                        &b[(j + 2) * k..(j + 2) * k + k],
+                        &b[(j + 3) * k..(j + 3) * k + k],
+                    );
                     crow[j] = s0;
                     crow[j + 1] = s1;
                     crow[j + 2] = s2;
@@ -500,12 +482,8 @@ impl Matrix {
                     j += 4;
                 }
                 for (jj, cv) in crow.iter_mut().enumerate().skip(j) {
-                    let brow = &b[jj * k..jj * k + k];
-                    let mut s = 0.0;
-                    for (&av, &bv) in arow.iter().zip(brow) {
-                        s += av * bv;
-                    }
-                    *cv = s;
+                    // Seed +0.0: the matmul convention (see `kernels::dot_from`).
+                    *cv = crate::kernels::dot_from(0.0, arow, &b[jj * k..jj * k + k]);
                 }
             }
         };

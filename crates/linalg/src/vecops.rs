@@ -1,10 +1,11 @@
 //! Slice-level vector helpers shared across the workspace.
 
-/// Dot product of two equally-long slices.
+/// Dot product of two equally-long slices (the 4-blocked kernel; same
+/// strict ascending accumulation order as the naive fold).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
@@ -19,17 +20,12 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     euclidean_sq(a, b).sqrt()
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance (the 4-blocked kernel; same strict
+/// ascending accumulation order as the naive fold).
 #[inline]
 pub fn euclidean_sq(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    crate::kernels::squared_distance(a, b)
 }
 
 /// Manhattan (L1) distance.
@@ -58,13 +54,12 @@ pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
     1.0 - dot(a, b) / (na * nb)
 }
 
-/// `out[i] = a[i] + k * b[i]`, in place on `a`.
+/// `out[i] = a[i] + k * b[i]`, in place on `a` (the 4-blocked kernel;
+/// elementwise, so blocking cannot change results).
 #[inline]
 pub fn axpy(a: &mut [f64], k: f64, b: &[f64]) {
     debug_assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter_mut().zip(b) {
-        *x += k * y;
-    }
+    crate::kernels::axpy(a, k, b)
 }
 
 /// Scale a slice in place.

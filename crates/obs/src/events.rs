@@ -74,6 +74,10 @@ pub enum EventKind {
     SubscriberJoin,
     /// The flight recorder captured an incident (`label` = trigger).
     Incident,
+    /// The engine clamped per-shard kernel parallelism to avoid
+    /// oversubscribing `shards × pool threads` past the machine
+    /// (`a` = uncapped kernel width, `b` = clamped width).
+    PoolClamp,
 }
 
 impl EventKind {
@@ -93,11 +97,12 @@ impl EventKind {
             EventKind::ProtocolError => "protocol_error",
             EventKind::SubscriberJoin => "subscriber_join",
             EventKind::Incident => "incident",
+            EventKind::PoolClamp => "pool_clamp",
         }
     }
 
     /// Every kind, for exhaustive tests and docs.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Verdict,
         EventKind::FaultDetected,
         EventKind::Quarantine,
@@ -111,6 +116,7 @@ impl EventKind {
         EventKind::ProtocolError,
         EventKind::SubscriberJoin,
         EventKind::Incident,
+        EventKind::PoolClamp,
     ];
 }
 

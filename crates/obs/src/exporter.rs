@@ -143,7 +143,12 @@ pub(crate) fn route(target: &str) -> (u16, &'static str, String) {
         None => (target, None),
     };
     match path {
-        "/metrics" | "/" => (200, CT_PROM, metrics::global().render()),
+        "/metrics" | "/" => {
+            // Fold the thread pool's scheduling counters into the
+            // registry so every scrape sees them fresh.
+            crate::poolstats::sync();
+            (200, CT_PROM, metrics::global().render())
+        }
         "/healthz" => (200, CT_TEXT, "ok\n".to_string()),
         "/readyz" => {
             if status::is_ready() {

@@ -5,11 +5,11 @@
 //! of that signal calls [`capture`]. If the recorder is **armed** and the
 //! trigger is not inside its debounce window, the capture snapshots:
 //!
-//! * the recent [`events`](crate::events) ring contents (bounded to
+//! * the recent [`events`] ring contents (bounded to
 //!   [`MAX_EVENTS_PER_INCIDENT`] records),
 //! * deltas of every registered metric since the previous capture
 //!   (absolute values on the first capture),
-//! * the current [`trace::report`](crate::trace::report),
+//! * the current [`crate::trace::report`],
 //! * the process context string installed via [`set_context`] (the
 //!   streaming engine stores its config + model fingerprint there).
 //!

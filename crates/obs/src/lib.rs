@@ -20,6 +20,10 @@
 //!   context into bounded JSONL incident dumps.
 //! * [`status`] — `/statusz` composition: process uptime/readiness plus
 //!   pluggable JSON sections registered by other crates.
+//! * [`poolstats`] — bridge from the vendored rayon pool's scheduling
+//!   counters (tasks, steals, park/unpark, per-worker busy time) into
+//!   `/metrics` and `/statusz`, fed by an installable provider so this
+//!   crate stays dependency-free.
 //! * [`exporter`] — a `std::net::TcpListener` HTTP surface serving the
 //!   global registry at `/metrics` plus the operational routes
 //!   (`/healthz`, `/readyz`, `/statusz`, `/debug/events`,
@@ -54,6 +58,7 @@ pub mod events;
 pub mod exporter;
 pub mod incident;
 pub mod metrics;
+pub mod poolstats;
 pub mod status;
 pub mod trace;
 

@@ -1,0 +1,194 @@
+//! Thread-pool scheduling telemetry bridge.
+//!
+//! `ns-obs` is deliberately dependency-free, so it cannot read the
+//! vendored rayon pool's counters itself. Instead, a crate that depends
+//! on both (the streaming engine, the bench harness) [`install`]s a
+//! provider closure once; from then on the pool shows up in both
+//! operational surfaces:
+//!
+//! * `/metrics` — [`sync`] (called by the exporter on every `/metrics`
+//!   scrape) converts provider snapshots into registry counters/gauges:
+//!   `pool_tasks_total`, `pool_steals_total`, `pool_parks_total`,
+//!   `pool_unparks_total`, `pool_jobs_total`, `pool_workers`,
+//!   `pool_queued_jobs`, and per-worker
+//!   `pool_worker_busy_us_total{worker="N"}`.
+//! * `/statusz` — installation registers a `"pool"` section rendering
+//!   the live snapshot as JSON.
+//!
+//! Counters are delta-synced against the last snapshot taken while
+//! metrics were enabled, so pool activity that happens between scrapes
+//! (or across `Registry::reset` in tests) is never double-counted and
+//! never lost while enabled.
+
+use std::sync::{Mutex, OnceLock};
+
+/// One reading of the pool's scheduling counters (see the vendored
+/// rayon's `pool_stats()` — field meanings match 1:1).
+#[derive(Clone, Debug, Default)]
+pub struct PoolSnapshot {
+    /// Worker threads spawned so far (excludes callers).
+    pub workers: usize,
+    /// Jobs published and not yet fully claimed.
+    pub queued_jobs: usize,
+    /// Parallel jobs submitted since process start.
+    pub jobs_submitted: u64,
+    /// Chunks (tasks) executed.
+    pub tasks_executed: u64,
+    /// Chunks claimed from another participant's lane.
+    pub steals: u64,
+    /// Worker park transitions.
+    pub parks: u64,
+    /// Worker unpark transitions.
+    pub unparks: u64,
+    /// Per-worker busy nanoseconds, indexed by worker id.
+    pub busy_ns: Vec<u64>,
+}
+
+type Provider = Box<dyn Fn() -> PoolSnapshot + Send + Sync>;
+
+static PROVIDER: OnceLock<Provider> = OnceLock::new();
+static LAST: Mutex<Option<PoolSnapshot>> = Mutex::new(None);
+
+/// Install the snapshot provider (first call wins; later calls are
+/// no-ops so every engine in a process can call this unconditionally).
+/// Registers the `"pool"` `/statusz` section as a side effect.
+pub fn install(provider: impl Fn() -> PoolSnapshot + Send + Sync + 'static) {
+    if PROVIDER.set(Box::new(provider)).is_ok() {
+        crate::status::register_section("pool", render_section);
+    }
+}
+
+/// Whether a provider has been installed.
+pub fn is_installed() -> bool {
+    PROVIDER.get().is_some()
+}
+
+/// The current pool snapshot, if a provider is installed.
+pub fn snapshot() -> Option<PoolSnapshot> {
+    PROVIDER.get().map(|p| p())
+}
+
+/// Fold the provider's counters into the global metrics registry.
+/// Called by the exporter on every `/metrics` scrape; safe (and cheap)
+/// to call anytime. No-op while metrics are disabled or before
+/// [`install`].
+pub fn sync() {
+    if !crate::metrics::is_enabled() {
+        return;
+    }
+    let Some(provider) = PROVIDER.get() else {
+        return;
+    };
+    let snap = provider();
+    let reg = crate::metrics::global();
+    let mut last = LAST.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = last.take().unwrap_or_default();
+    let d = |new: u64, old: u64| new.saturating_sub(old);
+
+    reg.counter(
+        "pool_jobs_total",
+        "Parallel jobs submitted to the pool.",
+        &[],
+    )
+    .add(d(snap.jobs_submitted, prev.jobs_submitted));
+    reg.counter("pool_tasks_total", "Pool task chunks executed.", &[])
+        .add(d(snap.tasks_executed, prev.tasks_executed));
+    reg.counter(
+        "pool_steals_total",
+        "Task chunks stolen from another participant's lane.",
+        &[],
+    )
+    .add(d(snap.steals, prev.steals));
+    reg.counter("pool_parks_total", "Worker park transitions.", &[])
+        .add(d(snap.parks, prev.parks));
+    reg.counter("pool_unparks_total", "Worker unpark transitions.", &[])
+        .add(d(snap.unparks, prev.unparks));
+    reg.gauge("pool_workers", "Worker threads spawned.", &[])
+        .set(snap.workers as i64);
+    reg.gauge(
+        "pool_queued_jobs",
+        "Jobs published and not yet fully claimed.",
+        &[],
+    )
+    .set(snap.queued_jobs as i64);
+    for (i, &busy) in snap.busy_ns.iter().enumerate() {
+        let old = prev.busy_ns.get(i).copied().unwrap_or(0);
+        let worker = i.to_string();
+        reg.counter(
+            "pool_worker_busy_us_total",
+            "Per-worker busy time in microseconds.",
+            &[("worker", &worker)],
+        )
+        .add(d(busy, old) / 1_000);
+    }
+    *last = Some(snap);
+}
+
+/// The `"pool"` `/statusz` section: the live snapshot as JSON.
+fn render_section() -> String {
+    let Some(s) = snapshot() else {
+        return "null".to_string();
+    };
+    let busy_ms: Vec<String> = s
+        .busy_ns
+        .iter()
+        .map(|ns| (ns / 1_000_000).to_string())
+        .collect();
+    format!(
+        concat!(
+            "{{\"workers\":{},\"queued_jobs\":{},\"jobs_submitted\":{},",
+            "\"tasks_executed\":{},\"steals\":{},\"parks\":{},\"unparks\":{},",
+            "\"worker_busy_ms\":[{}]}}"
+        ),
+        s.workers,
+        s.queued_jobs,
+        s.jobs_submitted,
+        s.tasks_executed,
+        s.steals,
+        s.parks,
+        s.unparks,
+        busy_ms.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static FAKE_TASKS: AtomicU64 = AtomicU64::new(10);
+
+    fn install_fake() {
+        install(|| PoolSnapshot {
+            workers: 2,
+            queued_jobs: 1,
+            jobs_submitted: 4,
+            tasks_executed: FAKE_TASKS.load(Ordering::Relaxed),
+            steals: 3,
+            parks: 5,
+            unparks: 5,
+            busy_ns: vec![2_000_000, 7_500_000],
+        });
+    }
+
+    #[test]
+    fn sync_exports_counters_and_section_renders() {
+        install_fake();
+        assert!(is_installed());
+        crate::metrics::set_enabled(true);
+        sync();
+        FAKE_TASKS.store(25, Ordering::Relaxed);
+        sync();
+        let text = crate::metrics::global().render();
+        assert!(text.contains("pool_tasks_total"), "{text}");
+        assert!(text.contains("pool_workers 2"), "{text}");
+        assert!(
+            text.contains("pool_worker_busy_us_total{worker=\"1\"}"),
+            "{text}"
+        );
+        let section = render_section();
+        assert!(section.contains("\"workers\":2"), "{section}");
+        assert!(section.contains("\"worker_busy_ms\":[2,7]"), "{section}");
+        crate::metrics::set_enabled(false);
+    }
+}

@@ -1570,6 +1570,34 @@ impl Engine {
         init.resize_with(n_shards, Default::default);
         let model_fingerprint = model.fingerprint();
         status::on_engine_spawn(model_fingerprint, n_shards, &cfg);
+        metrics::install_pool_stats();
+        // Oversubscription clamp: every shard worker dispatches its
+        // kernels at `rayon::current_num_threads()` width, so an
+        // unclamped engine would put `n_shards × width` runnable threads
+        // on `cores` hardware threads. Cap each worker's kernel width to
+        // its fair share. Results are unaffected — every parallel
+        // combinator is bitwise deterministic in the width — only
+        // scheduling changes.
+        let kernel_cap = {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let width = rayon::current_num_threads();
+            let cap = (cores / n_shards).max(1);
+            if n_shards.saturating_mul(width) > cores && cap < width {
+                events::record(
+                    EventKind::PoolClamp,
+                    "kernel_width",
+                    -1,
+                    -1,
+                    width as u64,
+                    cap as u64,
+                );
+                Some(cap)
+            } else {
+                None
+            }
+        };
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         let mut queue_gauges = Vec::with_capacity(n_shards);
@@ -1585,7 +1613,7 @@ impl Engine {
             ));
             let handle = std::thread::Builder::new()
                 .name(format!("ns-stream-{shard}"))
-                .spawn(move || worker_loop(shard, rx, model, cfg, states, quarantined))
+                .spawn(move || worker_loop(shard, rx, model, cfg, states, quarantined, kernel_cap))
                 .map_err(|e| EngineError::SpawnFailed(e.to_string()))?;
             senders.push(tx);
             workers.push(handle);
@@ -2052,7 +2080,14 @@ fn worker_loop(
     cfg: EngineConfig,
     mut states: FxHashMap<usize, NodeState>,
     mut quarantined: FxHashSet<usize>,
+    kernel_cap: Option<usize>,
 ) -> (Vec<Verdict>, StreamStats, FaultCounters) {
+    // Fair-share kernel width decided at spawn (see `Engine::spawn`);
+    // thread-local, so it caps every parallel dispatch this worker makes
+    // without touching other shards or the caller.
+    if kernel_cap.is_some() {
+        rayon::set_thread_parallelism_cap(kernel_cap);
+    }
     let width = model.preprocessor.groups.len();
     let m = ShardMetrics::new(shard);
     let mut verdicts = Vec::new();

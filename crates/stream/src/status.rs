@@ -3,7 +3,7 @@
 //!
 //! Two jobs live here:
 //!
-//! * **`/statusz` section** — [`register_statusz`] installs a `"stream"`
+//! * **`/statusz` section** — `register_statusz` installs a `"stream"`
 //!   section into [`ns_obs::status`] exposing the live shard /
 //!   connection view: model fingerprint, shard count, per-shard queue
 //!   depths and reorder occupancy, active wire connections, verdict and
@@ -11,9 +11,9 @@
 //!   atomics and the idempotent metrics registry — rendering the page
 //!   never touches engine state.
 //! * **Trigger predicates** — the two flight-recorder triggers that need
-//!   windowed state: a Degraded-rate spike ([`note_verdicts`]: ≥ 50%
+//!   windowed state: a Degraded-rate spike (`note_verdicts`: ≥ 50%
 //!   degraded over a ≥ [`SPIKE_WINDOW`]-verdict window) and a wire-error
-//!   burst ([`note_wire_error`]: ≥ [`BURST_THRESHOLD`] protocol errors
+//!   burst (`note_wire_error`: ≥ [`BURST_THRESHOLD`] protocol errors
 //!   inside [`BURST_WINDOW`]). Quarantine and checkpoint-failure fire
 //!   unconditionally at their sites in `lib.rs`. All predicates are
 //!   no-ops while the recorder is disarmed — one relaxed atomic load.

@@ -2,8 +2,11 @@
 //! the same seed produces bit-identical models and scores whether the
 //! thread pool has one thread or many.
 //!
-//! `RAYON_NUM_THREADS` is process-global, so this file holds a single
-//! test that toggles it around each fit.
+//! The pool caches `RAYON_NUM_THREADS` at first use, so the width is
+//! varied through [`rayon::set_thread_count_override`] — the explicit
+//! in-process hook the pool exposes for exactly this test. The override
+//! is process-global, so this file holds a single test that toggles it
+//! around each fit.
 
 use nodesentry::core::{CoarseConfig, NodeInput, NodeSentry, NodeSentryConfig, SharingConfig};
 use nodesentry::features::FeatureCatalog;
@@ -71,15 +74,15 @@ fn fit_is_bitwise_identical_across_thread_counts() {
     let ds = DatasetProfile::tiny().generate();
     let inputs = inputs_of(&ds);
 
-    std::env::set_var("RAYON_NUM_THREADS", "1");
+    rayon::set_thread_count_override(Some(1));
     let (model_serial, scores_serial) = fit_and_score(&ds, &inputs);
 
-    std::env::remove_var("RAYON_NUM_THREADS");
+    rayon::set_thread_count_override(None);
     let (model_parallel, scores_parallel) = fit_and_score(&ds, &inputs);
 
-    std::env::set_var("RAYON_NUM_THREADS", "3");
+    rayon::set_thread_count_override(Some(3));
     let (model_three, scores_three) = fit_and_score(&ds, &inputs);
-    std::env::remove_var("RAYON_NUM_THREADS");
+    rayon::set_thread_count_override(None);
 
     assert_eq!(
         model_serial, model_parallel,

@@ -1,4 +1,4 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a persistent thread pool.
 //!
 //! The build environment cannot reach a crate registry, so the workspace
 //! vendors the subset of rayon's API it actually uses: `par_iter`,
@@ -11,28 +11,101 @@
 //! 1. **Ordering** — results are always concatenated in input order, and
 //!    reductions (`sum`, `collect`, `unzip`) fold the ordered result
 //!    sequentially, so every combinator is *bitwise deterministic*
-//!    regardless of thread count. Upstream rayon guarantees this for
-//!    `collect` but not for `sum`; we guarantee it across the board,
-//!    which the workspace's determinism tests rely on.
-//! 2. **Thread-count control** — `RAYON_NUM_THREADS` is re-read on every
-//!    parallel call (upstream reads it once at global-pool init), so
-//!    tests can flip between serial and parallel execution in-process.
+//!    regardless of thread count, chunk size, or which worker ran which
+//!    chunk. Upstream rayon guarantees this for `collect` but not for
+//!    `sum`; we guarantee it across the board, which the workspace's
+//!    determinism tests rely on.
+//! 2. **Thread-count control** — the pool width is overridable at
+//!    runtime through [`set_thread_count_override`] so determinism tests
+//!    can flip between serial and parallel execution in-process, and
+//!    cappable per-thread through [`set_thread_parallelism_cap`] so the
+//!    streaming engine can divide cores between shards without
+//!    oversubscribing.
+//!
+//! # Scheduling
+//!
+//! Earlier versions spawned a fresh `std::thread::scope` per parallel
+//! call, which put two syscalls and a stack allocation on every matmul
+//! band. This version keeps a process-global pool of lazily-spawned
+//! workers that park on a condvar between jobs:
+//!
+//! * A parallel call splits its items into `width × OVERPARTITION`
+//!   chunks and **deals** them into `width` lanes of contiguous chunk
+//!   indices, one lane per expected participant.
+//! * The job is published to a global queue, enough workers are woken
+//!   (spawned on first use, up to [`MAX_THREADS`]` - 1`), and the caller
+//!   itself participates — correctness never depends on a worker ever
+//!   arriving.
+//! * Each participant drains its own lane front-to-back, then **steals**
+//!   from other lanes back-to-front. Lane ranges are packed into a
+//!   single `AtomicU64` (`lo << 32 | hi`), so claim and steal are plain
+//!   CAS loops and each chunk index is claimed exactly once.
+//! * Chunk outputs land in per-chunk slots and the caller concatenates
+//!   them in input order after the job's completion latch drops to zero,
+//!   which is what makes the schedule invisible to the result.
+//!
+//! A panic inside a task is caught per-chunk, the first payload is
+//! stashed, every remaining chunk still runs (so the completion latch
+//! always reaches zero and nothing leaks), and the caller re-raises the
+//! payload with `resume_unwind` — workers survive and the pool is not
+//! poisoned. Nested parallel calls from inside a task are fine: a
+//! claimed chunk is always completed by its claimant, so the wait graph
+//! bottoms out and cannot cycle.
+//!
+//! Workers are detached daemon threads parked on a condvar; process
+//! exit while they are parked is a clean shutdown (nothing to join,
+//! no destructors pending).
 
-/// Number of worker threads a parallel call will use.
-///
-/// The env override is re-read every call (see above), but the
-/// `available_parallelism` fallback is cached: on Linux it walks the
-/// cgroup filesystem, which costs ~15 µs per call — enough to dominate a
-/// small matmul when every kernel dispatch asks for the thread count.
-pub fn current_num_threads() -> usize {
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    static AVAILABLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard ceiling on pool participants (workers + caller). Far above any
+/// machine this workspace targets; exists so a bogus override cannot
+/// spawn unbounded threads.
+pub const MAX_THREADS: usize = 64;
+
+/// How many chunks each expected participant's lane receives. A little
+/// overpartitioning is what makes stealing effective on imbalanced
+/// workloads without shrinking chunks into scheduling noise.
+const OVERPARTITION: usize = 4;
+
+// ---------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------
+
+/// Process-wide test override; 0 = unset. Takes precedence over the
+/// (cached) `RAYON_NUM_THREADS` env var.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread parallelism cap; 0 = uncapped. See
+    /// [`set_thread_parallelism_cap`].
+    static TLS_CAP: Cell<usize> = const { Cell::new(0) };
+}
+
+/// `RAYON_NUM_THREADS`, read **once** at first use (upstream behaviour).
+/// Runtime `set_var` is invisible after init — tests that need to vary
+/// the width in-process use [`set_thread_count_override`] instead.
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Cached `available_parallelism`: on Linux it walks the cgroup
+/// filesystem, which costs ~15 µs per call — enough to dominate a small
+/// matmul when every kernel dispatch asks for the thread count.
+fn available() -> usize {
+    static AVAILABLE: OnceLock<usize> = OnceLock::new();
     *AVAILABLE.get_or_init(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -40,7 +113,344 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Map `f` over `items` on a scoped thread pool, preserving input order.
+/// Number of threads a parallel call issued from this thread will use:
+/// the test override if set, else the cached `RAYON_NUM_THREADS`, else
+/// cached `available_parallelism` — then clamped by this thread's
+/// parallelism cap (if any) and by [`MAX_THREADS`].
+pub fn current_num_threads() -> usize {
+    let base = match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_threads().unwrap_or_else(available),
+        n => n,
+    };
+    let base = base.clamp(1, MAX_THREADS);
+    let cap = TLS_CAP.with(|c| c.get());
+    if cap > 0 {
+        base.min(cap)
+    } else {
+        base
+    }
+}
+
+/// Test-only override of the pool width (`None` restores the cached env
+/// / `available_parallelism` default). Process-global: tests that vary
+/// it must serialise themselves (the workspace's determinism tests hold
+/// a mutex around it). The pool grows workers on demand, so an override
+/// larger than the initial width still gets real threads.
+pub fn set_thread_count_override(n: Option<usize>) {
+    OVERRIDE.store(n.map_or(0, |v| v.max(1)), Ordering::Relaxed);
+}
+
+/// The currently-set test override, if any.
+pub fn thread_count_override() -> Option<usize> {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Cap the parallel width of calls issued **from the current thread**
+/// (`None` lifts the cap); returns the previous cap. The streaming
+/// engine sets this in each shard worker so `shards × kernel threads`
+/// cannot oversubscribe the machine. Results are unaffected — every
+/// combinator is bitwise deterministic in the width — only scheduling
+/// changes. The cap applies to calls made on this thread; pool workers
+/// executing stolen chunks run leaf kernels and do not re-dispatch.
+pub fn set_thread_parallelism_cap(cap: Option<usize>) -> Option<usize> {
+    TLS_CAP.with(|c| {
+        let prev = c.get();
+        c.set(cap.map_or(0, |v| v.max(1)));
+        match prev {
+            0 => None,
+            p => Some(p),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------
+
+/// Erased handle workers use to help with a published job.
+trait Job: Send + Sync {
+    /// Claim and run chunks until none remain anywhere in the job.
+    fn participate(&self);
+    /// Every chunk has been claimed (not necessarily finished).
+    fn drained(&self) -> bool;
+}
+
+struct PoolState {
+    jobs: VecDeque<Arc<dyn Job>>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    // Counters behind `pool_stats()`; all relaxed — they are telemetry,
+    // not synchronisation.
+    jobs_submitted: AtomicU64,
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+    busy_ns: Vec<AtomicU64>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            jobs: VecDeque::new(),
+            spawned: 0,
+        }),
+        cv: Condvar::new(),
+        jobs_submitted: AtomicU64::new(0),
+        tasks_executed: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        parks: AtomicU64::new(0),
+        unparks: AtomicU64::new(0),
+        busy_ns: (0..MAX_THREADS - 1).map(|_| AtomicU64::new(0)).collect(),
+    })
+}
+
+/// One scheduling snapshot of the pool, for `ns-obs` export and the
+/// shard-scaling benchmark.
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Worker threads spawned so far (excludes callers).
+    pub workers: usize,
+    /// Jobs currently published and not yet fully claimed.
+    pub queued_jobs: usize,
+    /// Parallel jobs submitted since process start.
+    pub jobs_submitted: u64,
+    /// Chunks (tasks) executed.
+    pub tasks_executed: u64,
+    /// Chunks claimed from another participant's lane.
+    pub steals: u64,
+    /// Worker park transitions (condvar waits entered).
+    pub parks: u64,
+    /// Worker unpark transitions (condvar waits returned).
+    pub unparks: u64,
+    /// Per-worker busy time in nanoseconds, indexed by worker id;
+    /// length = `workers`.
+    pub busy_ns: Vec<u64>,
+}
+
+/// Read the pool's scheduling counters.
+pub fn pool_stats() -> PoolStats {
+    let p = pool();
+    let (workers, queued_jobs) = {
+        let s = p.state.lock().unwrap();
+        (s.spawned, s.jobs.len())
+    };
+    PoolStats {
+        workers,
+        queued_jobs,
+        jobs_submitted: p.jobs_submitted.load(Ordering::Relaxed),
+        tasks_executed: p.tasks_executed.load(Ordering::Relaxed),
+        steals: p.steals.load(Ordering::Relaxed),
+        parks: p.parks.load(Ordering::Relaxed),
+        unparks: p.unparks.load(Ordering::Relaxed),
+        busy_ns: p.busy_ns[..workers]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+fn worker_loop(idx: usize) {
+    let p = pool();
+    loop {
+        let job: Arc<dyn Job> = {
+            let mut s = p.state.lock().unwrap();
+            loop {
+                s.jobs.retain(|j| !j.drained());
+                if let Some(j) = s.jobs.front() {
+                    break j.clone();
+                }
+                p.parks.fetch_add(1, Ordering::Relaxed);
+                s = p.cv.wait(s).unwrap();
+                p.unparks.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        let t0 = Instant::now();
+        job.participate();
+        p.busy_ns[idx].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Publish `job` and make sure at least `width - 1` workers exist to
+/// help with it (the caller is the remaining participant).
+fn publish(job: Arc<dyn Job>, width: usize) {
+    let p = pool();
+    {
+        let mut s = p.state.lock().unwrap();
+        let want = (width - 1).min(MAX_THREADS - 1);
+        while s.spawned < want {
+            let idx = s.spawned;
+            let spawned = std::thread::Builder::new()
+                .name(format!("rayon-worker-{idx}"))
+                .spawn(move || worker_loop(idx))
+                .is_ok();
+            if !spawned {
+                // Thread creation failing is not fatal: the caller
+                // participates and will drain the job alone.
+                break;
+            }
+            s.spawned += 1;
+        }
+        s.jobs.push_back(job);
+    }
+    p.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    p.cv.notify_all();
+}
+
+/// Drop fully-claimed jobs from the queue (callers do this after their
+/// job drains so parked workers never wake for a stale entry).
+fn sweep_drained() {
+    let p = pool();
+    let mut s = p.state.lock().unwrap();
+    s.jobs.retain(|j| !j.drained());
+}
+
+// ---------------------------------------------------------------------
+// Lane ranges: a contiguous span of chunk indices packed lo<<32|hi.
+// ---------------------------------------------------------------------
+
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Claim the front index of a lane (the lane owner's fast path).
+fn pop_front(lane: &AtomicU64) -> Option<usize> {
+    let mut cur = lane.load(Ordering::Relaxed);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match lane.compare_exchange_weak(cur, pack(lo + 1, hi), Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return Some(lo as usize),
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Claim the back index of a lane (the thief's path — opposite end from
+/// the owner, so contention only appears when a lane is nearly empty).
+fn pop_back(lane: &AtomicU64) -> Option<usize> {
+    let mut cur = lane.load(Ordering::Relaxed);
+    loop {
+        let (lo, hi) = unpack(cur);
+        if lo >= hi {
+            return None;
+        }
+        match lane.compare_exchange_weak(cur, pack(lo, hi - 1), Ordering::AcqRel, Ordering::Relaxed)
+        {
+            Ok(_) => return Some((hi - 1) as usize),
+            Err(now) => cur = now,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The map job
+// ---------------------------------------------------------------------
+
+/// A parallel ordered map published to the pool.
+///
+/// `f` is stored as a raw pointer because the closure (and the items it
+/// captures by reference) live on the caller's stack; the caller blocks
+/// on the completion latch until every chunk has finished, so the
+/// pointer is valid whenever a participant dereferences it. After the
+/// latch drops, stragglers still holding the `Arc` only ever touch the
+/// atomics (`drained`) or drop emptied `Option` slots.
+struct MapJob<I, R, F> {
+    lanes: Vec<AtomicU64>,
+    next_participant: AtomicUsize,
+    inputs: Vec<Mutex<Option<Vec<I>>>>,
+    outputs: Vec<Mutex<Option<Vec<R>>>>,
+    f: *const F,
+    /// Chunks not yet finished; the caller waits for zero.
+    pending: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `f` is only dereferenced while the submitting caller blocks
+// (see the struct docs); with `F: Sync` shared calls are fine, and the
+// `I`/`R` payloads only cross threads via mutex-guarded `Option`s.
+unsafe impl<I: Send, R: Send, F: Sync> Send for MapJob<I, R, F> {}
+unsafe impl<I: Send, R: Send, F: Sync> Sync for MapJob<I, R, F> {}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> MapJob<I, R, F> {
+    fn run_chunk(&self, c: usize) {
+        let items = self.inputs[c].lock().unwrap().take();
+        let Some(items) = items else { return };
+        // SAFETY: caller is latched until `pending` hits zero.
+        let f = unsafe { &*self.f };
+        match catch_unwind(AssertUnwindSafe(|| {
+            items.into_iter().map(f).collect::<Vec<R>>()
+        })) {
+            Ok(out) => *self.outputs[c].lock().unwrap() = Some(out),
+            Err(payload) => {
+                let mut p = self.panic.lock().unwrap();
+                if p.is_none() {
+                    *p = Some(payload);
+                }
+            }
+        }
+        pool().tasks_executed.fetch_add(1, Ordering::Relaxed);
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+impl<I: Send, R: Send, F: Fn(I) -> R + Sync> Job for MapJob<I, R, F> {
+    fn participate(&self) {
+        let lanes = self.lanes.len();
+        let my_lane = self.next_participant.fetch_add(1, Ordering::Relaxed) % lanes;
+        // Own lane, front to back.
+        while let Some(c) = pop_front(&self.lanes[my_lane]) {
+            self.run_chunk(c);
+        }
+        // Steal from the other lanes, back to front, until a full scan
+        // finds nothing left.
+        loop {
+            let mut claimed = false;
+            for off in 1..lanes {
+                let l = (my_lane + off) % lanes;
+                while let Some(c) = pop_back(&self.lanes[l]) {
+                    pool().steals.fetch_add(1, Ordering::Relaxed);
+                    self.run_chunk(c);
+                    claimed = true;
+                }
+            }
+            if !claimed {
+                return;
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.lanes.iter().all(|l| {
+            let (lo, hi) = unpack(l.load(Ordering::Relaxed));
+            lo >= hi
+        })
+    }
+}
+
+/// Map `f` over `items` on the persistent pool, preserving input order.
 fn run_parallel<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
 where
     I: Send,
@@ -48,33 +458,97 @@ where
     F: Fn(I) -> R + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    let width = current_num_threads().min(n);
+    if width <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_size = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(threads);
+
+    // Deal the items into `width * OVERPARTITION` chunks, then the
+    // chunks into `width` contiguous lanes. Chunk boundaries are
+    // invisible to the result (ordered concatenation), so the counts
+    // here are pure scheduling knobs.
+    let n_chunks = (width * OVERPARTITION).min(n);
+    let chunk_size = n.div_ceil(n_chunks);
+    let mut inputs: Vec<Mutex<Option<Vec<I>>>> = Vec::with_capacity(n_chunks);
     let mut it = items.into_iter();
     loop {
         let c: Vec<I> = it.by_ref().take(chunk_size).collect();
         if c.is_empty() {
             break;
         }
-        chunks.push(c);
+        inputs.push(Mutex::new(Some(c)));
     }
-    let f = &f;
-    let mut out = Vec::with_capacity(n);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("parallel worker panicked"));
-        }
+    let n_chunks = inputs.len();
+    let outputs: Vec<Mutex<Option<Vec<R>>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+
+    let base = n_chunks / width;
+    let rem = n_chunks % width;
+    let mut lanes = Vec::with_capacity(width);
+    let mut start = 0usize;
+    for p in 0..width {
+        let len = base + usize::from(p < rem);
+        lanes.push(AtomicU64::new(pack(start as u32, (start + len) as u32)));
+        start += len;
+    }
+    debug_assert_eq!(start, n_chunks);
+
+    let job = Arc::new(MapJob {
+        lanes,
+        next_participant: AtomicUsize::new(0),
+        inputs,
+        outputs,
+        f: &f as *const F,
+        pending: Mutex::new(n_chunks),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
     });
+
+    // SAFETY: the erased Arc outlives this call only inside the pool
+    // queue, where the only methods reachable are `participate` (claims
+    // nothing once drained) and `drained` (atomics only); the borrowed
+    // closure is never dereferenced after `pending` reaches zero, and
+    // this function does not return before that.
+    let erased: Arc<dyn Job + 'static> = unsafe {
+        std::mem::transmute::<Arc<dyn Job + '_>, Arc<dyn Job + 'static>>(
+            job.clone() as Arc<dyn Job + '_>
+        )
+    };
+    publish(erased, width);
+
+    // The caller is a participant too — the job completes even if no
+    // worker ever picks it up.
+    job.participate();
+
+    let mut pending = job.pending.lock().unwrap();
+    while *pending > 0 {
+        pending = job.done.wait(pending).unwrap();
+    }
+    drop(pending);
+    sweep_drained();
+
+    if let Some(payload) = job.panic.lock().unwrap().take() {
+        // Drain finished outputs first: results may borrow caller data,
+        // and a straggling Arc in the queue must never be the one to
+        // drop them.
+        for slot in &job.outputs {
+            slot.lock().unwrap().take();
+        }
+        resume_unwind(payload);
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for slot in &job.outputs {
+        if let Some(v) = slot.lock().unwrap().take() {
+            out.extend(v);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
     out
 }
+
+// ---------------------------------------------------------------------
+// Public combinators (unchanged API)
+// ---------------------------------------------------------------------
 
 /// A materialized parallel iterator (items are collected eagerly).
 pub struct ParIter<I> {
@@ -213,6 +687,13 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+
+    /// Tests that touch the process-global override serialise on this.
+    fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn ordered_collect() {
@@ -247,5 +728,50 @@ mod tests {
         let (a, b): (Vec<usize>, Vec<usize>) = (0..10).into_par_iter().map(|i| (i, i * i)).unzip();
         assert_eq!(a.len(), 10);
         assert_eq!(b[3], 9);
+    }
+
+    #[test]
+    fn override_controls_width_and_grows_workers() {
+        let _g = override_lock();
+        set_thread_count_override(Some(4));
+        assert_eq!(current_num_threads(), 4);
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v[999], 1000);
+        // Publishing a width-4 job must have spawned real workers.
+        assert!(pool_stats().workers >= 1);
+        set_thread_count_override(None);
+    }
+
+    #[test]
+    fn tls_cap_forces_serial() {
+        let _g = override_lock();
+        set_thread_count_override(Some(8));
+        let prev = set_thread_parallelism_cap(Some(1));
+        assert_eq!(prev, None);
+        assert_eq!(current_num_threads(), 1);
+        let jobs_before = pool_stats().jobs_submitted;
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i).collect();
+        assert_eq!(v.len(), 100);
+        // Serial path: nothing was published to the pool.
+        assert_eq!(pool_stats().jobs_submitted, jobs_before);
+        assert_eq!(set_thread_parallelism_cap(None), Some(1));
+        set_thread_count_override(None);
+    }
+
+    #[test]
+    fn pool_counters_move() {
+        let _g = override_lock();
+        set_thread_count_override(Some(3));
+        let before = pool_stats();
+        let _: Vec<u64> = (0..5000u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| i * 3)
+            .collect();
+        let after = pool_stats();
+        assert!(after.jobs_submitted > before.jobs_submitted);
+        assert!(after.tasks_executed > before.tasks_executed);
+        assert_eq!(after.busy_ns.len(), after.workers);
+        set_thread_count_override(None);
     }
 }
