@@ -25,6 +25,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ns_bench::write_bench_json;
 use ns_linalg::kernels;
 use ns_linalg::matrix::Matrix;
+use ns_linalg::matrix_f32::MatrixF32;
 use serde_json::json;
 use std::time::Instant;
 
@@ -34,6 +35,10 @@ fn series(seed: usize) -> Vec<f64> {
     (0..N)
         .map(|i| ((i * 31 + seed * 17) as f64 * 0.123).sin() * 2.0)
         .collect()
+}
+
+fn series_f32(seed: usize) -> Vec<f32> {
+    series(seed).into_iter().map(|v| v as f32).collect()
 }
 
 fn median_ns(iters: usize, mut f: impl FnMut()) -> f64 {
@@ -71,6 +76,31 @@ fn bench_kernels(c: &mut Criterion) {
     let mut out = Matrix::zeros(64, 64);
     g.bench_function("matmul_into_64", |bench| {
         bench.iter(|| m1.matmul_into(black_box(&m2), &mut out))
+    });
+
+    // f32 twins of the precision-tiered scoring path.
+    let a32 = series_f32(1);
+    let b32 = series_f32(2);
+    let mut y32 = series_f32(3);
+    g.bench_function("dot_f32_4096", |bench| {
+        bench.iter(|| black_box(kernels::dot_f32(black_box(&a32), black_box(&b32))))
+    });
+    g.bench_function("axpy_f32_4096", |bench| {
+        bench.iter(|| kernels::axpy_f32(black_box(&mut y32), 1.000001, black_box(&b32)))
+    });
+    g.bench_function("squared_distance_f32_4096", |bench| {
+        bench.iter(|| {
+            black_box(kernels::squared_distance_f32(
+                black_box(&a32),
+                black_box(&b32),
+            ))
+        })
+    });
+    let m1_32 = MatrixF32::from_matrix(&m1);
+    let m2_32 = MatrixF32::from_matrix(&m2);
+    let mut out32 = MatrixF32::zeros(64, 64);
+    g.bench_function("matmul_f32_into_64", |bench| {
+        bench.iter(|| m1_32.matmul_into(black_box(&m2_32), &mut out32))
     });
 }
 
@@ -135,6 +165,35 @@ fn throughput_report_and_assertions() {
     let mm_ns = median_ns(mm_iters, || m1.matmul_into(black_box(&m2), &mut out));
     let mm_gflops = (2.0 * 128.0 * k as f64 * 72.0) / mm_ns;
 
+    // f32 twins: same element counts, so the f64/f32 ns ratio is a
+    // direct bandwidth-parity read (half the bytes per lane should buy
+    // roughly double the elements per cycle once autovectorized).
+    let a32 = series_f32(4);
+    let b32 = series_f32(5);
+    let mut y32 = series_f32(6);
+    let dot32_ns = median_ns(iters, || {
+        black_box(kernels::dot_f32(black_box(&a32), black_box(&b32)));
+    });
+    let axpy32_ns = median_ns(iters, || {
+        kernels::axpy_f32(black_box(&mut y32), 1.000001, black_box(&b32));
+    });
+    let sqd32_ns = median_ns(iters, || {
+        black_box(kernels::squared_distance_f32(
+            black_box(&a32),
+            black_box(&b32),
+        ));
+    });
+    let dot32_gflops = gflops(2.0, dot32_ns);
+    let axpy32_gflops = gflops(2.0, axpy32_ns);
+    let sqd32_gflops = gflops(3.0, sqd32_ns);
+    let m1_32 = MatrixF32::from_matrix(&m1);
+    let m2_32 = MatrixF32::from_matrix(&m2);
+    let mut out32 = MatrixF32::zeros(128, 72);
+    let mm32_ns = median_ns(mm_iters, || {
+        m1_32.matmul_into(black_box(&m2_32), &mut out32)
+    });
+    let mm32_gflops = (2.0 * 128.0 * k as f64 * 72.0) / mm32_ns;
+
     write_bench_json(
         "kernels",
         &json!({
@@ -150,6 +209,18 @@ fn throughput_report_and_assertions() {
                 "axpy": axpy_naive_ns / axpy_ns,
                 "squared_distance": sqd_naive_ns / sqd_ns,
             }),
+            "f32": json!({
+                "dot": dot32_gflops,
+                "axpy": axpy32_gflops,
+                "squared_distance": sqd32_gflops,
+                "matmul_128x36x72": mm32_gflops,
+            }),
+            "f32_vs_f64": json!({
+                "dot": dot_ns / dot32_ns,
+                "axpy": axpy_ns / axpy32_ns,
+                "squared_distance": sqd_ns / sqd32_ns,
+                "matmul_128x36x72": mm_ns / mm32_ns,
+            }),
         }),
     );
     println!(
@@ -158,6 +229,14 @@ fn throughput_report_and_assertions() {
         dot_naive_ns / dot_ns,
         axpy_naive_ns / axpy_ns,
         sqd_naive_ns / sqd_ns,
+    );
+    println!(
+        "f32: dot {dot32_gflops:.2} GF/s ({:.2}x f64) | axpy {axpy32_gflops:.2} GF/s ({:.2}x) | \
+         sqdist {sqd32_gflops:.2} GF/s ({:.2}x) | matmul {mm32_gflops:.2} GF/s ({:.2}x)",
+        dot_ns / dot32_ns,
+        axpy_ns / axpy32_ns,
+        sqd_ns / sqd32_ns,
+        mm_ns / mm32_ns,
     );
 
     if timed {
@@ -190,6 +269,39 @@ fn throughput_report_and_assertions() {
         assert!(
             sqd_ns < sqd_naive_ns * 2.0,
             "blocked sqdist slower than naive: {sqd_ns}ns vs {sqd_naive_ns}ns"
+        );
+        // f32 catastrophe canaries, same cliff threshold as f64.
+        assert!(
+            dot32_gflops > 0.05,
+            "dot_f32 throughput cliff: {dot32_gflops} GF/s"
+        );
+        assert!(
+            axpy32_gflops > 0.05,
+            "axpy_f32 throughput cliff: {axpy32_gflops} GF/s"
+        );
+        assert!(
+            sqd32_gflops > 0.05,
+            "sqdist_f32 throughput cliff: {sqd32_gflops} GF/s"
+        );
+        assert!(
+            mm32_gflops > 0.05,
+            "matmul_f32 throughput cliff: {mm32_gflops} GF/s"
+        );
+        // Bandwidth-parity canaries on the streaming hot-path kernels:
+        // f32 halves the bytes per element, so a vectorized f32 kernel
+        // should run its f64 twin's length in well under the f64 time.
+        // 1.5x (not the ideal 2x) absorbs runner noise; failing it means
+        // the f32 loop stopped vectorizing and the precision tier no
+        // longer buys what it costs.
+        assert!(
+            dot_ns / dot32_ns >= 1.5,
+            "dot_f32 lost bandwidth parity: {:.2}x f64 (want >=1.5x)",
+            dot_ns / dot32_ns
+        );
+        assert!(
+            sqd_ns / sqd32_ns >= 1.5,
+            "sqdist_f32 lost bandwidth parity: {:.2}x f64 (want >=1.5x)",
+            sqd_ns / sqd32_ns
         );
     }
 }

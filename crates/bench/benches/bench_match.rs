@@ -80,6 +80,7 @@ fn shared_model() -> SharedModel {
         score_mean: 0.0,
         score_std: 1.0,
         infer: SessionPool::new(),
+        infer32: ns_nn::SessionPoolF32::new(),
     }
 }
 

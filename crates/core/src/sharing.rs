@@ -8,7 +8,7 @@ use ns_linalg::matrix::Matrix;
 use ns_linalg::stats;
 use ns_nn::{
     sinusoidal_pe_at, Adam, BlockKind, Graph, ParamStore, ReconstructionTransformer, SessionPool,
-    TransformerConfig,
+    SessionPoolF32, TransformerConfig,
 };
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -113,6 +113,11 @@ pub struct SharedModel {
     /// Pool of warm tape-free inference sessions for the scoring fast
     /// path. Pure cache: serialized as null, cloned/deserialized empty.
     pub infer: SessionPool,
+    /// Pool of warm f32 inference sessions for the opt-in precision
+    /// tier. Pure cache like `infer` (pooled sessions keep prebaked f32
+    /// weight copies warm, invalidated by the store version on use);
+    /// serialized as null, cloned/deserialized empty.
+    pub infer32: SessionPoolF32,
 }
 
 /// Compute WMSE weights from Mean Absolute Change over the cluster's
@@ -219,6 +224,7 @@ impl SharedModel {
             score_mean: 0.0,
             score_std: 1.0,
             infer: SessionPool::new(),
+            infer32: SessionPoolF32::new(),
         };
         shared.fit_windows(segments, cfg.epochs);
         shared.calibrate(segments);
@@ -486,6 +492,120 @@ impl SharedModel {
         out
     }
 
+    /// f32-tier calibrated per-timestep scores — the precision-tiered
+    /// twin of [`SharedModel::score_series`]. Same window tiling, same
+    /// max-merge, same f64 calibration arithmetic on the widened errors;
+    /// only the forward pass runs in f32 (through a pooled
+    /// [`ns_nn::InferenceSessionF32`] with prebaked weights). There is no
+    /// taped fallback — the f32 tier has no tape; its reference is the
+    /// f64 oracle, compared statistically, not bitwise.
+    pub fn score_series_f32(&self, data: &Matrix) -> Vec<f64> {
+        self.score_series_raw_f32(data)
+            .into_iter()
+            .map(|s| ((s - self.score_mean) / self.score_std).max(0.0))
+            .collect()
+    }
+
+    /// Raw f32-tier per-timestep errors (widened to f64), tiled exactly
+    /// as [`SharedModel::score_series_raw`].
+    pub fn score_series_raw_f32(&self, data: &Matrix) -> Vec<f64> {
+        let t = data.rows();
+        if t == 0 {
+            return Vec::new();
+        }
+        let w = self.cfg.window.min(t).max(1);
+        let mut starts: Vec<usize> = (0..t.saturating_sub(w - 1)).step_by(w).collect();
+        if starts.is_empty() {
+            starts.push(0);
+        }
+        if starts.last().map(|&s| s + w < t).unwrap_or(false) {
+            starts.push(t - w);
+        }
+        let scores = std::sync::Mutex::new(vec![0.0f64; t]);
+        starts.par_iter().for_each(|&s| {
+            let e = (s + w).min(t);
+            let mut sess = self.infer32.acquire();
+            let err = sess.score_window(
+                &self.params,
+                &self.model,
+                data,
+                s,
+                e,
+                |r| r as f64 * REL_PE_SCALE / t as f64,
+                &self.weights,
+            );
+            {
+                let mut sc = scores.lock().unwrap();
+                for (k, &v) in err.iter().enumerate() {
+                    let slot = &mut sc[s + k];
+                    *slot = slot.max(v);
+                }
+            }
+            self.infer32.release(sess);
+        });
+        scores.into_inner().unwrap()
+    }
+
+    /// f32-tier batched scoring — the precision-tiered twin of
+    /// [`SharedModel::score_series_batch`]: same window stacking and
+    /// per-series fan-out, one batched f32 forward per sub-batch.
+    pub fn score_series_batch_f32(&self, series: &[&Matrix]) -> Vec<Vec<f64>> {
+        let pos_fns: Vec<_> = series
+            .iter()
+            .map(|d| {
+                let t = d.rows();
+                move |r: usize| r as f64 * REL_PE_SCALE / t as f64
+            })
+            .collect();
+        let mut specs: Vec<ns_nn::WindowSpec> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new();
+        for (si, data) in series.iter().enumerate() {
+            let t = data.rows();
+            if t == 0 {
+                continue;
+            }
+            let win = self.cfg.window.min(t).max(1);
+            let mut starts: Vec<usize> = (0..t.saturating_sub(win - 1)).step_by(win).collect();
+            if starts.is_empty() {
+                starts.push(0);
+            }
+            if starts.last().map(|&s| s + win < t).unwrap_or(false) {
+                starts.push(t - win);
+            }
+            for s in starts {
+                specs.push(ns_nn::WindowSpec {
+                    data,
+                    start: s,
+                    end: (s + win).min(t),
+                    pos_of: &pos_fns[si],
+                    weights: &self.weights,
+                });
+                owners.push(si);
+            }
+        }
+        let mut out: Vec<Vec<f64>> = series.iter().map(|d| vec![0.0f64; d.rows()]).collect();
+        if !specs.is_empty() {
+            let mut sess = self.infer32.acquire();
+            let errs = sess.score_windows_batch(&self.params, &self.model, &specs);
+            let mut off = 0usize;
+            for (sp, &si) in specs.iter().zip(&owners) {
+                let n = sp.end - sp.start;
+                for (k, &v) in errs[off..off + n].iter().enumerate() {
+                    let slot = &mut out[si][sp.start + k];
+                    *slot = slot.max(v);
+                }
+                off += n;
+            }
+            self.infer32.release(sess);
+        }
+        for sc in &mut out {
+            for v in sc.iter_mut() {
+                *v = ((*v - self.score_mean) / self.score_std).max(0.0);
+            }
+        }
+        out
+    }
+
     /// Final training loss (None before training).
     pub fn final_loss(&self) -> Option<f64> {
         self.loss_history.last().copied()
@@ -713,6 +833,38 @@ mod tests {
             ns_nn::set_fast_path(true);
             for (i, sc) in taped.iter().enumerate() {
                 assert_eq!(bits(sc), bits(&batched[i]), "taped fallback series {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_scores_track_f64_and_batch_matches_single() {
+        let segs = [pattern_segment(48, 3, 0.3), pattern_segment(60, 3, 0.3)];
+        let refs: Vec<&Matrix> = segs.iter().collect();
+        let mut cfg = quick_cfg();
+        cfg.epochs = 3;
+        let shared = SharedModel::train(&cfg, &refs);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let series: Vec<Matrix> = [40usize, 5, 12, 29, 0, 17]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| pattern_segment(t, 3, 0.45 + i as f64 * 0.07))
+            .collect();
+        let srefs: Vec<&Matrix> = series.iter().collect();
+        let batched = shared.score_series_batch_f32(&srefs);
+        for (i, s) in series.iter().enumerate() {
+            // f32 batched and f32 per-series are the same tier — they
+            // must agree to the bit (the tier's own determinism).
+            let single = shared.score_series_f32(s);
+            assert_eq!(bits(&batched[i]), bits(&single), "series {i}");
+            // Across tiers the agreement is statistical: calibrated
+            // scores are O(1) z-units, so compare absolutely.
+            let f64_scores = shared.score_series(s);
+            for (a, b) in single.iter().zip(&f64_scores) {
+                assert!(
+                    (a - b).abs() < 1e-2,
+                    "f32 tier drifted from f64: {a} vs {b} (series {i})"
+                );
             }
         }
     }

@@ -27,21 +27,16 @@
 
 /// `y[j] += a * x[j]` — the axpy row update of the blocked matmul.
 ///
-/// Elementwise, so vectorisation cannot change results. 4-blocked to
-/// keep the vector body free of bounds checks.
+/// Elementwise, so no loop shape can change results: each `y[j]` sees
+/// exactly one fused `+= a * x[j]`. The plain zip loop is the shape
+/// LLVM vectorises best here — a manually 4-blocked variant measured
+/// ~2× *slower* on the bench container (the indexed chunk stores defeat
+/// the widest vector lowering), and `bench_kernels`' blocked-vs-naive
+/// parity floor now holds by construction.
 #[inline]
 pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
     debug_assert_eq!(y.len(), x.len());
-    let n = y.len().min(x.len());
-    let (y4, ytail) = y[..n].split_at_mut(n - n % 4);
-    let (x4, xtail) = x[..n].split_at(n - n % 4);
-    for (yc, xc) in y4.chunks_exact_mut(4).zip(x4.chunks_exact(4)) {
-        yc[0] += a * xc[0];
-        yc[1] += a * xc[1];
-        yc[2] += a * xc[2];
-        yc[3] += a * xc[3];
-    }
-    for (yv, xv) in ytail.iter_mut().zip(xtail) {
+    for (yv, xv) in y.iter_mut().zip(x) {
         *yv += a * xv;
     }
 }
@@ -191,6 +186,199 @@ pub fn squared_distance_bounded(a: &[f64], b: &[f64], bound: f64) -> f64 {
     s
 }
 
+// ---------------------------------------------------------------------------
+// f32 twins — the precision-tiered scoring path.
+//
+// Two association contracts live here, chosen per call site:
+//
+// * The **matmul kernels** (`axpy_f32`, `axpy4_f32`, `dot_from_f32`,
+//   `dot4_f32`) keep the f64 layer's strict ascending-k serial chains,
+//   because `MatrixF32` pins `matmul_into` bit-identical to the rolled
+//   triple loop and `matmul_pre_t_into` bit-identical to `matmul_into`
+//   — the same elegance argument as f64, and elementwise/interleaved
+//   chains vectorise fine without reassociation.
+// * The **reduction kernels on the scoring hot path** (`dot_f32`,
+//   `squared_distance_f32`, `squared_distance_bounded_f32`) use a
+//   *fixed 8-lane association*: lane `j` accumulates elements `i` with
+//   `i % 8 == j` over `chunks_exact(8)`, lanes reduce in one pinned
+//   tree, the `< 8` tail folds serially after. A single serial chain is
+//   FP-add-latency-bound — f32 runs it no faster than f64, which
+//   forfeits exactly the bandwidth win the tier exists for — while
+//   eight independent chains fill an AVX2 f32 vector and let f32
+//   retire ~2× the elements per cycle (`bench_kernels` floors the
+//   ratio at ≥1.5×). The lane structure is compiled in, never derived
+//   from width or thread count, so the f32 pipeline stays bitwise
+//   deterministic; it is simply a *different* pinned order than the
+//   rolled form, which is fine because the f32 tier is new — there is
+//   no historical f32 bit-stream to preserve, and nothing here is
+//   bit-pinned against the f64 tier (that delta is measured in
+//   `exp_deployment`, not asserted).
+// ---------------------------------------------------------------------------
+
+/// f32 twin of [`axpy`]: `y[j] += a * x[j]`. Elementwise — the zip loop
+/// shape is bit-free and vectorises widest (see [`axpy`]).
+#[inline]
+pub fn axpy_f32(y: &mut [f32], a: f32, x: &[f32]) {
+    debug_assert_eq!(y.len(), x.len());
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// f32 twin of [`axpy4`]: fused four-row axpy with the per-element adds
+/// applied in ascending row order — bit-identical to four sequential
+/// [`axpy_f32`] calls.
+#[inline]
+pub fn axpy4_f32(y: &mut [f32], a: [f32; 4], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) {
+    debug_assert!(y.len() <= x0.len() && y.len() <= x1.len());
+    debug_assert!(y.len() <= x2.len() && y.len() <= x3.len());
+    for ((((yv, &v0), &v1), &v2), &v3) in y.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3) {
+        let mut t = *yv;
+        t += a[0] * v0;
+        t += a[1] * v1;
+        t += a[2] * v2;
+        t += a[3] * v3;
+        *yv = t;
+    }
+}
+
+/// f32 dot product in the fixed 8-lane association (see the module
+/// section comment): lane `j` owns elements `i % 8 == j`, lanes seed
+/// `-0.0` (so an all-`-0.0` product stream still folds to `-0.0`, like
+/// `Sum`), reduce in the pinned tree
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`, and the `< 8` tail folds
+/// serially after. Deterministic, but deliberately *not* the rolled
+/// `Iterator::sum` order — eight independent chains are what let f32
+/// beat the latency-bound f64 serial chain.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a8, atail) = a[..n].split_at(n - n % 8);
+    let (b8, btail) = b[..n].split_at(n - n % 8);
+    let mut l = [-0.0f32; 8];
+    for (ac, bc) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        for j in 0..8 {
+            l[j] += ac[j] * bc[j];
+        }
+    }
+    let mut s = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+    for (av, bv) in atail.iter().zip(btail) {
+        s += av * bv;
+    }
+    s
+}
+
+/// f32 twin of [`dot_from`]: strict ascending-order serial-chain dot
+/// with an explicit accumulator seed. This is the **matmul-convention**
+/// kernel (`+0.0` chains), kept serial so
+/// [`crate::matrix_f32::MatrixF32::matmul_pre_t_into`] stays
+/// bit-identical to the blocked axpy matmul; the lane-split fast dot is
+/// [`dot_f32`].
+#[inline]
+pub fn dot_from_f32(seed: f32, a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a4, atail) = a[..n].split_at(n - n % 4);
+    let (b4, btail) = b[..n].split_at(n - n % 4);
+    let mut s = seed;
+    for (ac, bc) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        s += ac[0] * bc[0];
+        s += ac[1] * bc[1];
+        s += ac[2] * bc[2];
+        s += ac[3] * bc[3];
+    }
+    for (av, bv) in atail.iter().zip(btail) {
+        s += av * bv;
+    }
+    s
+}
+
+/// f32 twin of [`dot4`]: four interleaved dots of one row against four
+/// columns, each chain seeded `+0.0` (matmul convention) — bit-identical
+/// to four `dot_from_f32(0.0, …)` calls.
+#[inline]
+pub fn dot4_f32(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> (f32, f32, f32, f32) {
+    debug_assert!(a.len() <= b0.len() && a.len() <= b1.len());
+    debug_assert!(a.len() <= b2.len() && a.len() <= b3.len());
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (kk, &av) in a.iter().enumerate() {
+        s0 += av * b0[kk];
+        s1 += av * b1[kk];
+        s2 += av * b2[kk];
+        s3 += av * b3[kk];
+    }
+    (s0, s1, s2, s3)
+}
+
+/// f32 squared Euclidean distance in the fixed 8-lane association
+/// (see the module section comment): lanes seed `-0.0` (observable
+/// only on empty input — squares are never `-0.0`), pinned tree
+/// reduction, serial `< 8` tail. Deterministic, not the rolled order.
+#[inline]
+pub fn squared_distance_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let (a8, atail) = a[..n].split_at(n - n % 8);
+    let (b8, btail) = b[..n].split_at(n - n % 8);
+    let mut l = [-0.0f32; 8];
+    for (ac, bc) in a8.chunks_exact(8).zip(b8.chunks_exact(8)) {
+        for j in 0..8 {
+            let d = ac[j] - bc[j];
+            l[j] += d * d;
+        }
+    }
+    let mut s = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+    for (av, bv) in atail.iter().zip(btail) {
+        let d = av - bv;
+        s += d * d;
+    }
+    s
+}
+
+/// Early-abandon twin of [`squared_distance_f32`]: the same 8-lane
+/// accumulation (lanes seed `+0.0`, the matcher's historical
+/// convention — indistinguishable from `-0.0` seeds on any non-empty
+/// row, since squares are `≥ +0.0`), with the running tree-reduced sum
+/// checked against `bound` once per **4 blocks (32 elements)**. The
+/// horizontal lane reduction is the expensive step the serial f64 scan
+/// never needed, so the check cadence is coarser than f64's 8; rows
+/// shorter than 8 elements fold entirely in the serial tail, exactly
+/// as before.
+///
+/// Contract, mirroring [`squared_distance_bounded`]: a surviving row's
+/// sum is bit-identical to the full [`squared_distance_f32`] scan, an
+/// abandoned row returns some partial sum `≥ bound`, and a NaN sum
+/// (which compares false against any bound) always runs to completion.
+#[inline]
+pub fn squared_distance_bounded_f32(a: &[f32], b: &[f32], bound: f32) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let tree = |l: &[f32; 8]| ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+    let mut l = [0.0f32; 8];
+    let mut achunks = a.chunks_exact(8);
+    let mut bchunks = b.chunks_exact(8);
+    let mut blocks_since_check = 0usize;
+    for (ac, bc) in (&mut achunks).zip(&mut bchunks) {
+        for j in 0..8 {
+            let d = ac[j] - bc[j];
+            l[j] += d * d;
+        }
+        blocks_since_check += 1;
+        if blocks_since_check == 4 {
+            blocks_since_check = 0;
+            let s = tree(&l);
+            if s >= bound {
+                return s;
+            }
+        }
+    }
+    let mut s = tree(&l);
+    for (av, bv) in achunks.remainder().iter().zip(bchunks.remainder()) {
+        let d = av - bv;
+        s += d * d;
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +514,152 @@ mod tests {
         a[0] = f64::NAN;
         let b = vec![1.0; 16];
         let s = squared_distance_bounded(&a, &b, 0.5);
+        assert!(s.is_nan());
+    }
+
+    fn series32(seed: usize, n: usize) -> Vec<f32> {
+        series(seed, n).into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Rolled reference for the fixed 8-lane association the f32
+    /// reduction kernels pin: lane `j` folds elements `i % 8 == j`,
+    /// lanes reduce in the `((0+1)+(2+3))+((4+5)+(6+7))` tree, the
+    /// `< 8` tail folds serially. `seed` seeds every lane (`-0.0` for
+    /// the `Sum`-flavoured kernels, `+0.0` for the matcher's bounded
+    /// scan).
+    fn lane8_reduce(seed: f32, n: usize, term: impl Fn(usize) -> f32) -> f32 {
+        let full = n - n % 8;
+        let mut l = [seed; 8];
+        for i in 0..full {
+            l[i % 8] += term(i);
+        }
+        let mut s = ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]));
+        for i in full..n {
+            s += term(i);
+        }
+        s
+    }
+
+    #[test]
+    fn f32_dot_bit_identical_to_lane8_reference() {
+        for n in WIDTHS {
+            let a = series32(1, n);
+            let b = series32(2, n);
+            let want = lane8_reduce(-0.0, n, |i| a[i] * b[i]);
+            assert_eq!(dot_f32(&a, &b).to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn f32_dot4_bit_identical_to_four_dots() {
+        for n in WIDTHS {
+            let a = series32(0, n);
+            let cols: Vec<Vec<f32>> = (1..=4).map(|s| series32(s, n)).collect();
+            let (s0, s1, s2, s3) = dot4_f32(&a, &cols[0], &cols[1], &cols[2], &cols[3]);
+            for (got, col) in [s0, s1, s2, s3].iter().zip(&cols) {
+                assert_eq!(got.to_bits(), dot_from_f32(0.0, &a, col).to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_dot_seed_matches_sum_on_signed_zeros() {
+        let a = vec![0.0f32; 5];
+        let b = vec![-1.0f32; 5];
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(naive.to_bits(), (-0.0f32).to_bits());
+        assert_eq!(dot_f32(&a, &b).to_bits(), naive.to_bits());
+        assert_eq!(dot_from_f32(0.0, &a, &b).to_bits(), 0.0f32.to_bits());
+    }
+
+    #[test]
+    fn f32_axpy_bit_identical_to_rolled() {
+        for n in WIDTHS {
+            let x = series32(3, n);
+            let mut y = series32(4, n);
+            let mut want = y.clone();
+            for (w, xv) in want.iter_mut().zip(&x) {
+                *w += 0.37 * xv;
+            }
+            axpy_f32(&mut y, 0.37, &x);
+            for (got, want) in y.iter().zip(&want) {
+                assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_axpy4_bit_identical_to_sequential_axpys() {
+        for n in WIDTHS {
+            let rows: Vec<Vec<f32>> = (0..4).map(|s| series32(s + 5, n)).collect();
+            let coeffs = [0.31f32, -1.7, 0.009, 2.5];
+            let mut y = series32(9, n);
+            let mut want = y.clone();
+            for (a, x) in coeffs.iter().zip(&rows) {
+                axpy_f32(&mut want, *a, x);
+            }
+            axpy4_f32(&mut y, coeffs, &rows[0], &rows[1], &rows[2], &rows[3]);
+            for (got, want) in y.iter().zip(&want) {
+                assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_squared_distance_bit_identical_to_lane8_reference() {
+        for n in WIDTHS {
+            let a = series32(6, n);
+            let b = series32(7, n);
+            let want = lane8_reduce(-0.0, n, |i| {
+                let d = a[i] - b[i];
+                d * d
+            });
+            assert_eq!(
+                squared_distance_f32(&a, &b).to_bits(),
+                want.to_bits(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_bounded_distance_exact_when_surviving() {
+        for n in WIDTHS {
+            if n == 0 {
+                let z = squared_distance_bounded_f32(&[], &[], f32::INFINITY);
+                assert_eq!(z.to_bits(), 0.0f32.to_bits());
+                assert_eq!(
+                    squared_distance_f32(&[], &[]).to_bits(),
+                    (-0.0f32).to_bits()
+                );
+                continue;
+            }
+            let a = series32(8, n);
+            let b = series32(9, n);
+            let full = squared_distance_f32(&a, &b);
+            let got = squared_distance_bounded_f32(&a, &b, f32::INFINITY);
+            assert_eq!(got.to_bits(), full.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn f32_bounded_distance_abandons_at_or_over_bound() {
+        let a = vec![10.0f32; 64];
+        let b = vec![0.0f32; 64];
+        let s = squared_distance_bounded_f32(&a, &b, 150.0);
+        // Abandoned: the partial sum must already disqualify the row …
+        assert!(s >= 150.0);
+        // … at the first check point (4 blocks = 32 × 100), not the
+        // full row.
+        assert_eq!(s, 3200.0);
+    }
+
+    #[test]
+    fn f32_bounded_distance_runs_nan_rows_to_completion() {
+        let mut a = vec![0.0f32; 16];
+        a[0] = f32::NAN;
+        let b = vec![1.0f32; 16];
+        let s = squared_distance_bounded_f32(&a, &b, 0.5);
         assert!(s.is_nan());
     }
 }

@@ -25,11 +25,13 @@ pub mod decomp;
 pub mod distance;
 pub mod kernels;
 pub mod matrix;
+pub mod matrix_f32;
 pub mod stats;
 pub mod vecops;
 
 pub use distance::CondensedDistance;
 pub use matrix::Matrix;
+pub use matrix_f32::MatrixF32;
 
 /// Numerical tolerance used by tests and by rank/positivity checks inside
 /// the decomposition routines.

@@ -1,0 +1,405 @@
+//! Row-major dense `f32` matrix — the precision-tiered scoring substrate.
+//!
+//! A deliberately small twin of [`crate::matrix::Matrix`] carrying only
+//! the operations the f32 inference session needs: construction, in-place
+//! reshaping, the blocked axpy matmul, the pre-transposed dot matmul, and
+//! the elementwise helpers. It is **not** a generic refactor of `Matrix`
+//! — the f64 type is the bit-pinned contract surface for the default
+//! scoring tier and stays untouched; this type exists so the opt-in f32
+//! tier halves memory traffic and doubles SIMD lane width without
+//! forking the f64 codegen line.
+//!
+//! The same internal determinism argument applies as for f64: every
+//! reduction accumulates in strict ascending order through the f32
+//! kernels ([`crate::kernels::dot4_f32`], [`crate::kernels::axpy4_f32`]),
+//! so results are bitwise independent of thread count and banding. What
+//! is *not* promised is any bit relationship to the f64 tier — that
+//! delta is measured, not pinned.
+
+use rayon::prelude::*;
+use std::ops::{Index, IndexMut};
+
+use crate::matrix::Matrix;
+
+/// Block edge for the cache-blocked matmul — same 64-tile as the f64
+/// kernel; f32 tiles are half the bytes, which only helps.
+const BLOCK: usize = 64;
+
+/// Row-count threshold below which matmul stays single-threaded.
+const PAR_MIN_ROWS: usize = 32;
+
+/// Row-major dense matrix of `f32`.
+///
+/// Invariant: `data.len() == rows * cols`.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct MatrixF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatrixF32 {
+    /// Create a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from an element function `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices; all rows must have equal length.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Down-convert an f64 matrix elementwise (`as f32`, round-to-nearest).
+    /// This is the single conversion point of the precision-tiered path:
+    /// weights cross it once per [`crate::matrix::Matrix`] at session
+    /// build, never per forward.
+    pub fn from_matrix(src: &Matrix) -> Self {
+        Self {
+            rows: src.rows(),
+            cols: src.cols(),
+            data: src.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Re-fill from an f64 matrix in place, reusing the allocation.
+    pub fn copy_from_matrix(&mut self, src: &Matrix) {
+        self.rows = src.rows();
+        self.cols = src.cols();
+        self.data.clear();
+        self.data.extend(src.as_slice().iter().map(|&v| v as f32));
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat row-major view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view of the data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Reshape in place to `rows × cols`, resetting every element to zero;
+    /// reuses the allocation whenever capacity suffices (same scratch
+    /// discipline as [`Matrix::resize`]).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// In-place `self += other`.
+    pub fn add_assign(&mut self, other: &MatrixF32) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place bias broadcast: `self[r] += row` for every row.
+    pub fn add_row_broadcast_inplace(&mut self, row: &MatrixF32) {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(&row.data) {
+                *a += b;
+            }
+        }
+    }
+
+    /// `self × other` into a caller-provided matrix (reshaped + zeroed in
+    /// place) — the f32 twin of [`Matrix::matmul_into`]: i-k-j blocked
+    /// axpy, per-element k-sums in strict ascending order.
+    pub fn matmul_into(&self, other: &MatrixF32, out: &mut MatrixF32) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}×{} by {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        out.resize(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &other.data;
+
+        let kernel = |row_band: &mut [f32], r0: usize, rows_in_band: usize| {
+            for kb in (0..k).step_by(BLOCK) {
+                let kend = (kb + BLOCK).min(k);
+                for i in 0..rows_in_band {
+                    let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+                    let crow = &mut row_band[i * n..(i + 1) * n];
+                    let mut kk = kb;
+                    while kk + 4 <= kend {
+                        crate::kernels::axpy4_f32(
+                            crow,
+                            [arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]],
+                            &b[kk * n..kk * n + n],
+                            &b[(kk + 1) * n..(kk + 1) * n + n],
+                            &b[(kk + 2) * n..(kk + 2) * n + n],
+                            &b[(kk + 3) * n..(kk + 3) * n + n],
+                        );
+                        kk += 4;
+                    }
+                    for kk in kk..kend {
+                        crate::kernels::axpy_f32(crow, arow[kk], &b[kk * n..kk * n + n]);
+                    }
+                }
+            }
+        };
+
+        let threads = rayon::current_num_threads().max(1);
+        if m >= PAR_MIN_ROWS && threads > 1 {
+            let band = (m / threads).max(8);
+            out.data
+                .par_chunks_mut(band * n)
+                .enumerate()
+                .for_each(|(bi, chunk)| {
+                    let r0 = bi * band;
+                    let rows_in_band = chunk.len() / n;
+                    kernel(chunk, r0, rows_in_band);
+                });
+        } else {
+            kernel(&mut out.data, 0, m);
+        }
+    }
+
+    /// `self × bt.transpose()` into a caller-provided matrix with the
+    /// right operand already transposed — f32 twin of
+    /// [`Matrix::matmul_pre_t_into`], 4-column dot interleave.
+    pub fn matmul_pre_t_into(&self, bt: &MatrixF32, out: &mut MatrixF32) {
+        assert_eq!(
+            self.cols, bt.cols,
+            "matmul_pre_t dimension mismatch: {}×{} by ({}×{})ᵀ",
+            self.rows, self.cols, bt.rows, bt.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, bt.rows);
+        out.resize(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return;
+        }
+        let a = &self.data;
+        let b = &bt.data;
+        let kernel = |row_band: &mut [f32], r0: usize| {
+            for (i, crow) in row_band.chunks_exact_mut(n).enumerate() {
+                let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+                let mut j = 0;
+                while j + 4 <= n {
+                    let (s0, s1, s2, s3) = crate::kernels::dot4_f32(
+                        arow,
+                        &b[j * k..j * k + k],
+                        &b[(j + 1) * k..(j + 1) * k + k],
+                        &b[(j + 2) * k..(j + 2) * k + k],
+                        &b[(j + 3) * k..(j + 3) * k + k],
+                    );
+                    crow[j] = s0;
+                    crow[j + 1] = s1;
+                    crow[j + 2] = s2;
+                    crow[j + 3] = s3;
+                    j += 4;
+                }
+                for (jj, cv) in crow.iter_mut().enumerate().skip(j) {
+                    *cv = crate::kernels::dot_from_f32(0.0, arow, &b[jj * k..jj * k + k]);
+                }
+            }
+        };
+        let threads = rayon::current_num_threads().max(1);
+        if m >= PAR_MIN_ROWS && threads > 1 {
+            let band = (m / threads).max(8);
+            out.data
+                .par_chunks_mut(band * n)
+                .enumerate()
+                .for_each(|(bi, chunk)| kernel(chunk, bi * band));
+        } else {
+            kernel(&mut out.data, 0);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for MatrixF32 {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for MatrixF32 {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &MatrixF32, b: &MatrixF32) -> MatrixF32 {
+        let mut c = MatrixF32::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0f32;
+                for k in 0..a.cols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn cases() -> Vec<(MatrixF32, MatrixF32)> {
+        let f = |r: usize, c: usize| (((r * 31 + c * 17) % 13) as f32 - 6.0) * 0.37;
+        let g = |r: usize, c: usize| (((r * 7 + c * 3) % 11) as f32) * 0.5 - 2.0;
+        vec![
+            (MatrixF32::from_fn(7, 3, f), MatrixF32::from_fn(3, 9, g)),
+            (MatrixF32::from_fn(1, 1, f), MatrixF32::from_fn(1, 1, g)),
+            (MatrixF32::from_fn(97, 70, f), MatrixF32::from_fn(70, 83, g)),
+        ]
+    }
+
+    #[test]
+    fn matmul_into_bit_identical_to_naive() {
+        // The blocked kernel keeps each output's k-sum in strict ascending
+        // order, so it must match the rolled triple loop to the bit.
+        let mut out = MatrixF32::zeros(0, 0);
+        for (a, b) in cases() {
+            a.matmul_into(&b, &mut out);
+            let want = naive_matmul(&a, &b);
+            assert_eq!(out.shape(), want.shape());
+            for (x, y) in out.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_pre_t_into_bit_identical_to_matmul() {
+        let mut out = MatrixF32::zeros(0, 0);
+        for (a, b) in cases() {
+            let bt = MatrixF32::from_fn(b.cols(), b.rows(), |r, c| b[(c, r)]);
+            a.matmul_pre_t_into(&bt, &mut out);
+            let mut want = MatrixF32::zeros(0, 0);
+            a.matmul_into(&b, &mut want);
+            assert_eq!(out.shape(), want.shape());
+            for (x, y) in out.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn conversion_and_scratch_reuse() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 * 0.1);
+        let mut f = MatrixF32::from_matrix(&m);
+        assert_eq!(f.shape(), (4, 3));
+        assert_eq!(f[(2, 1)], (7.0f64 * 0.1) as f32);
+        let ptr = f.as_slice().as_ptr();
+        f.resize(2, 3);
+        assert!(f.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(f.as_slice().as_ptr(), ptr, "shrinking must not reallocate");
+        f.copy_from_matrix(&m);
+        assert_eq!(f.shape(), (4, 3));
+    }
+
+    #[test]
+    fn broadcast_and_add_assign() {
+        let mut a = MatrixF32::from_fn(3, 2, |_, _| 1.0);
+        let row = MatrixF32::from_rows(&[vec![10.0, 20.0]]);
+        a.add_row_broadcast_inplace(&row);
+        assert_eq!(a[(0, 0)], 11.0);
+        assert_eq!(a[(2, 1)], 21.0);
+        let b = a.clone();
+        a.add_assign(&b);
+        assert_eq!(a[(1, 0)], 22.0);
+    }
+}

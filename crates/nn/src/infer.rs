@@ -45,6 +45,7 @@ use crate::layers::Linear;
 use crate::params::ParamStore;
 use crate::transformer::{EncoderLayer, ReconstructionTransformer};
 use ns_linalg::matrix::Matrix;
+use ns_linalg::matrix_f32::MatrixF32;
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
 use std::sync::Mutex;
@@ -794,6 +795,684 @@ fn top_k_into(x: &[f64], k: usize, order: &mut Vec<usize>) {
     order.truncate(k.min(x.len()));
 }
 
+/// f32 twin of [`InferenceSession`] — the opt-in precision-tiered
+/// scoring path.
+///
+/// The structure mirrors the f64 session exactly (same scratch set, same
+/// loop orders, same MoE copy-vs-add discipline), with two deliberate
+/// differences:
+///
+/// * **Weights are prebaked.** The f64 session reads [`ParamStore`]
+///   weights live; down-converting per forward would dominate the win,
+///   so this session converts every store matrix to [`MatrixF32`] once
+///   and caches the copies keyed by [`ParamStore::version`] — any
+///   mutation (`incremental_update`, refit hot-swap) invalidates the
+///   bake and the next forward re-converts.
+/// * **Arithmetic runs in f32.** Inputs and positional encodings are
+///   down-converted at scratch-fill time (the PE trigonometry itself
+///   runs in f64 and rounds once — it is computed per window anyway and
+///   accuracy is free). Per-row reconstruction errors are accumulated in
+///   f32 and widened to f64 on return so calibration and verdict logic
+///   upstream stay in one domain.
+///
+/// The f32 pipeline is internally deterministic (strict ascending-order
+/// reductions through the f32 kernels, thread-count independent), but no
+/// bit relationship to the f64 tier is promised — the accuracy delta is
+/// measured by `exp_deployment`, and `tests/precision_equivalence.rs`
+/// pins a per-layer relative tolerance against the f64 forward.
+#[derive(Default)]
+pub struct InferenceSessionF32 {
+    /// Prebaked f32 copies of every store matrix, indexed by `ParamId`.
+    weights: Vec<MatrixF32>,
+    /// Store version the bake was taken at; `None` before first use.
+    baked_version: Option<u64>,
+    x: MatrixF32,
+    pe: MatrixF32,
+    h: MatrixF32,
+    q: MatrixF32,
+    k: MatrixF32,
+    v: MatrixF32,
+    qh: MatrixF32,
+    kh: MatrixF32,
+    vh: MatrixF32,
+    scores: MatrixF32,
+    head: MatrixF32,
+    cat: MatrixF32,
+    attn: MatrixF32,
+    res1: MatrixF32,
+    n1: MatrixF32,
+    gate: MatrixF32,
+    xe: MatrixF32,
+    hid: MatrixF32,
+    ye: MatrixF32,
+    full: MatrixF32,
+    block: MatrixF32,
+    res2: MatrixF32,
+    out: MatrixF32,
+    err: Vec<f64>,
+    assign: Vec<Vec<usize>>,
+    order: Vec<usize>,
+    boffsets: Vec<usize>,
+    binit: Vec<bool>,
+    pe_div: Vec<f64>,
+}
+
+impl InferenceSessionF32 {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Refresh the prebaked f32 weight copies if the store has mutated
+    /// (or was never baked). Reuses allocations on re-bake.
+    fn bake(&mut self, params: &ParamStore) {
+        if self.baked_version == Some(params.version()) && self.weights.len() == params.len() {
+            return;
+        }
+        for id in 0..params.len() {
+            if id < self.weights.len() {
+                self.weights[id].copy_from_matrix(params.get(id));
+            } else {
+                self.weights.push(MatrixF32::from_matrix(params.get(id)));
+            }
+        }
+        self.weights.truncate(params.len());
+        self.baked_version = Some(params.version());
+    }
+
+    /// f32 forward of a `T × input_dim` window with a precomputed
+    /// positional-encoding table (both down-converted at fill). Returns
+    /// the reconstruction, borrowed from the session's scratch.
+    pub fn forward(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        x: &Matrix,
+        pe: &Matrix,
+    ) -> &MatrixF32 {
+        self.bake(params);
+        self.x.copy_from_matrix(x);
+        self.pe.copy_from_matrix(pe);
+        self.forward_scratch(model);
+        &self.out
+    }
+
+    /// f32 twin of [`InferenceSession::score_window`]: per-row weighted
+    /// reconstruction errors of one window, accumulated in f32 and
+    /// widened to f64 on return.
+    #[allow(clippy::too_many_arguments)]
+    pub fn score_window(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        data: &Matrix,
+        start: usize,
+        end: usize,
+        pos_of: impl Fn(usize) -> f64,
+        weights: &[f64],
+    ) -> &[f64] {
+        self.bake(params);
+        let t = end - start;
+        let m = data.cols();
+        self.x.resize(t, m);
+        for r in 0..t {
+            for (slot, &v) in self.x.row_mut(r).iter_mut().zip(data.row(start + r)) {
+                *slot = v as f32;
+            }
+        }
+        let d_model = model.cfg.d_model;
+        self.fill_pe_div(d_model);
+        self.pe.resize(t, d_model);
+        for r in 0..t {
+            let p = pos_of(start + r);
+            for (i, (slot, &div)) in self.pe.row_mut(r).iter_mut().zip(&self.pe_div).enumerate() {
+                // Trig in f64 (same expression as the f64 tier), rounded
+                // once at the store.
+                *slot = if i % 2 == 0 {
+                    (p / div).sin() as f32
+                } else {
+                    (p / div).cos() as f32
+                };
+            }
+        }
+        self.forward_scratch(model);
+        self.err.clear();
+        for r in 0..t {
+            let e = self
+                .x
+                .row(r)
+                .iter()
+                .zip(self.out.row(r))
+                .zip(weights)
+                .map(|((a, b), w)| (*w as f32) * (a - b) * (a - b))
+                .sum::<f32>()
+                / m.max(1) as f32;
+            self.err.push(e as f64);
+        }
+        &self.err
+    }
+
+    /// f32 twin of [`InferenceSession::forward_batch`]: stacked batched
+    /// forward, one f32 matmul per linear layer across all windows.
+    pub fn forward_batch(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        windows: &[(&Matrix, &Matrix)],
+    ) -> (&MatrixF32, &[usize]) {
+        self.bake(params);
+        let m = windows.first().map(|(x, _)| x.cols()).unwrap_or(0);
+        let d_model = model.cfg.d_model;
+        self.boffsets.clear();
+        self.boffsets.push(0);
+        let mut total = 0usize;
+        for (x, pe) in windows {
+            assert_eq!(x.cols(), m, "all windows must share input width");
+            assert_eq!(pe.rows(), x.rows(), "pe must have one row per input row");
+            assert_eq!(pe.cols(), d_model, "pe width must equal d_model");
+            total += x.rows();
+            self.boffsets.push(total);
+        }
+        if windows.is_empty() {
+            self.out.resize(0, 0);
+            return (&self.out, &self.boffsets);
+        }
+        self.x.resize(total, m);
+        self.pe.resize(total, d_model);
+        for (b, (x, pe)) in windows.iter().enumerate() {
+            let r0 = self.boffsets[b];
+            for r in 0..x.rows() {
+                for (slot, &v) in self.x.row_mut(r0 + r).iter_mut().zip(x.row(r)) {
+                    *slot = v as f32;
+                }
+                for (slot, &v) in self.pe.row_mut(r0 + r).iter_mut().zip(pe.row(r)) {
+                    *slot = v as f32;
+                }
+            }
+        }
+        self.forward_scratch_batch(model);
+        (&self.out, &self.boffsets)
+    }
+
+    /// f32 twin of [`InferenceSession::score_windows_batch`]: same
+    /// row-budgeted sub-batching, errors in f32 widened to f64.
+    pub fn score_windows_batch(
+        &mut self,
+        params: &ParamStore,
+        model: &ReconstructionTransformer,
+        specs: &[WindowSpec<'_>],
+    ) -> &[f64] {
+        self.bake(params);
+        self.err.clear();
+        if specs.is_empty() {
+            self.boffsets.clear();
+            self.boffsets.push(0);
+            return &self.err;
+        }
+        let d_model = model.cfg.d_model;
+        self.fill_pe_div(d_model);
+        let m = specs[0].data.cols();
+        let mut i = 0;
+        while i < specs.len() {
+            let mut rows = specs[i].end - specs[i].start;
+            let mut j = i + 1;
+            while j < specs.len() {
+                let r = specs[j].end - specs[j].start;
+                if rows + r > BATCH_ROW_BUDGET {
+                    break;
+                }
+                rows += r;
+                j += 1;
+            }
+            self.score_windows_chunk(model, &specs[i..j], m);
+            i = j;
+        }
+        &self.err
+    }
+
+    fn fill_pe_div(&mut self, d_model: usize) {
+        if self.pe_div.len() != d_model {
+            self.pe_div.clear();
+            self.pe_div.extend(
+                (0..d_model).map(|i| (10000.0_f64).powf((2 * (i / 2)) as f64 / d_model as f64)),
+            );
+        }
+    }
+
+    fn score_windows_chunk(
+        &mut self,
+        model: &ReconstructionTransformer,
+        specs: &[WindowSpec<'_>],
+        m: usize,
+    ) {
+        let d_model = model.cfg.d_model;
+        self.boffsets.clear();
+        self.boffsets.push(0);
+        let mut total = 0usize;
+        for s in specs {
+            assert_eq!(s.data.cols(), m, "all windows must share input width");
+            total += s.end - s.start;
+            self.boffsets.push(total);
+        }
+        self.x.resize(total, m);
+        self.pe.resize(total, d_model);
+        for (b, s) in specs.iter().enumerate() {
+            let r0 = self.boffsets[b];
+            for r in 0..s.end - s.start {
+                for (slot, &v) in self
+                    .x
+                    .row_mut(r0 + r)
+                    .iter_mut()
+                    .zip(s.data.row(s.start + r))
+                {
+                    *slot = v as f32;
+                }
+                let p = (s.pos_of)(s.start + r);
+                for (i, (slot, &div)) in self
+                    .pe
+                    .row_mut(r0 + r)
+                    .iter_mut()
+                    .zip(&self.pe_div)
+                    .enumerate()
+                {
+                    *slot = if i % 2 == 0 {
+                        (p / div).sin() as f32
+                    } else {
+                        (p / div).cos() as f32
+                    };
+                }
+            }
+        }
+        self.forward_scratch_batch(model);
+        for (b, s) in specs.iter().enumerate() {
+            let r0 = self.boffsets[b];
+            for r in 0..s.end - s.start {
+                let e = self
+                    .x
+                    .row(r0 + r)
+                    .iter()
+                    .zip(self.out.row(r0 + r))
+                    .zip(s.weights)
+                    .map(|((a, o), w)| (*w as f32) * (a - o) * (a - o))
+                    .sum::<f32>()
+                    / m.max(1) as f32;
+                self.err.push(e as f64);
+            }
+        }
+    }
+
+    /// The f32 forward pass proper, reading `self.x` / `self.pe` and the
+    /// prebaked `self.weights`, leaving the reconstruction in `self.out`.
+    fn forward_scratch(&mut self, model: &ReconstructionTransformer) {
+        linear_into_f32(&self.x, &self.weights, &model.embed, &mut self.h);
+        self.h.add_assign(&self.pe);
+        for layer in &model.layers {
+            self.encoder_layer(layer);
+        }
+        linear_into_f32(&self.h, &self.weights, &model.decoder, &mut self.out);
+    }
+
+    /// One encoder layer over the `self.h` carrier — the f64 session's
+    /// exact structure with f32 scratch and prebaked weights.
+    fn encoder_layer(&mut self, layer: &EncoderLayer) {
+        let t = self.h.rows();
+        let mha = &layer.attn;
+        let d_model = mha.d_model;
+        let dh = d_model / mha.n_heads;
+        let scale = (1.0 / (dh as f64).sqrt()) as f32;
+        linear_into_f32(&self.h, &self.weights, &mha.wq, &mut self.q);
+        linear_into_f32(&self.h, &self.weights, &mha.wk, &mut self.k);
+        linear_into_f32(&self.h, &self.weights, &mha.wv, &mut self.v);
+        self.cat.resize(t, d_model);
+        for hd in 0..mha.n_heads {
+            let lo = hd * dh;
+            let hi = lo + dh;
+            slice_cols_into_f32(&self.q, lo, hi, &mut self.qh);
+            slice_cols_into_f32(&self.k, lo, hi, &mut self.kh);
+            slice_cols_into_f32(&self.v, lo, hi, &mut self.vh);
+            self.qh.matmul_pre_t_into(&self.kh, &mut self.scores);
+            self.scores.map_inplace(|x| x * scale);
+            softmax_rows_inplace_f32(&mut self.scores);
+            self.scores.matmul_into(&self.vh, &mut self.head);
+            for r in 0..t {
+                self.cat.row_mut(r)[lo..hi].copy_from_slice(self.head.row(r));
+            }
+        }
+        linear_into_f32(&self.cat, &self.weights, &mha.wo, &mut self.attn);
+        add_into_f32(&self.h, &self.attn, &mut self.res1);
+        layer_norm_into_f32(
+            &self.res1,
+            &self.weights[layer.norm1.gamma],
+            &self.weights[layer.norm1.beta],
+            &mut self.n1,
+        );
+        match (&layer.moe, &layer.ffn) {
+            (Some(moe), _) => self.moe_block(moe),
+            (None, Some(ffn)) => {
+                linear_into_f32(&self.n1, &self.weights, &ffn.lin1, &mut self.hid);
+                self.hid.map_inplace(|x| x.max(0.0));
+                linear_into_f32(&self.hid, &self.weights, &ffn.lin2, &mut self.block);
+            }
+            _ => unreachable!("layer has either moe or ffn"),
+        }
+        add_into_f32(&self.n1, &self.block, &mut self.res2);
+        layer_norm_into_f32(
+            &self.res2,
+            &self.weights[layer.norm2.gamma],
+            &self.weights[layer.norm2.beta],
+            &mut self.h,
+        );
+    }
+
+    /// Sparse-MoE block over `self.n1` into `self.block` — same routing
+    /// tie-breaking and scatter/copy-or-add sequence as the f64 session,
+    /// with gate probabilities computed in f32.
+    fn moe_block(&mut self, moe: &crate::moe::MoeLayer) {
+        let t = self.n1.rows();
+        let d = self.n1.cols();
+        let n_exp = moe.experts.len();
+        self.n1.matmul_into(&self.weights[moe.gate], &mut self.gate);
+        softmax_rows_inplace_f32(&mut self.gate);
+        if self.assign.len() < n_exp {
+            self.assign.resize_with(n_exp, Vec::new);
+        }
+        for a in &mut self.assign[..n_exp] {
+            a.clear();
+        }
+        for tok in 0..t {
+            let row = self.gate.row(tok);
+            top_k_into_f32(row, moe.top_k, &mut self.order);
+            for &e in &self.order {
+                self.assign[e].push(tok);
+            }
+        }
+        let mut init = false;
+        for (e, expert) in moe.experts.iter().enumerate() {
+            let idx = &self.assign[e];
+            if idx.is_empty() {
+                continue;
+            }
+            self.xe.resize(idx.len(), d);
+            for (r, &tok) in idx.iter().enumerate() {
+                self.xe.row_mut(r).copy_from_slice(self.n1.row(tok));
+            }
+            linear_into_f32(&self.xe, &self.weights, &expert.lin1, &mut self.hid);
+            self.hid.map_inplace(|x| x.max(0.0));
+            linear_into_f32(&self.hid, &self.weights, &expert.lin2, &mut self.ye);
+            for (r, &tok) in idx.iter().enumerate() {
+                let w = self.gate[(tok, e)];
+                for x in self.ye.row_mut(r).iter_mut() {
+                    *x *= w;
+                }
+            }
+            self.full.resize(t, d);
+            for (r, &tok) in idx.iter().enumerate() {
+                self.full.row_mut(tok).copy_from_slice(self.ye.row(r));
+            }
+            if init {
+                self.block.add_assign(&self.full);
+            } else {
+                self.block.resize(t, d);
+                self.block
+                    .as_mut_slice()
+                    .copy_from_slice(self.full.as_slice());
+                init = true;
+            }
+        }
+        if !init {
+            self.block.resize(t, d);
+            for (o, &v) in self.block.as_mut_slice().iter_mut().zip(self.n1.as_slice()) {
+                *o = v * 0.0;
+            }
+        }
+    }
+
+    /// Batched f32 forward pass over the stacked `self.x` / `self.pe`.
+    fn forward_scratch_batch(&mut self, model: &ReconstructionTransformer) {
+        linear_into_f32(&self.x, &self.weights, &model.embed, &mut self.h);
+        self.h.add_assign(&self.pe);
+        for layer in &model.layers {
+            self.encoder_layer_batch(layer);
+        }
+        linear_into_f32(&self.h, &self.weights, &model.decoder, &mut self.out);
+    }
+
+    /// One encoder layer over the stacked carrier — batched linears,
+    /// per-(window, head) attention, as in the f64 session.
+    fn encoder_layer_batch(&mut self, layer: &EncoderLayer) {
+        let total = self.h.rows();
+        let mha = &layer.attn;
+        let d_model = mha.d_model;
+        let dh = d_model / mha.n_heads;
+        let scale = (1.0 / (dh as f64).sqrt()) as f32;
+        linear_into_f32(&self.h, &self.weights, &mha.wq, &mut self.q);
+        linear_into_f32(&self.h, &self.weights, &mha.wk, &mut self.k);
+        linear_into_f32(&self.h, &self.weights, &mha.wv, &mut self.v);
+        self.cat.resize(total, d_model);
+        for b in 0..self.boffsets.len() - 1 {
+            let (r0, r1) = (self.boffsets[b], self.boffsets[b + 1]);
+            for hd in 0..mha.n_heads {
+                let lo = hd * dh;
+                let hi = lo + dh;
+                slice_block_into_f32(&self.q, r0, r1, lo, hi, &mut self.qh);
+                slice_block_into_f32(&self.k, r0, r1, lo, hi, &mut self.kh);
+                slice_block_into_f32(&self.v, r0, r1, lo, hi, &mut self.vh);
+                self.qh.matmul_pre_t_into(&self.kh, &mut self.scores);
+                self.scores.map_inplace(|x| x * scale);
+                softmax_rows_inplace_f32(&mut self.scores);
+                self.scores.matmul_into(&self.vh, &mut self.head);
+                for r in r0..r1 {
+                    self.cat.row_mut(r)[lo..hi].copy_from_slice(self.head.row(r - r0));
+                }
+            }
+        }
+        linear_into_f32(&self.cat, &self.weights, &mha.wo, &mut self.attn);
+        add_into_f32(&self.h, &self.attn, &mut self.res1);
+        layer_norm_into_f32(
+            &self.res1,
+            &self.weights[layer.norm1.gamma],
+            &self.weights[layer.norm1.beta],
+            &mut self.n1,
+        );
+        match (&layer.moe, &layer.ffn) {
+            (Some(moe), _) => self.moe_block_batch(moe),
+            (None, Some(ffn)) => {
+                linear_into_f32(&self.n1, &self.weights, &ffn.lin1, &mut self.hid);
+                self.hid.map_inplace(|x| x.max(0.0));
+                linear_into_f32(&self.hid, &self.weights, &ffn.lin2, &mut self.block);
+            }
+            _ => unreachable!("layer has either moe or ffn"),
+        }
+        add_into_f32(&self.n1, &self.block, &mut self.res2);
+        layer_norm_into_f32(
+            &self.res2,
+            &self.weights[layer.norm2.gamma],
+            &self.weights[layer.norm2.beta],
+            &mut self.h,
+        );
+    }
+
+    /// Batched sparse-MoE block — per-window copy-or-add scatter, exactly
+    /// the f64 session's signed-zero-safe sequence in f32.
+    fn moe_block_batch(&mut self, moe: &crate::moe::MoeLayer) {
+        let total = self.n1.rows();
+        let d = self.n1.cols();
+        let n_exp = moe.experts.len();
+        let nb = self.boffsets.len() - 1;
+        self.n1.matmul_into(&self.weights[moe.gate], &mut self.gate);
+        softmax_rows_inplace_f32(&mut self.gate);
+        if self.assign.len() < n_exp {
+            self.assign.resize_with(n_exp, Vec::new);
+        }
+        for a in &mut self.assign[..n_exp] {
+            a.clear();
+        }
+        for tok in 0..total {
+            let row = self.gate.row(tok);
+            top_k_into_f32(row, moe.top_k, &mut self.order);
+            for &e in &self.order {
+                self.assign[e].push(tok);
+            }
+        }
+        self.block.resize(total, d);
+        self.binit.clear();
+        self.binit.resize(nb, false);
+        for (e, expert) in moe.experts.iter().enumerate() {
+            if self.assign[e].is_empty() {
+                continue;
+            }
+            let idx = &self.assign[e];
+            self.xe.resize(idx.len(), d);
+            for (r, &tok) in idx.iter().enumerate() {
+                self.xe.row_mut(r).copy_from_slice(self.n1.row(tok));
+            }
+            linear_into_f32(&self.xe, &self.weights, &expert.lin1, &mut self.hid);
+            self.hid.map_inplace(|x| x.max(0.0));
+            linear_into_f32(&self.hid, &self.weights, &expert.lin2, &mut self.ye);
+            let idx = &self.assign[e];
+            for (r, &tok) in idx.iter().enumerate() {
+                let w = self.gate[(tok, e)];
+                for x in self.ye.row_mut(r).iter_mut() {
+                    *x *= w;
+                }
+            }
+            let mut w = 0usize;
+            let mut r = 0usize;
+            while r < idx.len() {
+                while self.boffsets[w + 1] <= idx[r] {
+                    w += 1;
+                }
+                let (r0, r1) = (self.boffsets[w], self.boffsets[w + 1]);
+                self.full.resize(r1 - r0, d);
+                let mut rr = r;
+                while rr < idx.len() && idx[rr] < r1 {
+                    self.full
+                        .row_mut(idx[rr] - r0)
+                        .copy_from_slice(self.ye.row(rr));
+                    rr += 1;
+                }
+                if self.binit[w] {
+                    for i in 0..r1 - r0 {
+                        for (o, &v) in self.block.row_mut(r0 + i).iter_mut().zip(self.full.row(i)) {
+                            *o += v;
+                        }
+                    }
+                } else {
+                    for i in 0..r1 - r0 {
+                        self.block.row_mut(r0 + i).copy_from_slice(self.full.row(i));
+                    }
+                    self.binit[w] = true;
+                }
+                r = rr;
+            }
+        }
+        for (w, done) in self.binit.iter().enumerate() {
+            if *done {
+                continue;
+            }
+            for i in self.boffsets[w]..self.boffsets[w + 1] {
+                for (o, &v) in self.block.row_mut(i).iter_mut().zip(self.n1.row(i)) {
+                    *o = v * 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// `out = x · W + b` over the prebaked f32 weight copies.
+fn linear_into_f32(x: &MatrixF32, weights: &[MatrixF32], lin: &Linear, out: &mut MatrixF32) {
+    x.matmul_into(&weights[lin.w], out);
+    out.add_row_broadcast_inplace(&weights[lin.b]);
+}
+
+/// f32 twin of [`slice_block_into`].
+fn slice_block_into_f32(
+    src: &MatrixF32,
+    r0: usize,
+    r1: usize,
+    lo: usize,
+    hi: usize,
+    out: &mut MatrixF32,
+) {
+    out.resize(r1 - r0, hi - lo);
+    for r in r0..r1 {
+        out.row_mut(r - r0).copy_from_slice(&src.row(r)[lo..hi]);
+    }
+}
+
+/// f32 twin of [`slice_cols_into`].
+fn slice_cols_into_f32(src: &MatrixF32, lo: usize, hi: usize, out: &mut MatrixF32) {
+    out.resize(src.rows(), hi - lo);
+    for r in 0..src.rows() {
+        out.row_mut(r).copy_from_slice(&src.row(r)[lo..hi]);
+    }
+}
+
+/// f32 twin of [`add_into`].
+fn add_into_f32(a: &MatrixF32, b: &MatrixF32, out: &mut MatrixF32) {
+    debug_assert_eq!(a.shape(), b.shape());
+    out.resize(a.rows(), a.cols());
+    for ((o, &x), &y) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *o = x + y;
+    }
+}
+
+/// f32 twin of [`softmax_rows_inplace`].
+fn softmax_rows_inplace_f32(m: &mut MatrixF32) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut s = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - mx).exp();
+            s += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= s;
+        }
+    }
+}
+
+/// f32 twin of [`layer_norm_into`] (`eps = 1e-5`, biased variance).
+fn layer_norm_into_f32(src: &MatrixF32, gamma: &MatrixF32, beta: &MatrixF32, out: &mut MatrixF32) {
+    let eps = 1e-5f32;
+    out.resize(src.rows(), src.cols());
+    for r in 0..src.rows() {
+        let row = src.row(r);
+        let d = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / d;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (i, (o, v)) in out.row_mut(r).iter_mut().zip(row).enumerate() {
+            *o = gamma.as_slice()[i] * (*v - mean) * inv + beta.as_slice()[i];
+        }
+    }
+}
+
+/// f32 twin of [`top_k_into`]: same total comparator (descending value,
+/// NaN Equal, ties to the lower index), same insertion sort.
+fn top_k_into_f32(x: &[f32], k: usize, order: &mut Vec<usize>) {
+    order.clear();
+    order.extend(0..x.len());
+    let cmp = |a: usize, b: usize| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    };
+    for i in 1..order.len() {
+        let mut j = i;
+        while j > 0 && cmp(order[j - 1], order[j]) == Ordering::Greater {
+            order.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    order.truncate(k.min(x.len()));
+}
+
 /// Thread-safe pool of [`InferenceSession`]s, used by scoring call sites
 /// that fan windows out over rayon workers: each worker pops a warm
 /// session (or starts a cold one) and pushes it back when done.
@@ -857,6 +1536,70 @@ impl std::fmt::Debug for SessionPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let n = self.pool.lock().map(|p| p.len()).unwrap_or(0);
         write!(f, "SessionPool({n} warm)")
+    }
+}
+
+/// Thread-safe pool of [`InferenceSessionF32`]s — the f32 tier's twin of
+/// [`SessionPool`]. Pooled sessions keep their prebaked weight copies
+/// warm across windows; the version check in
+/// [`InferenceSessionF32::forward`] makes a stale bake self-heal, so
+/// pooling never serves stale weights.
+#[derive(Default)]
+pub struct SessionPoolF32 {
+    pool: Mutex<Vec<InferenceSessionF32>>,
+}
+
+impl SessionPoolF32 {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pop a warm session, or create a cold one if the pool is empty.
+    pub fn acquire(&self) -> InferenceSessionF32 {
+        self.pool
+            .lock()
+            .map(|mut p| p.pop())
+            .unwrap_or(None)
+            .unwrap_or_default()
+    }
+
+    /// Return a session for reuse.
+    pub fn release(&self, session: InferenceSessionF32) {
+        if let Ok(mut p) = self.pool.lock() {
+            if p.len() < POOL_CAP {
+                p.push(session);
+            }
+        }
+    }
+}
+
+/// Serialized as `Null`: warm sessions are pure caches, rebuilt on demand.
+impl serde::Serialize for SessionPoolF32 {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+/// Deserializes from anything (including a missing field) to an empty
+/// pool — sessions re-bake their weights lazily on first use.
+impl serde::Deserialize for SessionPoolF32 {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self::default())
+    }
+}
+
+/// Cloning a model must not share (or copy) live scratch: a clone starts
+/// with a cold, empty pool.
+impl Clone for SessionPoolF32 {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for SessionPoolF32 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.pool.lock().map(|p| p.len()).unwrap_or(0);
+        write!(f, "SessionPoolF32({n} warm)")
     }
 }
 
@@ -944,6 +1687,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn f32_forward_tracks_f64_within_tolerance() {
+        for (seed, block) in [
+            (1u64, BlockKind::Dense),
+            (
+                2,
+                BlockKind::Moe {
+                    n_experts: 3,
+                    top_k: 1,
+                },
+            ),
+        ] {
+            let mut params = ParamStore::new(seed);
+            let model = ReconstructionTransformer::new(&mut params, cfg(block));
+            let x = window(10, 4, seed as f64);
+            let pe = sinusoidal_pe(10, 8, 0);
+            let mut s64 = InferenceSession::new();
+            let want = s64.forward(&params, &model, &x, &pe).clone();
+            let mut s32 = InferenceSessionF32::new();
+            let got = s32.forward(&params, &model, &x, &pe);
+            assert_eq!(got.shape(), want.shape());
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                let rel = (*a as f64 - b).abs() / b.abs().max(1.0);
+                assert!(rel < 1e-3, "f32 forward drifted: {a} vs {b} (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_batch_bit_identical_to_f32_per_window() {
+        // The f32 tier has its own internal determinism contract: a
+        // batched forward must reproduce per-window f32 forwards exactly,
+        // the same invariant the f64 tier pins across its two paths.
+        let mut params = ParamStore::new(4);
+        let model = ReconstructionTransformer::new(
+            &mut params,
+            cfg(BlockKind::Moe {
+                n_experts: 3,
+                top_k: 2,
+            }),
+        );
+        let windows: Vec<(Matrix, Matrix)> = (0..3)
+            .map(|i| {
+                let t = 6 + i;
+                (window(t, 4, i as f64), sinusoidal_pe(t, 8, 0))
+            })
+            .collect();
+        let refs: Vec<(&Matrix, &Matrix)> = windows.iter().map(|(x, p)| (x, p)).collect();
+        let mut batch = InferenceSessionF32::new();
+        let (stacked, offs) = batch.forward_batch(&params, &model, &refs);
+        let stacked = stacked.clone();
+        let offs = offs.to_vec();
+        let mut single = InferenceSessionF32::new();
+        for (b, (x, pe)) in windows.iter().enumerate() {
+            let want = single.forward(&params, &model, x, pe);
+            for r in 0..x.rows() {
+                for (g, w) in stacked.row(offs[b] + r).iter().zip(want.row(r)) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "window {b} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_bake_invalidated_by_param_mutation() {
+        let mut params = ParamStore::new(9);
+        let model = ReconstructionTransformer::new(&mut params, cfg(BlockKind::Dense));
+        let x = window(6, 4, 0.0);
+        let pe = sinusoidal_pe(6, 8, 0);
+        let mut sess = InferenceSessionF32::new();
+        let before = sess.forward(&params, &model, &x, &pe).clone();
+        params.get_mut(model.decoder.w).map_inplace(|v| v + 0.25);
+        let after = sess.forward(&params, &model, &x, &pe).clone();
+        assert_ne!(before, after, "f32 session served a stale weight bake");
     }
 
     #[test]

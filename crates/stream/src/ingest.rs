@@ -348,8 +348,37 @@ fn conn_loop(stream: &mut TcpStream, shared: &Shared, conn_id: i64) -> ConnExit 
                     wm.frames_tick.inc();
                     batch.push(t);
                 }
-                Frame::Hello { role, .. } => {
+                Frame::Hello {
+                    role, precision, ..
+                } => {
                     wm.frames("hello").inc();
+                    // A client that announces a scoring tier must match
+                    // the engine's: verdicts from mismatched tiers are
+                    // not comparable bit-for-bit, so the session is
+                    // refused up front rather than producing a silently
+                    // wrong stream. Clients that announce nothing (v1
+                    // peers) are accepted — they take whatever tier the
+                    // engine runs.
+                    if let Some(announced) = precision {
+                        let engine_tier = shared
+                            .engine
+                            .read()
+                            .expect("engine lock")
+                            .as_ref()
+                            .map(|e| e.scoring_precision());
+                        if let Some(tier) = engine_tier {
+                            if tier != announced {
+                                return ConnExit::Fail {
+                                    code: error_code::REJECTED,
+                                    msg: format!(
+                                        "scoring precision mismatch: client announced {}, engine runs {}",
+                                        announced.as_str(),
+                                        tier.as_str()
+                                    ),
+                                };
+                            }
+                        }
+                    }
                     if matches!(role, Role::Verdicts) {
                         if let Err(e) = flush_batch(shared, &mut batch) {
                             return e;
@@ -474,6 +503,7 @@ mod tests {
             anomalous: true,
             cluster: 2,
             kind: VerdictKind::Degraded,
+            precision: crate::ScoringPrecision::F64,
         };
         let m = verdict_msg(&v);
         assert_eq!(m.score_bits, 0x7ff8_0000_dead_beef);

@@ -99,6 +99,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 pub use nodesentry_core::Tick;
+/// Re-exported from [`ns_wire`]: the engine's scoring tier is announced
+/// on Hello frames and validated at snapshot restore, so one type serves
+/// config, wire and snapshot layers.
+pub use ns_wire::ScoringPrecision;
 
 /// How trustworthy a verdict is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -128,6 +132,8 @@ pub struct Verdict {
     pub cluster: usize,
     /// Whether stream faults degraded this verdict.
     pub kind: VerdictKind,
+    /// Scoring tier that produced `score` ([`EngineConfig::scoring_precision`]).
+    pub precision: ScoringPrecision,
 }
 
 /// Typed failures of the streaming engine. Injected stream faults are
@@ -627,6 +633,14 @@ fn kinds_from_ordinals(bytes: &[u8]) -> Result<Vec<RowKind>, SnapshotError> {
     bytes.iter().map(|&b| RowKind::from_ordinal(b)).collect()
 }
 
+/// The F32 tier's probe matcher: the cluster library baked down to f32
+/// once per node (the fitted model is immutable for the run), plus the
+/// f32 standardization scratch that replaces `z_scratch`.
+struct ProbeScratch32 {
+    lib: coarse::ProbeLibraryF32,
+    scratch: Vec<f32>,
+}
+
 /// A score waiting for its (lagged) smoothed threshold decision.
 struct PendingScore {
     step: usize,
@@ -699,6 +713,10 @@ pub struct NodeState {
     /// Scratch for `match_pattern_into` — the warm streaming match path
     /// allocates nothing (`crates/core/tests/match_zero_alloc.rs`).
     z_scratch: Vec<f64>,
+    /// Scoring tier every verdict from this node is tagged with.
+    precision: ScoringPrecision,
+    /// Baked f32 probe library; `Some` exactly when `precision` is F32.
+    probe32: Option<ProbeScratch32>,
     smoother: StreamingSmoother,
     detector: StreamingKSigma,
     /// Scores awaiting their (lagged) smoothed verdict.
@@ -738,6 +756,10 @@ impl NodeState {
             .map(|&g| !model.preprocessor.counters[g])
             .collect();
         let n_watch = stuck_watch.iter().filter(|&&w| w).count();
+        let probe32 = (cfg.scoring_precision == ScoringPrecision::F32).then(|| ProbeScratch32 {
+            lib: model.cluster_model.probe_library_f32(),
+            scratch: Vec::new(),
+        });
         NodeState {
             model,
             node,
@@ -755,6 +777,8 @@ impl NodeState {
             jobs: VecDeque::new(),
             probe_pending: false,
             z_scratch: Vec::new(),
+            precision: cfg.scoring_precision,
+            probe32,
             smoother: StreamingSmoother::new(cfg.smooth_window),
             detector,
             pending: VecDeque::new(),
@@ -1092,6 +1116,7 @@ impl NodeState {
         match_probe_rows(
             &self.model,
             &mut self.z_scratch,
+            self.probe32.as_mut(),
             &mut self.stats,
             &self.seg_rows,
             probe_len,
@@ -1134,6 +1159,7 @@ impl NodeState {
             None => match_probe_rows(
                 &self.model,
                 &mut self.z_scratch,
+                self.probe32.as_mut(),
                 &mut self.stats,
                 &job.rows,
                 probe_len,
@@ -1144,7 +1170,10 @@ impl NodeState {
         // Invariant: `Engine::try_new` rejects models without shared
         // experts, so the clamped index is always in range.
         let model = &self.model.shared_models[cluster.min(self.model.shared_models.len() - 1)];
-        let mut seg_scores = model.score_series(&data);
+        let mut seg_scores = match self.precision {
+            ScoringPrecision::F64 => model.score_series(&data),
+            ScoringPrecision::F32 => model.score_series_f32(&data),
+        };
         normalize_segment_scores(&mut seg_scores, probe_len);
         let elapsed = t0.elapsed().as_secs_f64();
         self.apply_scored(job, cluster, seg_scores, elapsed)
@@ -1215,6 +1244,7 @@ impl NodeState {
                 self.matched = Some(match_probe_rows(
                     &self.model,
                     &mut self.z_scratch,
+                    self.probe32.as_mut(),
                     &mut self.stats,
                     &self.seg_rows,
                     plen,
@@ -1227,6 +1257,7 @@ impl NodeState {
                 job.matched = Some(match_probe_rows(
                     &self.model,
                     &mut self.z_scratch,
+                    self.probe32.as_mut(),
                     &mut self.stats,
                     &job.rows,
                     period.clamp(1, job.rows.len()),
@@ -1245,7 +1276,8 @@ impl NodeState {
         self.resolve_probes();
         let jobs: Vec<SegmentJob> = std::mem::take(&mut self.jobs).into();
         let mut out = Vec::new();
-        for (job, cluster, scores, share) in score_resolved_jobs(&self.model, jobs) {
+        for (job, cluster, scores, share) in score_resolved_jobs(&self.model, jobs, self.precision)
+        {
             out.extend(self.apply_scored(job, cluster, scores, share));
         }
         out
@@ -1273,6 +1305,7 @@ impl NodeState {
             anomalous,
             cluster: p.cluster,
             kind,
+            precision: self.precision,
         })
     }
 
@@ -1432,6 +1465,15 @@ pub struct EngineConfig {
     /// are bit-identical to the eager per-segment path
     /// (`tests/batch_equivalence.rs`); only the work schedule changes.
     pub batch_scoring: bool,
+    /// Scoring tier (bit-critical). [`ScoringPrecision::F64`] (default)
+    /// keeps streaming verdicts bit-identical to batch scoring.
+    /// [`ScoringPrecision::F32`] routes segment scoring and probe
+    /// matching through prebaked f32 twins of the model — faster, with
+    /// an accuracy delta measured by the deployment bench rather than
+    /// pinned. Every [`Verdict`] is tagged with the tier that produced
+    /// it, snapshots refuse to restore across tiers, and wire clients
+    /// can announce the tier they expect on Hello.
+    pub scoring_precision: ScoringPrecision,
     /// Chaos hook: the worker panics while ingesting this `(node, step)`
     /// tick, exercising the catch_unwind + quarantine path. Testing only.
     pub panic_at: Option<(usize, usize)>,
@@ -1448,6 +1490,7 @@ impl EngineConfig {
             blackout_gap: 240,
             stuck_run: 8,
             batch_scoring: true,
+            scoring_precision: ScoringPrecision::F64,
             panic_at: None,
         }
     }
@@ -1669,6 +1712,16 @@ impl Engine {
             }
             .into());
         }
+        if snap.scoring_precision != cfg.scoring_precision {
+            // The tiers produce different score bits: resuming a run
+            // across them would splice two incompatible score streams.
+            return Err(SnapshotError::ConfigMismatch {
+                field: "scoring_precision",
+                snapshot: snap.scoring_precision.to_ordinal() as u64,
+                config: cfg.scoring_precision.to_ordinal() as u64,
+            }
+            .into());
+        }
         let n_shards = cfg.n_shards.max(1);
         let mut init: Vec<(FxHashMap<usize, NodeState>, FxHashSet<usize>)> = Vec::new();
         init.resize_with(n_shards, Default::default);
@@ -1789,6 +1842,7 @@ impl Engine {
             model_fingerprint: self.model_fingerprint,
             split: self.cfg.split,
             smooth_window: self.cfg.smooth_window,
+            scoring_precision: self.cfg.scoring_precision,
             n_shards: self.n_shards,
             nodes,
             quarantined,
@@ -1821,6 +1875,12 @@ impl Engine {
         }
         self.ingest_hist.observe(t0.elapsed().as_secs_f64());
         Ok(())
+    }
+
+    /// The scoring tier this engine runs ([`EngineConfig::scoring_precision`]);
+    /// the ingest server checks announced Hello precisions against it.
+    pub fn scoring_precision(&self) -> ScoringPrecision {
+        self.cfg.scoring_precision
     }
 
     /// Convenience for single-tick ingestion.
@@ -1899,6 +1959,7 @@ impl Engine {
 fn match_probe_rows(
     model: &NodeSentry,
     z_scratch: &mut Vec<f64>,
+    probe32: Option<&mut ProbeScratch32>,
     stats: &mut StreamStats,
     rows: &[Vec<f64>],
     probe_len: usize,
@@ -1906,7 +1967,13 @@ fn match_probe_rows(
     let t0 = Instant::now();
     let probe = Matrix::from_rows(&rows[..probe_len.min(rows.len())]);
     let feat = coarse::segment_features(&model.cfg.coarse, &probe);
-    let (cluster, _dist) = model.cluster_model.match_pattern_into(&feat, z_scratch);
+    // F32 tier: standardize + early-abandon scan through the baked f32
+    // library. The distance comes back widened to f64, so downstream
+    // radius semantics are tier-independent.
+    let (cluster, _dist) = match probe32 {
+        Some(p) => p.lib.match_pattern_into(&feat, &mut p.scratch),
+        None => model.cluster_model.match_pattern_into(&feat, z_scratch),
+    };
     let elapsed = t0.elapsed().as_secs_f64();
     stats.match_seconds += elapsed;
     stats.n_matches += 1;
@@ -1938,6 +2005,7 @@ fn normalize_segment_scores(scores: &mut [f64], probe_len: usize) {
 fn score_resolved_jobs(
     model: &NodeSentry,
     jobs: Vec<SegmentJob>,
+    precision: ScoringPrecision,
 ) -> Vec<(SegmentJob, usize, Vec<f64>, f64)> {
     let n_models = model.shared_models.len();
     let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
@@ -1959,7 +2027,10 @@ fn score_resolved_jobs(
             .map(|&i| Matrix::from_rows(&jobs[i].rows))
             .collect();
         let refs: Vec<&Matrix> = mats.iter().collect();
-        let many = model.shared_models[g].score_series_batch(&refs);
+        let many = match precision {
+            ScoringPrecision::F64 => model.shared_models[g].score_series_batch(&refs),
+            ScoringPrecision::F32 => model.shared_models[g].score_series_batch_f32(&refs),
+        };
         let share = t0.elapsed().as_secs_f64() / idxs.len() as f64;
         nm.batch_segments.observe(idxs.len() as f64);
         for (&i, mut scores) in idxs.iter().zip(many) {
@@ -1984,7 +2055,11 @@ fn score_resolved_jobs(
 /// forwards, and fan the verdicts back out per node. Nodes are visited
 /// in ascending id and each node's jobs in FIFO order, so every node's
 /// smoother/detector chain sees exactly the eager sequence.
-fn scoring_phase(states: &mut FxHashMap<usize, NodeState>, verdicts: &mut Vec<Verdict>) {
+fn scoring_phase(
+    states: &mut FxHashMap<usize, NodeState>,
+    verdicts: &mut Vec<Verdict>,
+    precision: ScoringPrecision,
+) {
     let mut nodes: Vec<usize> = states
         .iter()
         .filter(|(_, s)| s.has_deferred_work())
@@ -2020,8 +2095,9 @@ fn scoring_phase(states: &mut FxHashMap<usize, NodeState>, verdicts: &mut Vec<Ve
     if jobs.is_empty() {
         return;
     }
-    for (owner, (job, cluster, scores, share)) in
-        owners.into_iter().zip(score_resolved_jobs(&model, jobs))
+    for (owner, (job, cluster, scores, share)) in owners
+        .into_iter()
+        .zip(score_resolved_jobs(&model, jobs, precision))
     {
         let Some(state) = states.get_mut(&owner) else {
             continue;
@@ -2194,7 +2270,7 @@ fn worker_loop(
             }
         }
         if cfg.batch_scoring {
-            scoring_phase(&mut states, &mut verdicts);
+            scoring_phase(&mut states, &mut verdicts, cfg.scoring_precision);
         }
         publish_shard_metrics(&m, &states, &faults, &mut published);
     }

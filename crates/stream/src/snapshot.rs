@@ -30,7 +30,7 @@
 //! layout of version 1 is pinned by a golden fixture in
 //! `tests/serde_roundtrip.rs`.
 
-use crate::{FaultCounters, StreamStats};
+use crate::{FaultCounters, ScoringPrecision, StreamStats};
 use nodesentry_core::Tick;
 use ns_eval::streaming::{KSigmaState, SmootherState};
 use serde::{Deserialize, Serialize, Value};
@@ -174,7 +174,7 @@ pub struct NodeSnap {
 /// Nodes are sorted by id and quarantined ids ascending, so encoding the
 /// same engine state twice yields identical bytes (checkpoint →
 /// restore → checkpoint is byte-stable; `tests/proptest_snapshot.rs`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EngineSnapshot {
     /// Fingerprint of the trained model this state belongs to
     /// ([`NodeSentry::fingerprint`](nodesentry_core::NodeSentry::fingerprint));
@@ -184,6 +184,9 @@ pub struct EngineSnapshot {
     pub split: usize,
     /// Smoothing window of the checkpointed engine (bit-critical).
     pub smooth_window: usize,
+    /// Scoring tier of the checkpointed engine (bit-critical: the tiers
+    /// produce different score bits, so a restore must match it).
+    pub scoring_precision: ScoringPrecision,
     /// Shard count at checkpoint time — informational only; restore may
     /// pick any shard count (that is how live resharding works).
     pub n_shards: usize,
@@ -196,6 +199,54 @@ pub struct EngineSnapshot {
     pub carried_stats: StreamStats,
     /// Fault counters no longer attributable to a live node.
     pub carried_faults: FaultCounters,
+}
+
+// Hand-written so the default tier stays byte-compatible with the pinned
+// version-1 layout: `scoring_precision` is emitted only when it is not
+// `F64`, and a missing key decodes as `F64` (every pre-tier snapshot was
+// f64 by construction). The golden fixture in `tests/serde_roundtrip.rs`
+// holds this closed.
+impl Serialize for EngineSnapshot {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            (
+                "model_fingerprint".to_string(),
+                self.model_fingerprint.to_value(),
+            ),
+            ("split".to_string(), self.split.to_value()),
+            ("smooth_window".to_string(), self.smooth_window.to_value()),
+            ("n_shards".to_string(), self.n_shards.to_value()),
+            ("nodes".to_string(), self.nodes.to_value()),
+            ("quarantined".to_string(), self.quarantined.to_value()),
+            ("carried_stats".to_string(), self.carried_stats.to_value()),
+            ("carried_faults".to_string(), self.carried_faults.to_value()),
+        ];
+        if self.scoring_precision != ScoringPrecision::F64 {
+            pairs.push((
+                "scoring_precision".to_string(),
+                self.scoring_precision.to_value(),
+            ));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for EngineSnapshot {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(EngineSnapshot {
+            model_fingerprint: serde::field(v, "model_fingerprint")?,
+            split: serde::field(v, "split")?,
+            smooth_window: serde::field(v, "smooth_window")?,
+            // Missing key → `field` falls back to `from_value(Null)`,
+            // which is `F64` (the only tier that ever omits the key).
+            scoring_precision: serde::field(v, "scoring_precision")?,
+            n_shards: serde::field(v, "n_shards")?,
+            nodes: serde::field(v, "nodes")?,
+            quarantined: serde::field(v, "quarantined")?,
+            carried_stats: serde::field(v, "carried_stats")?,
+            carried_faults: serde::field(v, "carried_faults")?,
+        })
+    }
 }
 
 impl EngineSnapshot {

@@ -67,6 +67,7 @@ fn sample() -> EngineSnapshot {
         model_fingerprint: 0x1234_5678_9ABC_DEF0,
         split: 100,
         smooth_window: 1,
+        scoring_precision: ns_stream::ScoringPrecision::F64,
         n_shards: 2,
         nodes: vec![node],
         quarantined: vec![5],

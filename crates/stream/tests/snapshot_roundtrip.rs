@@ -111,6 +111,7 @@ fn synthetic_snapshot() -> EngineSnapshot {
         model_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
         split: 360,
         smooth_window: 1,
+        scoring_precision: ns_stream::ScoringPrecision::F64,
         n_shards: 4,
         nodes: vec![empty, node],
         quarantined: vec![1, 7],

@@ -19,7 +19,8 @@
 use crate::faults::{SocketFaultAction, SocketFaultCounters, SocketFaultInjector, SocketFaultPlan};
 use nodesentry_core::Tick;
 use ns_wire::{
-    encode_frame, error_code, Frame, FrameAssembler, ReportMsg, Role, VerdictMsg, WireError,
+    encode_frame, error_code, Frame, FrameAssembler, ReportMsg, Role, ScoringPrecision, VerdictMsg,
+    WireError,
 };
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -168,6 +169,21 @@ impl IngestClient {
         Ok(())
     }
 
+    /// Announce the scoring tier this client's consumers expect and
+    /// confirm the engine runs it. The server refuses a mismatched
+    /// session with a typed `Error` frame; the trailing ping makes that
+    /// refusal synchronous instead of surfacing on some later read.
+    /// Clients that never announce are accepted under any tier.
+    pub fn announce_precision(&mut self, precision: ScoringPrecision) -> Result<(), WireError> {
+        self.stream.write_all(&encode_frame(&Frame::Hello {
+            role: Role::Ingest,
+            client_id: 0,
+            precision: Some(precision),
+        }))?;
+        self.stream.flush()?;
+        self.ping().map(|_| ())
+    }
+
     /// Send one replay cycle (or any batch) tick by tick.
     pub fn send_cycle(&mut self, ticks: &[Tick]) -> Result<(), WireError> {
         for t in ticks {
@@ -292,6 +308,7 @@ pub fn subscribe_verdicts(
     stream.write_all(&encode_frame(&Frame::Hello {
         role: Role::Verdicts,
         client_id: 0,
+        precision: None,
     }))?;
     stream.flush()?;
     let mut asm = FrameAssembler::new();

@@ -157,6 +157,75 @@ impl Role {
     }
 }
 
+/// Scoring precision tier of the engine behind a connection. Defined
+/// here (and re-exported by `ns-stream` as its `EngineConfig` field) so
+/// wire clients can announce the tier they expect without an engine
+/// dependency. Scores travel the wire as f64 bits under both tiers —
+/// the tier changes engine arithmetic, never the wire format.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScoringPrecision {
+    /// Full-precision scoring; streaming verdicts are bit-identical to
+    /// batch scoring. The default everywhere.
+    #[default]
+    F64,
+    /// Opt-in f32 scoring pipeline (prebaked f32 weights, f32 kernels);
+    /// faster, with a measured — not pinned — accuracy delta vs f64.
+    F32,
+}
+
+impl ScoringPrecision {
+    /// Wire/snapshot ordinal (pinned: part of the on-wire format).
+    pub fn to_ordinal(self) -> u8 {
+        match self {
+            ScoringPrecision::F64 => 0,
+            ScoringPrecision::F32 => 1,
+        }
+    }
+
+    pub fn from_ordinal(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(ScoringPrecision::F64),
+            1 => Ok(ScoringPrecision::F32),
+            other => Err(WireError::Decode(format!("bad precision ordinal {other}"))),
+        }
+    }
+
+    /// Stable label for JSON reports and metrics.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScoringPrecision::F64 => "f64",
+            ScoringPrecision::F32 => "f32",
+        }
+    }
+}
+
+impl serde::Serialize for ScoringPrecision {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(
+            match self {
+                ScoringPrecision::F64 => "F64",
+                ScoringPrecision::F32 => "F32",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Deserialize for ScoringPrecision {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            // Absent fields decode from Null: snapshots written before
+            // the tier existed are F64 by construction.
+            serde::Value::Null => Ok(ScoringPrecision::F64),
+            serde::Value::Str(s) if s == "F64" => Ok(ScoringPrecision::F64),
+            serde::Value::Str(s) if s == "F32" => Ok(ScoringPrecision::F32),
+            other => Err(serde::Error::msg(format!(
+                "expected scoring precision, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// One detection outcome on the wire. Mirrors `ns_stream::Verdict` field
 /// for field, with the score as raw IEEE bits so equality over the wire
 /// is bit equality. (Defined here rather than borrowed from `ns-stream`
@@ -207,8 +276,17 @@ pub mod error_code {
 pub enum Frame {
     /// Connection preamble declaring intent. Optional for ingest
     /// connections (a bare tick implies `Role::Ingest`), required to
-    /// subscribe to verdicts.
-    Hello { role: Role, client_id: u64 },
+    /// subscribe to verdicts. `precision` optionally announces the
+    /// scoring tier the client expects; the server rejects a mismatch
+    /// with a typed [`Frame::Error`] instead of silently serving scores
+    /// from a different pipeline. `None` encodes exactly the version-1
+    /// nine-byte payload, so old clients and the pinned golden fixtures
+    /// are untouched.
+    Hello {
+        role: Role,
+        client_id: u64,
+        precision: Option<ScoringPrecision>,
+    },
     /// One telemetry sample (client → server).
     Tick(Tick),
     /// Finalize the run: flush every node and stream verdicts back.
@@ -263,9 +341,16 @@ impl Frame {
 
 fn encode_payload(f: &Frame, out: &mut Vec<u8>) {
     match f {
-        Frame::Hello { role, client_id } => {
+        Frame::Hello {
+            role,
+            client_id,
+            precision,
+        } => {
             out.push(role.to_ordinal());
             out.extend_from_slice(&client_id.to_le_bytes());
+            if let Some(p) = precision {
+                out.push(p.to_ordinal());
+            }
         }
         Frame::Tick(t) => {
             out.extend_from_slice(&(t.node as u64).to_le_bytes());
@@ -366,10 +451,23 @@ fn take_bool(b: &[u8], pos: &mut usize) -> Result<bool, WireError> {
 fn decode_payload(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
     let mut pos = 0usize;
     let frame = match kind {
-        0 => Frame::Hello {
-            role: Role::from_ordinal(take_u8(payload, &mut pos)?)?,
-            client_id: take_u64(payload, &mut pos)?,
-        },
+        0 => {
+            let role = Role::from_ordinal(take_u8(payload, &mut pos)?)?;
+            let client_id = take_u64(payload, &mut pos)?;
+            // Optional trailing precision byte: absent in version-1
+            // nine-byte payloads, one ordinal when announced. Anything
+            // past it still lands in the trailing-bytes check below.
+            let precision = if pos < payload.len() {
+                Some(ScoringPrecision::from_ordinal(take_u8(payload, &mut pos)?)?)
+            } else {
+                None
+            };
+            Frame::Hello {
+                role,
+                client_id,
+                precision,
+            }
+        }
         1 => {
             let node = take_u64(payload, &mut pos)? as usize;
             let step = take_u64(payload, &mut pos)? as usize;
@@ -608,6 +706,12 @@ mod tests {
             Frame::Hello {
                 role: Role::Verdicts,
                 client_id: 0xDEAD_BEEF,
+                precision: None,
+            },
+            Frame::Hello {
+                role: Role::Ingest,
+                client_id: 7,
+                precision: Some(ScoringPrecision::F32),
             },
             Frame::Tick(Tick {
                 node: 7,
@@ -666,6 +770,64 @@ mod tests {
             // Byte-stable: re-encoding the decoded frame is a fixed point.
             assert_eq!(encode_frame(&back), bytes);
         }
+    }
+
+    #[test]
+    fn hello_without_precision_keeps_v1_payload_length() {
+        // The optional precision byte must not disturb old peers: a
+        // `None` Hello encodes the original 9-byte payload, `Some` adds
+        // exactly one ordinal byte.
+        let bare = encode_frame(&Frame::Hello {
+            role: Role::Ingest,
+            client_id: 42,
+            precision: None,
+        });
+        assert_eq!(bare.len(), HEADER_LEN + 9 + TRAILER_LEN);
+        let tiered = encode_frame(&Frame::Hello {
+            role: Role::Ingest,
+            client_id: 42,
+            precision: Some(ScoringPrecision::F64),
+        });
+        assert_eq!(tiered.len(), bare.len() + 1);
+        let (back, _) = decode_frame(&tiered).expect("decode");
+        assert_eq!(
+            back,
+            Frame::Hello {
+                role: Role::Ingest,
+                client_id: 42,
+                precision: Some(ScoringPrecision::F64),
+            }
+        );
+    }
+
+    #[test]
+    fn bad_precision_ordinal_is_typed() {
+        let mut bytes = encode_frame(&Frame::Hello {
+            role: Role::Ingest,
+            client_id: 1,
+            precision: Some(ScoringPrecision::F32),
+        });
+        let n = bytes.len();
+        bytes[n - TRAILER_LEN - 1] = 9; // hostile ordinal
+        let body_len = n - TRAILER_LEN;
+        let sum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode_frame(&bytes), Err(WireError::Decode(_))));
+    }
+
+    #[test]
+    fn precision_serde_value_roundtrip_and_null_default() {
+        use serde::{Deserialize, Serialize, Value};
+        for p in [ScoringPrecision::F64, ScoringPrecision::F32] {
+            let v = p.to_value();
+            assert_eq!(ScoringPrecision::from_value(&v).expect("roundtrip"), p);
+        }
+        // Pre-tier snapshots have no precision field; Null decodes F64.
+        assert_eq!(
+            ScoringPrecision::from_value(&Value::Null).expect("null"),
+            ScoringPrecision::F64
+        );
+        assert!(ScoringPrecision::from_value(&Value::Str("f99".into())).is_err());
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use nodesentry::stream::Tick;
 use nodesentry::wire::{
-    decode_frame, encode_frame, error_code, Frame, FrameAssembler, ReportMsg, Role, VerdictMsg,
-    HEADER_LEN, TRAILER_LEN,
+    decode_frame, encode_frame, error_code, Frame, FrameAssembler, ReportMsg, Role,
+    ScoringPrecision, VerdictMsg, HEADER_LEN, TRAILER_LEN,
 };
 use proptest::prelude::*;
 
@@ -69,8 +69,15 @@ proptest! {
         ingest in any::<bool>(),
     ) {
         let role = if ingest { Role::Ingest } else { Role::Verdicts };
+        // Cycle Hello through all three precision announcements: absent
+        // (v1-identical payload), f64, f32.
+        let precision = match a % 3 {
+            0 => None,
+            1 => Some(ScoringPrecision::F64),
+            _ => Some(ScoringPrecision::F32),
+        };
         let frames = [
-            Frame::Hello { role, client_id: a },
+            Frame::Hello { role, client_id: a, precision },
             Frame::Finish,
             Frame::Verdict(VerdictMsg {
                 node: a,
@@ -108,7 +115,7 @@ proptest! {
         cut_fracs in prop::collection::vec(0.0f64..1.0, 0..16),
     ) {
         // A realistic little conversation: hello, ticks, pings, finish.
-        let mut frames = vec![Frame::Hello { role: Role::Ingest, client_id: node }];
+        let mut frames = vec![Frame::Hello { role: Role::Ingest, client_id: node, precision: None }];
         for (i, &token) in tokens.iter().enumerate() {
             frames.push(Frame::Tick(Tick {
                 node: node as usize,

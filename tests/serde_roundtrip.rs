@@ -177,6 +177,9 @@ mod snapshot_format {
             model_fingerprint: 0x0123_4567_89AB_CDEF,
             split: 360,
             smooth_window: 1,
+            // F64 is omitted from the encoding, so the golden fixture's
+            // pinned v1 bytes stay valid with the field present.
+            scoring_precision: nodesentry::stream::ScoringPrecision::F64,
             n_shards: 4,
             nodes: vec![minimal, full],
             quarantined: vec![2, 9],
@@ -280,10 +283,12 @@ mod wire_format {
             Frame::Hello {
                 role: Role::Ingest,
                 client_id: 7,
+                precision: None,
             },
             Frame::Hello {
                 role: Role::Verdicts,
                 client_id: u64::MAX,
+                precision: None,
             },
             Frame::Tick(Tick {
                 node: 3,
